@@ -1,0 +1,54 @@
+//! The DESIGN.md ablations: A1 FaaSnap coalescing, A2 device
+//! sensitivity, A3 KVM CoW patch, A4 grouping/sorting.
+//!
+//! Regenerates each ablation's rows, then times one representative
+//! configuration per ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snapbpf::figures::{ablation_coalesce, ablation_cow, ablation_device, ablation_grouping};
+use snapbpf::{run_one, DeviceKind, RunConfig, StrategyKind};
+use snapbpf_bench::bench_config;
+use snapbpf_workloads::Workload;
+use std::hint::black_box;
+
+fn regenerate_rows() {
+    let cfg = bench_config();
+    let chameleon = Workload::by_name("chameleon").expect("suite function");
+    let bert = Workload::by_name("bert").expect("suite function");
+    match ablation_coalesce(&chameleon, cfg.scale, &[0, 8, 32, 128, 512]) {
+        Ok(fig) => println!("{}", fig.render()),
+        Err(e) => eprintln!("ablation-coalesce failed: {e}"),
+    }
+    match ablation_device(&bert, cfg.scale) {
+        Ok(fig) => println!("{}", fig.render()),
+        Err(e) => eprintln!("ablation-device failed: {e}"),
+    }
+    match ablation_cow(&cfg) {
+        Ok(fig) => println!("{}", fig.render()),
+        Err(e) => eprintln!("ablation-cow failed: {e}"),
+    }
+    match ablation_grouping(&cfg) {
+        Ok(fig) => println!("{}", fig.render()),
+        Err(e) => eprintln!("ablation-grouping failed: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_rows();
+
+    let bert = Workload::by_name("bert").expect("suite function");
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("device/hdd/snapbpf", |b| {
+        let cfg = RunConfig::single(0.05).on(DeviceKind::Hdd7200);
+        b.iter(|| run_one(StrategyKind::SnapBpf, black_box(&bert), &cfg).expect("run"))
+    });
+    g.bench_function("cow/buggy/4x", |b| {
+        let cfg = RunConfig::concurrent(0.05, 4);
+        b.iter(|| run_one(StrategyKind::SnapBpfBuggyCow, black_box(&bert), &cfg).expect("run"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

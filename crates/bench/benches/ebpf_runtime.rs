@@ -1,0 +1,82 @@
+//! Micro-benchmarks of the eBPF runtime itself: verifier throughput
+//! and interpreter instructions-per-second on the actual SnapBPF
+//! capture/prefetch programs, plus text/bytecode codec speed.
+//!
+//! These guard the simulation's own performance: the capture program
+//! runs once per page-cache insertion, so a slow interpreter would
+//! make the full-suite figure regeneration crawl.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snapbpf::{build_capture_program, build_prefetch_program, groups_map_def, wset_map_def};
+use snapbpf_ebpf::{
+    decode_program, encode_program, parse_program, Interpreter, KfuncSig, MapSet, NoKfuncs,
+    Verifier,
+};
+use snapbpf_storage::{Disk, SsdModel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Mint a real FileId and build the production programs.
+    let mut disk = Disk::new(Box::new(SsdModel::micron_5300()));
+    let snap = disk.create_file("snap", 1024).unwrap();
+    let mut maps = MapSet::new();
+    let wset = maps.create(wset_map_def(4096)).unwrap();
+    let groups = maps.create(groups_map_def(256)).unwrap();
+    let capture = build_capture_program(snap, wset, 4096);
+    let prefetch = build_prefetch_program(snap, groups);
+    let sigs = [KfuncSig {
+        name: "snapbpf_prefetch",
+        args: 3,
+    }];
+
+    let mut g = c.benchmark_group("ebpf");
+    g.bench_function("verify/capture", |b| {
+        b.iter(|| {
+            Verifier::new(&maps, &sigs)
+                .verify(black_box(&capture))
+                .expect("verifies")
+        })
+    });
+    g.bench_function("verify/prefetch", |b| {
+        b.iter(|| {
+            Verifier::new(&maps, &sigs)
+                .verify(black_box(&prefetch))
+                .expect("verifies")
+        })
+    });
+
+    let verified_capture = Verifier::new(&maps, &sigs).verify(&capture).unwrap();
+    g.bench_function("run/capture-hit", |b| {
+        let mut interp = Interpreter::new();
+        let ctx = [snap.as_u32() as u64, 42, 0];
+        b.iter(|| {
+            interp
+                .run(black_box(&verified_capture), &ctx, &mut maps, &mut NoKfuncs)
+                .expect("runs")
+        })
+    });
+    g.bench_function("run/capture-filtered", |b| {
+        let mut interp = Interpreter::new();
+        let ctx = [9999u64, 42, 0]; // other file: early exit path
+        b.iter(|| {
+            interp
+                .run(black_box(&verified_capture), &ctx, &mut maps, &mut NoKfuncs)
+                .expect("runs")
+        })
+    });
+
+    g.bench_function("codec/encode+decode", |b| {
+        b.iter(|| {
+            let bytes = encode_program(black_box(&prefetch));
+            decode_program(&bytes).expect("decodes")
+        })
+    });
+    g.bench_function("codec/text-roundtrip", |b| {
+        let text = prefetch.to_string();
+        b.iter(|| parse_program("p", black_box(&text)).expect("parses"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

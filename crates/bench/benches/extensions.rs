@@ -1,0 +1,51 @@
+//! The paper's deferred future work, implemented as extensions
+//! (DESIGN.md E1–E3): input variation vs deduplication,
+//! computational cost analysis, and memory-pressure behaviour.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snapbpf::figures::{ext_cost_analysis, ext_input_variants, ext_memory_pressure, FigureConfig};
+use snapbpf::{run_one, RunConfig, StrategyKind};
+use snapbpf_bench::bench_config;
+use snapbpf_workloads::Workload;
+use std::hint::black_box;
+
+fn regenerate_rows() {
+    let base = bench_config();
+    let trio = FigureConfig {
+        workloads: ["html", "bfs", "bert"]
+            .iter()
+            .map(|n| Workload::by_name(n).expect("suite function"))
+            .collect(),
+        ..base.clone()
+    };
+    match ext_input_variants(&trio) {
+        Ok(fig) => println!("{}", fig.render()),
+        Err(e) => eprintln!("ext-variants failed: {e}"),
+    }
+    match ext_cost_analysis(&base) {
+        Ok(fig) => println!("{}", fig.render()),
+        Err(e) => eprintln!("ext-costs failed: {e}"),
+    }
+    let bert = Workload::by_name("bert").expect("suite function");
+    let cap_pages = ((bert.scaled(base.scale).spec().ws_pages() * 2) >> 10).max(2) << 10;
+    match ext_memory_pressure(&bert, base.scale, base.instances, cap_pages) {
+        Ok(fig) => println!("{}", fig.render()),
+        Err(e) => eprintln!("ext-memory-pressure failed: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_rows();
+
+    let bert = Workload::by_name("bert").expect("suite function");
+    let cfg = RunConfig::concurrent(0.05, 6).with_varying_inputs();
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("variants/bert/snapbpf-6x", |b| {
+        b.iter(|| run_one(StrategyKind::SnapBpf, black_box(&bert), &cfg).expect("run"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figures 3a and 3b: end-to-end invocation latency, single and
+//! concurrent.
+//!
+//! Running this bench first regenerates both figures' rows (printed
+//! to stdout), then times representative single runs under
+//! Criterion so regressions in the simulation stack are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snapbpf::figures::{fig3a, fig3b};
+use snapbpf::{run_one, RunConfig, StrategyKind};
+use snapbpf_bench::bench_config;
+use snapbpf_workloads::Workload;
+use std::hint::black_box;
+
+fn regenerate_rows() {
+    let cfg = bench_config();
+    match fig3a(&cfg) {
+        Ok(fig) => {
+            println!("{}", fig.render());
+            println!("{}", fig.normalized_to("REAP").render());
+        }
+        Err(e) => eprintln!("fig3a failed: {e}"),
+    }
+    match fig3b(&cfg) {
+        Ok(fig) => {
+            println!("{}", fig.render());
+            println!("{}", fig.normalized_to("Linux-NoRA").render());
+        }
+        Err(e) => eprintln!("fig3b failed: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_rows();
+
+    let json = Workload::by_name("json").expect("suite function");
+    let bert = Workload::by_name("bert").expect("suite function");
+    let single = RunConfig::single(0.05);
+    let concurrent = RunConfig::concurrent(0.05, 10);
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("fig3a/json/snapbpf", |b| {
+        b.iter(|| run_one(StrategyKind::SnapBpf, black_box(&json), &single).expect("run"))
+    });
+    g.bench_function("fig3a/json/reap", |b| {
+        b.iter(|| run_one(StrategyKind::Reap, black_box(&json), &single).expect("run"))
+    });
+    g.bench_function("fig3b/bert/snapbpf-10x", |b| {
+        b.iter(|| run_one(StrategyKind::SnapBpf, black_box(&bert), &concurrent).expect("run"))
+    });
+    g.bench_function("fig3b/bert/reap-10x", |b| {
+        b.iter(|| run_one(StrategyKind::Reap, black_box(&bert), &concurrent).expect("run"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 3c: system-wide memory with 10 concurrent sandboxes.
+//!
+//! Regenerates the figure's rows, then times the memory-accounting
+//! path for the dedup-critical workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snapbpf::figures::fig3c;
+use snapbpf::{run_one, RunConfig, StrategyKind};
+use snapbpf_bench::bench_config;
+use snapbpf_workloads::Workload;
+use std::hint::black_box;
+
+fn regenerate_rows() {
+    match fig3c(&bench_config()) {
+        Ok(fig) => {
+            println!("{}", fig.render());
+            if let (Some(reap), Some(snap)) =
+                (fig.series_values("REAP"), fig.series_values("SnapBPF"))
+            {
+                let best = reap
+                    .iter()
+                    .zip(snap)
+                    .map(|(r, s)| r / s)
+                    .fold(f64::MIN, f64::max);
+                println!("max REAP/SnapBPF memory ratio: {best:.1}x (paper: up to 6x)\n");
+            }
+        }
+        Err(e) => eprintln!("fig3c failed: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_rows();
+
+    let bfs = Workload::by_name("bfs").expect("suite function");
+    let cfg = RunConfig::concurrent(0.05, 10);
+    let mut g = c.benchmark_group("fig3c");
+    g.sample_size(10);
+    g.bench_function("bfs/snapbpf-10x", |b| {
+        b.iter(|| run_one(StrategyKind::SnapBpf, black_box(&bfs), &cfg).expect("run"))
+    });
+    g.bench_function("bfs/reap-10x", |b| {
+        b.iter(|| run_one(StrategyKind::Reap, black_box(&bfs), &cfg).expect("run"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

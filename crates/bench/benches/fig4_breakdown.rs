@@ -1,0 +1,44 @@
+//! Figure 4: the PV-PTE-marking vs eBPF-prefetch breakdown.
+//!
+//! Regenerates the normalized rows, then times the two mechanism
+//! variants on the workloads where each dominates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snapbpf::figures::fig4;
+use snapbpf::{run_one, RunConfig, StrategyKind};
+use snapbpf_bench::bench_config;
+use snapbpf_workloads::Workload;
+use std::hint::black_box;
+
+fn regenerate_rows() {
+    match fig4(&bench_config()) {
+        Ok(fig) => println!("{}", fig.render()),
+        Err(e) => eprintln!("fig4 failed: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_rows();
+
+    let image = Workload::by_name("image").expect("suite function");
+    let rnn = Workload::by_name("rnn").expect("suite function");
+    let cfg = RunConfig::single(0.05);
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("image/pv-only", |b| {
+        b.iter(|| run_one(StrategyKind::SnapBpfPvOnly, black_box(&image), &cfg).expect("run"))
+    });
+    g.bench_function("image/full", |b| {
+        b.iter(|| run_one(StrategyKind::SnapBpf, black_box(&image), &cfg).expect("run"))
+    });
+    g.bench_function("rnn/pv-only", |b| {
+        b.iter(|| run_one(StrategyKind::SnapBpfPvOnly, black_box(&rnn), &cfg).expect("run"))
+    });
+    g.bench_function("rnn/full", |b| {
+        b.iter(|| run_one(StrategyKind::SnapBpf, black_box(&rnn), &cfg).expect("run"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 1 (mechanism comparison) and the §4 "SnapBPF Overheads"
+//! analysis (offsets-map loading).
+//!
+//! Prints both, then times the overhead-critical kernel paths: the
+//! offsets-map load and the eBPF capture/prefetch program execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snapbpf::figures::{overheads, table1};
+use snapbpf::{run_one, RunConfig, StrategyKind};
+use snapbpf_bench::bench_config;
+use snapbpf_workloads::Workload;
+use std::hint::black_box;
+
+fn regenerate_rows() {
+    println!("{}", table1());
+    match overheads(&bench_config()) {
+        Ok(fig) => {
+            println!("{}", fig.render());
+            let ms = fig.series_values("offset-load-ms").unwrap_or(&[]);
+            let mean = ms.iter().sum::<f64>() / ms.len().max(1) as f64;
+            println!("mean offsets-load latency: {mean:.2} ms (paper: ~1-2 ms)\n");
+        }
+        Err(e) => eprintln!("overheads failed: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_rows();
+
+    let cnn = Workload::by_name("cnn").expect("suite function");
+    let cfg = RunConfig::single(0.05);
+    let mut g = c.benchmark_group("overheads");
+    g.sample_size(10);
+    g.bench_function("cnn/snapbpf-record+restore", |b| {
+        b.iter(|| run_one(StrategyKind::SnapBpf, black_box(&cnn), &cfg).expect("run"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

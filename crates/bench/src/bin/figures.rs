@@ -1,0 +1,233 @@
+//! Regenerates every table and figure of the SnapBPF paper.
+//!
+//! ```text
+//! cargo run --release -p snapbpf-bench --bin figures -- [--scale S] [--instances N] [--out DIR] [--only ID]
+//! ```
+//!
+//! Prints each figure as an aligned table (absolute values plus the
+//! paper's normalized presentation) and writes JSON + text files
+//! under `--out` (default `results/`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use snapbpf::figures::{
+    ablation_coalesce, ablation_cow, ablation_device, ablation_grouping, ext_cost_analysis,
+    ext_colocation, ext_concurrency_sweep, ext_input_variants, ext_memory_pressure,
+    ext_record_cost, ext_warm_start, fig3a, fig3b, fig3c, fig4, overheads, table1,
+    FigureConfig,
+};
+use snapbpf::FigureData;
+use snapbpf_bench::write_figure;
+use snapbpf_workloads::Workload;
+
+struct Args {
+    scale: f64,
+    instances: usize,
+    out: PathBuf,
+    only: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: 1.0,
+        instances: 10,
+        out: PathBuf::from("results"),
+        only: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                if !(args.scale > 0.0 && args.scale <= 1.0) {
+                    return Err("--scale must be in (0, 1]".into());
+                }
+            }
+            "--instances" => {
+                args.instances = value("--instances")?
+                    .parse()
+                    .map_err(|e| format!("bad --instances: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--only" => args.only = Some(value("--only")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: figures [--scale S] [--instances N] [--out DIR] [--only ID]\n\
+                     IDs: table1 fig3a fig3b fig3c fig4 overheads \
+                     ablation-coalesce ablation-device ablation-cow ablation-grouping \
+                     ext-variants ext-costs ext-memory-pressure ext-colocation \
+                     ext-record-cost ext-warm-start ext-concurrency"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn wants(only: &Option<String>, id: &str) -> bool {
+    only.as_deref().is_none_or(|o| o == id)
+}
+
+fn emit(out: &Path, fig: &FigureData) {
+    println!("{}", fig.render());
+    if let Err(e) = write_figure(out, fig) {
+        eprintln!("warning: could not write {}: {e}", fig.id);
+    }
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = FigureConfig {
+        scale: args.scale,
+        instances: args.instances,
+        workloads: Workload::suite(),
+    };
+    println!(
+        "SnapBPF reproduction — scale {} x, {} concurrent instances\n",
+        args.scale, args.instances
+    );
+
+    if wants(&args.only, "table1") {
+        let t = table1();
+        println!("{t}");
+        std::fs::create_dir_all(&args.out)?;
+        std::fs::write(args.out.join("table1.txt"), &t)?;
+    }
+    if wants(&args.only, "fig3a") {
+        let fig = fig3a(&cfg)?;
+        emit(&args.out, &fig);
+        emit(&args.out, &{
+            let mut n = fig.normalized_to("REAP");
+            n.id = "fig3a-normalized".into();
+            n
+        });
+    }
+    if wants(&args.only, "fig3b") {
+        let fig = fig3b(&cfg)?;
+        emit(&args.out, &fig);
+        emit(&args.out, &{
+            let mut n = fig.normalized_to("Linux-NoRA");
+            n.id = "fig3b-normalized".into();
+            n
+        });
+        if let (Some(reap), Some(snap)) =
+            (fig.series_values("REAP"), fig.series_values("SnapBPF"))
+        {
+            let best = reap
+                .iter()
+                .zip(snap)
+                .map(|(r, s)| r / s)
+                .fold(f64::MIN, f64::max);
+            println!("max REAP/SnapBPF latency ratio: {best:.1}x (paper: up to 8x on bert)\n");
+        }
+    }
+    if wants(&args.only, "fig3c") {
+        let fig = fig3c(&cfg)?;
+        emit(&args.out, &fig);
+        if let (Some(reap), Some(snap)) =
+            (fig.series_values("REAP"), fig.series_values("SnapBPF"))
+        {
+            let best = reap
+                .iter()
+                .zip(snap)
+                .map(|(r, s)| r / s)
+                .fold(f64::MIN, f64::max);
+            println!("max REAP/SnapBPF memory ratio: {best:.1}x (paper: up to 6x on bfs/bert)\n");
+        }
+    }
+    if wants(&args.only, "fig4") {
+        emit(&args.out, &fig4(&cfg)?);
+    }
+    if wants(&args.only, "overheads") {
+        let fig = overheads(&cfg)?;
+        emit(&args.out, &fig);
+        let ms = fig.series_values("offset-load-ms").unwrap_or(&[]);
+        let mean = ms.iter().sum::<f64>() / ms.len().max(1) as f64;
+        println!("mean offsets-load latency: {mean:.2} ms (paper: ~1-2 ms)\n");
+    }
+    if wants(&args.only, "ablation-coalesce") {
+        let w = Workload::by_name("chameleon").expect("suite function");
+        emit(
+            &args.out,
+            &ablation_coalesce(&w, args.scale, &[0, 8, 32, 128, 512])?,
+        );
+    }
+    if wants(&args.only, "ablation-device") {
+        let w = Workload::by_name("bert").expect("suite function");
+        emit(&args.out, &ablation_device(&w, args.scale)?);
+    }
+    if wants(&args.only, "ablation-cow") {
+        emit(&args.out, &ablation_cow(&cfg)?);
+    }
+    if wants(&args.only, "ablation-grouping") {
+        emit(&args.out, &ablation_grouping(&cfg)?);
+    }
+    if wants(&args.only, "ext-variants") {
+        // Input variation is most interesting on the large-WS
+        // functions; run the FaaSMem trio.
+        let trio = FigureConfig {
+            workloads: ["html", "bfs", "bert"]
+                .iter()
+                .map(|n| Workload::by_name(n).expect("suite function"))
+                .collect(),
+            ..cfg.clone()
+        };
+        emit(&args.out, &ext_input_variants(&trio)?);
+    }
+    if wants(&args.only, "ext-costs") {
+        emit(&args.out, &ext_cost_analysis(&cfg)?);
+    }
+    if wants(&args.only, "ext-record-cost") {
+        emit(&args.out, &ext_record_cost(&cfg)?);
+    }
+    if wants(&args.only, "ext-warm-start") {
+        emit(&args.out, &ext_warm_start(&cfg)?);
+    }
+    if wants(&args.only, "ext-concurrency") {
+        let w = Workload::by_name("bert").expect("suite function");
+        emit(
+            &args.out,
+            &ext_concurrency_sweep(&w, args.scale, &[1, 2, 5, 10, 20])?,
+        );
+    }
+    if wants(&args.only, "ext-colocation") {
+        emit(&args.out, &ext_colocation(&cfg)?);
+    }
+    if wants(&args.only, "ext-memory-pressure") {
+        let w = Workload::by_name("bert").expect("suite function");
+        // Cap: 2x one working set — fits the shared cache, not 10
+        // private copies.
+        let cap_pages = ((w.scaled(args.scale).spec().ws_pages() * 2) >> 10).max(2) << 10;
+        emit(
+            &args.out,
+            &ext_memory_pressure(&w, args.scale, args.instances, cap_pages)?,
+        );
+    }
+    println!("results written to {}", args.out.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # snapbpf-bench — the figure-regeneration harness
+//!
+//! Shared plumbing for the `figures` binary and the Criterion
+//! benches: standard configurations and result output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use snapbpf::figures::FigureConfig;
+use snapbpf::FigureData;
+use snapbpf_workloads::Workload;
+
+/// The configuration benches run at: the full 14-function suite at a
+/// reduced (but shape-preserving) scale with 10 concurrent
+/// instances, exactly as the paper's concurrency experiments.
+pub fn bench_config() -> FigureConfig {
+    FigureConfig {
+        scale: 0.15,
+        instances: 10,
+        workloads: Workload::suite(),
+    }
+}
+
+/// A minimal configuration for smoke tests.
+pub fn smoke_config() -> FigureConfig {
+    FigureConfig::quick(0.03)
+}
+
+/// Writes a figure's JSON next to its rendered table under `dir`.
+///
+/// # Errors
+///
+/// I/O errors propagate.
+pub fn write_figure(dir: &Path, fig: &FigureData) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(
+        dir.join(format!("{}.json", fig.id)),
+        fig.to_json().map_err(io::Error::other)?,
+    )?;
+    fs::write(dir.join(format!("{}.txt", fig.id)), fig.render())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_usable() {
+        assert_eq!(bench_config().workloads.len(), 14);
+        assert_eq!(bench_config().instances, 10);
+        assert!(smoke_config().scale < 0.1);
+    }
+
+    #[test]
+    fn write_figure_creates_files() {
+        let dir = std::env::temp_dir().join("snapbpf-bench-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fig = FigureData::new("t", "test", "s", vec!["a".into()]);
+        fig.push_series("x", vec![1.0]);
+        write_figure(&dir, &fig).unwrap();
+        assert!(dir.join("t.json").exists());
+        assert!(dir.join("t.txt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

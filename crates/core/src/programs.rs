@@ -1,0 +1,296 @@
+//! The SnapBPF eBPF programs.
+//!
+//! Faithful to §3.1 of the paper, both programs attach to the
+//! `add_to_page_cache_lru` kprobe:
+//!
+//! * the **capture** program filters insertions to the snapshot file
+//!   and appends `(page offset, first-access timestamp)` samples to
+//!   the working-set map,
+//! * the **prefetch** program walks the pre-loaded, access-order
+//!   sorted group list, issuing one contiguous range per trigger via
+//!   the `snapbpf_prefetch()` kfunc (each issued range re-fires the
+//!   hook as its pages are inserted, cascading through the list),
+//!   and disables itself after the last group.
+//!
+//! Both are built with [`ProgramBuilder`], verified by the kernel's
+//! verifier at attach time, and executed by the interpreter — the
+//! mechanism is exercised end-to-end, not narrated.
+
+use snapbpf_ebpf::{AccessSize, HelperId, JmpCond, MapDef, MapId, Program, ProgramBuilder, Reg};
+use snapbpf_kernel::{KFUNC_SNAPBPF_PREFETCH, PROG_RET_DISABLE};
+use snapbpf_storage::FileId;
+
+use crate::wset::{OffsetSample, WsGroup};
+
+/// Layout constants of the working-set (capture) map: slot 0 holds
+/// the sample count; sample `i` occupies slots `1 + 2i` (offset) and
+/// `2 + 2i` (timestamp).
+pub const WSET_COUNT_SLOT: u32 = 0;
+
+/// Layout constants of the groups (prefetch) map: slot 0 holds the
+/// group count, slot 1 the cursor; group `i` occupies slots
+/// `2 + 2i` (start) and `3 + 2i` (length).
+pub const GROUPS_COUNT_SLOT: u32 = 0;
+/// See [`GROUPS_COUNT_SLOT`].
+pub const GROUPS_CURSOR_SLOT: u32 = 1;
+
+/// Map definition for a capture map holding up to `max_samples`
+/// working-set samples.
+pub fn wset_map_def(max_samples: u32) -> MapDef {
+    MapDef::array(8, 1 + 2 * max_samples)
+}
+
+/// Map definition for a groups map holding up to `max_groups`
+/// ranges.
+pub fn groups_map_def(max_groups: u32) -> MapDef {
+    MapDef::array(8, 2 + 2 * max_groups)
+}
+
+/// Emits `lookup wset[key_slot]` with the key staged at `fp-4`; on
+/// null jumps to `on_null`. Result pointer is left in `r0`.
+fn emit_array_lookup(
+    b: &mut ProgramBuilder,
+    map: MapId,
+    key_reg_or_imm: Option<Reg>,
+    key_imm: i64,
+    on_null: snapbpf_ebpf::Label,
+) {
+    match key_reg_or_imm {
+        Some(r) => {
+            b.store(Reg::R10, -4, r, AccessSize::B4);
+        }
+        None => {
+            b.store_imm(Reg::R10, -4, key_imm, AccessSize::B4);
+        }
+    }
+    b.load_map(Reg::R1, map)
+        .mov(Reg::R2, Reg::R10)
+        .add(Reg::R2, -4)
+        .call(HelperId::MapLookup)
+        .jump_if(JmpCond::Eq, Reg::R0, 0i64, on_null);
+}
+
+/// Builds the capture program for `snapshot` recording into `wset`
+/// (an array map shaped by [`wset_map_def`] for `max_samples`).
+///
+/// Register roles: `r6` scratch/file, `r7` page offset, `r8` count
+/// value pointer, `r9` count.
+pub fn build_capture_program(snapshot: FileId, wset: MapId, max_samples: u32) -> Program {
+    let mut b = ProgramBuilder::new("snapbpf_capture");
+    let out = b.label();
+
+    // Filter: only snapshot-file insertions.
+    b.load_ctx(Reg::R6, 0)
+        .jump_if(JmpCond::Ne, Reg::R6, snapshot.as_u32() as i64, out)
+        .load_ctx(Reg::R7, 1);
+
+    // r8 = &wset[count_slot]; r9 = count.
+    emit_array_lookup(&mut b, wset, None, WSET_COUNT_SLOT as i64, out);
+    b.mov(Reg::R8, Reg::R0)
+        .load(Reg::R9, Reg::R8, 0, AccessSize::B8)
+        .jump_if(JmpCond::Ge, Reg::R9, max_samples as i64, out);
+
+    // wset[1 + 2*count] = page offset.
+    b.mov(Reg::R6, Reg::R9).mul(Reg::R6, 2).add(Reg::R6, 1);
+    emit_array_lookup(&mut b, wset, Some(Reg::R6), 0, out);
+    b.store(Reg::R0, 0, Reg::R7, AccessSize::B8);
+
+    // wset[2 + 2*count] = ktime.
+    b.call(HelperId::KtimeGetNs).mov(Reg::R7, Reg::R0);
+    b.mov(Reg::R6, Reg::R9).mul(Reg::R6, 2).add(Reg::R6, 2);
+    emit_array_lookup(&mut b, wset, Some(Reg::R6), 0, out);
+    b.store(Reg::R0, 0, Reg::R7, AccessSize::B8);
+
+    // wset[count_slot] = count + 1 (through the stashed pointer).
+    b.add(Reg::R9, 1)
+        .store(Reg::R8, 0, Reg::R9, AccessSize::B8);
+
+    b.bind(out).expect("label bound once").mov(Reg::R0, 0).exit();
+    b.build().expect("capture program assembles")
+}
+
+/// Builds the prefetch program for `snapshot` reading ranges from
+/// `groups` (an array map shaped by [`groups_map_def`]).
+///
+/// Per trigger: load `ngroups` and `cursor`; if `cursor >= ngroups`
+/// return [`PROG_RET_DISABLE`]; otherwise advance the cursor, read
+/// the group's `(start, len)`, and call
+/// `snapbpf_prefetch(snapshot, start, len)`.
+pub fn build_prefetch_program(snapshot: FileId, groups: MapId) -> Program {
+    let mut b = ProgramBuilder::new("snapbpf_prefetch");
+    let out = b.label();
+    let disable = b.label();
+
+    // r6 = ngroups.
+    emit_array_lookup(&mut b, groups, None, GROUPS_COUNT_SLOT as i64, out);
+    b.load(Reg::R6, Reg::R0, 0, AccessSize::B8);
+
+    // r8 = &cursor; r7 = cursor.
+    emit_array_lookup(&mut b, groups, None, GROUPS_CURSOR_SLOT as i64, out);
+    b.mov(Reg::R8, Reg::R0)
+        .load(Reg::R7, Reg::R8, 0, AccessSize::B8)
+        .jump_if(JmpCond::Ge, Reg::R7, Reg::R6, disable);
+
+    // start = groups[2 + 2*cursor]  -> stash at fp-24.
+    b.mov(Reg::R9, Reg::R7).mul(Reg::R9, 2).add(Reg::R9, 2);
+    emit_array_lookup(&mut b, groups, Some(Reg::R9), 0, out);
+    b.load(Reg::R2, Reg::R0, 0, AccessSize::B8)
+        .store(Reg::R10, -24, Reg::R2, AccessSize::B8);
+
+    // len = groups[3 + 2*cursor]    -> stash at fp-32.
+    b.mov(Reg::R9, Reg::R7).mul(Reg::R9, 2).add(Reg::R9, 3);
+    emit_array_lookup(&mut b, groups, Some(Reg::R9), 0, out);
+    b.load(Reg::R2, Reg::R0, 0, AccessSize::B8)
+        .store(Reg::R10, -32, Reg::R2, AccessSize::B8);
+
+    // cursor += 1 *before* the kfunc so the cascade sees progress.
+    b.mov(Reg::R9, Reg::R7)
+        .add(Reg::R9, 1)
+        .store(Reg::R8, 0, Reg::R9, AccessSize::B8);
+
+    // snapbpf_prefetch(snapshot, start, len).
+    b.mov(Reg::R1, snapshot.as_u32() as i64)
+        .load(Reg::R2, Reg::R10, -24, AccessSize::B8)
+        .load(Reg::R3, Reg::R10, -32, AccessSize::B8)
+        .call_kfunc(KFUNC_SNAPBPF_PREFETCH)
+        .mov(Reg::R0, 0)
+        .exit();
+
+    b.bind(disable)
+        .expect("label bound once")
+        .mov(Reg::R0, PROG_RET_DISABLE as i64)
+        .exit();
+    b.bind(out).expect("label bound once").mov(Reg::R0, 0).exit();
+    b.build().expect("prefetch program assembles")
+}
+
+/// Reads the captured samples back out of a capture map (the
+/// userspace side of the record phase: "the VMM reads the offsets
+/// from the eBPF map").
+///
+/// # Errors
+///
+/// Propagates map access errors.
+pub fn read_captured_samples(
+    maps: &snapbpf_ebpf::MapSet,
+    wset: MapId,
+) -> Result<Vec<OffsetSample>, snapbpf_ebpf::MapError> {
+    let count = maps.array_load_u64(wset, WSET_COUNT_SLOT)? as u32;
+    let mut samples = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let page = maps.array_load_u64(wset, 1 + 2 * i)?;
+        let first_access_ns = maps.array_load_u64(wset, 2 + 2 * i)?;
+        samples.push(OffsetSample {
+            page,
+            first_access_ns,
+        });
+    }
+    Ok(samples)
+}
+
+/// Encodes groups into the slots of a groups map, as a `u64` slice
+/// ready for [`snapbpf_kernel::HostKernel::load_map_from_user`]
+/// (slot 0 = count, slot 1 = cursor 0, then (start, len) pairs).
+pub fn groups_map_image(groups: &[WsGroup]) -> Vec<u64> {
+    let mut image = Vec::with_capacity(2 + groups.len() * 2);
+    image.push(groups.len() as u64);
+    image.push(0); // cursor
+    for g in groups {
+        image.push(g.start);
+        image.push(g.len);
+    }
+    image
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapbpf_kernel::{HostKernel, KernelConfig, PAGE_CACHE_ADD_HOOK};
+    use snapbpf_sim::SimTime;
+    use snapbpf_storage::{Disk, SsdModel};
+
+    fn kernel() -> HostKernel {
+        HostKernel::new(
+            Disk::new(Box::new(SsdModel::micron_5300())),
+            KernelConfig::default(),
+        )
+    }
+
+    #[test]
+    fn capture_program_verifies_and_records_in_order() {
+        let mut k = kernel();
+        k.set_readahead(false);
+        let snap = k.disk_mut().create_file("snap", 8192).unwrap();
+        let other = k.disk_mut().create_file("other", 64).unwrap();
+        let wset = k.create_map(wset_map_def(1024)).unwrap();
+        let prog = build_capture_program(snap, wset, 1024);
+        k.load_and_attach(PAGE_CACHE_ADD_HOOK, &prog).unwrap();
+
+        let mut t = SimTime::ZERO;
+        for page in [500u64, 100, 101, 4000] {
+            t = k.read_file_page(t, snap, page).unwrap().ready_at;
+        }
+        k.read_file_page(t, other, 5).unwrap();
+
+        let samples = read_captured_samples(k.maps(), wset).unwrap();
+        let pages: Vec<u64> = samples.iter().map(|s| s.page).collect();
+        assert_eq!(pages, vec![500, 100, 101, 4000]);
+        // Timestamps are non-decreasing in capture order.
+        assert!(samples.windows(2).all(|w| w[0].first_access_ns <= w[1].first_access_ns));
+    }
+
+    #[test]
+    fn capture_stops_at_capacity() {
+        let mut k = kernel();
+        k.set_readahead(false);
+        let snap = k.disk_mut().create_file("snap", 8192).unwrap();
+        let wset = k.create_map(wset_map_def(2)).unwrap();
+        let prog = build_capture_program(snap, wset, 2);
+        k.load_and_attach(PAGE_CACHE_ADD_HOOK, &prog).unwrap();
+        let mut t = SimTime::ZERO;
+        for page in [1u64, 2, 3, 4] {
+            t = k.read_file_page(t, snap, page).unwrap().ready_at;
+        }
+        let samples = read_captured_samples(k.maps(), wset).unwrap();
+        assert_eq!(samples.len(), 2);
+    }
+
+    #[test]
+    fn prefetch_program_cascades_through_groups() {
+        let mut k = kernel();
+        k.set_readahead(false);
+        let snap = k.disk_mut().create_file("snap", 8192).unwrap();
+        let groups = vec![
+            WsGroup { start: 1000, len: 16, earliest_ns: 0 },
+            WsGroup { start: 200, len: 8, earliest_ns: 1 },
+            WsGroup { start: 4000, len: 4, earliest_ns: 2 },
+        ];
+        let map = k.create_map(groups_map_def(groups.len() as u32)).unwrap();
+        let image = groups_map_image(&groups);
+        k.load_map_from_user(map, 0, &image).unwrap();
+        let prog = build_prefetch_program(snap, map);
+        let probe = k.load_and_attach(PAGE_CACHE_ADD_HOOK, &prog).unwrap();
+
+        k.trigger_access(SimTime::ZERO, snap, 0).unwrap();
+
+        for g in &groups {
+            for p in g.start..g.end() {
+                assert!(k.page_state(snap, p).is_some(), "page {p} missing");
+            }
+        }
+        assert!(!k.probe_enabled(probe), "program must disable itself");
+    }
+
+    #[test]
+    fn groups_map_image_layout() {
+        let groups = [WsGroup { start: 7, len: 3, earliest_ns: 0 }];
+        let image = groups_map_image(&groups);
+        assert_eq!(image, vec![1, 0, 7, 3]);
+    }
+
+    #[test]
+    fn map_defs_size_correctly() {
+        assert_eq!(wset_map_def(10).max_entries, 21);
+        assert_eq!(groups_map_def(10).max_entries, 22);
+    }
+}

@@ -1,0 +1,230 @@
+//! Figure data and rendering.
+//!
+//! Every figure and table of the paper is regenerated as a
+//! [`FigureData`]: named series of per-function values, renderable
+//! as an aligned text table (what the benchmark harness prints) and
+//! serializable to JSON (what `EXPERIMENTS.md` tooling consumes).
+
+use serde::{Deserialize, Serialize};
+
+/// One series (one bar colour) of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// One value per function, in figure order.
+    pub values: Vec<f64>,
+}
+
+/// A regenerated figure: functions on the x-axis, one or more
+/// series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Figure identifier (e.g. `"fig3a"`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Unit of the values (e.g. `"s"`, `"GiB"`, `"normalized"`).
+    pub unit: String,
+    /// X-axis labels.
+    pub functions: Vec<String>,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Creates an empty figure.
+    pub fn new(id: &str, title: &str, unit: &str, functions: Vec<String>) -> Self {
+        FigureData {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            unit: unit.to_owned(),
+            functions,
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the function count.
+    pub fn push_series(&mut self, label: &str, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.functions.len(),
+            "series length must match function count"
+        );
+        self.series.push(Series {
+            label: label.to_owned(),
+            values,
+        });
+    }
+
+    /// The values of the series with the given label.
+    pub fn series_values(&self, label: &str) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|s| s.label == label)
+            .map(|s| s.values.as_slice())
+    }
+
+    /// A copy with every series divided point-wise by the series
+    /// labelled `baseline` (which becomes all-ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` is not a series or contains zeros.
+    #[must_use]
+    pub fn normalized_to(&self, baseline: &str) -> FigureData {
+        let base = self
+            .series_values(baseline)
+            .unwrap_or_else(|| panic!("no such series: {baseline}"))
+            .to_vec();
+        assert!(base.iter().all(|&v| v != 0.0), "baseline contains zeros");
+        let mut out = FigureData::new(
+            &self.id,
+            &format!("{} (normalized to {baseline})", self.title),
+            "normalized",
+            self.functions.clone(),
+        );
+        for s in &self.series {
+            let values = s.values.iter().zip(&base).map(|(v, b)| v / b).collect();
+            out.push_series(&s.label, values);
+        }
+        out
+    }
+
+    /// Geometric mean of a series across functions (figure-level
+    /// summary), `None` for unknown labels or non-positive values.
+    pub fn geomean(&self, label: &str) -> Option<f64> {
+        let values = self.series_values(label)?;
+        if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+            return None;
+        }
+        let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+        Some((log_sum / values.len() as f64).exp())
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} — {} [{}]\n", self.id, self.title, self.unit));
+        let col0 = self
+            .functions
+            .iter()
+            .map(|f| f.len())
+            .max()
+            .unwrap_or(8)
+            .max("function".len());
+        let width = self
+            .series
+            .iter()
+            .map(|s| s.label.len())
+            .max()
+            .unwrap_or(10)
+            .max(10);
+
+        out.push_str(&format!("{:col0$}", "function"));
+        for s in &self.series {
+            out.push_str(&format!("  {:>width$}", s.label));
+        }
+        out.push('\n');
+        for (i, f) in self.functions.iter().enumerate() {
+            out.push_str(&format!("{f:col0$}"));
+            for s in &self.series {
+                out.push_str(&format!("  {:>width$.4}", s.values[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Serialization errors (practically unreachable).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Malformed input.
+    pub fn from_json(json: &str) -> Result<FigureData, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureData {
+        let mut f = FigureData::new(
+            "figX",
+            "test",
+            "s",
+            vec!["a".into(), "b".into()],
+        );
+        f.push_series("base", vec![2.0, 4.0]);
+        f.push_series("fast", vec![1.0, 1.0]);
+        f
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = sample();
+        assert_eq!(f.series_values("base"), Some(&[2.0, 4.0][..]));
+        assert_eq!(f.series_values("nope"), None);
+    }
+
+    #[test]
+    fn normalization() {
+        let n = sample().normalized_to("base");
+        assert_eq!(n.series_values("base"), Some(&[1.0, 1.0][..]));
+        assert_eq!(n.series_values("fast"), Some(&[0.5, 0.25][..]));
+        assert_eq!(n.unit, "normalized");
+    }
+
+    #[test]
+    #[should_panic(expected = "no such series")]
+    fn normalize_to_missing_series_panics() {
+        let _ = sample().normalized_to("ghost");
+    }
+
+    #[test]
+    fn geomean() {
+        let f = sample();
+        let g = f.geomean("base").unwrap();
+        assert!((g - (8.0f64).sqrt()).abs() < 1e-12);
+        assert!(f.geomean("nope").is_none());
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let text = sample().render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("base"));
+        assert!(text.contains("fast"));
+        assert!(text.contains('a'));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let f = sample();
+        let back = FigureData::from_json(&f.to_json().unwrap()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "series length")]
+    fn mismatched_series_rejected() {
+        let mut f = sample();
+        f.push_series("bad", vec![1.0]);
+    }
+}

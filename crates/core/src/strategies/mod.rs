@@ -1,0 +1,13 @@
+//! The strategy implementations the evaluation compares.
+
+mod faasnap;
+mod faast;
+mod reap;
+mod snapbpf;
+mod vanilla;
+
+pub use faasnap::{Faasnap, DEFAULT_COALESCE_GAP};
+pub use faast::Faast;
+pub use reap::Reap;
+pub use snapbpf::SnapBpf;
+pub use vanilla::Vanilla;

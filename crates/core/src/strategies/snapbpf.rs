@@ -1,0 +1,392 @@
+//! SnapBPF — the paper's contribution (§3).
+//!
+//! * **record** — attach the eBPF *capture* program to the
+//!   `add_to_page_cache_lru` kprobe, disable kernel readahead (so
+//!   only truly-accessed pages are captured), run one invocation
+//!   with the PV-patched guest (allocations never touch the page
+//!   cache, so they never pollute the working set), read the
+//!   `(offset, first-access-time)` samples back from the map, group
+//!   them into contiguous ranges sorted by earliest access, and
+//!   write the **offsets metadata file** — 16 bytes per range, not
+//!   the pages themselves.
+//! * **restore** — load the grouped offsets into an eBPF map
+//!   (charged as the paper's §4 offset-loading overhead), attach the
+//!   *prefetch* program to the same kprobe, and touch the first page
+//!   of the snapshot to kick the cascade: each issued range's
+//!   insertions re-fire the hook, which issues the next range, until
+//!   the program disables itself. Pages land directly in the shared
+//!   page cache — no working-set file, no userspace copies, natural
+//!   cross-sandbox deduplication.
+
+use snapbpf_kernel::{CowPolicy, HostKernel, PAGE_CACHE_ADD_HOOK};
+use snapbpf_mem::OwnerId;
+use snapbpf_sim::{SimDuration, SimTime, PAGE_SIZE};
+use snapbpf_storage::{FileId, IoPath};
+use snapbpf_vmm::{run_invocation, MicroVm, NoUffd, Snapshot};
+
+use crate::programs::{
+    build_capture_program, build_prefetch_program, groups_map_def, groups_map_image,
+    read_captured_samples, wset_map_def,
+};
+use crate::strategy::{Capabilities, FunctionCtx, RestoredVm, Strategy, StrategyError};
+use crate::wset::{decode_groups, encode_groups, group_offsets, total_pages, WsGroup};
+
+/// The SnapBPF strategy, with its two mechanisms independently
+/// switchable (Figure 4's breakdown) and the KVM CoW patch
+/// toggleable (ablation A3).
+#[derive(Debug)]
+pub struct SnapBpf {
+    ebpf_prefetch: bool,
+    pv_pte: bool,
+    cow_policy: CowPolicy,
+    group_contiguous: bool,
+    sort_by_access: bool,
+    groups: Vec<WsGroup>,
+    offsets_file: Option<FileId>,
+    last_offset_load: SimDuration,
+}
+
+impl SnapBpf {
+    /// Full SnapBPF: eBPF prefetch + PV PTE marking, patched KVM.
+    pub fn full() -> Self {
+        SnapBpf::with_flags(true, true, CowPolicy::Opportunistic)
+    }
+
+    /// Only PV PTE marking (Figure 4's "PVPTEs" bar).
+    pub fn pv_only() -> Self {
+        SnapBpf::with_flags(false, true, CowPolicy::Opportunistic)
+    }
+
+    /// Only the eBPF prefetcher (no guest PV patch).
+    pub fn ebpf_only() -> Self {
+        SnapBpf::with_flags(true, false, CowPolicy::Opportunistic)
+    }
+
+    /// Full SnapBPF on an unpatched KVM that forcibly write-maps
+    /// read faults — reproduces the CoW misbehaviour the paper
+    /// found and patched (§4, "Memory").
+    pub fn with_buggy_cow() -> Self {
+        SnapBpf::with_flags(true, true, CowPolicy::ForcedWrite)
+    }
+
+    /// Explicit flag combination.
+    pub fn with_flags(ebpf_prefetch: bool, pv_pte: bool, cow_policy: CowPolicy) -> Self {
+        SnapBpf {
+            ebpf_prefetch,
+            pv_pte,
+            cow_policy,
+            group_contiguous: true,
+            sort_by_access: true,
+            groups: Vec::new(),
+            offsets_file: None,
+            last_offset_load: SimDuration::ZERO,
+        }
+    }
+
+    /// Ablation A4 knobs: disable contiguous-range grouping (one
+    /// range per page) and/or earliest-access sorting (file order
+    /// instead). The paper's design uses both (§3.1).
+    #[must_use]
+    pub fn with_layout(mut self, group_contiguous: bool, sort_by_access: bool) -> Self {
+        self.group_contiguous = group_contiguous;
+        self.sort_by_access = sort_by_access;
+        self
+    }
+
+    /// Captured working-set groups (empty before recording).
+    pub fn groups(&self) -> &[WsGroup] {
+        &self.groups
+    }
+
+    /// Captured working-set size in pages.
+    pub fn ws_pages(&self) -> u64 {
+        total_pages(&self.groups)
+    }
+
+    /// Cost of the most recent offsets-map load (the paper's §4
+    /// "SnapBPF Overheads" metric, ~1–2 ms).
+    pub fn last_offset_load(&self) -> SimDuration {
+        self.last_offset_load
+    }
+}
+
+impl Strategy for SnapBpf {
+    fn name(&self) -> &'static str {
+        if self.ebpf_prefetch && self.pv_pte {
+            "SnapBPF"
+        } else if self.pv_pte {
+            "PVPTEs"
+        } else {
+            "SnapBPF-eBPF-only"
+        }
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            mechanism: "eBPF (kernel-space)",
+            on_disk_ws_serialization: false,
+            in_memory_ws_dedup: true,
+            stateless_vm_allocation_filtering: true,
+        }
+    }
+
+    fn record(
+        &mut self,
+        now: SimTime,
+        host: &mut HostKernel,
+        func: &FunctionCtx,
+    ) -> Result<SimTime, StrategyError> {
+        let snap_file = func.snapshot.memory_file();
+        let pages = func.snapshot.memory_pages();
+
+        // Capture setup: kprobe + capture program, readahead off
+        // (paper §3.1: "we disable readahead in order to only fetch
+        // and capture the working set pages in this phase").
+        host.set_readahead(false);
+        let max_samples = u32::try_from(pages).unwrap_or(u32::MAX);
+        let wset_map = host.create_map(wset_map_def(max_samples))?;
+        let capture = build_capture_program(snap_file, wset_map, max_samples);
+        let probe = host.load_and_attach(PAGE_CACHE_ADD_HOOK, &capture)?;
+
+        // Recording invocation with the PV-patched guest, so
+        // allocations never pollute the capture.
+        let mut vm = MicroVm::restore(OwnerId::new(u32::MAX), &func.snapshot, self.cow_policy, self.pv_pte);
+        let trace = func.workload.trace();
+        let result = run_invocation(
+            now + Snapshot::restore_overhead(),
+            &mut vm,
+            &trace,
+            host,
+            &mut NoUffd,
+        )?;
+        vm.kvm_mut().teardown(host)?;
+        host.detach(probe)?;
+        host.set_readahead(true);
+
+        // Userspace: read the samples, group + sort, store offsets.
+        let samples = read_captured_samples(host.maps(), wset_map)
+            .map_err(snapbpf_kernel::KernelError::Map)?;
+        self.groups = group_offsets(&samples);
+        if !self.group_contiguous {
+            self.groups = self
+                .groups
+                .iter()
+                .flat_map(|g| {
+                    (g.start..g.end()).map(|p| WsGroup {
+                        start: p,
+                        len: 1,
+                        earliest_ns: g.earliest_ns,
+                    })
+                })
+                .collect();
+        }
+        if !self.sort_by_access {
+            self.groups.sort_by_key(|g| g.start);
+        }
+
+        let bytes = encode_groups(&self.groups);
+        let file_pages = (bytes.len() as u64).div_ceil(PAGE_SIZE).max(1);
+        let name = format!("{}.snapbpf.offsets", func.workload.name());
+        let offsets_file = host.disk_mut().create_file(&name, file_pages)?;
+        let done = host
+            .disk_mut()
+            .write_file_pages(result.end_time, offsets_file, 0, file_pages, IoPath::Buffered)?;
+        self.offsets_file = Some(offsets_file);
+
+        // Round-trip through the on-disk encoding, as the real
+        // system would at the next restore.
+        debug_assert_eq!(
+            decode_groups(&bytes).map(|g| g.len()),
+            Some(self.groups.len())
+        );
+        Ok(done.done_at)
+    }
+
+    fn restore(
+        &mut self,
+        now: SimTime,
+        host: &mut HostKernel,
+        func: &FunctionCtx,
+        owner: OwnerId,
+    ) -> Result<RestoredVm, StrategyError> {
+        let snap_file = func.snapshot.memory_file();
+        host.set_readahead(true);
+        let mut t = now;
+        let mut offset_load = SimDuration::ZERO;
+
+        if self.ebpf_prefetch {
+            let offsets_file = self.offsets_file.ok_or(StrategyError::NotRecorded {
+                strategy: "SnapBPF",
+            })?;
+
+            // ① Read the grouped offsets from disk and load them
+            //   into the kernel via the eBPF map.
+            let file_pages = host.disk().file_pages(offsets_file)?;
+            let read = host
+                .disk_mut()
+                .read_file_pages(t, offsets_file, 0, file_pages, IoPath::Buffered)?;
+            t = read.done_at;
+
+            let map = host.create_map(groups_map_def(self.groups.len() as u32))?;
+            let image = groups_map_image(&self.groups);
+            offset_load = host.load_map_from_user(map, 0, &image)?;
+            t += offset_load;
+
+            // ② Attach the prefetch program and trigger the cascade
+            //   by touching the first page of the snapshot.
+            let prefetch = build_prefetch_program(snap_file, map);
+            host.load_and_attach(PAGE_CACHE_ADD_HOOK, &prefetch)?;
+            host.trigger_access(t, snap_file, 0)?;
+        }
+
+        let vm = MicroVm::restore(owner, &func.snapshot, self.cow_policy, self.pv_pte);
+        self.last_offset_load = offset_load;
+        Ok(RestoredVm {
+            vm,
+            resolver: Box::new(NoUffd),
+            ready_at: t + Snapshot::restore_overhead(),
+            offset_load_cost: offset_load,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_env;
+    use snapbpf_mem::PageState;
+
+    #[test]
+    fn record_captures_exact_working_set() {
+        let (mut host, func) = test_env("json", 0.05);
+        let mut sb = SnapBpf::full();
+        sb.record(SimTime::ZERO, &mut host, &func).unwrap();
+        let trace = func.workload.trace();
+        // The capture equals the true WS — no ephemeral pollution
+        // (PV marking), no readahead overshoot (RA disabled).
+        assert_eq!(sb.ws_pages() as usize, trace.ws_page_list().len());
+        // Groups are sorted by access order, not file order.
+        let starts: Vec<u64> = sb.groups().iter().map(|g| g.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_ne!(starts, sorted, "groups should be in access order");
+        // The offsets file exists and is tiny (metadata, not pages).
+        let f = host
+            .disk()
+            .file_by_name(&format!("{}.snapbpf.offsets", func.workload.name()))
+            .unwrap();
+        assert!(host.disk().file_pages(f).unwrap() * PAGE_SIZE <= sb.ws_pages() * 16 + PAGE_SIZE);
+    }
+
+    #[test]
+    fn snapbpf_ws_is_lean_like_reap_but_without_ephemeral() {
+        let (mut host, func) = test_env("image", 0.05);
+        let mut sb = SnapBpf::full();
+        sb.record(SimTime::ZERO, &mut host, &func).unwrap();
+        let trace = func.workload.trace();
+        assert_eq!(sb.ws_pages() as usize, trace.ws_page_list().len());
+
+        // FaaSnap's WS for the same function is inflated.
+        let (mut host2, func2) = test_env("image", 0.05);
+        let mut fs = crate::strategies::Faasnap::new();
+        fs.record(SimTime::ZERO, &mut host2, &func2).unwrap();
+        assert!(fs.ws_file_pages() > sb.ws_pages());
+    }
+
+    #[test]
+    fn restore_prefetches_into_shared_page_cache() {
+        let (mut host, func) = test_env("json", 0.05);
+        let mut sb = SnapBpf::full();
+        let t0 = sb.record(SimTime::ZERO, &mut host, &func).unwrap();
+        host.drop_all_caches().unwrap();
+
+        let restored = sb.restore(t0, &mut host, &func, OwnerId::new(0)).unwrap();
+        assert!(restored.offset_load_cost > SimDuration::ZERO);
+
+        // Every captured group is now cached (in flight or resident).
+        let snap_file = func.snapshot.memory_file();
+        for g in sb.groups() {
+            for p in g.start..g.end() {
+                assert!(
+                    host.page_state(snap_file, p).is_some(),
+                    "group page {p} not prefetched"
+                );
+            }
+        }
+        // And no working-set file was ever created.
+        assert!(host
+            .disk()
+            .file_by_name(&format!("{}.snapbpf.ws", func.workload.name()))
+            .is_none());
+    }
+
+    #[test]
+    fn invocation_after_prefetch_sees_mostly_minor_faults() {
+        let (mut host, func) = test_env("json", 0.05);
+        let mut sb = SnapBpf::full();
+        let t0 = sb.record(SimTime::ZERO, &mut host, &func).unwrap();
+        host.drop_all_caches().unwrap();
+
+        let mut restored = sb.restore(t0, &mut host, &func, OwnerId::new(0)).unwrap();
+        let trace = func.workload.trace();
+        let r = run_invocation(
+            restored.ready_at,
+            &mut restored.vm,
+            &trace,
+            &mut host,
+            restored.resolver.as_mut(),
+        )
+        .unwrap();
+        assert!(
+            r.stats.minor_faults > r.stats.major_faults,
+            "prefetch should turn majors into minors ({} vs {})",
+            r.stats.minor_faults,
+            r.stats.major_faults
+        );
+        assert!(r.stats.pv_anon_faults > 0, "PV marking active");
+    }
+
+    #[test]
+    fn pv_only_variant_skips_prefetch() {
+        let (mut host, func) = test_env("json", 0.05);
+        let mut sb = SnapBpf::pv_only();
+        let t0 = sb.record(SimTime::ZERO, &mut host, &func).unwrap();
+        host.drop_all_caches().unwrap();
+        let restored = sb.restore(t0, &mut host, &func, OwnerId::new(0)).unwrap();
+        assert_eq!(restored.offset_load_cost, SimDuration::ZERO);
+        // Nothing was prefetched.
+        let snap_file = func.snapshot.memory_file();
+        let cached = sb
+            .groups()
+            .iter()
+            .flat_map(|g| g.start..g.end())
+            .filter(|&p| {
+                matches!(
+                    host.page_state(snap_file, p),
+                    Some(PageState::Resident) | Some(PageState::InFlight { .. })
+                )
+            })
+            .count();
+        assert_eq!(cached, 0);
+    }
+
+    #[test]
+    fn offset_load_cost_is_small_fraction_of_e2e() {
+        let (mut host, func) = test_env("cnn", 0.1);
+        let mut sb = SnapBpf::full();
+        let t0 = sb.record(SimTime::ZERO, &mut host, &func).unwrap();
+        host.drop_all_caches().unwrap();
+        let mut restored = sb.restore(t0, &mut host, &func, OwnerId::new(0)).unwrap();
+        let trace = func.workload.trace();
+        let r = run_invocation(
+            restored.ready_at,
+            &mut restored.vm,
+            &trace,
+            &mut host,
+            restored.resolver.as_mut(),
+        )
+        .unwrap();
+        let frac = restored.offset_load_cost.ratio(r.e2e_latency);
+        assert!(frac < 0.05, "offset load {frac} of E2E");
+    }
+}

@@ -1,0 +1,107 @@
+//! The vanilla Firecracker baselines: Linux demand paging with the
+//! kernel readahead window on (Linux-RA) or off (Linux-NoRA).
+//!
+//! No record phase, no working-set artifacts: the snapshot file is
+//! mapped and every page arrives via a demand (major) fault, pulled
+//! through the shared page cache — so vanilla *does* deduplicate,
+//! it is just slow on first touch.
+
+use snapbpf_kernel::{CowPolicy, HostKernel};
+use snapbpf_mem::OwnerId;
+use snapbpf_sim::{SimDuration, SimTime};
+use snapbpf_vmm::{MicroVm, NoUffd, Snapshot};
+
+use crate::strategy::{Capabilities, FunctionCtx, RestoredVm, Strategy, StrategyError};
+
+/// Vanilla restore (no prefetching).
+#[derive(Debug, Clone, Copy)]
+pub struct Vanilla {
+    readahead: bool,
+}
+
+impl Vanilla {
+    /// Creates the baseline with kernel readahead on (`Linux-RA`) or
+    /// off (`Linux-NoRA`).
+    pub fn new(readahead: bool) -> Self {
+        Vanilla { readahead }
+    }
+}
+
+impl Strategy for Vanilla {
+    fn name(&self) -> &'static str {
+        if self.readahead {
+            "Linux-RA"
+        } else {
+            "Linux-NoRA"
+        }
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            mechanism: "Demand paging (kernel)",
+            on_disk_ws_serialization: false,
+            in_memory_ws_dedup: true,
+            stateless_vm_allocation_filtering: false,
+        }
+    }
+
+    fn record(
+        &mut self,
+        now: SimTime,
+        _host: &mut HostKernel,
+        _func: &FunctionCtx,
+    ) -> Result<SimTime, StrategyError> {
+        Ok(now) // nothing to record
+    }
+
+    fn restore(
+        &mut self,
+        now: SimTime,
+        host: &mut HostKernel,
+        func: &FunctionCtx,
+        owner: OwnerId,
+    ) -> Result<RestoredVm, StrategyError> {
+        host.set_readahead(self.readahead);
+        let vm = MicroVm::restore(owner, &func.snapshot, CowPolicy::Opportunistic, false);
+        Ok(RestoredVm {
+            vm,
+            resolver: Box::new(NoUffd),
+            ready_at: now + Snapshot::restore_overhead(),
+            offset_load_cost: SimDuration::ZERO,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_env;
+
+    #[test]
+    fn restore_is_immediate_and_cold() {
+        let (mut host, func) = test_env("json", 0.05);
+        let mut strat = Vanilla::new(true);
+        let t = strat.record(SimTime::ZERO, &mut host, &func).unwrap();
+        assert_eq!(t, SimTime::ZERO);
+        let restored = strat.restore(t, &mut host, &func, OwnerId::new(0)).unwrap();
+        assert_eq!(
+            restored.ready_at,
+            SimTime::ZERO + Snapshot::restore_overhead()
+        );
+        assert_eq!(restored.offset_load_cost, SimDuration::ZERO);
+        assert!(!restored.vm.guest().pv_marking());
+    }
+
+    #[test]
+    fn readahead_switch_is_applied() {
+        let (mut host, func) = test_env("json", 0.05);
+        Vanilla::new(false)
+            .restore(SimTime::ZERO, &mut host, &func, OwnerId::new(0))
+            .unwrap();
+        assert!(!host.config().readahead_enabled);
+        Vanilla::new(true)
+            .restore(SimTime::ZERO, &mut host, &func, OwnerId::new(1))
+            .unwrap();
+        assert!(host.config().readahead_enabled);
+    }
+}

@@ -1,0 +1,29 @@
+//! Shared test fixtures for the strategy and experiment tests.
+
+use snapbpf_kernel::{HostKernel, KernelConfig};
+use snapbpf_sim::SimTime;
+use snapbpf_storage::{Disk, SsdModel};
+use snapbpf_vmm::Snapshot;
+use snapbpf_workloads::Workload;
+
+use crate::strategy::FunctionCtx;
+
+/// Builds a host kernel over the paper's SSD and a snapshot for the
+/// named workload at `scale`.
+pub(crate) fn test_env(name: &str, scale: f64) -> (HostKernel, FunctionCtx) {
+    let mut host = HostKernel::new(
+        Disk::new(Box::new(SsdModel::micron_5300())),
+        KernelConfig::default(),
+    );
+    let workload = Workload::by_name(name)
+        .unwrap_or_else(|| panic!("unknown workload {name}"))
+        .scaled(scale);
+    let (snapshot, _) = Snapshot::create(
+        SimTime::ZERO,
+        workload.name(),
+        workload.snapshot_pages(),
+        &mut host,
+    )
+    .expect("snapshot creation");
+    (host, FunctionCtx { workload, snapshot })
+}

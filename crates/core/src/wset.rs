@@ -1,0 +1,288 @@
+//! Working-set metadata.
+//!
+//! SnapBPF stores *only* the file offsets of the working set — "we
+//! only store the page offsets and not the pages themselves, as
+//! prior art does" (paper §3.1). This module implements the offset
+//! processing the paper describes:
+//!
+//! * grouping captured `(offset, first-access-time)` samples into
+//!   contiguous ranges,
+//! * sorting the groups by the earliest access time of any page in
+//!   the group, so reads for the pages needed first are issued
+//!   first,
+//! * and, for the FaaSnap baseline, region **coalescing**: merging
+//!   ranges separated by small gaps into larger regions, which keeps
+//!   the mmap count manageable but inflates the working-set file
+//!   (the I/O amplification the paper verifies with eBPF, §2.1).
+
+use serde::{Deserialize, Serialize};
+
+/// One captured working-set sample: a page offset and when it was
+/// first touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OffsetSample {
+    /// Page offset within the snapshot file.
+    pub page: u64,
+    /// Nanosecond timestamp of the first access.
+    pub first_access_ns: u64,
+}
+
+/// A contiguous range of working-set pages with its scheduling key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WsGroup {
+    /// First page of the range.
+    pub start: u64,
+    /// Length in pages.
+    pub len: u64,
+    /// Earliest first-access time of any page in the range.
+    pub earliest_ns: u64,
+}
+
+impl WsGroup {
+    /// One past the last page.
+    pub const fn end(&self) -> u64 {
+        self.start + self.len
+    }
+}
+
+/// Groups samples into contiguous ranges and sorts the ranges by
+/// earliest access time (paper §3.1, "Loading the working set").
+///
+/// Duplicate offsets keep their earliest timestamp.
+///
+/// # Examples
+///
+/// ```
+/// use snapbpf::{group_offsets, OffsetSample};
+///
+/// let samples = [
+///     OffsetSample { page: 10, first_access_ns: 500 },
+///     OffsetSample { page: 11, first_access_ns: 600 },
+///     OffsetSample { page: 3, first_access_ns: 100 },
+/// ];
+/// let groups = group_offsets(&samples);
+/// assert_eq!(groups.len(), 2);
+/// // The page-3 group is needed first, so it sorts first:
+/// assert_eq!(groups[0].start, 3);
+/// assert_eq!(groups[1].start, 10);
+/// assert_eq!(groups[1].len, 2);
+/// ```
+pub fn group_offsets(samples: &[OffsetSample]) -> Vec<WsGroup> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<OffsetSample> = samples.to_vec();
+    sorted.sort_unstable_by_key(|s| (s.page, s.first_access_ns));
+    sorted.dedup_by(|next, kept| {
+        if next.page == kept.page {
+            kept.first_access_ns = kept.first_access_ns.min(next.first_access_ns);
+            true
+        } else {
+            false
+        }
+    });
+
+    let mut groups: Vec<WsGroup> = Vec::new();
+    for s in sorted {
+        match groups.last_mut() {
+            Some(g) if g.end() == s.page => {
+                g.len += 1;
+                g.earliest_ns = g.earliest_ns.min(s.first_access_ns);
+            }
+            _ => groups.push(WsGroup {
+                start: s.page,
+                len: 1,
+                earliest_ns: s.first_access_ns,
+            }),
+        }
+    }
+    groups.sort_by_key(|g| (g.earliest_ns, g.start));
+    groups
+}
+
+/// FaaSnap-style coalescing: merges ranges whose gap is at most
+/// `max_gap_pages`, *including the gap pages in the region* — this
+/// is what inflates FaaSnap's working-set file.
+///
+/// Input ranges are taken in file order; the output is in file order
+/// too (FaaSnap reads its working-set file sequentially).
+///
+/// # Examples
+///
+/// ```
+/// use snapbpf::{coalesce_regions, WsGroup};
+///
+/// let groups = [
+///     WsGroup { start: 0, len: 4, earliest_ns: 0 },
+///     WsGroup { start: 6, len: 4, earliest_ns: 0 },   // gap of 2
+///     WsGroup { start: 100, len: 4, earliest_ns: 0 }, // far away
+/// ];
+/// let regions = coalesce_regions(&groups, 8);
+/// assert_eq!(regions.len(), 2);
+/// assert_eq!(regions[0].len, 10); // 4 + 2 (gap) + 4
+/// ```
+pub fn coalesce_regions(groups: &[WsGroup], max_gap_pages: u64) -> Vec<WsGroup> {
+    let mut in_order: Vec<WsGroup> = groups.to_vec();
+    in_order.sort_by_key(|g| g.start);
+    let mut out: Vec<WsGroup> = Vec::new();
+    for g in in_order {
+        match out.last_mut() {
+            Some(last) if g.start <= last.end() + max_gap_pages => {
+                last.len = g.end().max(last.end()) - last.start;
+                last.earliest_ns = last.earliest_ns.min(g.earliest_ns);
+            }
+            _ => out.push(g),
+        }
+    }
+    out
+}
+
+/// Total pages covered by a set of groups.
+pub fn total_pages(groups: &[WsGroup]) -> u64 {
+    groups.iter().map(|g| g.len).sum()
+}
+
+/// Serializes groups for the on-disk offsets metadata file (16 bytes
+/// of (start, len) per group — contrast with prior art's full page
+/// payloads).
+pub fn encode_groups(groups: &[WsGroup]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(groups.len() * 16);
+    for g in groups {
+        bytes.extend_from_slice(&g.start.to_le_bytes());
+        bytes.extend_from_slice(&g.len.to_le_bytes());
+    }
+    bytes
+}
+
+/// Parses the offsets metadata file written by [`encode_groups`].
+/// Access-order is positional (the file stores groups pre-sorted),
+/// so `earliest_ns` is reconstructed as the index.
+///
+/// # Errors
+///
+/// Returns `None` when the byte length is not a multiple of 16.
+pub fn decode_groups(bytes: &[u8]) -> Option<Vec<WsGroup>> {
+    if !bytes.len().is_multiple_of(16) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(16)
+            .enumerate()
+            .map(|(i, c)| WsGroup {
+                start: u64::from_le_bytes(c[..8].try_into().expect("8 bytes")),
+                len: u64::from_le_bytes(c[8..].try_into().expect("8 bytes")),
+                earliest_ns: i as u64,
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(page: u64, t: u64) -> OffsetSample {
+        OffsetSample {
+            page,
+            first_access_ns: t,
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(group_offsets(&[]).is_empty());
+        assert_eq!(total_pages(&[]), 0);
+    }
+
+    #[test]
+    fn single_run_groups_to_one() {
+        let groups = group_offsets(&[s(5, 30), s(6, 10), s(7, 20)]);
+        assert_eq!(
+            groups,
+            vec![WsGroup {
+                start: 5,
+                len: 3,
+                earliest_ns: 10
+            }]
+        );
+    }
+
+    #[test]
+    fn groups_sorted_by_earliest_access() {
+        let groups = group_offsets(&[s(100, 50), s(0, 200), s(101, 60), s(50, 10)]);
+        let starts: Vec<u64> = groups.iter().map(|g| g.start).collect();
+        assert_eq!(starts, vec![50, 100, 0]);
+    }
+
+    #[test]
+    fn duplicates_keep_earliest_timestamp() {
+        let groups = group_offsets(&[s(5, 100), s(5, 40), s(5, 70)]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].earliest_ns, 40);
+        assert_eq!(groups[0].len, 1);
+    }
+
+    #[test]
+    fn non_adjacent_pages_split() {
+        let groups = group_offsets(&[s(1, 0), s(3, 1)]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(total_pages(&groups), 2);
+    }
+
+    #[test]
+    fn coalescing_includes_gap_pages() {
+        let groups = [
+            WsGroup { start: 10, len: 2, earliest_ns: 5 },
+            WsGroup { start: 14, len: 2, earliest_ns: 3 },
+        ];
+        let merged = coalesce_regions(&groups, 2);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].start, 10);
+        assert_eq!(merged[0].len, 6); // includes the 2-page gap
+        assert_eq!(merged[0].earliest_ns, 3);
+        // Inflation is visible in total pages.
+        assert_eq!(total_pages(&merged), 6);
+        assert_eq!(total_pages(&groups), 4);
+    }
+
+    #[test]
+    fn zero_gap_coalescing_only_merges_adjacent() {
+        let groups = [
+            WsGroup { start: 0, len: 2, earliest_ns: 0 },
+            WsGroup { start: 2, len: 2, earliest_ns: 0 },
+            WsGroup { start: 5, len: 2, earliest_ns: 0 },
+        ];
+        let merged = coalesce_regions(&groups, 0);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].len, 4);
+        assert_eq!(total_pages(&merged), total_pages(&groups));
+    }
+
+    #[test]
+    fn larger_gaps_reduce_region_count_but_inflate() {
+        let groups: Vec<WsGroup> = (0..50)
+            .map(|i| WsGroup { start: i * 10, len: 3, earliest_ns: i })
+            .collect();
+        let tight = coalesce_regions(&groups, 0);
+        let loose = coalesce_regions(&groups, 16);
+        assert!(loose.len() < tight.len());
+        assert!(total_pages(&loose) > total_pages(&tight));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let groups = group_offsets(&[s(9, 2), s(1, 1), s(2, 3)]);
+        let bytes = encode_groups(&groups);
+        assert_eq!(bytes.len(), groups.len() * 16);
+        let back = decode_groups(&bytes).unwrap();
+        assert_eq!(back.len(), groups.len());
+        for (a, b) in groups.iter().zip(&back) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.len, b.len);
+        }
+        // Positional order preserved: earliest_ns is the rank.
+        assert!(back.windows(2).all(|w| w[0].earliest_ns < w[1].earliest_ns));
+        assert_eq!(decode_groups(&[0u8; 15]), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the working-set metadata algorithms —
+//! the part of SnapBPF where a silent bug would quietly corrupt
+//! every experiment.
+
+use proptest::prelude::*;
+use snapbpf::{
+    coalesce_regions, decode_groups, encode_groups, group_offsets, total_pages, OffsetSample,
+    WsGroup,
+};
+
+fn arb_samples() -> impl Strategy<Value = Vec<OffsetSample>> {
+    prop::collection::vec(
+        (0u64..10_000, 0u64..1_000_000).prop_map(|(page, first_access_ns)| OffsetSample {
+            page,
+            first_access_ns,
+        }),
+        0..500,
+    )
+}
+
+proptest! {
+    /// Grouping covers exactly the distinct input pages, with
+    /// disjoint contiguous ranges sorted by earliest access.
+    #[test]
+    fn grouping_partitions_the_input(samples in arb_samples()) {
+        let groups = group_offsets(&samples);
+
+        // Coverage: the union of groups equals the distinct pages.
+        let mut covered: Vec<u64> = groups.iter().flat_map(|g| g.start..g.end()).collect();
+        covered.sort_unstable();
+        let mut expected: Vec<u64> = samples.iter().map(|s| s.page).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(&covered, &expected);
+        prop_assert_eq!(total_pages(&groups), expected.len() as u64);
+
+        // Disjointness + maximality: consecutive file-order groups
+        // never touch.
+        let mut by_start = groups.clone();
+        by_start.sort_by_key(|g| g.start);
+        for w in by_start.windows(2) {
+            prop_assert!(w[0].end() < w[1].start, "{:?} then {:?}", w[0], w[1]);
+        }
+
+        // Scheduling order: earliest access is non-decreasing.
+        for w in groups.windows(2) {
+            prop_assert!(w[0].earliest_ns <= w[1].earliest_ns);
+        }
+
+        // Each group's earliest equals the min timestamp of its pages.
+        for g in &groups {
+            let min_ts = samples
+                .iter()
+                .filter(|s| (g.start..g.end()).contains(&s.page))
+                .map(|s| s.first_access_ns)
+                .min()
+                .unwrap();
+            prop_assert_eq!(g.earliest_ns, min_ts);
+        }
+    }
+
+    /// Grouping is insensitive to input order.
+    #[test]
+    fn grouping_is_order_invariant(mut samples in arb_samples(), seed in any::<u64>()) {
+        let a = group_offsets(&samples);
+        snapbpf_sim::SplitMix64::new(seed).shuffle(&mut samples);
+        let b = group_offsets(&samples);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Coalescing covers every input page, is monotone in the gap
+    /// threshold (pages and region count), and merges only across
+    /// small gaps.
+    #[test]
+    fn coalescing_monotone(samples in arb_samples(), gap_a in 0u64..64, extra in 1u64..64) {
+        let groups = group_offsets(&samples);
+        let gap_b = gap_a + extra;
+        let a = coalesce_regions(&groups, gap_a);
+        let b = coalesce_regions(&groups, gap_b);
+
+        // Larger gap: fewer (or equal) regions, more (or equal) pages.
+        prop_assert!(b.len() <= a.len());
+        prop_assert!(total_pages(&b) >= total_pages(&a));
+
+        // Every original page is still covered.
+        for g in &groups {
+            for p in g.start..g.end() {
+                prop_assert!(
+                    a.iter().any(|r| (r.start..r.end()).contains(&p)),
+                    "page {p} lost at gap {gap_a}"
+                );
+            }
+        }
+
+        // Output regions are disjoint and separated by > gap.
+        for w in a.windows(2) {
+            prop_assert!(w[1].start > w[0].end() + gap_a);
+        }
+    }
+
+    /// The on-disk offsets encoding round-trips.
+    #[test]
+    fn encoding_roundtrip(samples in arb_samples()) {
+        let groups = group_offsets(&samples);
+        let decoded = decode_groups(&encode_groups(&groups)).unwrap();
+        prop_assert_eq!(decoded.len(), groups.len());
+        for (a, b) in groups.iter().zip(&decoded) {
+            prop_assert_eq!(a.start, b.start);
+            prop_assert_eq!(a.len, b.len);
+        }
+        // Positional rank preserves the access order.
+        prop_assert!(decoded.windows(2).all(|w| w[0].earliest_ns < w[1].earliest_ns));
+    }
+
+    /// Coalescing with gap 0 changes nothing for already-maximal
+    /// groups.
+    #[test]
+    fn zero_gap_is_identity_on_maximal_groups(samples in arb_samples()) {
+        let groups = group_offsets(&samples);
+        let mut file_order: Vec<WsGroup> = groups.clone();
+        file_order.sort_by_key(|g| g.start);
+        let coalesced = coalesce_regions(&groups, 0);
+        prop_assert_eq!(coalesced.len(), file_order.len());
+        prop_assert_eq!(total_pages(&coalesced), total_pages(&file_order));
+    }
+}

@@ -1,0 +1,1023 @@
+//! The bytecode interpreter.
+//!
+//! Runs [`VerifiedProgram`]s with real eBPF semantics: eleven 64-bit
+//! registers, a 512-byte stack, pointer values for the stack and map
+//! values, helper calls operating on the [`MapSet`], and kfunc calls
+//! dispatched to a host-provided [`KfuncHost`]. The interpreter
+//! trusts the verifier for memory safety but still carries defensive
+//! runtime checks (any violation is a bug and surfaces as a
+//! [`RunError`] rather than undefined behaviour).
+
+use std::fmt;
+
+use crate::insn::{AccessSize, AluOp, HelperId, Insn, JmpCond, Operand, Reg, STACK_SIZE};
+use crate::map::{MapError, MapId, MapKind, MapSet};
+use crate::verify::VerifiedProgram;
+
+/// Hard ceiling on interpreted instructions per run; a verified
+/// program cannot loop, so this is generous.
+pub const INSN_BUDGET: u64 = 1 << 20;
+
+/// Host side of kfunc calls.
+///
+/// The kernel registers kfuncs (e.g. `snapbpf_prefetch`) by
+/// implementing this trait; programs call them by registry index
+/// with up to five scalar arguments.
+pub trait KfuncHost {
+    /// Invokes kfunc `index` with `args`; returns the `r0` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the failure; the interpreter
+    /// aborts the program run with [`RunError::KfuncFailed`].
+    fn call_kfunc(&mut self, index: u32, args: [u64; 5]) -> Result<u64, String>;
+}
+
+/// A [`KfuncHost`] with no kfuncs, for programs that use none.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoKfuncs;
+
+impl KfuncHost for NoKfuncs {
+    fn call_kfunc(&mut self, index: u32, _args: [u64; 5]) -> Result<u64, String> {
+        Err(format!("no kfuncs registered (call to #{index})"))
+    }
+}
+
+/// Runtime register value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)] // MapValue mirrors the verifier's term of art
+enum Value {
+    Uninit,
+    Scalar(u64),
+    FramePtr,
+    /// Stack pointer: byte offset relative to the frame pointer
+    /// (negative, in `[-512, 0]`).
+    StackPtr(i64),
+    MapRef(MapId),
+    /// Pointer into a map value.
+    MapValue {
+        map: MapId,
+        loc: MapLoc,
+        off: i64,
+    },
+}
+
+/// Where a map-value pointer points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum MapLoc {
+    Array { index: u32 },
+    Hash { key: Vec<u8> },
+}
+
+impl Value {
+    fn as_scalar(&self) -> Option<u64> {
+        match self {
+            Value::Scalar(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Runtime failure of a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// Instruction budget exhausted (should be unreachable for
+    /// verified programs).
+    BudgetExhausted,
+    /// A defensive runtime check failed; indicates a verifier or
+    /// interpreter bug.
+    Internal {
+        /// Instruction index.
+        at: usize,
+        /// Description.
+        what: String,
+    },
+    /// A map operation failed at runtime (e.g. hash map full).
+    Map(MapError),
+    /// A kfunc reported an error.
+    KfuncFailed {
+        /// Kfunc registry index.
+        kfunc: u32,
+        /// The host's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::BudgetExhausted => write!(f, "instruction budget exhausted"),
+            RunError::Internal { at, what } => write!(f, "internal error at insn {at}: {what}"),
+            RunError::Map(e) => write!(f, "map error: {e}"),
+            RunError::KfuncFailed { kfunc, message } => {
+                write!(f, "kfunc #{kfunc} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<MapError> for RunError {
+    fn from(e: MapError) -> Self {
+        RunError::Map(e)
+    }
+}
+
+/// Outcome of a successful run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// The program's return value (`r0` at `exit`).
+    pub return_value: u64,
+    /// Number of instructions executed.
+    pub insns_executed: u64,
+    /// Number of helper calls made.
+    pub helper_calls: u64,
+    /// Number of kfunc calls made.
+    pub kfunc_calls: u64,
+}
+
+/// The interpreter. Stateless between runs; borrow it a map set and
+/// a kfunc host per invocation.
+///
+/// # Examples
+///
+/// ```
+/// use snapbpf_ebpf::{Interpreter, MapSet, NoKfuncs, ProgramBuilder, Reg, Verifier};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let maps = MapSet::new();
+/// let mut b = ProgramBuilder::new("add");
+/// b.load_ctx(Reg::R0, 0).load_ctx(Reg::R1, 1).add(Reg::R0, Reg::R1).exit();
+/// let program = Verifier::new(&maps, &[]).verify(&b.build()?)?;
+///
+/// let mut maps = maps;
+/// let outcome = Interpreter::new().run(&program, &[2, 40], &mut maps, &mut NoKfuncs)?;
+/// assert_eq!(outcome.return_value, 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interpreter {
+    /// Virtual time reported by `bpf_ktime_get_ns`.
+    now_ns: u64,
+    /// Count of `bpf_trace_printk` calls across runs (observability).
+    trace_events: u64,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with the virtual clock at zero.
+    pub fn new() -> Self {
+        Interpreter::default()
+    }
+
+    /// Sets the virtual time returned by `bpf_ktime_get_ns`.
+    pub fn set_now_ns(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+    }
+
+    /// Total `bpf_trace_printk` events across runs.
+    pub fn trace_events(&self) -> u64 {
+        self.trace_events
+    }
+
+    /// Runs a verified program.
+    ///
+    /// `ctx` carries the kprobe context words (hooked function
+    /// arguments) read by [`Insn::LoadCtx`]; missing words read as
+    /// zero.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`]. For verified programs, only
+    /// [`RunError::Map`] (runtime map capacity) and
+    /// [`RunError::KfuncFailed`] are expected in practice.
+    pub fn run(
+        &mut self,
+        program: &VerifiedProgram,
+        ctx: &[u64],
+        maps: &mut MapSet,
+        kfuncs: &mut dyn KfuncHost,
+    ) -> Result<RunOutcome, RunError> {
+        let insns = program.program().insns();
+        let mut regs: [Value; 11] = std::array::from_fn(|_| Value::Uninit);
+        regs[10] = Value::FramePtr;
+        let mut stack = [0u8; STACK_SIZE];
+        let mut pc = 0usize;
+        let mut executed = 0u64;
+        let mut helper_calls = 0u64;
+        let mut kfunc_calls = 0u64;
+
+        macro_rules! internal {
+            ($($arg:tt)*) => {
+                return Err(RunError::Internal { at: pc, what: format!($($arg)*) })
+            };
+        }
+
+        loop {
+            if executed >= INSN_BUDGET {
+                return Err(RunError::BudgetExhausted);
+            }
+            executed += 1;
+            let insn = match insns.get(pc) {
+                Some(i) => *i,
+                None => internal!("pc out of range"),
+            };
+
+            match insn {
+                Insn::Alu64 { op, dst, src } | Insn::Alu32 { op, dst, src } => {
+                    let wide = matches!(insn, Insn::Alu64 { .. });
+                    let rhs = match src {
+                        Operand::Imm(v) => Value::Scalar(v as u64),
+                        Operand::Reg(r) => regs[r.index()].clone(),
+                    };
+                    let lhs = regs[dst.index()].clone();
+                    let result = if op == AluOp::Mov {
+                        if wide {
+                            rhs
+                        } else {
+                            match rhs.as_scalar() {
+                                Some(v) => Value::Scalar(v as u32 as u64),
+                                None => internal!("mov32 of pointer"),
+                            }
+                        }
+                    } else {
+                        match (&lhs, &rhs) {
+                            (Value::Scalar(a), Value::Scalar(b)) => {
+                                let v = if wide {
+                                    alu64(op, *a, *b)
+                                } else {
+                                    alu32(op, *a as u32, *b as u32) as u64
+                                };
+                                Value::Scalar(v)
+                            }
+                            // Pointer arithmetic (verified to be
+                            // add/sub with constants).
+                            (Value::FramePtr, Value::Scalar(k)) => {
+                                let d = delta(op, *k);
+                                Value::StackPtr(d)
+                            }
+                            (Value::StackPtr(off), Value::Scalar(k)) => {
+                                Value::StackPtr(off + delta(op, *k))
+                            }
+                            (Value::MapValue { map, loc, off }, Value::Scalar(k)) => {
+                                Value::MapValue {
+                                    map: *map,
+                                    loc: loc.clone(),
+                                    off: off + delta(op, *k),
+                                }
+                            }
+                            _ => internal!("alu on non-scalar operands"),
+                        }
+                    };
+                    regs[dst.index()] = result;
+                    pc += 1;
+                }
+                Insn::Neg { dst } => {
+                    match regs[dst.index()].as_scalar() {
+                        Some(v) => regs[dst.index()] = Value::Scalar(v.wrapping_neg()),
+                        None => internal!("neg of non-scalar"),
+                    }
+                    pc += 1;
+                }
+                Insn::LoadImm64 { dst, imm } => {
+                    regs[dst.index()] = Value::Scalar(imm as u64);
+                    pc += 1;
+                }
+                Insn::LoadMapRef { dst, map } => {
+                    regs[dst.index()] = Value::MapRef(map);
+                    pc += 1;
+                }
+                Insn::LoadCtx { dst, index } => {
+                    regs[dst.index()] =
+                        Value::Scalar(ctx.get(index as usize).copied().unwrap_or(0));
+                    pc += 1;
+                }
+                Insn::Load { dst, base, off, size } => {
+                    let v = match &regs[base.index()] {
+                        Value::FramePtr | Value::StackPtr(_) => {
+                            let idx = match stack_index(&regs[base.index()], off, size) {
+                                Some(i) => i,
+                                None => internal!("stack load out of bounds"),
+                            };
+                            read_le(&stack[idx..idx + size.bytes()])
+                        }
+                        Value::MapValue { map, loc, off: ptr_off } => {
+                            let total = (*ptr_off + off as i64) as usize;
+                            let bytes = map_value_bytes(maps, *map, loc)?;
+                            match bytes.get(total..total + size.bytes()) {
+                                Some(b) => read_le(b),
+                                None => internal!("map value load out of bounds"),
+                            }
+                        }
+                        other => internal!("load through {other:?}"),
+                    };
+                    regs[dst.index()] = Value::Scalar(v);
+                    pc += 1;
+                }
+                Insn::Store { base, off, src, size } => {
+                    let v = match regs[src.index()].as_scalar() {
+                        Some(v) => v,
+                        None => internal!("store of non-scalar"),
+                    };
+                    self.do_store(&mut stack, maps, &regs, base, off, size, v, pc)?;
+                    pc += 1;
+                }
+                Insn::StoreImm { base, off, imm, size } => {
+                    self.do_store(&mut stack, maps, &regs, base, off, size, imm as u64, pc)?;
+                    pc += 1;
+                }
+                Insn::Jump { off } => {
+                    pc = (pc as i64 + 1 + off as i64) as usize;
+                }
+                Insn::JumpIf { cond, dst, src, off } => {
+                    let a = match &regs[dst.index()] {
+                        Value::Scalar(v) => *v,
+                        // A null-checkable map-value pointer compares
+                        // as non-zero (a valid kernel address).
+                        Value::MapValue { .. } => 1,
+                        other => internal!("jump on {other:?}"),
+                    };
+                    let b = match src {
+                        Operand::Imm(v) => v as u64,
+                        Operand::Reg(r) => match regs[r.index()].as_scalar() {
+                            Some(v) => v,
+                            None => internal!("jump rhs non-scalar"),
+                        },
+                    };
+                    if jump_taken(cond, a, b) {
+                        pc = (pc as i64 + 1 + off as i64) as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Insn::Call { helper } => {
+                    helper_calls += 1;
+                    self.call_helper(helper, &mut regs, &mut stack, maps, pc)?;
+                    pc += 1;
+                }
+                Insn::CallKfunc { kfunc } => {
+                    kfunc_calls += 1;
+                    let mut args = [0u64; 5];
+                    for (i, slot) in args.iter_mut().enumerate() {
+                        *slot = regs[i + 1].as_scalar().unwrap_or(0);
+                    }
+                    let ret = kfuncs
+                        .call_kfunc(kfunc, args)
+                        .map_err(|message| RunError::KfuncFailed { kfunc, message })?;
+                    for r in regs.iter_mut().take(6).skip(1) {
+                        *r = Value::Uninit;
+                    }
+                    regs[0] = Value::Scalar(ret);
+                    pc += 1;
+                }
+                Insn::Exit => {
+                    let ret = match regs[0].as_scalar() {
+                        Some(v) => v,
+                        None => internal!("exit with non-scalar r0"),
+                    };
+                    return Ok(RunOutcome {
+                        return_value: ret,
+                        insns_executed: executed,
+                        helper_calls,
+                        kfunc_calls,
+                    });
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_store(
+        &mut self,
+        stack: &mut [u8; STACK_SIZE],
+        maps: &mut MapSet,
+        regs: &[Value; 11],
+        base: Reg,
+        off: i16,
+        size: AccessSize,
+        value: u64,
+        pc: usize,
+    ) -> Result<(), RunError> {
+        match &regs[base.index()] {
+            Value::FramePtr | Value::StackPtr(_) => {
+                let idx = stack_index(&regs[base.index()], off, size).ok_or_else(|| {
+                    RunError::Internal {
+                        at: pc,
+                        what: "stack store out of bounds".into(),
+                    }
+                })?;
+                write_le(&mut stack[idx..idx + size.bytes()], value);
+                Ok(())
+            }
+            Value::MapValue { map, loc, off: ptr_off } => {
+                let total = (*ptr_off + off as i64) as usize;
+                let bytes = map_value_bytes_mut(maps, *map, loc)?;
+                let slot = bytes.get_mut(total..total + size.bytes()).ok_or_else(|| {
+                    RunError::Internal {
+                        at: pc,
+                        what: "map value store out of bounds".into(),
+                    }
+                })?;
+                write_le(slot, value);
+                Ok(())
+            }
+            other => Err(RunError::Internal {
+                at: pc,
+                what: format!("store through {other:?}"),
+            }),
+        }
+    }
+
+    fn call_helper(
+        &mut self,
+        helper: HelperId,
+        regs: &mut [Value; 11],
+        stack: &mut [u8; STACK_SIZE],
+        maps: &mut MapSet,
+        pc: usize,
+    ) -> Result<(), RunError> {
+        let internal = |what: &str| RunError::Internal {
+            at: pc,
+            what: what.to_string(),
+        };
+
+        let ret: Value = match helper {
+            HelperId::MapLookup => {
+                let map = match regs[Reg::R1.index()] {
+                    Value::MapRef(m) => m,
+                    _ => return Err(internal("r1 not a map ref")),
+                };
+                let def = maps.def(map)?;
+                let key = read_stack_buf(stack, &regs[Reg::R2.index()], def.key_size as usize)
+                    .ok_or_else(|| internal("bad key pointer"))?;
+                match def.kind {
+                    MapKind::Array => {
+                        let index =
+                            u32::from_le_bytes(key[..4].try_into().expect("4-byte key"));
+                        if index < def.max_entries {
+                            Value::MapValue {
+                                map,
+                                loc: MapLoc::Array { index },
+                                off: 0,
+                            }
+                        } else {
+                            Value::Scalar(0)
+                        }
+                    }
+                    MapKind::Hash => {
+                        if maps.hash_raw(map, &key)?.is_some() {
+                            Value::MapValue {
+                                map,
+                                loc: MapLoc::Hash { key },
+                                off: 0,
+                            }
+                        } else {
+                            Value::Scalar(0)
+                        }
+                    }
+                    MapKind::RingBuf => return Err(internal("lookup on ringbuf")),
+                }
+            }
+            HelperId::MapUpdate => {
+                let map = match regs[Reg::R1.index()] {
+                    Value::MapRef(m) => m,
+                    _ => return Err(internal("r1 not a map ref")),
+                };
+                let def = maps.def(map)?;
+                let key = read_stack_buf(stack, &regs[Reg::R2.index()], def.key_size as usize)
+                    .ok_or_else(|| internal("bad key pointer"))?;
+                let value =
+                    read_stack_buf(stack, &regs[Reg::R3.index()], def.value_size as usize)
+                        .ok_or_else(|| internal("bad value pointer"))?;
+                match maps.update(map, &key, &value) {
+                    Ok(()) => Value::Scalar(0),
+                    // Capacity errors surface as -E2BIG, like the
+                    // kernel, without killing the program.
+                    Err(MapError::Full(_)) => Value::Scalar((-7i64) as u64),
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            HelperId::MapDelete => {
+                let map = match regs[Reg::R1.index()] {
+                    Value::MapRef(m) => m,
+                    _ => return Err(internal("r1 not a map ref")),
+                };
+                let def = maps.def(map)?;
+                let key = read_stack_buf(stack, &regs[Reg::R2.index()], def.key_size as usize)
+                    .ok_or_else(|| internal("bad key pointer"))?;
+                let found = maps.delete(map, &key)?;
+                Value::Scalar(if found { 0 } else { (-2i64) as u64 }) // -ENOENT
+            }
+            HelperId::KtimeGetNs => Value::Scalar(self.now_ns),
+            HelperId::GetSmpProcessorId => Value::Scalar(0),
+            HelperId::TracePrintk => {
+                self.trace_events += 1;
+                Value::Scalar(0)
+            }
+            HelperId::RingbufOutput => {
+                let map = match regs[Reg::R1.index()] {
+                    Value::MapRef(m) => m,
+                    _ => return Err(internal("r1 not a map ref")),
+                };
+                let size = regs[Reg::R3.index()]
+                    .as_scalar()
+                    .ok_or_else(|| internal("r3 not scalar"))? as usize;
+                let data = read_stack_buf(stack, &regs[Reg::R2.index()], size)
+                    .ok_or_else(|| internal("bad data pointer"))?;
+                match maps.ring_push(map, &data) {
+                    Ok(()) => Value::Scalar(0),
+                    Err(MapError::RingFull(_)) => Value::Scalar((-28i64) as u64), // -ENOSPC
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        };
+
+        for r in regs.iter_mut().take(6).skip(1) {
+            *r = Value::Uninit;
+        }
+        regs[0] = ret;
+        Ok(())
+    }
+}
+
+fn delta(op: AluOp, k: u64) -> i64 {
+    match op {
+        AluOp::Add => k as i64,
+        AluOp::Sub => -(k as i64),
+        _ => 0, // verifier guarantees add/sub only
+    }
+}
+
+fn stack_index(base: &Value, off: i16, size: AccessSize) -> Option<usize> {
+    let rel = match base {
+        Value::FramePtr => off as i64,
+        Value::StackPtr(p) => p + off as i64,
+        _ => return None,
+    };
+    let idx = STACK_SIZE as i64 + rel;
+    if idx >= 0 && idx + size.bytes() as i64 <= STACK_SIZE as i64 {
+        Some(idx as usize)
+    } else {
+        None
+    }
+}
+
+fn read_stack_buf(stack: &[u8; STACK_SIZE], ptr: &Value, len: usize) -> Option<Vec<u8>> {
+    let rel = match ptr {
+        Value::FramePtr => 0i64,
+        Value::StackPtr(p) => *p,
+        _ => return None,
+    };
+    let idx = STACK_SIZE as i64 + rel;
+    if idx >= 0 && idx as usize + len <= STACK_SIZE {
+        Some(stack[idx as usize..idx as usize + len].to_vec())
+    } else {
+        None
+    }
+}
+
+fn map_value_bytes<'m>(
+    maps: &'m MapSet,
+    map: MapId,
+    loc: &MapLoc,
+) -> Result<&'m [u8], RunError> {
+    match loc {
+        MapLoc::Array { index } => {
+            let (values, def) = maps.array_raw(map)?;
+            let vs = def.value_size as usize;
+            let start = *index as usize * vs;
+            Ok(&values[start..start + vs])
+        }
+        MapLoc::Hash { key } => maps
+            .hash_raw(map, key)?
+            .ok_or(RunError::Map(MapError::NoSuchMap(map))),
+    }
+}
+
+fn map_value_bytes_mut<'m>(
+    maps: &'m mut MapSet,
+    map: MapId,
+    loc: &MapLoc,
+) -> Result<&'m mut [u8], RunError> {
+    match loc {
+        MapLoc::Array { index } => {
+            let (values, def) = maps.array_raw_mut(map)?;
+            let vs = def.value_size as usize;
+            let start = *index as usize * vs;
+            Ok(&mut values[start..start + vs])
+        }
+        MapLoc::Hash { key } => maps
+            .hash_raw_mut(map, key)?
+            .ok_or(RunError::Map(MapError::NoSuchMap(map))),
+    }
+}
+
+fn read_le(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    u64::from_le_bytes(buf)
+}
+
+fn write_le(slot: &mut [u8], value: u64) {
+    let bytes = value.to_le_bytes();
+    slot.copy_from_slice(&bytes[..slot.len()]);
+}
+
+fn alu64(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => a.checked_div(b).unwrap_or(0),
+        AluOp::Mod => a.checked_rem(b).unwrap_or(0),
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Xor => a ^ b,
+        AluOp::Lsh => a.wrapping_shl((b & 63) as u32),
+        AluOp::Rsh => a.wrapping_shr((b & 63) as u32),
+        AluOp::Arsh => ((a as i64) >> (b & 63)) as u64,
+        AluOp::Mov => b,
+    }
+}
+
+fn alu32(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => a.checked_div(b).unwrap_or(0),
+        AluOp::Mod => a.checked_rem(b).unwrap_or(0),
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Xor => a ^ b,
+        AluOp::Lsh => a.wrapping_shl(b & 31),
+        AluOp::Rsh => a.wrapping_shr(b & 31),
+        AluOp::Arsh => ((a as i32) >> (b & 31)) as u32,
+        AluOp::Mov => b,
+    }
+}
+
+fn jump_taken(cond: JmpCond, a: u64, b: u64) -> bool {
+    match cond {
+        JmpCond::Eq => a == b,
+        JmpCond::Ne => a != b,
+        JmpCond::Gt => a > b,
+        JmpCond::Ge => a >= b,
+        JmpCond::Lt => a < b,
+        JmpCond::Le => a <= b,
+        JmpCond::SGt => (a as i64) > (b as i64),
+        JmpCond::SGe => (a as i64) >= (b as i64),
+        JmpCond::SLt => (a as i64) < (b as i64),
+        JmpCond::SLe => (a as i64) <= (b as i64),
+        JmpCond::Set => a & b != 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::MapDef;
+    use crate::program::ProgramBuilder;
+    use crate::verify::Verifier;
+
+    fn run_prog(
+        build: impl FnOnce(&mut ProgramBuilder),
+        ctx: &[u64],
+        maps: &mut MapSet,
+    ) -> RunOutcome {
+        let mut b = ProgramBuilder::new("test");
+        build(&mut b);
+        let p = b.build().unwrap();
+        let verified = Verifier::new(maps, &[]).verify(&p).unwrap();
+        Interpreter::new()
+            .run(&verified, ctx, maps, &mut NoKfuncs)
+            .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut maps = MapSet::new();
+        let out = run_prog(
+            |b| {
+                b.mov(Reg::R0, 10)
+                    .mul(Reg::R0, 4)
+                    .add(Reg::R0, 2)
+                    .exit();
+            },
+            &[],
+            &mut maps,
+        );
+        assert_eq!(out.return_value, 42);
+        assert_eq!(out.insns_executed, 4);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let mut maps = MapSet::new();
+        let out = run_prog(
+            |b| {
+                b.mov(Reg::R0, 10)
+                    .mov(Reg::R1, 0)
+                    .alu(AluOp::Div, Reg::R0, Reg::R1)
+                    .exit();
+            },
+            &[],
+            &mut maps,
+        );
+        assert_eq!(out.return_value, 0);
+    }
+
+    #[test]
+    fn alu32_zero_extends() {
+        let mut maps = MapSet::new();
+        let out = run_prog(
+            |b| {
+                b.load_imm64(Reg::R0, -1) // 0xFFFF_FFFF_FFFF_FFFF
+                    .alu32(AluOp::Add, Reg::R0, 1)
+                    .exit();
+            },
+            &[],
+            &mut maps,
+        );
+        assert_eq!(out.return_value, 0); // 32-bit wrap, zero-extended
+    }
+
+    #[test]
+    fn context_words_readable() {
+        let mut maps = MapSet::new();
+        let out = run_prog(
+            |b| {
+                b.load_ctx(Reg::R0, 1).exit();
+            },
+            &[11, 22, 33],
+            &mut maps,
+        );
+        assert_eq!(out.return_value, 22);
+        // Missing context words read as zero.
+        let out = run_prog(
+            |b| {
+                b.load_ctx(Reg::R0, 5).exit();
+            },
+            &[1],
+            &mut maps,
+        );
+        assert_eq!(out.return_value, 0);
+    }
+
+    #[test]
+    fn stack_round_trip_all_sizes() {
+        let mut maps = MapSet::new();
+        for (size, mask) in [
+            (AccessSize::B1, 0xFFu64),
+            (AccessSize::B2, 0xFFFF),
+            (AccessSize::B4, 0xFFFF_FFFF),
+            (AccessSize::B8, u64::MAX),
+        ] {
+            let out = run_prog(
+                |b| {
+                    b.load_imm64(Reg::R1, -2) // 0xFF..FE
+                        .store(Reg::R10, -8, Reg::R1, size)
+                        .load(Reg::R0, Reg::R10, -8, size)
+                        .exit();
+                },
+                &[],
+                &mut maps,
+            );
+            assert_eq!(out.return_value, (-2i64 as u64) & mask, "{size:?}");
+        }
+    }
+
+    #[test]
+    fn branches_take_correct_paths() {
+        let mut maps = MapSet::new();
+        let run_with = |x: u64, maps: &mut MapSet| {
+            run_prog(
+                |b| {
+                    let big = b.label();
+                    b.load_ctx(Reg::R1, 0)
+                        .jump_if(JmpCond::Gt, Reg::R1, 9i64, big)
+                        .mov(Reg::R0, 1)
+                        .exit()
+                        .bind(big)
+                        .unwrap()
+                        .mov(Reg::R0, 2)
+                        .exit();
+                },
+                &[x],
+                maps,
+            )
+            .return_value
+        };
+        assert_eq!(run_with(5, &mut maps), 1);
+        assert_eq!(run_with(10, &mut maps), 2);
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        let mut maps = MapSet::new();
+        let out = run_prog(
+            |b| {
+                let neg = b.label();
+                b.load_imm64(Reg::R1, -5)
+                    .jump_if(JmpCond::SLt, Reg::R1, 0i64, neg)
+                    .mov(Reg::R0, 0)
+                    .exit()
+                    .bind(neg)
+                    .unwrap()
+                    .mov(Reg::R0, 1)
+                    .exit();
+            },
+            &[],
+            &mut maps,
+        );
+        assert_eq!(out.return_value, 1);
+    }
+
+    #[test]
+    fn array_map_read_modify_write() {
+        let mut maps = MapSet::new();
+        let m = maps.create(MapDef::array(8, 4)).unwrap();
+        maps.array_store_u64(m, 2, 100).unwrap();
+
+        let mut b = ProgramBuilder::new("incr");
+        let out = b.label();
+        // key = 2 on the stack; v = lookup(m, &key); if v { *v += 1 }
+        b.store_imm(Reg::R10, -4, 2, AccessSize::B4)
+            .load_map(Reg::R1, m)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -4)
+            .call(HelperId::MapLookup)
+            .mov(Reg::R6, Reg::R0)
+            .jump_if(JmpCond::Eq, Reg::R6, 0i64, out)
+            .load(Reg::R7, Reg::R6, 0, AccessSize::B8)
+            .add(Reg::R7, 1)
+            .store(Reg::R6, 0, Reg::R7, AccessSize::B8)
+            .bind(out)
+            .unwrap()
+            .mov(Reg::R0, 0)
+            .exit();
+        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+        let out = Interpreter::new().run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        assert_eq!(out.helper_calls, 1);
+        assert_eq!(maps.array_load_u64(m, 2).unwrap(), 101);
+    }
+
+    #[test]
+    fn array_lookup_out_of_bounds_returns_null() {
+        let mut maps = MapSet::new();
+        let m = maps.create(MapDef::array(8, 4)).unwrap();
+        let mut b = ProgramBuilder::new("oob");
+        let out = b.label();
+        b.store_imm(Reg::R10, -4, 99, AccessSize::B4)
+            .load_map(Reg::R1, m)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -4)
+            .call(HelperId::MapLookup)
+            .jump_if(JmpCond::Ne, Reg::R0, 0i64, out)
+            .mov(Reg::R0, 7) // null path
+            .exit()
+            .bind(out)
+            .unwrap()
+            .mov(Reg::R0, 8) // valid path
+            .exit();
+        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+        let out = Interpreter::new().run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        assert_eq!(out.return_value, 7);
+    }
+
+    #[test]
+    fn hash_map_update_and_delete_from_program() {
+        let mut maps = MapSet::new();
+        let m = maps.create(MapDef::hash(4, 8, 8)).unwrap();
+        let mut b = ProgramBuilder::new("hash");
+        // key=5 at fp-4, value=77 at fp-16; update(m, &key, &value, 0)
+        b.store_imm(Reg::R10, -4, 5, AccessSize::B4)
+            .store_imm(Reg::R10, -16, 77, AccessSize::B8)
+            .load_map(Reg::R1, m)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -4)
+            .mov(Reg::R3, Reg::R10)
+            .add(Reg::R3, -16)
+            .mov(Reg::R4, 0)
+            .call(HelperId::MapUpdate)
+            .exit();
+        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+        let out = Interpreter::new().run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        assert_eq!(out.return_value, 0);
+        assert_eq!(
+            maps.lookup(m, &5u32.to_le_bytes()).unwrap().unwrap(),
+            77u64.to_le_bytes().to_vec()
+        );
+
+        // Delete it from a second program.
+        let mut b = ProgramBuilder::new("del");
+        b.store_imm(Reg::R10, -4, 5, AccessSize::B4)
+            .load_map(Reg::R1, m)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -4)
+            .call(HelperId::MapDelete)
+            .exit();
+        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+        let out = Interpreter::new().run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        assert_eq!(out.return_value, 0);
+        assert_eq!(maps.lookup(m, &5u32.to_le_bytes()).unwrap(), None);
+    }
+
+    #[test]
+    fn ktime_reflects_virtual_clock() {
+        let mut maps = MapSet::new();
+        let mut b = ProgramBuilder::new("time");
+        b.call(HelperId::KtimeGetNs).exit();
+        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+        let mut interp = Interpreter::new();
+        interp.set_now_ns(123_456);
+        let out = interp.run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        assert_eq!(out.return_value, 123_456);
+    }
+
+    #[test]
+    fn ringbuf_output_from_program() {
+        let mut maps = MapSet::new();
+        let r = maps.create(MapDef::ringbuf(256)).unwrap();
+        let mut b = ProgramBuilder::new("ring");
+        b.store_imm(Reg::R10, -8, 0xABCD, AccessSize::B8)
+            .load_map(Reg::R1, r)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -8)
+            .mov(Reg::R3, 8)
+            .mov(Reg::R4, 0)
+            .call(HelperId::RingbufOutput)
+            .exit();
+        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+        let out = Interpreter::new().run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        assert_eq!(out.return_value, 0);
+        let rec = maps.ring_pop(r).unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(rec.try_into().unwrap()), 0xABCD);
+    }
+
+    #[test]
+    fn kfunc_dispatch() {
+        struct Adder {
+            calls: Vec<[u64; 5]>,
+        }
+        impl KfuncHost for Adder {
+            fn call_kfunc(&mut self, index: u32, args: [u64; 5]) -> Result<u64, String> {
+                assert_eq!(index, 0);
+                self.calls.push(args);
+                Ok(args[0] + args[1])
+            }
+        }
+        let maps = MapSet::new();
+        let sigs = [crate::verify::KfuncSig {
+            name: "add2",
+            args: 2,
+        }];
+        let mut b = ProgramBuilder::new("kf");
+        b.mov(Reg::R1, 30).mov(Reg::R2, 12).call_kfunc(0).exit();
+        let p = Verifier::new(&maps, &sigs).verify(&b.build().unwrap()).unwrap();
+        let mut maps = maps;
+        let mut host = Adder { calls: vec![] };
+        let out = Interpreter::new().run(&p, &[], &mut maps, &mut host).unwrap();
+        assert_eq!(out.return_value, 42);
+        assert_eq!(out.kfunc_calls, 1);
+        assert_eq!(host.calls.len(), 1);
+        assert_eq!(host.calls[0][0], 30);
+    }
+
+    #[test]
+    fn kfunc_error_aborts_run() {
+        struct Failing;
+        impl KfuncHost for Failing {
+            fn call_kfunc(&mut self, _: u32, _: [u64; 5]) -> Result<u64, String> {
+                Err("boom".into())
+            }
+        }
+        let maps = MapSet::new();
+        let sigs = [crate::verify::KfuncSig { name: "f", args: 0 }];
+        let mut b = ProgramBuilder::new("kf");
+        b.call_kfunc(0).exit();
+        let p = Verifier::new(&maps, &sigs).verify(&b.build().unwrap()).unwrap();
+        let mut maps = maps;
+        let err = Interpreter::new()
+            .run(&p, &[], &mut maps, &mut Failing)
+            .unwrap_err();
+        assert!(matches!(err, RunError::KfuncFailed { kfunc: 0, .. }));
+    }
+
+    #[test]
+    fn trace_printk_counts() {
+        let mut maps = MapSet::new();
+        let mut b = ProgramBuilder::new("trace");
+        b.mov(Reg::R1, 1)
+            .call(HelperId::TracePrintk)
+            .mov(Reg::R1, 2)
+            .call(HelperId::TracePrintk)
+            .mov(Reg::R0, 0)
+            .exit();
+        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+        let mut interp = Interpreter::new();
+        interp.run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        assert_eq!(interp.trace_events(), 2);
+    }
+}

@@ -1,0 +1,1215 @@
+//! The static verifier.
+//!
+//! Before a program may be attached, it is verified the way the Linux
+//! verifier checks real eBPF: abstract interpretation over typed
+//! registers. The model enforces:
+//!
+//! * every register is initialized before use; `r10` is read-only,
+//! * all stack accesses are in-bounds, aligned, and read only
+//!   initialized bytes,
+//! * map-value pointers are null-checked before dereference and stay
+//!   within the value's bounds,
+//! * helper calls match their signatures (map refs, key/value
+//!   pointers into initialized stack memory),
+//! * no back-edges (the pre-5.3 "no loops" rule — SnapBPF's programs
+//!   are written in the re-trigger style this implies),
+//! * every path ends in `exit` with `r0` initialized,
+//! * path exploration is bounded by a complexity limit.
+//!
+//! Verification returns a [`VerifiedProgram`] token; the interpreter
+//! only accepts verified programs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::insn::{
+    AccessSize, AluOp, HelperId, Insn, JmpCond, Operand, Reg, MAX_CTX_WORDS, STACK_SIZE,
+};
+use crate::map::{MapId, MapKind, MapSet};
+use crate::program::Program;
+
+/// Maximum number of `(pc, state)` pairs explored before the
+/// verifier gives up, mirroring the kernel's complexity limit.
+pub const COMPLEXITY_LIMIT: usize = 100_000;
+
+/// Signature of a kfunc as known to the verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KfuncSig {
+    /// Name, for diagnostics.
+    pub name: &'static str,
+    /// Number of scalar arguments (`r1`..`r{args}`).
+    pub args: u8,
+}
+
+/// Abstract type of a register during verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RegType {
+    Uninit,
+    /// A scalar; `Some(v)` when the exact value is known.
+    Scalar(Option<i64>),
+    /// The frame pointer (`r10`).
+    FramePtr,
+    /// `r10 + off` for a known constant `off`.
+    StackPtr(i32),
+    /// A reference to a map (from [`Insn::LoadMapRef`]).
+    MapRef(MapId),
+    /// Result of `bpf_map_lookup_elem`: value pointer or null.
+    MapValueOrNull(MapId),
+    /// A null-checked map-value pointer at byte offset `off`.
+    MapValue(MapId, i32),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AbsState {
+    regs: [RegType; 11],
+    /// One bit per stack byte: initialized?
+    stack_init: [u64; STACK_SIZE / 64],
+}
+
+impl AbsState {
+    fn entry() -> Self {
+        let mut regs = std::array::from_fn(|_| RegType::Uninit);
+        regs[10] = RegType::FramePtr;
+        // r1 holds the context pointer in real eBPF; our LoadCtx
+        // pseudo-instruction replaces ctx pointer arithmetic, so r1
+        // starts uninitialized here.
+        AbsState {
+            regs,
+            stack_init: [0; STACK_SIZE / 64],
+        }
+    }
+
+    fn stack_mark_init(&mut self, start: usize, len: usize) {
+        for b in start..start + len {
+            self.stack_init[b / 64] |= 1 << (b % 64);
+        }
+    }
+
+    fn stack_is_init(&self, start: usize, len: usize) -> bool {
+        (start..start + len).all(|b| self.stack_init[b / 64] & (1 << (b % 64)) != 0)
+    }
+}
+
+/// Verification failure, with the offending instruction index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Instruction index, when attributable.
+    pub at: Option<usize>,
+    /// What went wrong.
+    pub kind: VerifyErrorKind,
+}
+
+/// The kinds of verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyErrorKind {
+    /// The program has no instructions.
+    EmptyProgram,
+    /// Reading a register that was never written.
+    UninitRegister(Reg),
+    /// Writing `r10`.
+    FramePointerWrite,
+    /// Execution can fall off the end of the program.
+    FallOffEnd,
+    /// A jump leaves the program.
+    JumpOutOfProgram,
+    /// A backward jump (loop) was found.
+    BackEdge {
+        /// Jump source.
+        from: usize,
+        /// Jump target.
+        to: usize,
+    },
+    /// Stack access outside `[-512, 0)` or misaligned.
+    BadStackAccess {
+        /// Byte offset relative to the frame pointer.
+        off: i64,
+    },
+    /// Reading uninitialized stack bytes.
+    UninitStackRead {
+        /// Byte offset relative to the frame pointer.
+        off: i64,
+    },
+    /// Dereferencing something that is not a valid pointer.
+    BadPointer(Reg),
+    /// Dereferencing a possibly-null map value without a null check.
+    PossiblyNull(Reg),
+    /// A map-value access outside the value's bounds.
+    MapValueOutOfBounds {
+        /// The map.
+        map: MapId,
+        /// Attempted byte offset.
+        off: i64,
+        /// The value size.
+        value_size: u32,
+    },
+    /// Helper argument type mismatch.
+    BadHelperArg {
+        /// The helper.
+        helper: HelperId,
+        /// Which argument register.
+        arg: Reg,
+        /// Human-readable expectation.
+        expected: &'static str,
+    },
+    /// Kfunc index not present in the registry.
+    UnknownKfunc(u32),
+    /// Kfunc argument not an initialized scalar.
+    BadKfuncArg {
+        /// Kfunc registry index.
+        kfunc: u32,
+        /// Which argument register.
+        arg: Reg,
+    },
+    /// Arithmetic that the verifier cannot prove safe (e.g. pointer
+    /// arithmetic with an unknown offset, or non-add/sub on a
+    /// pointer).
+    BadPointerArithmetic(Reg),
+    /// Spilling a pointer to the stack (not supported by this
+    /// verifier).
+    PointerSpill(Reg),
+    /// `exit` with `r0` uninitialized or non-scalar.
+    BadReturnValue,
+    /// Comparing pointers (other than the null check pattern).
+    PointerComparison,
+    /// A map id referenced by the program does not exist in the map
+    /// set.
+    UnknownMap(MapId),
+    /// Context word index out of range.
+    BadCtxIndex(u8),
+    /// Too many states explored.
+    TooComplex,
+    /// Ring-buffer output size is not a verifier-known constant.
+    UnknownRingSize,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some(at) => write!(f, "at insn {at}: {}", self.kind),
+            None => write!(f, "{}", self.kind),
+        }
+    }
+}
+
+impl fmt::Display for VerifyErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use VerifyErrorKind::*;
+        match self {
+            EmptyProgram => write!(f, "empty program"),
+            UninitRegister(r) => write!(f, "read of uninitialized register {r}"),
+            FramePointerWrite => write!(f, "write to frame pointer r10"),
+            FallOffEnd => write!(f, "execution can fall off the end"),
+            JumpOutOfProgram => write!(f, "jump target outside program"),
+            BackEdge { from, to } => write!(f, "back-edge from {from} to {to} (loops forbidden)"),
+            BadStackAccess { off } => write!(f, "invalid stack access at fp{off:+}"),
+            UninitStackRead { off } => write!(f, "read of uninitialized stack at fp{off:+}"),
+            BadPointer(r) => write!(f, "{r} is not a valid pointer"),
+            PossiblyNull(r) => write!(f, "{r} may be null; null-check required"),
+            MapValueOutOfBounds { map, off, value_size } => {
+                write!(f, "{map} value access at {off} outside {value_size} bytes")
+            }
+            BadHelperArg { helper, arg, expected } => {
+                write!(f, "{helper}: {arg} must be {expected}")
+            }
+            UnknownKfunc(i) => write!(f, "unknown kfunc #{i}"),
+            BadKfuncArg { kfunc, arg } => {
+                write!(f, "kfunc #{kfunc}: {arg} must be an initialized scalar")
+            }
+            BadPointerArithmetic(r) => write!(f, "unprovable pointer arithmetic on {r}"),
+            PointerSpill(r) => write!(f, "cannot spill pointer {r} to stack"),
+            BadReturnValue => write!(f, "exit with r0 not an initialized scalar"),
+            PointerComparison => write!(f, "pointer comparison not allowed"),
+            UnknownMap(m) => write!(f, "program references unknown {m}"),
+            BadCtxIndex(i) => write!(f, "context index {i} out of range"),
+            TooComplex => write!(f, "program too complex to verify"),
+            UnknownRingSize => write!(f, "ringbuf output size must be a known constant"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A program that passed verification, ready to run or attach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifiedProgram {
+    program: Program,
+    /// Instruction-count statistics from verification.
+    states_explored: usize,
+}
+
+impl VerifiedProgram {
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// How many `(pc, state)` pairs verification explored.
+    pub fn states_explored(&self) -> usize {
+        self.states_explored
+    }
+}
+
+/// The verifier. Holds the map set (for bounds/signature data) and
+/// the kfunc signatures.
+#[derive(Debug)]
+pub struct Verifier<'a> {
+    maps: &'a MapSet,
+    kfuncs: &'a [KfuncSig],
+}
+
+impl<'a> Verifier<'a> {
+    /// Creates a verifier against a map set and kfunc registry.
+    pub fn new(maps: &'a MapSet, kfuncs: &'a [KfuncSig]) -> Self {
+        Verifier { maps, kfuncs }
+    }
+
+    /// Verifies `program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] found on any path.
+    pub fn verify(&self, program: &Program) -> Result<VerifiedProgram, VerifyError> {
+        if program.is_empty() {
+            return Err(VerifyError {
+                at: None,
+                kind: VerifyErrorKind::EmptyProgram,
+            });
+        }
+
+        let insns = program.insns();
+        let mut visited: HashMap<usize, Vec<AbsState>> = HashMap::new();
+        let mut stack = vec![(0usize, AbsState::entry())];
+        let mut explored = 0usize;
+
+        while let Some((pc, state)) = stack.pop() {
+            // Prune exact revisits.
+            let seen = visited.entry(pc).or_default();
+            if seen.iter().any(|s| s == &state) {
+                continue;
+            }
+            seen.push(state.clone());
+
+            explored += 1;
+            if explored > COMPLEXITY_LIMIT {
+                return Err(VerifyError {
+                    at: Some(pc),
+                    kind: VerifyErrorKind::TooComplex,
+                });
+            }
+
+            if pc >= insns.len() {
+                return Err(VerifyError {
+                    at: Some(pc.saturating_sub(1)),
+                    kind: VerifyErrorKind::FallOffEnd,
+                });
+            }
+
+            for (next_pc, next_state) in self.step(pc, insns[pc], state, insns.len())? {
+                stack.push((next_pc, next_state));
+            }
+        }
+
+        Ok(VerifiedProgram {
+            program: program.clone(),
+            states_explored: explored,
+        })
+    }
+
+    /// Executes one instruction abstractly, returning successor
+    /// states (empty for `exit`).
+    fn step(
+        &self,
+        pc: usize,
+        insn: Insn,
+        mut st: AbsState,
+        prog_len: usize,
+    ) -> Result<Vec<(usize, AbsState)>, VerifyError> {
+        let err = |kind| VerifyError { at: Some(pc), kind };
+        let jump_target = |off: i32| -> Result<usize, VerifyError> {
+            let target = pc as i64 + 1 + off as i64;
+            if target < 0 || target as usize >= prog_len {
+                return Err(err(VerifyErrorKind::JumpOutOfProgram));
+            }
+            let target = target as usize;
+            if target <= pc {
+                return Err(err(VerifyErrorKind::BackEdge { from: pc, to: target }));
+            }
+            Ok(target)
+        };
+
+        match insn {
+            Insn::Alu64 { op, dst, src } | Insn::Alu32 { op, dst, src } => {
+                if dst.is_frame_pointer() {
+                    return Err(err(VerifyErrorKind::FramePointerWrite));
+                }
+                let wide = matches!(insn, Insn::Alu64 { .. });
+                let src_ty = match src {
+                    Operand::Imm(v) => RegType::Scalar(Some(v)),
+                    Operand::Reg(r) => {
+                        let t = st.regs[r.index()].clone();
+                        if t == RegType::Uninit {
+                            return Err(err(VerifyErrorKind::UninitRegister(r)));
+                        }
+                        t
+                    }
+                };
+                let dst_ty = st.regs[dst.index()].clone();
+                let new_ty = if op == AluOp::Mov {
+                    // Moves propagate types (including pointers).
+                    if wide {
+                        src_ty
+                    } else {
+                        // 32-bit move truncates: pointers become
+                        // scalars of unknown value.
+                        match src_ty {
+                            RegType::Scalar(Some(v)) => {
+                                RegType::Scalar(Some((v as u64 as u32) as i64))
+                            }
+                            RegType::Scalar(None) => RegType::Scalar(None),
+                            _ => return Err(err(VerifyErrorKind::BadPointerArithmetic(dst))),
+                        }
+                    }
+                } else {
+                    if dst_ty == RegType::Uninit {
+                        return Err(err(VerifyErrorKind::UninitRegister(dst)));
+                    }
+                    match (&dst_ty, &src_ty) {
+                        // Scalar op scalar.
+                        (RegType::Scalar(dv), RegType::Scalar(sv)) => {
+                            let known = match (dv, sv, wide) {
+                                (Some(a), Some(b), true) => eval_alu64(op, *a, *b),
+                                (Some(a), Some(b), false) => eval_alu32(op, *a, *b),
+                                _ => None,
+                            };
+                            RegType::Scalar(known)
+                        }
+                        // Pointer +/- known constant.
+                        (RegType::FramePtr, RegType::Scalar(Some(k)))
+                            if wide && (op == AluOp::Add || op == AluOp::Sub) =>
+                        {
+                            let delta = if op == AluOp::Add { *k } else { -*k };
+                            RegType::StackPtr(
+                                i32::try_from(delta)
+                                    .map_err(|_| err(VerifyErrorKind::BadPointerArithmetic(dst)))?,
+                            )
+                        }
+                        (RegType::StackPtr(off), RegType::Scalar(Some(k)))
+                            if wide && (op == AluOp::Add || op == AluOp::Sub) =>
+                        {
+                            let delta = if op == AluOp::Add { *k } else { -*k };
+                            let new_off = *off as i64 + delta;
+                            RegType::StackPtr(
+                                i32::try_from(new_off)
+                                    .map_err(|_| err(VerifyErrorKind::BadPointerArithmetic(dst)))?,
+                            )
+                        }
+                        (RegType::MapValue(m, off), RegType::Scalar(Some(k)))
+                            if wide && (op == AluOp::Add || op == AluOp::Sub) =>
+                        {
+                            let delta = if op == AluOp::Add { *k } else { -*k };
+                            let new_off = *off as i64 + delta;
+                            RegType::MapValue(
+                                *m,
+                                i32::try_from(new_off)
+                                    .map_err(|_| err(VerifyErrorKind::BadPointerArithmetic(dst)))?,
+                            )
+                        }
+                        _ => return Err(err(VerifyErrorKind::BadPointerArithmetic(dst))),
+                    }
+                };
+                st.regs[dst.index()] = new_ty;
+                Ok(vec![(pc + 1, st)])
+            }
+            Insn::Neg { dst } => {
+                if dst.is_frame_pointer() {
+                    return Err(err(VerifyErrorKind::FramePointerWrite));
+                }
+                match st.regs[dst.index()] {
+                    RegType::Scalar(v) => {
+                        st.regs[dst.index()] = RegType::Scalar(v.map(i64::wrapping_neg));
+                        Ok(vec![(pc + 1, st)])
+                    }
+                    RegType::Uninit => Err(err(VerifyErrorKind::UninitRegister(dst))),
+                    _ => Err(err(VerifyErrorKind::BadPointerArithmetic(dst))),
+                }
+            }
+            Insn::LoadImm64 { dst, imm } => {
+                if dst.is_frame_pointer() {
+                    return Err(err(VerifyErrorKind::FramePointerWrite));
+                }
+                st.regs[dst.index()] = RegType::Scalar(Some(imm));
+                Ok(vec![(pc + 1, st)])
+            }
+            Insn::LoadMapRef { dst, map } => {
+                if dst.is_frame_pointer() {
+                    return Err(err(VerifyErrorKind::FramePointerWrite));
+                }
+                if self.maps.def(map).is_err() {
+                    return Err(err(VerifyErrorKind::UnknownMap(map)));
+                }
+                st.regs[dst.index()] = RegType::MapRef(map);
+                Ok(vec![(pc + 1, st)])
+            }
+            Insn::LoadCtx { dst, index } => {
+                if dst.is_frame_pointer() {
+                    return Err(err(VerifyErrorKind::FramePointerWrite));
+                }
+                if index >= MAX_CTX_WORDS {
+                    return Err(err(VerifyErrorKind::BadCtxIndex(index)));
+                }
+                st.regs[dst.index()] = RegType::Scalar(None);
+                Ok(vec![(pc + 1, st)])
+            }
+            Insn::Load { dst, base, off, size } => {
+                if dst.is_frame_pointer() {
+                    return Err(err(VerifyErrorKind::FramePointerWrite));
+                }
+                self.check_mem(&st, pc, base, off, size, false)?;
+                // Reads of initialized stack must be checked.
+                if let Some(start) = stack_byte_index(&st.regs[base.index()], off) {
+                    if !st.stack_is_init(start, size.bytes()) {
+                        return Err(err(VerifyErrorKind::UninitStackRead {
+                            off: rel_off(&st.regs[base.index()], off),
+                        }));
+                    }
+                }
+                st.regs[dst.index()] = RegType::Scalar(None);
+                Ok(vec![(pc + 1, st)])
+            }
+            Insn::Store { base, off, src, size } => {
+                match st.regs[src.index()] {
+                    RegType::Scalar(_) => {}
+                    RegType::Uninit => return Err(err(VerifyErrorKind::UninitRegister(src))),
+                    _ => return Err(err(VerifyErrorKind::PointerSpill(src))),
+                }
+                self.check_mem(&st, pc, base, off, size, true)?;
+                if let Some(start) = stack_byte_index(&st.regs[base.index()], off) {
+                    st.stack_mark_init(start, size.bytes());
+                }
+                Ok(vec![(pc + 1, st)])
+            }
+            Insn::StoreImm { base, off, size, .. } => {
+                self.check_mem(&st, pc, base, off, size, true)?;
+                if let Some(start) = stack_byte_index(&st.regs[base.index()], off) {
+                    st.stack_mark_init(start, size.bytes());
+                }
+                Ok(vec![(pc + 1, st)])
+            }
+            Insn::Jump { off } => {
+                let target = jump_target(off)?;
+                Ok(vec![(target, st)])
+            }
+            Insn::JumpIf { cond, dst, src, off } => {
+                let target = jump_target(off)?;
+                let dst_ty = st.regs[dst.index()].clone();
+                if dst_ty == RegType::Uninit {
+                    return Err(err(VerifyErrorKind::UninitRegister(dst)));
+                }
+                if let Operand::Reg(r) = src {
+                    let t = &st.regs[r.index()];
+                    if *t == RegType::Uninit {
+                        return Err(err(VerifyErrorKind::UninitRegister(r)));
+                    }
+                    if !matches!(t, RegType::Scalar(_)) {
+                        return Err(err(VerifyErrorKind::PointerComparison));
+                    }
+                }
+
+                // Null-check refinement: `if rX ==/!= 0` on a
+                // maybe-null map value.
+                if let RegType::MapValueOrNull(map) = dst_ty {
+                    let zero_imm = matches!(src, Operand::Imm(0));
+                    if zero_imm && (cond == JmpCond::Eq || cond == JmpCond::Ne) {
+                        let mut null_state = st.clone();
+                        null_state.regs[dst.index()] = RegType::Scalar(Some(0));
+                        let mut valid_state = st;
+                        valid_state.regs[dst.index()] = RegType::MapValue(map, 0);
+                        return Ok(if cond == JmpCond::Eq {
+                            vec![(target, null_state), (pc + 1, valid_state)]
+                        } else {
+                            vec![(target, valid_state), (pc + 1, null_state)]
+                        });
+                    }
+                    return Err(err(VerifyErrorKind::PossiblyNull(dst)));
+                }
+                if !matches!(dst_ty, RegType::Scalar(_)) {
+                    return Err(err(VerifyErrorKind::PointerComparison));
+                }
+                Ok(vec![(target, st.clone()), (pc + 1, st)])
+            }
+            Insn::Call { helper } => {
+                self.check_helper(&mut st, pc, helper)?;
+                Ok(vec![(pc + 1, st)])
+            }
+            Insn::CallKfunc { kfunc } => {
+                let sig = self
+                    .kfuncs
+                    .get(kfunc as usize)
+                    .ok_or_else(|| err(VerifyErrorKind::UnknownKfunc(kfunc)))?;
+                for i in 1..=sig.args {
+                    let r = Reg::new(i);
+                    if !matches!(st.regs[r.index()], RegType::Scalar(_)) {
+                        return Err(err(VerifyErrorKind::BadKfuncArg { kfunc, arg: r }));
+                    }
+                }
+                clobber_caller_saved(&mut st);
+                st.regs[0] = RegType::Scalar(None);
+                Ok(vec![(pc + 1, st)])
+            }
+            Insn::Exit => {
+                if !matches!(st.regs[0], RegType::Scalar(_)) {
+                    return Err(err(VerifyErrorKind::BadReturnValue));
+                }
+                Ok(vec![])
+            }
+        }
+    }
+
+    /// Validates a memory access through `base + off` of `size`.
+    fn check_mem(
+        &self,
+        st: &AbsState,
+        pc: usize,
+        base: Reg,
+        off: i16,
+        size: AccessSize,
+        _write: bool,
+    ) -> Result<(), VerifyError> {
+        let err = |kind| VerifyError { at: Some(pc), kind };
+        match &st.regs[base.index()] {
+            RegType::FramePtr | RegType::StackPtr(_) => {
+                let rel = rel_off(&st.regs[base.index()], off);
+                let ok = rel >= -(STACK_SIZE as i64)
+                    && rel + size.bytes() as i64 <= 0
+                    && rel % size.bytes() as i64 == 0;
+                if !ok {
+                    return Err(err(VerifyErrorKind::BadStackAccess { off: rel }));
+                }
+                Ok(())
+            }
+            RegType::MapValue(map, ptr_off) => {
+                let def = self
+                    .maps
+                    .def(*map)
+                    .map_err(|_| err(VerifyErrorKind::UnknownMap(*map)))?;
+                let total = *ptr_off as i64 + off as i64;
+                let ok = total >= 0
+                    && total + size.bytes() as i64 <= def.value_size as i64
+                    && total % size.bytes() as i64 == 0;
+                if !ok {
+                    return Err(err(VerifyErrorKind::MapValueOutOfBounds {
+                        map: *map,
+                        off: total,
+                        value_size: def.value_size,
+                    }));
+                }
+                Ok(())
+            }
+            RegType::MapValueOrNull(_) => Err(err(VerifyErrorKind::PossiblyNull(base))),
+            RegType::Uninit => Err(err(VerifyErrorKind::UninitRegister(base))),
+            _ => Err(err(VerifyErrorKind::BadPointer(base))),
+        }
+    }
+
+    fn check_helper(
+        &self,
+        st: &mut AbsState,
+        pc: usize,
+        helper: HelperId,
+    ) -> Result<(), VerifyError> {
+        let err = |kind| VerifyError { at: Some(pc), kind };
+        let bad = |arg: Reg, expected: &'static str| {
+            VerifyError {
+                at: Some(pc),
+                kind: VerifyErrorKind::BadHelperArg {
+                    helper,
+                    arg,
+                    expected,
+                },
+            }
+        };
+
+        /// Requires `r` to be a stack pointer to `len` initialized
+        /// bytes.
+        fn stack_buf(
+            st: &AbsState,
+            r: Reg,
+            len: u32,
+            mk: impl Fn(Reg, &'static str) -> VerifyError,
+        ) -> Result<(), VerifyError> {
+            match &st.regs[r.index()] {
+                RegType::StackPtr(off) => {
+                    let rel = *off as i64;
+                    if rel < -(STACK_SIZE as i64) || rel + len as i64 > 0 {
+                        return Err(mk(r, "in-bounds stack pointer"));
+                    }
+                    let start = (STACK_SIZE as i64 + rel) as usize;
+                    if !st.stack_is_init(start, len as usize) {
+                        return Err(mk(r, "pointer to initialized stack bytes"));
+                    }
+                    Ok(())
+                }
+                _ => Err(mk(r, "stack pointer")),
+            }
+        }
+
+        let ret = match helper {
+            HelperId::MapLookup => {
+                let map = match st.regs[Reg::R1.index()] {
+                    RegType::MapRef(m) => m,
+                    _ => return Err(bad(Reg::R1, "map reference")),
+                };
+                let def = self
+                    .maps
+                    .def(map)
+                    .map_err(|_| err(VerifyErrorKind::UnknownMap(map)))?;
+                if def.kind == MapKind::RingBuf {
+                    return Err(bad(Reg::R1, "array or hash map"));
+                }
+                stack_buf(st, Reg::R2, def.key_size, bad)?;
+                RegType::MapValueOrNull(map)
+            }
+            HelperId::MapUpdate => {
+                let map = match st.regs[Reg::R1.index()] {
+                    RegType::MapRef(m) => m,
+                    _ => return Err(bad(Reg::R1, "map reference")),
+                };
+                let def = self
+                    .maps
+                    .def(map)
+                    .map_err(|_| err(VerifyErrorKind::UnknownMap(map)))?;
+                if def.kind == MapKind::RingBuf {
+                    return Err(bad(Reg::R1, "array or hash map"));
+                }
+                stack_buf(st, Reg::R2, def.key_size, bad)?;
+                stack_buf(st, Reg::R3, def.value_size, bad)?;
+                if !matches!(st.regs[Reg::R4.index()], RegType::Scalar(_)) {
+                    return Err(bad(Reg::R4, "scalar flags"));
+                }
+                RegType::Scalar(None)
+            }
+            HelperId::MapDelete => {
+                let map = match st.regs[Reg::R1.index()] {
+                    RegType::MapRef(m) => m,
+                    _ => return Err(bad(Reg::R1, "map reference")),
+                };
+                let def = self
+                    .maps
+                    .def(map)
+                    .map_err(|_| err(VerifyErrorKind::UnknownMap(map)))?;
+                if def.kind != MapKind::Hash {
+                    return Err(bad(Reg::R1, "hash map"));
+                }
+                stack_buf(st, Reg::R2, def.key_size, bad)?;
+                RegType::Scalar(None)
+            }
+            HelperId::KtimeGetNs | HelperId::GetSmpProcessorId => RegType::Scalar(None),
+            HelperId::TracePrintk => {
+                if !matches!(st.regs[Reg::R1.index()], RegType::Scalar(_)) {
+                    return Err(bad(Reg::R1, "scalar format id"));
+                }
+                RegType::Scalar(None)
+            }
+            HelperId::RingbufOutput => {
+                let map = match st.regs[Reg::R1.index()] {
+                    RegType::MapRef(m) => m,
+                    _ => return Err(bad(Reg::R1, "ring buffer map")),
+                };
+                let def = self
+                    .maps
+                    .def(map)
+                    .map_err(|_| err(VerifyErrorKind::UnknownMap(map)))?;
+                if def.kind != MapKind::RingBuf {
+                    return Err(bad(Reg::R1, "ring buffer map"));
+                }
+                let size = match st.regs[Reg::R3.index()] {
+                    RegType::Scalar(Some(s)) if s > 0 && s <= STACK_SIZE as i64 => s as u32,
+                    RegType::Scalar(_) => return Err(err(VerifyErrorKind::UnknownRingSize)),
+                    _ => return Err(bad(Reg::R3, "scalar size")),
+                };
+                stack_buf(st, Reg::R2, size, bad)?;
+                if !matches!(st.regs[Reg::R4.index()], RegType::Scalar(_)) {
+                    return Err(bad(Reg::R4, "scalar flags"));
+                }
+                RegType::Scalar(None)
+            }
+        };
+        clobber_caller_saved(st);
+        st.regs[0] = ret;
+        Ok(())
+    }
+}
+
+/// Caller-saved registers become uninitialized after a call.
+fn clobber_caller_saved(st: &mut AbsState) {
+    for i in 1..=5 {
+        st.regs[i] = RegType::Uninit;
+    }
+}
+
+/// Byte offset of an access relative to the frame pointer, for
+/// stack-based registers.
+fn rel_off(base: &RegType, off: i16) -> i64 {
+    match base {
+        RegType::FramePtr => off as i64,
+        RegType::StackPtr(p) => *p as i64 + off as i64,
+        _ => off as i64,
+    }
+}
+
+/// Index into the stack byte array for a stack access, or `None` for
+/// non-stack bases.
+fn stack_byte_index(base: &RegType, off: i16) -> Option<usize> {
+    match base {
+        RegType::FramePtr | RegType::StackPtr(_) => {
+            let rel = rel_off(base, off);
+            Some((STACK_SIZE as i64 + rel) as usize)
+        }
+        _ => None,
+    }
+}
+
+fn eval_alu64(op: AluOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => (a as u64).checked_div(b as u64).unwrap_or(0) as i64,
+        AluOp::Mod => (a as u64).checked_rem(b as u64).map_or(0, |v| v as i64),
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Xor => a ^ b,
+        AluOp::Lsh => ((a as u64) << ((b as u64) & 63)) as i64,
+        AluOp::Rsh => ((a as u64) >> ((b as u64) & 63)) as i64,
+        AluOp::Arsh => a >> ((b as u64) & 63),
+        AluOp::Mov => b,
+    })
+}
+
+fn eval_alu32(op: AluOp, a: i64, b: i64) -> Option<i64> {
+    let a32 = a as u32;
+    let b32 = b as u32;
+    let v: u32 = match op {
+        AluOp::Add => a32.wrapping_add(b32),
+        AluOp::Sub => a32.wrapping_sub(b32),
+        AluOp::Mul => a32.wrapping_mul(b32),
+        AluOp::Div => a32.checked_div(b32).unwrap_or(0),
+        AluOp::Mod => a32.checked_rem(b32).unwrap_or(0),
+        AluOp::Or => a32 | b32,
+        AluOp::And => a32 & b32,
+        AluOp::Xor => a32 ^ b32,
+        AluOp::Lsh => a32.wrapping_shl(b32 & 31),
+        AluOp::Rsh => a32.wrapping_shr(b32 & 31),
+        AluOp::Arsh => ((a32 as i32) >> (b32 & 31)) as u32,
+        AluOp::Mov => b32,
+    };
+    Some(v as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::MapDef;
+    use crate::program::ProgramBuilder;
+
+    fn maps_with_array() -> (MapSet, MapId) {
+        let mut maps = MapSet::new();
+        let m = maps.create(MapDef::array(8, 16)).unwrap();
+        (maps, m)
+    }
+
+    fn verify(p: &Program, maps: &MapSet) -> Result<VerifiedProgram, VerifyError> {
+        Verifier::new(maps, &[]).verify(p)
+    }
+
+    #[test]
+    fn minimal_valid_program() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("ok");
+        b.mov(Reg::R0, 0).exit();
+        assert!(verify(&b.build().unwrap(), &maps).is_ok());
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let maps = MapSet::new();
+        let p = ProgramBuilder::new("empty").build().unwrap();
+        assert_eq!(
+            verify(&p, &maps).unwrap_err().kind,
+            VerifyErrorKind::EmptyProgram
+        );
+    }
+
+    #[test]
+    fn uninitialized_register_read_rejected() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bad");
+        b.mov(Reg::R0, Reg::R3).exit();
+        assert_eq!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::UninitRegister(Reg::R3)
+        );
+    }
+
+    #[test]
+    fn exit_without_r0_rejected() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bad");
+        b.exit();
+        assert_eq!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::BadReturnValue
+        );
+    }
+
+    #[test]
+    fn fall_off_end_rejected() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bad");
+        b.mov(Reg::R0, 0); // no exit
+        assert_eq!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::FallOffEnd
+        );
+    }
+
+    #[test]
+    fn frame_pointer_write_rejected() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bad");
+        b.mov(Reg::R10, 0).mov(Reg::R0, 0).exit();
+        assert_eq!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::FramePointerWrite
+        );
+    }
+
+    #[test]
+    fn back_edge_rejected() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("loop");
+        let top = b.label();
+        b.mov(Reg::R0, 0);
+        b.bind(top).unwrap();
+        b.add(Reg::R0, 1).jump(top);
+        assert!(matches!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::BackEdge { .. }
+        ));
+    }
+
+    #[test]
+    fn stack_roundtrip_verifies() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("stack");
+        b.mov(Reg::R1, 7)
+            .store(Reg::R10, -8, Reg::R1, AccessSize::B8)
+            .load(Reg::R0, Reg::R10, -8, AccessSize::B8)
+            .exit();
+        assert!(verify(&b.build().unwrap(), &maps).is_ok());
+    }
+
+    #[test]
+    fn uninitialized_stack_read_rejected() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bad");
+        b.load(Reg::R0, Reg::R10, -8, AccessSize::B8).exit();
+        assert!(matches!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::UninitStackRead { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_stack_rejected() {
+        let maps = MapSet::new();
+        for off in [-520i16, 0, 8] {
+            let mut b = ProgramBuilder::new("bad");
+            b.store_imm(Reg::R10, off, 1, AccessSize::B8).mov(Reg::R0, 0).exit();
+            assert!(
+                matches!(
+                    verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+                    VerifyErrorKind::BadStackAccess { .. }
+                ),
+                "offset {off} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn misaligned_stack_rejected() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bad");
+        b.store_imm(Reg::R10, -7, 1, AccessSize::B8).mov(Reg::R0, 0).exit();
+        assert!(matches!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::BadStackAccess { .. }
+        ));
+    }
+
+    #[test]
+    fn computed_stack_pointer_verifies() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("ptr");
+        b.mov(Reg::R1, Reg::R10)
+            .add(Reg::R1, -16)
+            .store_imm(Reg::R1, 0, 5, AccessSize::B8)
+            .load(Reg::R0, Reg::R1, 0, AccessSize::B8)
+            .exit();
+        assert!(verify(&b.build().unwrap(), &maps).is_ok());
+    }
+
+    #[test]
+    fn map_lookup_requires_null_check() {
+        let (maps, m) = maps_with_array();
+        let mut b = ProgramBuilder::new("bad");
+        b.store_imm(Reg::R10, -4, 0, AccessSize::B4)
+            .load_map(Reg::R1, m)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -4)
+            .call(HelperId::MapLookup)
+            // Missing null check:
+            .load(Reg::R0, Reg::R0, 0, AccessSize::B8)
+            .exit();
+        assert!(matches!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::PossiblyNull(_)
+        ));
+    }
+
+    #[test]
+    fn map_lookup_with_null_check_verifies() {
+        let (maps, m) = maps_with_array();
+        let mut b = ProgramBuilder::new("good");
+        let out = b.label();
+        b.store_imm(Reg::R10, -4, 0, AccessSize::B4)
+            .load_map(Reg::R1, m)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -4)
+            .call(HelperId::MapLookup)
+            .mov(Reg::R6, Reg::R0)
+            .jump_if(JmpCond::Eq, Reg::R6, 0i64, out)
+            .load(Reg::R6, Reg::R6, 0, AccessSize::B8)
+            .bind(out)
+            .unwrap()
+            .mov(Reg::R0, 0)
+            .exit();
+        let v = verify(&b.build().unwrap(), &maps).unwrap();
+        assert!(v.states_explored() > 0);
+    }
+
+    #[test]
+    fn map_value_bounds_enforced() {
+        let (maps, m) = maps_with_array(); // value_size 8
+        let mut b = ProgramBuilder::new("bad");
+        let out = b.label();
+        b.store_imm(Reg::R10, -4, 0, AccessSize::B4)
+            .load_map(Reg::R1, m)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -4)
+            .call(HelperId::MapLookup)
+            .jump_if(JmpCond::Eq, Reg::R0, 0i64, out)
+            .load(Reg::R0, Reg::R0, 8, AccessSize::B8) // off 8 out of bounds
+            .bind(out)
+            .unwrap()
+            .mov(Reg::R0, 0)
+            .exit();
+        assert!(matches!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::MapValueOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn helper_signature_enforced() {
+        let (maps, _m) = maps_with_array();
+        let mut b = ProgramBuilder::new("bad");
+        b.mov(Reg::R1, 0) // scalar, not a map ref
+            .mov(Reg::R2, Reg::R10)
+            .call(HelperId::MapLookup)
+            .mov(Reg::R0, 0)
+            .exit();
+        assert!(matches!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::BadHelperArg { .. }
+        ));
+    }
+
+    #[test]
+    fn uninitialized_key_buffer_rejected() {
+        let (maps, m) = maps_with_array();
+        let mut b = ProgramBuilder::new("bad");
+        b.load_map(Reg::R1, m)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -4)
+            .call(HelperId::MapLookup) // key bytes never written
+            .mov(Reg::R0, 0)
+            .exit();
+        assert!(matches!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::BadHelperArg { .. }
+        ));
+    }
+
+    #[test]
+    fn helper_clobbers_argument_registers() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bad");
+        b.mov(Reg::R3, 9)
+            .call(HelperId::KtimeGetNs)
+            .mov(Reg::R0, Reg::R3) // r3 clobbered by the call
+            .exit();
+        assert_eq!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::UninitRegister(Reg::R3)
+        );
+    }
+
+    #[test]
+    fn callee_saved_registers_survive_calls() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("good");
+        b.mov(Reg::R6, 9)
+            .call(HelperId::KtimeGetNs)
+            .mov(Reg::R0, Reg::R6)
+            .exit();
+        assert!(verify(&b.build().unwrap(), &maps).is_ok());
+    }
+
+    #[test]
+    fn pointer_spill_rejected() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bad");
+        b.mov(Reg::R1, Reg::R10)
+            .store(Reg::R10, -8, Reg::R1, AccessSize::B8)
+            .mov(Reg::R0, 0)
+            .exit();
+        assert!(matches!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::PointerSpill(_)
+        ));
+    }
+
+    #[test]
+    fn pointer_comparison_rejected() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bad");
+        let out = b.label();
+        b.mov(Reg::R1, Reg::R10)
+            .jump_if(JmpCond::Eq, Reg::R1, 0i64, out)
+            .bind(out)
+            .unwrap()
+            .mov(Reg::R0, 0)
+            .exit();
+        assert!(matches!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::PointerComparison
+        ));
+    }
+
+    #[test]
+    fn kfunc_signature_checked() {
+        let maps = MapSet::new();
+        let kfuncs = [KfuncSig {
+            name: "snapbpf_prefetch",
+            args: 3,
+        }];
+        // Valid: three scalar args.
+        let mut b = ProgramBuilder::new("good");
+        b.mov(Reg::R1, 1)
+            .mov(Reg::R2, 2)
+            .mov(Reg::R3, 3)
+            .call_kfunc(0)
+            .exit();
+        assert!(Verifier::new(&maps, &kfuncs).verify(&b.build().unwrap()).is_ok());
+
+        // Invalid: r3 uninitialized.
+        let mut b = ProgramBuilder::new("bad");
+        b.mov(Reg::R1, 1).mov(Reg::R2, 2).call_kfunc(0).exit();
+        assert!(matches!(
+            Verifier::new(&maps, &kfuncs)
+                .verify(&b.build().unwrap())
+                .unwrap_err()
+                .kind,
+            VerifyErrorKind::BadKfuncArg { .. }
+        ));
+
+        // Invalid: unknown kfunc index.
+        let mut b = ProgramBuilder::new("bad2");
+        b.call_kfunc(7).exit();
+        assert_eq!(
+            Verifier::new(&maps, &kfuncs)
+                .verify(&b.build().unwrap())
+                .unwrap_err()
+                .kind,
+            VerifyErrorKind::UnknownKfunc(7)
+        );
+    }
+
+    #[test]
+    fn unknown_map_rejected() {
+        let (maps, m) = maps_with_array();
+        // Build a program against a map id from a *different* set.
+        let mut other = MapSet::new();
+        let m2 = other.create(MapDef::array(8, 16)).unwrap();
+        let m3 = other.create(MapDef::array(8, 16)).unwrap();
+        assert_eq!(m.as_u32(), m2.as_u32()); // same index, fine
+        let mut b = ProgramBuilder::new("bad");
+        b.load_map(Reg::R1, m3).mov(Reg::R0, 0).exit();
+        assert_eq!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::UnknownMap(m3)
+        );
+    }
+
+    #[test]
+    fn ctx_index_bounds() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bad");
+        b.load_ctx(Reg::R0, MAX_CTX_WORDS).exit();
+        assert_eq!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::BadCtxIndex(MAX_CTX_WORDS)
+        );
+    }
+
+    #[test]
+    fn branchy_program_verifies_both_paths() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("branchy");
+        let a = b.label();
+        let done = b.label();
+        b.load_ctx(Reg::R1, 0)
+            .jump_if(JmpCond::Gt, Reg::R1, 10i64, a)
+            .mov(Reg::R0, 1)
+            .jump(done)
+            .bind(a)
+            .unwrap()
+            .mov(Reg::R0, 2)
+            .bind(done)
+            .unwrap()
+            .exit();
+        assert!(verify(&b.build().unwrap(), &maps).is_ok());
+    }
+
+    #[test]
+    fn one_path_missing_r0_rejected() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bad");
+        let a = b.label();
+        let done = b.label();
+        b.load_ctx(Reg::R1, 0)
+            .jump_if(JmpCond::Gt, Reg::R1, 10i64, a)
+            .mov(Reg::R0, 1) // only the fall-through sets r0
+            .jump(done)
+            .bind(a)
+            .unwrap()
+            .bind(done)
+            .unwrap()
+            .exit();
+        assert_eq!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::BadReturnValue
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! Adversarial verifier tests: raw instructions injected through
+//! `ProgramBuilder::push` (bypassing the builder's label hygiene)
+//! must never get past verification, and pathological-but-legal
+//! programs must.
+
+use snapbpf_ebpf::{
+    AccessSize, AluOp, HelperId, Insn, Interpreter, JmpCond, MapDef, MapSet, NoKfuncs, Operand,
+    ProgramBuilder, Reg, Verifier, VerifyErrorKind,
+};
+
+fn verify(
+    build: impl FnOnce(&mut ProgramBuilder),
+    maps: &MapSet,
+) -> Result<(), VerifyErrorKind> {
+    let mut b = ProgramBuilder::new("edge");
+    build(&mut b);
+    Verifier::new(maps, &[])
+        .verify(&b.build().expect("assembles"))
+        .map(|_| ())
+        .map_err(|e| e.kind)
+}
+
+#[test]
+fn raw_jump_out_of_program_rejected() {
+    let maps = MapSet::new();
+    let err = verify(
+        |b| {
+            b.push(Insn::Jump { off: 1000 }).mov(Reg::R0, 0).exit();
+        },
+        &maps,
+    )
+    .unwrap_err();
+    assert_eq!(err, VerifyErrorKind::JumpOutOfProgram);
+
+    let err = verify(
+        |b| {
+            b.mov(Reg::R0, 0).push(Insn::Jump { off: -5 }).exit();
+        },
+        &maps,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        VerifyErrorKind::JumpOutOfProgram | VerifyErrorKind::BackEdge { .. }
+    ));
+}
+
+#[test]
+fn raw_conditional_back_edge_rejected() {
+    let maps = MapSet::new();
+    let err = verify(
+        |b| {
+            b.mov(Reg::R0, 0)
+                .push(Insn::JumpIf {
+                    cond: JmpCond::Eq,
+                    dst: Reg::R0,
+                    src: Operand::Imm(0),
+                    off: -2,
+                })
+                .exit();
+        },
+        &maps,
+    )
+    .unwrap_err();
+    assert!(matches!(err, VerifyErrorKind::BackEdge { .. }));
+}
+
+#[test]
+fn self_jump_rejected() {
+    let maps = MapSet::new();
+    let err = verify(
+        |b| {
+            b.push(Insn::Jump { off: -1 }).mov(Reg::R0, 0).exit();
+        },
+        &maps,
+    )
+    .unwrap_err();
+    assert!(matches!(err, VerifyErrorKind::BackEdge { .. }));
+}
+
+#[test]
+fn neg_of_pointer_rejected() {
+    let maps = MapSet::new();
+    let err = verify(
+        |b| {
+            b.mov(Reg::R1, Reg::R10)
+                .push(Insn::Neg { dst: Reg::R1 })
+                .mov(Reg::R0, 0)
+                .exit();
+        },
+        &maps,
+    )
+    .unwrap_err();
+    assert!(matches!(err, VerifyErrorKind::BadPointerArithmetic(_)));
+}
+
+#[test]
+fn mov32_of_pointer_rejected() {
+    let maps = MapSet::new();
+    let err = verify(
+        |b| {
+            b.alu32(AluOp::Mov, Reg::R1, Reg::R10).mov(Reg::R0, 0).exit();
+        },
+        &maps,
+    )
+    .unwrap_err();
+    assert!(matches!(err, VerifyErrorKind::BadPointerArithmetic(_)));
+}
+
+#[test]
+fn pointer_times_scalar_rejected() {
+    let maps = MapSet::new();
+    let err = verify(
+        |b| {
+            b.mov(Reg::R1, Reg::R10).mul(Reg::R1, 2).mov(Reg::R0, 0).exit();
+        },
+        &maps,
+    )
+    .unwrap_err();
+    assert!(matches!(err, VerifyErrorKind::BadPointerArithmetic(_)));
+}
+
+#[test]
+fn stack_pointer_with_unknown_offset_rejected() {
+    // r1 = fp + ctx[0]: the offset is not a verifier-known constant.
+    let maps = MapSet::new();
+    let err = verify(
+        |b| {
+            b.load_ctx(Reg::R2, 0)
+                .mov(Reg::R1, Reg::R10)
+                .add(Reg::R1, Reg::R2)
+                .mov(Reg::R0, 0)
+                .exit();
+        },
+        &maps,
+    )
+    .unwrap_err();
+    assert!(matches!(err, VerifyErrorKind::BadPointerArithmetic(_)));
+}
+
+#[test]
+fn map_ref_cannot_be_dereferenced() {
+    let mut maps = MapSet::new();
+    let m = maps.create(MapDef::array(8, 4)).unwrap();
+    let err = verify(
+        |b| {
+            b.load_map(Reg::R1, m)
+                .load(Reg::R0, Reg::R1, 0, AccessSize::B8)
+                .exit();
+        },
+        &maps,
+    )
+    .unwrap_err();
+    assert!(matches!(err, VerifyErrorKind::BadPointer(_)));
+}
+
+#[test]
+fn map_value_negative_offset_rejected() {
+    let mut maps = MapSet::new();
+    let m = maps.create(MapDef::array(8, 4)).unwrap();
+    let err = verify(
+        |b| {
+            let out = b.label();
+            b.store_imm(Reg::R10, -4, 0, AccessSize::B4)
+                .load_map(Reg::R1, m)
+                .mov(Reg::R2, Reg::R10)
+                .add(Reg::R2, -4)
+                .call(HelperId::MapLookup)
+                .jump_if(JmpCond::Eq, Reg::R0, 0i64, out)
+                .load(Reg::R0, Reg::R0, -8, AccessSize::B8)
+                .bind(out)
+                .unwrap()
+                .mov(Reg::R0, 0)
+                .exit();
+        },
+        &maps,
+    )
+    .unwrap_err();
+    assert!(matches!(err, VerifyErrorKind::MapValueOutOfBounds { .. }));
+}
+
+#[test]
+fn map_value_pointer_survives_arithmetic_within_bounds() {
+    let mut maps = MapSet::new();
+    let m = maps.create(MapDef::array(16, 4)).unwrap(); // 16-byte values
+    let result = verify(
+        |b| {
+            let out = b.label();
+            b.store_imm(Reg::R10, -4, 0, AccessSize::B4)
+                .load_map(Reg::R1, m)
+                .mov(Reg::R2, Reg::R10)
+                .add(Reg::R2, -4)
+                .call(HelperId::MapLookup)
+                .jump_if(JmpCond::Eq, Reg::R0, 0i64, out)
+                .add(Reg::R0, 8) // second u64 of the value
+                .load(Reg::R6, Reg::R0, 0, AccessSize::B8)
+                .bind(out)
+                .unwrap()
+                .mov(Reg::R0, 0)
+                .exit();
+        },
+        &maps,
+    );
+    assert!(result.is_ok());
+}
+
+#[test]
+fn ringbuf_with_unknown_size_rejected() {
+    let mut maps = MapSet::new();
+    let r = maps.create(MapDef::ringbuf(512)).unwrap();
+    let err = verify(
+        |b| {
+            b.store_imm(Reg::R10, -8, 1, AccessSize::B8)
+                .load_map(Reg::R1, r)
+                .mov(Reg::R2, Reg::R10)
+                .add(Reg::R2, -8)
+                .load_ctx(Reg::R3, 0) // size unknown to the verifier
+                .mov(Reg::R4, 0)
+                .call(HelperId::RingbufOutput)
+                .exit();
+        },
+        &maps,
+    )
+    .unwrap_err();
+    assert_eq!(err, VerifyErrorKind::UnknownRingSize);
+}
+
+#[test]
+fn deep_branch_ladder_verifies_within_complexity_budget() {
+    // 64 independent two-way branches would be 2^64 paths if the
+    // verifier blindly enumerated register-value combinations; with
+    // unknown-scalar widening the state count stays linear-ish.
+    let maps = MapSet::new();
+    let mut b = ProgramBuilder::new("ladder");
+    b.mov(Reg::R0, 0);
+    for i in 0..64 {
+        let skip = b.label();
+        b.load_ctx(Reg::R1, (i % 6) as u8)
+            .jump_if(JmpCond::Gt, Reg::R1, 7i64, skip)
+            .add(Reg::R0, 1)
+            .bind(skip)
+            .unwrap();
+    }
+    b.exit();
+    let verified = Verifier::new(&maps, &[])
+        .verify(&b.build().unwrap())
+        .unwrap();
+    assert!(verified.states_explored() < snapbpf_ebpf::COMPLEXITY_LIMIT);
+
+    // And the result actually runs.
+    let mut maps = maps;
+    let out = Interpreter::new()
+        .run(&verified, &[3; 6], &mut maps, &mut NoKfuncs)
+        .unwrap();
+    assert_eq!(out.return_value, 64);
+}
+
+#[test]
+fn jset_condition_works_end_to_end() {
+    let maps = MapSet::new();
+    let mut b = ProgramBuilder::new("jset");
+    let hit = b.label();
+    b.load_ctx(Reg::R1, 0)
+        .jump_if(JmpCond::Set, Reg::R1, 0b100i64, hit)
+        .mov(Reg::R0, 0)
+        .exit()
+        .bind(hit)
+        .unwrap()
+        .mov(Reg::R0, 1)
+        .exit();
+    let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+    let mut maps = maps;
+    let mut interp = Interpreter::new();
+    assert_eq!(
+        interp.run(&p, &[0b110], &mut maps, &mut NoKfuncs).unwrap().return_value,
+        1
+    );
+    assert_eq!(
+        interp.run(&p, &[0b011], &mut maps, &mut NoKfuncs).unwrap().return_value,
+        0
+    );
+}
+
+#[test]
+fn exhaustive_alu_on_stack_slots() {
+    // Sweep every ALU op through a store/load cycle to catch
+    // width/sign bugs.
+    let maps = MapSet::new();
+    for op in [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Mod,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Xor,
+        AluOp::Lsh,
+        AluOp::Rsh,
+        AluOp::Arsh,
+    ] {
+        let mut b = ProgramBuilder::new("sweep");
+        b.load_imm64(Reg::R1, -1234)
+            .alu(op, Reg::R1, 7i64)
+            .store(Reg::R10, -16, Reg::R1, AccessSize::B8)
+            .load(Reg::R0, Reg::R10, -16, AccessSize::B8)
+            .exit();
+        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+        let mut m = MapSet::new();
+        let out = Interpreter::new().run(&p, &[], &mut m, &mut NoKfuncs).unwrap();
+        // Cross-check against direct register arithmetic.
+        let mut b2 = ProgramBuilder::new("direct");
+        b2.load_imm64(Reg::R0, -1234).alu(op, Reg::R0, 7i64).exit();
+        let p2 = Verifier::new(&maps, &[]).verify(&b2.build().unwrap()).unwrap();
+        let direct = Interpreter::new().run(&p2, &[], &mut m, &mut NoKfuncs).unwrap();
+        assert_eq!(out.return_value, direct.return_value, "{op:?}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the host kernel: arbitrary interleavings
+//! of reads, prefetches, cache drops, and VM faults must preserve
+//! the accounting invariant and agree with a reference residency
+//! model.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use snapbpf_kernel::{CowPolicy, HostKernel, KernelConfig, KvmVm};
+use snapbpf_mem::OwnerId;
+use snapbpf_sim::{SimDuration, SimTime};
+use snapbpf_storage::{Disk, SsdModel};
+
+const FILE_PAGES: u64 = 256;
+
+#[derive(Debug, Clone)]
+enum KernelOp {
+    Read(u64),
+    Prefetch(u64, u64),
+    VmRead(u64),
+    VmWrite(u64),
+    VmAlloc(u64),
+    DropCaches,
+    ToggleRa(bool),
+}
+
+fn kernel_ops() -> impl Strategy<Value = Vec<KernelOp>> {
+    let page = 0u64..FILE_PAGES;
+    prop::collection::vec(
+        prop_oneof![
+            page.clone().prop_map(KernelOp::Read),
+            (page.clone(), 1u64..64).prop_map(|(s, n)| KernelOp::Prefetch(s, n)),
+            page.clone().prop_map(KernelOp::VmRead),
+            page.clone().prop_map(KernelOp::VmWrite),
+            page.clone().prop_map(KernelOp::VmAlloc),
+            Just(KernelOp::DropCaches),
+            any::<bool>().prop_map(KernelOp::ToggleRa),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Accounting (buddy = cache + anon) holds across arbitrary
+    /// operation interleavings, and residency agrees with a model
+    /// under RA-off single-page reads.
+    #[test]
+    fn kernel_invariants(ops in kernel_ops()) {
+        let mut host = HostKernel::new(
+            Disk::new(Box::new(SsdModel::micron_5300())),
+            KernelConfig::default(),
+        );
+        let f = host.disk_mut().create_file("f", FILE_PAGES).unwrap();
+        let mut vm = KvmVm::new(OwnerId::new(0), f, FILE_PAGES, CowPolicy::Opportunistic);
+        let mut t = SimTime::ZERO;
+        // Reference model of which pages *must* be cached (lower
+        // bound: pages explicitly requested while not dropped).
+        let mut must_cache: HashSet<u64> = HashSet::new();
+
+        for op in ops {
+            t += SimDuration::from_micros(100);
+            match op {
+                KernelOp::Read(p) => {
+                    let out = host.read_file_page(t, f, p).unwrap();
+                    prop_assert!(out.ready_at >= t);
+                    must_cache.insert(p);
+                }
+                KernelOp::Prefetch(s, n) => {
+                    host.ra_unbounded(t, f, s, n).unwrap();
+                    for p in s..(s + n).min(FILE_PAGES) {
+                        must_cache.insert(p);
+                    }
+                }
+                KernelOp::VmRead(p) => {
+                    let out = vm.access(t, p, false, &mut host).unwrap();
+                    prop_assert!(out.ready_at >= t);
+                    must_cache.insert(p);
+                }
+                KernelOp::VmWrite(p) => {
+                    vm.access(t, p, true, &mut host).unwrap();
+                }
+                KernelOp::VmAlloc(p) => {
+                    vm.access(t, p | snapbpf_kernel::PV_MIRROR_BIT, true, &mut host)
+                        .unwrap();
+                }
+                KernelOp::DropCaches => {
+                    host.drop_all_caches().unwrap();
+                    must_cache.clear();
+                }
+                KernelOp::ToggleRa(on) => host.set_readahead(on),
+            }
+            prop_assert_eq!(host.accounting_discrepancy(), 0);
+        }
+
+        // Every explicitly requested, never-dropped page is cached
+        // or was CoW'd (a VM write replaces the mapping but the
+        // cache page remains unless dropped) — i.e. present.
+        for p in must_cache {
+            prop_assert!(
+                host.page_state(f, p).is_some() || vm.is_mapped(p),
+                "page {p} vanished"
+            );
+        }
+
+        vm.teardown(&mut host).unwrap();
+        prop_assert_eq!(host.accounting_discrepancy(), 0);
+    }
+
+    /// mincore agrees with page_state for arbitrary prefetch
+    /// patterns once all I/O has drained.
+    #[test]
+    fn mincore_matches_page_state(ranges in prop::collection::vec((0u64..FILE_PAGES, 1u64..32), 0..20)) {
+        let mut host = HostKernel::new(
+            Disk::new(Box::new(SsdModel::micron_5300())),
+            KernelConfig::default(),
+        );
+        let f = host.disk_mut().create_file("f", FILE_PAGES).unwrap();
+        let mut t = SimTime::ZERO;
+        for &(s, n) in &ranges {
+            let out = host.ra_unbounded(t, f, s, n).unwrap();
+            t = out.ready_at;
+        }
+        let late = t + SimDuration::from_secs(10);
+        let residency = host.mincore(late, f, 0, FILE_PAGES);
+        for (p, resident) in residency.iter().enumerate() {
+            let state = host.page_state(f, p as u64);
+            prop_assert_eq!(*resident, state.is_some(), "page {}", p);
+        }
+    }
+}

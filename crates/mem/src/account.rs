@@ -1,0 +1,160 @@
+//! System-wide memory accounting.
+//!
+//! Figure 3c of the paper reports *system-wide memory usage* when 10
+//! concurrent sandboxes of the same function run. The decisive split
+//! is between page-cache pages (shared across sandboxes — counted
+//! once) and anonymous pages (private — counted per sandbox).
+//! [`MemorySnapshot`] captures that split at a point in time.
+
+use std::fmt;
+
+use snapbpf_sim::{pages_to_bytes, PAGE_SIZE};
+
+/// A point-in-time breakdown of host memory usage, in pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemorySnapshot {
+    /// Pages in the shared OS page cache (file-backed, deduplicated).
+    pub page_cache_pages: u64,
+    /// Anonymous pages across all owners (private, not shared).
+    pub anon_pages: u64,
+    /// Of the anonymous pages, how many exist because of
+    /// copy-on-write breaks of page-cache pages.
+    pub cow_pages: u64,
+}
+
+impl MemorySnapshot {
+    /// A snapshot with all counts zero.
+    pub const fn zero() -> Self {
+        MemorySnapshot {
+            page_cache_pages: 0,
+            anon_pages: 0,
+            cow_pages: 0,
+        }
+    }
+
+    /// Total pages in use.
+    pub const fn total_pages(&self) -> u64 {
+        self.page_cache_pages + self.anon_pages
+    }
+
+    /// Total bytes in use.
+    pub const fn total_bytes(&self) -> u64 {
+        pages_to_bytes(self.total_pages())
+    }
+
+    /// Total memory in GiB, for figure axes.
+    pub fn total_gib(&self) -> f64 {
+        self.total_bytes() as f64 / (1u64 << 30) as f64
+    }
+
+    /// Total memory in MiB.
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes() as f64 / (1u64 << 20) as f64
+    }
+
+    /// Fraction of used memory that is shared page cache (0 when
+    /// empty).
+    pub fn shared_fraction(&self) -> f64 {
+        let total = self.total_pages();
+        if total == 0 {
+            0.0
+        } else {
+            self.page_cache_pages as f64 / total as f64
+        }
+    }
+
+    /// Element-wise difference against an earlier snapshot,
+    /// saturating at zero — "memory added since `earlier`".
+    #[must_use]
+    pub fn since(&self, earlier: &MemorySnapshot) -> MemorySnapshot {
+        MemorySnapshot {
+            page_cache_pages: self.page_cache_pages.saturating_sub(earlier.page_cache_pages),
+            anon_pages: self.anon_pages.saturating_sub(earlier.anon_pages),
+            cow_pages: self.cow_pages.saturating_sub(earlier.cow_pages),
+        }
+    }
+}
+
+impl fmt::Display for MemorySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache={:.1}MiB anon={:.1}MiB (cow={:.1}MiB) total={:.1}MiB",
+            pages_to_bytes(self.page_cache_pages) as f64 / (1 << 20) as f64,
+            pages_to_bytes(self.anon_pages) as f64 / (1 << 20) as f64,
+            pages_to_bytes(self.cow_pages) as f64 / (1 << 20) as f64,
+            self.total_mib(),
+        )
+    }
+}
+
+/// Compile-time check that a page is 4 KiB; several formulas above
+/// fold this constant in.
+const _: () = assert!(PAGE_SIZE == 4096);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let s = MemorySnapshot {
+            page_cache_pages: 100,
+            anon_pages: 50,
+            cow_pages: 10,
+        };
+        assert_eq!(s.total_pages(), 150);
+        assert_eq!(s.total_bytes(), 150 * 4096);
+        assert!((s.shared_fraction() - 100.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_is_safe() {
+        let z = MemorySnapshot::zero();
+        assert_eq!(z.total_pages(), 0);
+        assert_eq!(z.shared_fraction(), 0.0);
+        assert_eq!(z.total_gib(), 0.0);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = MemorySnapshot {
+            page_cache_pages: 10,
+            anon_pages: 5,
+            cow_pages: 0,
+        };
+        let b = MemorySnapshot {
+            page_cache_pages: 4,
+            anon_pages: 9,
+            cow_pages: 1,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.page_cache_pages, 6);
+        assert_eq!(d.anon_pages, 0);
+        assert_eq!(d.cow_pages, 0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let s = MemorySnapshot {
+            page_cache_pages: (1u64 << 30) / 4096, // 1 GiB
+            anon_pages: 0,
+            cow_pages: 0,
+        };
+        assert!((s.total_gib() - 1.0).abs() < 1e-12);
+        assert!((s.total_mib() - 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_all_parts() {
+        let s = MemorySnapshot {
+            page_cache_pages: 256,
+            anon_pages: 256,
+            cow_pages: 128,
+        };
+        let out = s.to_string();
+        assert!(out.contains("cache="));
+        assert!(out.contains("anon="));
+        assert!(out.contains("total="));
+    }
+}

@@ -1,0 +1,54 @@
+//! # snapbpf-mem — simulated host memory subsystem
+//!
+//! The memory substrate under the SnapBPF reproduction's host kernel:
+//!
+//! * [`BuddyAllocator`] — Linux-style buddy system handing out host
+//!   frames; the ground truth for system-wide memory usage,
+//! * [`PageCache`] — the shared OS page cache with LRU eviction and
+//!   in-flight read tracking; where SnapBPF's cross-sandbox
+//!   deduplication happens,
+//! * [`AnonRegistry`] — per-owner anonymous memory; where
+//!   userfaultfd-based approaches (REAP/Faast) put their private,
+//!   non-shareable working sets,
+//! * [`MemorySnapshot`] — the accounting split Figure 3c reports.
+//!
+//! ## Examples
+//!
+//! Two sandboxes mapping the same snapshot page share one frame via
+//! the page cache:
+//!
+//! ```
+//! use snapbpf_mem::{BuddyAllocator, PageCache, PageKey, PageState};
+//! use snapbpf_storage::{Disk, SsdModel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut disk = Disk::new(Box::new(SsdModel::micron_5300()));
+//! let snapshot = disk.create_file("func.mem", 1024)?;
+//! let mut buddy = BuddyAllocator::new(1 << 16);
+//! let mut cache = PageCache::new();
+//!
+//! let key = PageKey::new(snapshot, 42);
+//! let frame = buddy.alloc_pages(1)?;
+//! cache.insert(key, frame, PageState::Resident)?;
+//!
+//! // Sandbox A and sandbox B both map the cached page:
+//! cache.map_page(key)?;
+//! cache.map_page(key)?;
+//! assert_eq!(cache.get(key).unwrap().mapcount, 2);
+//! assert_eq!(buddy.allocated_pages(), 1); // one frame, two mappings
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod account;
+mod anon;
+mod cache;
+mod frame;
+
+pub use account::MemorySnapshot;
+pub use anon::{AnonRegistry, OwnerId};
+pub use cache::{CacheError, PageCache, PageKey, PageState, PageView};
+pub use frame::{AllocError, BuddyAllocator, FrameId, MAX_ORDER};

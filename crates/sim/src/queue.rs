@@ -1,0 +1,318 @@
+//! Deterministic future-event queue.
+//!
+//! The heart of a discrete-event simulation: a priority queue of
+//! `(time, payload)` pairs. Ties on time are broken by insertion
+//! order (FIFO), which is what makes two runs with the same inputs
+//! produce identical event interleavings.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event drawn from the queue: when it fires and what it carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// Virtual time at which the event fires.
+    pub at: SimTime,
+    /// Caller-defined payload.
+    pub event: E,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (and,
+        // within a time, the lowest sequence number) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-priority queue of future events.
+///
+/// # Examples
+///
+/// ```
+/// use snapbpf_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(20), "late");
+/// q.schedule(SimTime::from_nanos(10), "early");
+/// q.schedule(SimTime::from_nanos(10), "early-second");
+///
+/// assert_eq!(q.pop().unwrap().event, "early");
+/// assert_eq!(q.pop().unwrap().event, "early-second"); // FIFO on ties
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at time `at`.
+    ///
+    /// Scheduling in the past is permitted (the event simply pops
+    /// next); the simulation driver is responsible for monotonic
+    /// clock advancement.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop().map(|e| Scheduled {
+            at: e.at,
+            event: e.event,
+        })
+    }
+
+    /// The firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (at, event) in iter {
+            self.schedule(at, event);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, E)>>(iter: I) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+/// A virtual clock paired with an event queue: the minimal driver
+/// loop most simulations need.
+///
+/// The clock only moves forward; popping an event advances the clock
+/// to the event's timestamp.
+///
+/// # Examples
+///
+/// ```
+/// use snapbpf_sim::{Clock, SimDuration, SimTime};
+///
+/// let mut clock = Clock::new();
+/// clock.schedule_after(SimDuration::from_micros(5), 1u32);
+/// clock.schedule_after(SimDuration::from_micros(2), 2u32);
+///
+/// let first = clock.next().unwrap();
+/// assert_eq!(first.event, 2);
+/// assert_eq!(clock.now(), SimTime::from_micros(2));
+/// ```
+#[derive(Debug)]
+pub struct Clock<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+}
+
+impl<E> Clock<E> {
+    /// Creates a clock at time zero with an empty queue.
+    pub fn new() -> Self {
+        Clock {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is earlier than the current
+    /// time — an event in the past indicates a model bug.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling an event in the past");
+        self.queue.schedule(at, event);
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: crate::time::SimDuration, event: E) {
+        let at = self.now + delay;
+        self.queue.schedule(at, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    #[allow(clippy::should_implement_trait)] // deliberate: `Clock` is not an `Iterator` (no `&mut self`-only iteration contract)
+    pub fn next(&mut self) -> Option<Scheduled<E>> {
+        let ev = self.queue.pop()?;
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = self.now.max(ev.at);
+        Some(ev)
+    }
+
+    /// Firing time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Manually advances the clock (e.g. to account for synchronous
+    /// work performed between events). Never moves backwards.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
+}
+
+impl<E> Default for Clock<E> {
+    fn default() -> Self {
+        Clock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 'c');
+        q.schedule(SimTime::from_nanos(10), 'a');
+        q.schedule(SimTime::from_nanos(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_nanos(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), "x");
+        assert_eq!(q.pop().unwrap().event, "x");
+        q.schedule(SimTime::from_nanos(5), "y");
+        q.schedule(SimTime::from_nanos(5), "z");
+        assert_eq!(q.pop().unwrap().event, "y");
+        assert_eq!(q.pop().unwrap().event, "z");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let q: EventQueue<u8> = vec![
+            (SimTime::from_nanos(2), 2u8),
+            (SimTime::from_nanos(1), 1u8),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1)));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut clock: Clock<u32> = Clock::new();
+        clock.schedule_after(SimDuration::from_nanos(100), 1);
+        clock.schedule_after(SimDuration::from_nanos(50), 2);
+        assert_eq!(clock.next().unwrap().event, 2);
+        assert_eq!(clock.now().as_nanos(), 50);
+        assert_eq!(clock.next().unwrap().event, 1);
+        assert_eq!(clock.now().as_nanos(), 100);
+        assert!(clock.next().is_none());
+        // Clock stays at the last event time once drained.
+        assert_eq!(clock.now().as_nanos(), 100);
+    }
+
+    #[test]
+    fn clock_advance_to_never_goes_back() {
+        let mut clock: Clock<()> = Clock::new();
+        clock.advance_to(SimTime::from_nanos(10));
+        clock.advance_to(SimTime::from_nanos(5));
+        assert_eq!(clock.now().as_nanos(), 10);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

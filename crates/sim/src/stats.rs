@@ -1,0 +1,517 @@
+//! Statistics collection: online summaries, percentile histograms,
+//! and counters used by every layer of the simulation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// Online summary of a stream of `f64` samples (count, mean, min,
+/// max, variance) using Welford's algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use snapbpf_sim::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+    sum: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Adds a duration sample, in nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos() as f64);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Merges another summary into this one, as if all of its samples
+    /// had been recorded here.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.sum += other.sum;
+        self.count = total;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} min={:.2} max={:.2} sd={:.2}",
+            self.count,
+            self.mean(),
+            self.min.unwrap_or(0.0),
+            self.max.unwrap_or(0.0),
+            self.stddev()
+        )
+    }
+}
+
+/// A log-bucketed histogram for latency-like values.
+///
+/// Buckets are powers of two of nanoseconds with 4 sub-buckets each,
+/// giving ~19% worst-case relative error on percentile queries — more
+/// than enough for "who wins and by what factor" comparisons.
+///
+/// # Examples
+///
+/// ```
+/// use snapbpf_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.percentile(50.0).unwrap();
+/// assert!((400..=600).contains(&p50), "p50 was {p50}");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u64, u64>,
+    count: u64,
+    total: u128,
+    max: u64,
+    min: u64,
+}
+
+const SUB_BUCKET_BITS: u32 = 2; // 4 sub-buckets per power of two
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: BTreeMap::new(),
+            count: 0,
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn bucket_key(value: u64) -> u64 {
+        if value < (1 << SUB_BUCKET_BITS) {
+            return value;
+        }
+        let exp = 63 - value.leading_zeros();
+        let shift = exp - SUB_BUCKET_BITS;
+        // Key encodes (exponent, top sub-bucket bits): monotone in value.
+        (value >> shift) + ((shift as u64) << (SUB_BUCKET_BITS + 1))
+    }
+
+    fn bucket_representative(value: u64) -> u64 {
+        // Midpoint of the bucket containing `value`.
+        if value < (1 << SUB_BUCKET_BITS) {
+            return value;
+        }
+        let exp = 63 - value.leading_zeros();
+        let shift = exp - SUB_BUCKET_BITS;
+        let base = (value >> shift) << shift;
+        base + (1u64 << shift) / 2
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        *self.buckets.entry(Self::bucket_key(value)).or_insert(0) += 1;
+        self.count += 1;
+        self.total += value as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Records a duration, in nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum recorded value, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact minimum recorded value, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Approximate value at percentile `p` (0–100), or `None` when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        let mut result = self.min;
+        for (&key, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // Reconstruct a representative value for this key by
+                // scanning: key encoding is monotone so we invert it
+                // approximately via the recorded min/max clamp below.
+                result = Self::invert_key(key);
+                break;
+            }
+        }
+        Some(result.clamp(self.min, self.max))
+    }
+
+    fn invert_key(key: u64) -> u64 {
+        if key < (1 << SUB_BUCKET_BITS) {
+            return key;
+        }
+        let shift = key >> (SUB_BUCKET_BITS + 1);
+        let mantissa = key & ((1 << (SUB_BUCKET_BITS + 1)) - 1);
+        let base = mantissa << shift;
+        Self::bucket_representative(base)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&k, &n) in &other.buckets {
+            *self.buckets.entry(k).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        if other.count > 0 {
+            self.max = self.max.max(other.max);
+            self.min = self.min.min(other.min);
+        }
+    }
+}
+
+/// A named bag of monotonically increasing counters.
+///
+/// Components report events ("pages_faulted", "bytes_read") into a
+/// `Counters` value that experiments later inspect.
+///
+/// # Examples
+///
+/// ```
+/// use snapbpf_sim::Counters;
+///
+/// let mut c = Counters::new();
+/// c.add("page_faults", 3);
+/// c.incr("page_faults");
+/// assert_eq!(c.get("page_faults"), 4);
+/// assert_eq!(c.get("unknown"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter bag.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at zero first.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.values.entry(name).or_insert(0) += n;
+    }
+
+    /// Adds one to the named counter.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of the named counter (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.values.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Merges another counter bag into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Resets every counter to zero (keeps names).
+    pub fn reset(&mut self) {
+        for v in self.values.values_mut() {
+            *v = 0;
+        }
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.values.is_empty() {
+            return write!(f, "(no counters)");
+        }
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.sum(), 40.0);
+    }
+
+    #[test]
+    fn summary_empty_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn summary_merge_equals_combined_stream() {
+        let mut all = Summary::new();
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for i in 0..100 {
+            let v = (i * 37 % 11) as f64;
+            all.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut a = Summary::new();
+        a.record(5.0);
+        let before = a.clone();
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut empty = Summary::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone() {
+        let mut h = Histogram::new();
+        let mut rng = crate::rng::SplitMix64::new(42);
+        for _ in 0..10_000 {
+            h.record(rng.next_range(1, 1_000_000));
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        let p90 = h.percentile(90.0).unwrap();
+        let p99 = h.percentile(99.0).unwrap();
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(h.min().unwrap() <= p50);
+        assert!(p99 <= h.max().unwrap());
+    }
+
+    #[test]
+    fn histogram_relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(100_000);
+        }
+        let p50 = h.percentile(50.0).unwrap() as f64;
+        let err = (p50 - 100_000.0).abs() / 100_000.0;
+        assert!(err < 0.20, "relative error {err} too large");
+    }
+
+    #[test]
+    fn histogram_small_values_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(1.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(3));
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_sums_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(10));
+        assert_eq!(a.max(), Some(1_000_000));
+    }
+
+    #[test]
+    fn counters_roundtrip() {
+        let mut c = Counters::new();
+        c.add("io", 10);
+        c.incr("io");
+        c.incr("faults");
+        assert_eq!(c.get("io"), 11);
+        assert_eq!(c.get("faults"), 1);
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs, vec![("faults", 1), ("io", 11)]);
+        let mut d = Counters::new();
+        d.add("io", 1);
+        d.merge(&c);
+        assert_eq!(d.get("io"), 12);
+        d.reset();
+        assert_eq!(d.get("io"), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut c = Counters::new();
+        assert_eq!(c.to_string(), "(no counters)");
+        c.add("a", 1);
+        c.add("b", 2);
+        assert_eq!(c.to_string(), "a=1 b=2");
+        let mut s = Summary::new();
+        s.record(1.0);
+        assert!(s.to_string().contains("n=1"));
+    }
+}

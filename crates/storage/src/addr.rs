@@ -1,0 +1,177 @@
+//! Block addressing and extents.
+//!
+//! The device address space is measured in 4 KiB blocks (one block
+//! per memory page, matching the snapshot layout on the paper's
+//! testbed, where the Firecracker memory file is read in page-sized
+//! units).
+
+use std::fmt;
+use std::ops::Range;
+
+/// Address of a 4 KiB block on a block device.
+///
+/// A newtype so logical block addresses cannot be confused with file
+/// page indices or guest frame numbers.
+///
+/// # Examples
+///
+/// ```
+/// use snapbpf_storage::BlockAddr;
+///
+/// let a = BlockAddr::new(10);
+/// assert_eq!(a.offset(5).as_u64(), 15);
+/// assert_eq!(a.as_bytes(), 10 * 4096);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address.
+    pub const fn new(block: u64) -> Self {
+        BlockAddr(block)
+    }
+
+    /// The raw block number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Byte offset of the start of this block.
+    pub const fn as_bytes(self) -> u64 {
+        self.0 * snapbpf_sim::PAGE_SIZE
+    }
+
+    /// The address `n` blocks after this one.
+    #[must_use]
+    pub const fn offset(self, n: u64) -> BlockAddr {
+        BlockAddr(self.0 + n)
+    }
+
+    /// Absolute distance in blocks between two addresses.
+    pub const fn distance(self, other: BlockAddr) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk#{}", self.0)
+    }
+}
+
+impl From<u64> for BlockAddr {
+    fn from(v: u64) -> Self {
+        BlockAddr(v)
+    }
+}
+
+/// A contiguous run of blocks on a device: `[start, start + blocks)`.
+///
+/// # Examples
+///
+/// ```
+/// use snapbpf_storage::{BlockAddr, Extent};
+///
+/// let e = Extent::new(BlockAddr::new(100), 8);
+/// assert!(e.contains(BlockAddr::new(107)));
+/// assert!(!e.contains(BlockAddr::new(108)));
+/// assert_eq!(e.end().as_u64(), 108);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Extent {
+    start: BlockAddr,
+    blocks: u64,
+}
+
+impl Extent {
+    /// Creates an extent of `blocks` blocks starting at `start`.
+    pub const fn new(start: BlockAddr, blocks: u64) -> Self {
+        Extent { start, blocks }
+    }
+
+    /// First block of the extent.
+    pub const fn start(&self) -> BlockAddr {
+        self.start
+    }
+
+    /// One past the last block of the extent.
+    pub const fn end(&self) -> BlockAddr {
+        BlockAddr(self.start.0 + self.blocks)
+    }
+
+    /// Number of blocks.
+    pub const fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Size in bytes.
+    pub const fn bytes(&self) -> u64 {
+        self.blocks * snapbpf_sim::PAGE_SIZE
+    }
+
+    /// `true` if `addr` falls inside the extent.
+    pub const fn contains(&self, addr: BlockAddr) -> bool {
+        addr.0 >= self.start.0 && addr.0 < self.start.0 + self.blocks
+    }
+
+    /// The device address of the `index`-th block of the extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= blocks()`.
+    pub fn block(&self, index: u64) -> BlockAddr {
+        assert!(index < self.blocks, "extent index out of range");
+        self.start.offset(index)
+    }
+
+    /// The block range as raw block numbers.
+    pub const fn range(&self) -> Range<u64> {
+        self.start.0..self.start.0 + self.blocks
+    }
+}
+
+impl fmt::Display for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.start.0, self.start.0 + self.blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_addr_arithmetic() {
+        let a = BlockAddr::new(5);
+        assert_eq!(a.offset(3).as_u64(), 8);
+        assert_eq!(a.distance(BlockAddr::new(2)), 3);
+        assert_eq!(BlockAddr::new(2).distance(a), 3);
+        assert_eq!(a.as_bytes(), 5 * 4096);
+        assert_eq!(BlockAddr::from(9u64).as_u64(), 9);
+    }
+
+    #[test]
+    fn extent_bounds() {
+        let e = Extent::new(BlockAddr::new(10), 4);
+        assert!(e.contains(BlockAddr::new(10)));
+        assert!(e.contains(BlockAddr::new(13)));
+        assert!(!e.contains(BlockAddr::new(14)));
+        assert!(!e.contains(BlockAddr::new(9)));
+        assert_eq!(e.bytes(), 4 * 4096);
+        assert_eq!(e.range(), 10..14);
+        assert_eq!(e.block(0), BlockAddr::new(10));
+        assert_eq!(e.block(3), BlockAddr::new(13));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn extent_block_out_of_range() {
+        Extent::new(BlockAddr::new(0), 2).block(2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(BlockAddr::new(7).to_string(), "blk#7");
+        assert_eq!(Extent::new(BlockAddr::new(1), 2).to_string(), "[1..3)");
+    }
+}

@@ -1,0 +1,402 @@
+//! Invocation replay engine.
+//!
+//! Replays a workload's [`InvocationTrace`] against a restored
+//! [`MicroVm`] over virtual time: compute advances the vCPU clock,
+//! page accesses go through KVM's nested-fault path (possibly
+//! stalling on snapshot I/O), allocations flow through the guest
+//! allocator (mirror-marked under PV PTE marking), and userfaultfd
+//! faults bounce to a strategy-provided userspace handler.
+//!
+//! For the paper's concurrent experiments, [`run_concurrent`]
+//! interleaves several VMs deterministically in virtual-time order —
+//! each VM has its own pinned vCPU (as in the paper's methodology),
+//! so they only contend on the shared disk and page cache.
+
+use snapbpf_kernel::{AccessKind, HostKernel, KernelError, VmMemStats};
+use snapbpf_sim::{SimDuration, SimTime};
+use snapbpf_workloads::{InvocationTrace, Step};
+
+use crate::microvm::MicroVm;
+
+/// Userspace handler for userfaultfd faults (REAP / Faast).
+///
+/// Given a faulting guest page, the handler returns the time at
+/// which it has the page's bytes available in its userspace buffer —
+/// immediately for a prefetched page, or after disk I/O for a miss.
+pub trait UffdResolver {
+    /// Resolves the data for `gpfn`, returning when the bytes are
+    /// available to copy.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors (I/O) propagate and abort the invocation.
+    fn resolve(
+        &mut self,
+        now: SimTime,
+        gpfn: u64,
+        host: &mut HostKernel,
+    ) -> Result<SimTime, KernelError>;
+}
+
+/// A resolver for configurations that must never see a uffd fault.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoUffd;
+
+impl UffdResolver for NoUffd {
+    fn resolve(
+        &mut self,
+        _now: SimTime,
+        gpfn: u64,
+        _host: &mut HostKernel,
+    ) -> Result<SimTime, KernelError> {
+        panic!("unexpected userfaultfd fault on gpfn {gpfn} (no uffd registered)");
+    }
+}
+
+/// Result of one replayed invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvocationResult {
+    /// When the invocation finished.
+    pub end_time: SimTime,
+    /// End-to-end latency from the invocation's start.
+    pub e2e_latency: SimDuration,
+    /// KVM fault statistics accumulated during the run.
+    pub stats: VmMemStats,
+    /// Faults resolved through the userspace handler.
+    pub uffd_resolved: u64,
+}
+
+/// Replays `trace` on `vm` starting at `start`.
+///
+/// # Errors
+///
+/// Kernel errors (I/O, memory exhaustion) propagate.
+pub fn run_invocation(
+    start: SimTime,
+    vm: &mut MicroVm,
+    trace: &InvocationTrace,
+    host: &mut HostKernel,
+    uffd: &mut dyn UffdResolver,
+) -> Result<InvocationResult, KernelError> {
+    let mut t = start;
+    let mut uffd_resolved = 0;
+    for step in trace.steps() {
+        t = advance(t, vm, *step, host, uffd, &mut uffd_resolved)?;
+    }
+    Ok(InvocationResult {
+        end_time: t,
+        e2e_latency: t.saturating_since(start),
+        stats: vm.kvm().stats(),
+        uffd_resolved,
+    })
+}
+
+/// Executes one step, returning the new vCPU time.
+fn advance(
+    t: SimTime,
+    vm: &mut MicroVm,
+    step: Step,
+    host: &mut HostKernel,
+    uffd: &mut dyn UffdResolver,
+    uffd_resolved: &mut u64,
+) -> Result<SimTime, KernelError> {
+    match step {
+        Step::Compute(d) => Ok(t + d),
+        Step::Access { gpfn, write } => {
+            let out = vm.kvm_mut().access(t, gpfn, write, host)?;
+            if out.kind == AccessKind::Uffd {
+                Ok(resolve_uffd(t, out.cpu, gpfn, vm, host, uffd, uffd_resolved)?)
+            } else {
+                Ok(out.ready_at)
+            }
+        }
+        Step::Alloc { gpfn } => {
+            let gpfn_as_mapped = vm.guest_mut().alloc_page(gpfn);
+            let out = vm.kvm_mut().access(t, gpfn_as_mapped, true, host)?;
+            if out.kind == AccessKind::Uffd {
+                // Allocation faults land in the uffd range too for
+                // uffd-based restores (REAP cannot tell allocations
+                // apart — exactly the semantic gap of §2.2).
+                Ok(resolve_uffd(t, out.cpu, gpfn, vm, host, uffd, uffd_resolved)?)
+            } else {
+                Ok(out.ready_at)
+            }
+        }
+    }
+}
+
+/// Resolves a userfaultfd fault through the userspace handler.
+///
+/// REAP-style handlers *pre-install* prefetched pages eagerly: when
+/// the page's data arrived in the handler's buffer before the guest
+/// touched it, the install already happened in the background and
+/// the access costs only the fault exit — no userspace round trip on
+/// the critical path. Only accesses that race ahead of the prefetch
+/// stream (or miss it entirely) pay the full round trip plus copy.
+fn resolve_uffd(
+    t: SimTime,
+    fault_cpu: snapbpf_sim::SimDuration,
+    gpfn: u64,
+    vm: &mut MicroVm,
+    host: &mut HostKernel,
+    uffd: &mut dyn UffdResolver,
+    uffd_resolved: &mut u64,
+) -> Result<SimTime, KernelError> {
+    let fault_time = t + fault_cpu;
+    let data_ready = uffd.resolve(fault_time, gpfn, host)?;
+    *uffd_resolved += 1;
+    if data_ready <= fault_time {
+        // Pre-installed in the background; account the anonymous
+        // page but charge no round trip.
+        vm.kvm_mut().uffd_install(fault_time, gpfn, data_ready, host)?;
+        Ok(fault_time)
+    } else {
+        let round_trip = host.config().uffd_round_trip;
+        let installed = vm
+            .kvm_mut()
+            .uffd_install(fault_time + round_trip, gpfn, data_ready, host)?;
+        Ok(installed.ready_at.max(fault_time + round_trip))
+    }
+}
+
+/// One VM's progress in a concurrent run.
+struct VmCursor<'a> {
+    vm: &'a mut MicroVm,
+    trace: &'a InvocationTrace,
+    next_step: usize,
+    t: SimTime,
+    start: SimTime,
+    uffd_resolved: u64,
+    done: bool,
+}
+
+/// Replays one invocation on each VM concurrently, interleaving
+/// steps in virtual-time order (the VM whose vCPU clock is furthest
+/// behind executes next). `starts[i]` is when VM `i` begins guest
+/// execution (restores complete at different times). Returns per-VM
+/// results in input order.
+///
+/// # Errors
+///
+/// Kernel errors propagate.
+///
+/// # Panics
+///
+/// Panics if `vms`, `traces`, `starts`, and `resolvers` have
+/// different lengths.
+pub fn run_concurrent(
+    starts: &[SimTime],
+    vms: &mut [&mut MicroVm],
+    traces: &[&InvocationTrace],
+    host: &mut HostKernel,
+    resolvers: &mut [&mut dyn UffdResolver],
+) -> Result<Vec<InvocationResult>, KernelError> {
+    assert_eq!(vms.len(), traces.len(), "one trace per VM");
+    assert_eq!(vms.len(), starts.len(), "one start time per VM");
+    assert_eq!(vms.len(), resolvers.len(), "one resolver per VM");
+
+    let mut cursors: Vec<VmCursor<'_>> = vms
+        .iter_mut()
+        .zip(traces)
+        .zip(starts)
+        .map(|((vm, trace), &start)| VmCursor {
+            vm,
+            trace,
+            next_step: 0,
+            t: start,
+            start,
+            uffd_resolved: 0,
+            done: false,
+        })
+        .collect();
+
+    // Pick the unfinished VM with the earliest vCPU clock; ties
+    // break on index for determinism.
+    while let Some(i) = cursors
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.done)
+        .min_by_key(|(i, c)| (c.t, *i))
+        .map(|(i, _)| i)
+    {
+        let c = &mut cursors[i];
+        match c.trace.steps().get(c.next_step) {
+            Some(&step) => {
+                c.t = advance(c.t, c.vm, step, host, resolvers[i], &mut c.uffd_resolved)?;
+                c.next_step += 1;
+            }
+            None => c.done = true,
+        }
+    }
+
+    Ok(cursors
+        .into_iter()
+        .map(|c| InvocationResult {
+            end_time: c.t,
+            e2e_latency: c.t.saturating_since(c.start),
+            stats: c.vm.kvm().stats(),
+            uffd_resolved: c.uffd_resolved,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Snapshot;
+    use snapbpf_kernel::{CowPolicy, KernelConfig};
+    use snapbpf_mem::OwnerId;
+    use snapbpf_storage::{Disk, SsdModel};
+    use snapbpf_workloads::Workload;
+
+    fn setup(name: &str, scale: f64) -> (HostKernel, Snapshot, InvocationTrace) {
+        let mut host = HostKernel::new(
+            Disk::new(Box::new(SsdModel::micron_5300())),
+            KernelConfig::default(),
+        );
+        let w = Workload::by_name(name).unwrap().scaled(scale);
+        let (snap, _) =
+            Snapshot::create(SimTime::ZERO, name, w.snapshot_pages(), &mut host).unwrap();
+        (host, snap, w.trace())
+    }
+
+    #[test]
+    fn invocation_completes_and_latency_exceeds_compute() {
+        let (mut host, snap, trace) = setup("json", 0.1);
+        let mut vm = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
+        let r = run_invocation(SimTime::ZERO, &mut vm, &trace, &mut host, &mut NoUffd).unwrap();
+        assert!(r.e2e_latency > trace.total_compute());
+        assert!(r.stats.major_faults > 0, "cold start must fault");
+        assert_eq!(r.uffd_resolved, 0);
+    }
+
+    #[test]
+    fn warm_cache_invocation_is_faster() {
+        let (mut host, snap, trace) = setup("json", 0.1);
+        let mut cold_vm =
+            MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
+        let cold =
+            run_invocation(SimTime::ZERO, &mut cold_vm, &trace, &mut host, &mut NoUffd).unwrap();
+
+        let mut warm_vm =
+            MicroVm::restore(OwnerId::new(1), &snap, CowPolicy::Opportunistic, false);
+        let warm =
+            run_invocation(cold.end_time, &mut warm_vm, &trace, &mut host, &mut NoUffd).unwrap();
+        assert!(
+            warm.e2e_latency < cold.e2e_latency,
+            "warm {} should beat cold {}",
+            warm.e2e_latency,
+            cold.e2e_latency
+        );
+        assert!(warm.stats.minor_faults > 0);
+        assert_eq!(warm.stats.major_faults, 0, "everything came from the cache");
+    }
+
+    #[test]
+    fn pv_marking_spares_allocation_io() {
+        let (mut host, snap, trace) = setup("image", 0.05); // allocation-heavy
+        let mut plain = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
+        let r1 =
+            run_invocation(SimTime::ZERO, &mut plain, &trace, &mut host, &mut NoUffd).unwrap();
+        let reads_plain = host.disk().tracer().read_bytes();
+
+        // Fresh host so the cache is cold again.
+        let (mut host2, snap2, trace2) = setup("image", 0.05);
+        let mut pv = MicroVm::restore(OwnerId::new(0), &snap2, CowPolicy::Opportunistic, true);
+        let r2 =
+            run_invocation(SimTime::ZERO, &mut pv, &trace2, &mut host2, &mut NoUffd).unwrap();
+        let reads_pv = host2.disk().tracer().read_bytes();
+
+        assert!(r2.stats.pv_anon_faults > 0);
+        assert!(
+            reads_pv < reads_plain,
+            "PV marking must avoid snapshot reads for allocations"
+        );
+        assert!(r2.e2e_latency < r1.e2e_latency);
+    }
+
+    #[test]
+    fn uffd_resolver_is_consulted() {
+        struct InstantResolver {
+            calls: u64,
+        }
+        impl UffdResolver for InstantResolver {
+            fn resolve(
+                &mut self,
+                now: SimTime,
+                _gpfn: u64,
+                _host: &mut HostKernel,
+            ) -> Result<SimTime, KernelError> {
+                self.calls += 1;
+                Ok(now)
+            }
+        }
+        let (mut host, snap, trace) = setup("html", 0.1);
+        let mut vm = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
+        vm.kvm_mut().register_uffd(0, snap.memory_pages());
+        let mut resolver = InstantResolver { calls: 0 };
+        let r = run_invocation(SimTime::ZERO, &mut vm, &trace, &mut host, &mut resolver).unwrap();
+        assert!(r.uffd_resolved > 0);
+        assert_eq!(r.uffd_resolved, resolver.calls);
+        assert_eq!(r.stats.major_faults, 0, "no page-cache I/O under uffd");
+        // All installed memory is anonymous.
+        assert!(host.memory_snapshot().anon_pages >= r.uffd_resolved);
+    }
+
+    #[test]
+    fn concurrent_vms_share_cache() {
+        let (mut host, snap, trace) = setup("html", 0.1);
+        let mut vm_a = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
+        let mut vm_b = MicroVm::restore(OwnerId::new(1), &snap, CowPolicy::Opportunistic, false);
+        let mut r_a = NoUffd;
+        let mut r_b = NoUffd;
+        let results = run_concurrent(
+            &[SimTime::ZERO; 2],
+            &mut [&mut vm_a, &mut vm_b],
+            &[&trace, &trace],
+            &mut host,
+            &mut [&mut r_a, &mut r_b],
+        )
+        .unwrap();
+        assert_eq!(results.len(), 2);
+        // Between the two VMs, each page is read from disk once.
+        let total_major = results.iter().map(|r| r.stats.major_faults).sum::<u64>();
+        let total_minor = results.iter().map(|r| r.stats.minor_faults).sum::<u64>();
+        assert!(total_minor > 0, "the second VM must hit the shared cache");
+        let unique_reads = trace.ws_page_list().len() as u64 + trace.ephemeral_page_list().len() as u64;
+        assert!(
+            total_major <= unique_reads + 64, // readahead may add a window
+            "majors {total_major} vs unique pages {unique_reads}"
+        );
+        assert!(host.memory_snapshot().cow_pages as i64 >= 0);
+    }
+
+    #[test]
+    fn concurrent_determinism() {
+        let run = || {
+            let (mut host, snap, trace) = setup("pyaes", 0.05);
+            let mut vms: Vec<MicroVm> = (0..4)
+                .map(|i| MicroVm::restore(OwnerId::new(i), &snap, CowPolicy::Opportunistic, false))
+                .collect();
+            let mut vm_refs: Vec<&mut MicroVm> = vms.iter_mut().collect();
+            let traces: Vec<&InvocationTrace> = (0..4).map(|_| &trace).collect();
+            let mut r: Vec<NoUffd> = vec![NoUffd; 4];
+            let mut r_refs: Vec<&mut dyn UffdResolver> =
+                r.iter_mut().map(|x| x as &mut dyn UffdResolver).collect();
+            run_concurrent(&[SimTime::ZERO; 4], &mut vm_refs, &traces, &mut host, &mut r_refs)
+                .unwrap()
+                .iter()
+                .map(|x| x.e2e_latency.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace per VM")]
+    fn mismatched_lengths_panic() {
+        let (mut host, snap, trace) = setup("json", 0.05);
+        let mut vm = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
+        let _ = run_concurrent(&[SimTime::ZERO], &mut [&mut vm], &[&trace, &trace], &mut host, &mut []);
+    }
+}

@@ -1,0 +1,167 @@
+//! Engine-semantics tests: the uffd racing model, PV interactions,
+//! and concurrent-scheduler fairness.
+
+use snapbpf_kernel::{CowPolicy, HostKernel, KernelConfig, KernelError};
+use snapbpf_mem::OwnerId;
+use snapbpf_sim::{SimDuration, SimTime};
+use snapbpf_storage::{Disk, SsdModel};
+use snapbpf_vmm::{
+    run_concurrent, run_invocation, InvocationResult, MicroVm, NoUffd, Snapshot, UffdResolver,
+};
+use snapbpf_workloads::Workload;
+
+fn setup(name: &str, scale: f64) -> (HostKernel, Snapshot, snapbpf_workloads::InvocationTrace) {
+    let mut host = HostKernel::new(
+        Disk::new(Box::new(SsdModel::micron_5300())),
+        KernelConfig::default(),
+    );
+    let w = Workload::by_name(name).unwrap().scaled(scale);
+    let (snap, _) = Snapshot::create(SimTime::ZERO, name, w.snapshot_pages(), &mut host).unwrap();
+    (host, snap, w.trace())
+}
+
+/// A resolver whose pages become available at a fixed future time —
+/// lets us pin down the racing-vs-pre-installed split.
+struct DelayedResolver {
+    ready_at: SimTime,
+}
+
+impl UffdResolver for DelayedResolver {
+    fn resolve(
+        &mut self,
+        _now: SimTime,
+        _gpfn: u64,
+        _host: &mut HostKernel,
+    ) -> Result<SimTime, KernelError> {
+        Ok(self.ready_at)
+    }
+}
+
+#[test]
+fn racing_uffd_faults_pay_the_round_trip() {
+    let (mut host, snap, trace) = setup("html", 0.05);
+    let round_trip = host.config().uffd_round_trip;
+
+    // All data available far in the future: every fault races.
+    let far = SimTime::from_millis(10_000);
+    let mut vm = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
+    vm.kvm_mut().register_uffd(0, snap.memory_pages());
+    let mut racing = DelayedResolver { ready_at: far };
+    let r = run_invocation(SimTime::ZERO, &mut vm, &trace, &mut host, &mut racing).unwrap();
+    // The final fault resolves no earlier than data-ready + copy.
+    assert!(r.end_time >= far);
+
+    // All data available in the past: every fault is pre-installed,
+    // costs no round trip, and the run is enormously faster.
+    let (mut host2, snap2, trace2) = setup("html", 0.05);
+    let mut vm2 = MicroVm::restore(OwnerId::new(0), &snap2, CowPolicy::Opportunistic, false);
+    vm2.kvm_mut().register_uffd(0, snap2.memory_pages());
+    let mut instant = DelayedResolver {
+        ready_at: SimTime::ZERO,
+    };
+    let r2 = run_invocation(SimTime::ZERO, &mut vm2, &trace2, &mut host2, &mut instant).unwrap();
+    assert_eq!(r.uffd_resolved, r2.uffd_resolved);
+    assert!(r2.e2e_latency < SimDuration::from_millis(50));
+    // With zero waiting, the per-fault cost must exclude the round
+    // trip: total < faults x round_trip.
+    assert!(
+        r2.e2e_latency < round_trip * r2.uffd_resolved,
+        "{} vs {} faults x {round_trip}",
+        r2.e2e_latency,
+        r2.uffd_resolved
+    );
+}
+
+#[test]
+fn pv_and_uffd_interact_correctly() {
+    // PV-marked allocations must bypass uffd entirely (the nested
+    // fault resolves to anonymous memory before uffd interception is
+    // even considered).
+    let (mut host, snap, trace) = setup("image", 0.05);
+    let mut vm = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, true);
+    vm.kvm_mut().register_uffd(0, snap.memory_pages());
+    let mut instant = DelayedResolver {
+        ready_at: SimTime::ZERO,
+    };
+    let r = run_invocation(SimTime::ZERO, &mut vm, &trace, &mut host, &mut instant).unwrap();
+    assert!(r.stats.pv_anon_faults > 0);
+    assert_eq!(
+        r.stats.pv_anon_faults as usize,
+        trace.ephemeral_page_list().len()
+    );
+    // uffd handled only the working set.
+    assert_eq!(r.uffd_resolved as usize, trace.ws_page_list().len());
+}
+
+#[test]
+fn concurrent_scheduler_is_fair_and_exact() {
+    let (mut host, snap, trace) = setup("pyaes", 0.05);
+    let n = 5;
+    let mut vms: Vec<MicroVm> = (0..n)
+        .map(|i| MicroVm::restore(OwnerId::new(i), &snap, CowPolicy::Opportunistic, false))
+        .collect();
+    let mut vm_refs: Vec<&mut MicroVm> = vms.iter_mut().collect();
+    let traces: Vec<&snapbpf_workloads::InvocationTrace> = (0..n).map(|_| &trace).collect();
+    let mut rs: Vec<NoUffd> = vec![NoUffd; n as usize];
+    let mut r_refs: Vec<&mut dyn UffdResolver> =
+        rs.iter_mut().map(|x| x as &mut dyn UffdResolver).collect();
+    // Stagger the starts.
+    let starts: Vec<SimTime> = (0..n as u64).map(|i| SimTime::from_millis(i * 2)).collect();
+    let results: Vec<InvocationResult> =
+        run_concurrent(&starts, &mut vm_refs, &traces, &mut host, &mut r_refs).unwrap();
+
+    assert_eq!(results.len(), n as usize);
+    for (i, r) in results.iter().enumerate() {
+        assert!(r.end_time >= starts[i]);
+        assert_eq!(
+            r.e2e_latency,
+            r.end_time.saturating_since(starts[i]),
+            "vm {i}: latency must be measured from its own start"
+        );
+    }
+    // Later VMs benefit from the cache warmed by earlier ones.
+    assert!(
+        results[n as usize - 1].stats.major_faults <= results[0].stats.major_faults,
+        "last VM should fault no more than the first"
+    );
+}
+
+#[test]
+fn concurrent_with_different_traces_per_vm() {
+    let (mut host, snap, _) = setup("html", 0.1);
+    let w = Workload::by_name("html").unwrap().scaled(0.1);
+    let t0 = w.trace_variant(0);
+    let t1 = w.trace_variant(1);
+    let mut vm_a = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
+    let mut vm_b = MicroVm::restore(OwnerId::new(1), &snap, CowPolicy::Opportunistic, false);
+    let mut ra = NoUffd;
+    let mut rb = NoUffd;
+    let results = run_concurrent(
+        &[SimTime::ZERO; 2],
+        &mut [&mut vm_a, &mut vm_b],
+        &[&t0, &t1],
+        &mut host,
+        &mut [&mut ra, &mut rb],
+    )
+    .unwrap();
+    assert_eq!(results.len(), 2);
+    // The union of the two variants' pages landed in the cache —
+    // strictly more than one variant's working set.
+    assert!(host.cache().len() as usize > t0.ws_page_list().len());
+    // And the variants genuinely differ.
+    assert_ne!(t0.ws_page_list(), t1.ws_page_list());
+}
+
+#[test]
+fn invocation_against_warm_shared_cache_has_no_major_faults() {
+    let (mut host, snap, trace) = setup("json", 0.05);
+    // Warm the cache via an overt prefetch of the entire file.
+    let total = snap.memory_pages();
+    let out = host
+        .ra_unbounded(SimTime::ZERO, snap.memory_file(), 0, total)
+        .unwrap();
+    let mut vm = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
+    let r = run_invocation(out.ready_at, &mut vm, &trace, &mut host, &mut NoUffd).unwrap();
+    assert_eq!(r.stats.major_faults, 0);
+    assert!(r.stats.minor_faults > 0);
+}

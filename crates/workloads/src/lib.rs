@@ -1,0 +1,146 @@
+//! # snapbpf-workloads — serverless function models
+//!
+//! Deterministic models of the functions the paper evaluates:
+//! FunctionBench-style workloads plus the three FaaSMem real-world
+//! workloads (html_serving, graph_bfs, bert). Each [`Workload`]
+//! combines a memory-behaviour profile ([`FunctionSpec`]) with a
+//! trace generator ([`InvocationTrace`]) producing the ordered page
+//! accesses, ephemeral allocations, and compute phases of one
+//! invocation.
+//!
+//! ## Examples
+//!
+//! ```
+//! use snapbpf_workloads::Workload;
+//!
+//! let bert = Workload::by_name("bert").expect("bert is in the suite");
+//! let trace = bert.trace();
+//! assert!(trace.ws_page_list().len() > 60_000); // ~260 MiB working set
+//!
+//! // The full paper suite, in figure order:
+//! let suite = Workload::suite();
+//! assert_eq!(suite.len(), 14);
+//! assert_eq!(suite[0].name(), "json");
+//! assert_eq!(suite[13].name(), "bert");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod spec;
+mod trace;
+
+pub use spec::{FunctionSpec, FAASMEM, FUNCTIONBENCH};
+pub use trace::{InvocationTrace, Step, WsCluster};
+
+/// A function workload: a profile plus its canonical trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    spec: FunctionSpec,
+}
+
+impl Workload {
+    /// Wraps an explicit profile.
+    pub fn new(spec: FunctionSpec) -> Self {
+        Workload { spec }
+    }
+
+    /// The full evaluation suite in the paper's figure order:
+    /// FunctionBench functions first, then the FaaSMem workloads.
+    pub fn suite() -> Vec<Workload> {
+        FUNCTIONBENCH
+            .iter()
+            .chain(FAASMEM)
+            .map(|&spec| Workload { spec })
+            .collect()
+    }
+
+    /// Looks a workload up by figure label.
+    pub fn by_name(name: &str) -> Option<Workload> {
+        Workload::suite().into_iter().find(|w| w.name() == name)
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &'static str {
+        self.spec.name
+    }
+
+    /// The memory-behaviour profile.
+    pub fn spec(&self) -> &FunctionSpec {
+        &self.spec
+    }
+
+    /// Snapshot size in pages.
+    pub fn snapshot_pages(&self) -> u64 {
+        self.spec.snapshot_pages()
+    }
+
+    /// The canonical invocation trace (variant 0 — "identical
+    /// inputs" as in the paper's methodology).
+    pub fn trace(&self) -> InvocationTrace {
+        InvocationTrace::generate(&self.spec, 0)
+    }
+
+    /// The trace for a specific input variant.
+    pub fn trace_variant(&self, variant: u32) -> InvocationTrace {
+        InvocationTrace::generate(&self.spec, variant)
+    }
+
+    /// A size-scaled copy (for fast tests). See
+    /// [`FunctionSpec::scaled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Workload {
+        Workload {
+            spec: self.spec.scaled(factor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_order_matches_figures() {
+        let names: Vec<&str> = Workload::suite().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "json",
+                "pyaes",
+                "chameleon",
+                "matmul",
+                "linpack",
+                "image",
+                "video",
+                "compression",
+                "ml_train",
+                "cnn",
+                "rnn",
+                "html",
+                "bfs",
+                "bert"
+            ]
+        );
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for w in Workload::suite() {
+            assert_eq!(Workload::by_name(w.name()).unwrap().name(), w.name());
+        }
+        assert!(Workload::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn trace_matches_spec_scale() {
+        let w = Workload::by_name("html").unwrap();
+        let t = w.trace();
+        assert!(t.ws_page_list().len() as u64 <= w.spec().ws_pages());
+        assert_eq!(w.trace(), t, "trace generation is deterministic");
+    }
+}

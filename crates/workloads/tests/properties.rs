@@ -1,0 +1,107 @@
+//! Property-based tests for trace generation: structural invariants
+//! must hold for arbitrary profiles, scales, and variants.
+
+use proptest::prelude::*;
+use snapbpf_sim::SimDuration;
+use snapbpf_workloads::{FunctionSpec, InvocationTrace, Step, Workload};
+
+fn arb_spec() -> impl Strategy<Value = FunctionSpec> {
+    (
+        8u64..256,        // snapshot MiB
+        0.1f64..0.3,      // ws fraction of snapshot
+        1u32..400,        // clusters
+        0.0f64..0.2,      // ephemeral fraction of snapshot
+        0.1f64..50.0,     // compute ms
+        0.0f64..0.9,      // write fraction
+    )
+        .prop_map(|(snap, wsf, clusters, ephf, compute, wf)| FunctionSpec {
+            name: "arb",
+            snapshot_mib: snap,
+            ws_mib: (snap as f64 * wsf).max(0.01),
+            ws_clusters: clusters,
+            ephemeral_mib: snap as f64 * ephf * 0.24, // fits the heap quarter
+            compute_ms: compute,
+            write_frac: wf,
+        })
+}
+
+proptest! {
+    /// Every trace satisfies the structural invariants the strategies
+    /// rely on, for arbitrary profiles and variants.
+    #[test]
+    fn trace_invariants(spec in arb_spec(), variant in 0u32..4) {
+        let t = InvocationTrace::generate(&spec, variant);
+        let snapshot_pages = spec.snapshot_pages();
+        let heap_start = snapshot_pages * 3 / 4;
+
+        // WS pages are sorted, unique, and inside the WS region.
+        let ws = t.ws_page_list();
+        prop_assert!(ws.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(ws.iter().all(|&p| p < heap_start));
+
+        // Ephemeral pages live in the heap and are disjoint from WS.
+        for &p in t.ephemeral_page_list() {
+            prop_assert!(p >= heap_start && p < snapshot_pages);
+        }
+
+        // Clusters are disjoint, in file order, and cover exactly
+        // the WS pages.
+        let mut covered = 0u64;
+        let mut prev_end = 0;
+        for c in t.clusters() {
+            prop_assert!(c.start >= prev_end);
+            prev_end = c.start + c.len;
+            covered += c.len;
+        }
+        prop_assert_eq!(covered as usize, ws.len());
+
+        // The steps touch each WS page and each ephemeral page
+        // exactly once.
+        let mut accesses = Vec::new();
+        let mut allocs = Vec::new();
+        for s in t.steps() {
+            match s {
+                Step::Access { gpfn, .. } => accesses.push(*gpfn),
+                Step::Alloc { gpfn } => allocs.push(*gpfn),
+                Step::Compute(_) => {}
+            }
+        }
+        let mut sorted = accesses.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), accesses.len(), "each WS page touched once");
+        prop_assert_eq!(&sorted[..], ws);
+        prop_assert_eq!(&allocs[..], t.ephemeral_page_list());
+
+        // Compute slices sum to at most the spec's compute time.
+        let sum: SimDuration = t
+            .steps()
+            .iter()
+            .filter_map(|s| match s {
+                Step::Compute(d) => Some(*d),
+                _ => None,
+            })
+            .sum();
+        prop_assert!(sum <= t.total_compute());
+    }
+
+    /// Generation is a pure function of (spec, variant).
+    #[test]
+    fn generation_deterministic(spec in arb_spec(), variant in 0u32..4) {
+        prop_assert_eq!(
+            InvocationTrace::generate(&spec, variant),
+            InvocationTrace::generate(&spec, variant)
+        );
+    }
+
+    /// Scaling preserves invariants for the whole suite.
+    #[test]
+    fn suite_scales_cleanly(scale in 0.02f64..1.0, idx in 0usize..14) {
+        let w = Workload::suite()[idx].scaled(scale);
+        let t = w.trace();
+        prop_assert!(!t.ws_page_list().is_empty());
+        prop_assert!(t.ws_page_list().len() as u64 <= w.spec().ws_pages());
+        let region = w.snapshot_pages() * 3 / 4;
+        prop_assert!(t.ws_page_list().iter().all(|&p| p < region));
+    }
+}

@@ -1,0 +1,66 @@
+//! The deduplication experiment (paper Figures 3b/3c): run N
+//! concurrent sandboxes of one function and watch where the memory
+//! goes.
+//!
+//! ```text
+//! cargo run --release --example concurrent_dedup [function] [instances] [scale]
+//! ```
+//!
+//! Defaults: `bert`, 10 instances, scale `0.25`.
+
+use snapbpf_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "bert".to_owned());
+    let instances: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(10);
+    let scale: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.25);
+
+    let workload =
+        Workload::by_name(&name).ok_or_else(|| format!("unknown function {name:?}"))?;
+    let cfg = RunConfig::concurrent(scale, instances);
+
+    println!("{instances} concurrent `{name}` sandboxes (scale {scale})\n");
+    println!(
+        "{:<12} {:>12} {:>11} {:>11} {:>11} {:>9}",
+        "strategy", "E2E latency", "cache MiB", "anon MiB", "total MiB", "shared%"
+    );
+
+    let mut reap_total = 0.0;
+    let mut snapbpf_total = 0.0;
+    for kind in [
+        StrategyKind::LinuxNoRa,
+        StrategyKind::LinuxRa,
+        StrategyKind::Reap,
+        StrategyKind::SnapBpf,
+        StrategyKind::SnapBpfBuggyCow,
+    ] {
+        let r = run_one(kind, &workload, &cfg)?;
+        let m = r.memory;
+        println!(
+            "{:<12} {:>12} {:>11.1} {:>11.1} {:>11.1} {:>8.0}%",
+            r.strategy,
+            r.e2e_mean().to_string(),
+            m.page_cache_pages as f64 * 4096.0 / (1 << 20) as f64,
+            m.anon_pages as f64 * 4096.0 / (1 << 20) as f64,
+            m.total_mib(),
+            m.shared_fraction() * 100.0,
+        );
+        match kind {
+            StrategyKind::Reap => reap_total = m.total_mib(),
+            StrategyKind::SnapBpf => snapbpf_total = m.total_mib(),
+            _ => {}
+        }
+    }
+
+    if snapbpf_total > 0.0 {
+        println!(
+            "\nSnapBPF keeps one shared copy of the working set in the page\n\
+             cache; REAP keeps {instances} private anonymous copies — a {:.1}x\n\
+             memory difference here (paper: up to 6x). The unpatched-KVM row\n\
+             shows the CoW misbehaviour the paper found and fixed.",
+            reap_total / snapbpf_total
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Bring your own function: define a custom memory-behaviour
+//! profile, generate its trace, and put it through the full
+//! record/restore pipeline under SnapBPF and the baselines.
+//!
+//! ```text
+//! cargo run --release --example custom_function
+//! ```
+
+use snapbpf_repro::prelude::*;
+use snapbpf_repro::snapbpf_workloads::{FunctionSpec, Step};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A hypothetical thumbnailer: modest model state, heavy
+    // allocation churn per request — exactly the profile PV PTE
+    // marking targets.
+    let spec = FunctionSpec {
+        name: "thumbnailer",
+        snapshot_mib: 192,
+        ws_mib: 22.0,
+        ws_clusters: 420,
+        ephemeral_mib: 80.0,
+        compute_ms: 14.0,
+        write_frac: 0.25,
+    };
+    let workload = Workload::new(spec);
+
+    // Inspect the generated trace before running anything.
+    let trace = workload.trace();
+    let (mut reads, mut writes, mut allocs) = (0u64, 0u64, 0u64);
+    for step in trace.steps() {
+        match step {
+            Step::Access { write: true, .. } => writes += 1,
+            Step::Access { write: false, .. } => reads += 1,
+            Step::Alloc { .. } => allocs += 1,
+            Step::Compute(_) => {}
+        }
+    }
+    println!(
+        "trace for `{}`: {} WS pages in {} clusters ({} reads, {} writes), \
+         {} fresh allocations, {} compute\n",
+        workload.name(),
+        trace.ws_page_list().len(),
+        trace.clusters().len(),
+        reads,
+        writes,
+        allocs,
+        trace.total_compute(),
+    );
+
+    let cfg = RunConfig::single(1.0);
+    println!("{:<12} {:>12} {:>10} {:>14}", "strategy", "E2E latency", "read MiB", "PV/filtered");
+    for kind in [
+        StrategyKind::LinuxRa,
+        StrategyKind::Reap,
+        StrategyKind::Faasnap,
+        StrategyKind::SnapBpfPvOnly,
+        StrategyKind::SnapBpf,
+    ] {
+        let r = run_one(kind, &workload, &cfg)?;
+        println!(
+            "{:<12} {:>12} {:>10.1} {:>14}",
+            r.strategy,
+            r.e2e_mean().to_string(),
+            r.invoke_read_bytes as f64 / (1 << 20) as f64,
+            r.stats.pv_anon_faults + r.stats.filtered_anon_faults,
+        );
+    }
+
+    println!(
+        "\nThe allocation-heavy profile makes the PV-PTE rows shine: the\n\
+         80 MiB of per-request allocations never touch the snapshot file."
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! The storage-device ablation (DESIGN.md A2): SnapBPF's key insight
+//! is that modern SSDs make scattered metadata-driven prefetch
+//! viable. Sweep the same experiment across a SATA SSD, an NVMe
+//! drive, and a spindle HDD and watch the insight appear and
+//! disappear.
+//!
+//! ```text
+//! cargo run --release --example device_sweep [function] [scale]
+//! ```
+//!
+//! Defaults: `bert` at scale `0.25`.
+
+use snapbpf_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "bert".to_owned());
+    let scale: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.25);
+    let workload =
+        Workload::by_name(&name).ok_or_else(|| format!("unknown function {name:?}"))?;
+
+    println!("single `{name}` cold start per device (scale {scale})\n");
+    println!(
+        "{:<10} {:>14} {:>14} {:>16}",
+        "device", "REAP", "SnapBPF", "REAP/SnapBPF"
+    );
+    for device in [DeviceKind::Sata5300, DeviceKind::Nvme, DeviceKind::Hdd7200] {
+        let cfg = RunConfig::single(scale).on(device);
+        let reap = run_one(StrategyKind::Reap, &workload, &cfg)?;
+        let snap = run_one(StrategyKind::SnapBpf, &workload, &cfg)?;
+        println!(
+            "{:<10} {:>14} {:>14} {:>15.2}x",
+            device.label(),
+            reap.e2e_mean().to_string(),
+            snap.e2e_mean().to_string(),
+            reap.e2e_mean().ratio(snap.e2e_mean()),
+        );
+    }
+
+    println!(
+        "\nOn flash, skipping the working-set file costs nothing — the\n\
+         scattered ranges stream at near-sequential speed. On the spindle\n\
+         disk every discontiguous range pays a seek, and REAP's\n\
+         sequential file wins: exactly the paper's \"modern SSDs relax\n\
+         the need for sequential I/O\" argument (§3.1), inverted."
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: cold-start one serverless function under every
+//! snapshot-prefetching strategy and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart [function] [scale]
+//! ```
+//!
+//! Defaults: `image` at scale `0.25`.
+
+use snapbpf_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "image".to_owned());
+    let scale: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.25);
+
+    let workload = Workload::by_name(&name)
+        .ok_or_else(|| format!("unknown function {name:?}; try one of {:?}",
+            Workload::suite().iter().map(|w| w.name()).collect::<Vec<_>>()))?;
+    let cfg = RunConfig::single(scale);
+
+    println!(
+        "cold-starting `{name}` (snapshot {} MiB, working set {:.0} MiB, scale {scale})\n",
+        workload.scaled(scale).spec().snapshot_mib,
+        workload.scaled(scale).spec().ws_mib,
+    );
+    println!(
+        "{:<12} {:>12} {:>10} {:>12} {:>14}",
+        "strategy", "E2E latency", "read MiB", "memory MiB", "artifacts MiB"
+    );
+
+    for kind in [
+        StrategyKind::LinuxNoRa,
+        StrategyKind::LinuxRa,
+        StrategyKind::Reap,
+        StrategyKind::Faast,
+        StrategyKind::Faasnap,
+        StrategyKind::SnapBpfPvOnly,
+        StrategyKind::SnapBpf,
+    ] {
+        let r = run_one(kind, &workload, &cfg)?;
+        println!(
+            "{:<12} {:>12} {:>10.1} {:>12.1} {:>14.2}",
+            r.strategy,
+            r.e2e_mean().to_string(),
+            r.invoke_read_bytes as f64 / (1 << 20) as f64,
+            r.memory.total_mib(),
+            r.artifact_pages as f64 * 4096.0 / (1 << 20) as f64,
+        );
+    }
+
+    println!(
+        "\nNote how SnapBPF needs no working-set artifacts beyond a tiny\n\
+         offsets file, while REAP/Faast/FaaSnap serialize whole page\n\
+         payloads (paper Table 1)."
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! # snapbpf-repro — umbrella crate
+//!
+//! Re-exports the whole SnapBPF reproduction workspace under one
+//! roof for the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`.
+//!
+//! The interesting entry points:
+//!
+//! * [`snapbpf`] — the paper's contribution, the baselines, the
+//!   experiment runner ([`snapbpf::run_one`]) and figure generators
+//!   ([`snapbpf::figures`]),
+//! * [`workloads`](snapbpf_workloads) — the 14-function evaluation
+//!   suite,
+//! * [`kernel`](snapbpf_kernel), [`vmm`](snapbpf_vmm),
+//!   [`ebpf`](snapbpf_ebpf), [`mem`](snapbpf_mem),
+//!   [`storage`](snapbpf_storage), [`sim`](snapbpf_sim) — the
+//!   simulated substrate, bottom-up.
+//!
+//! ## Examples
+//!
+//! ```
+//! use snapbpf_repro::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let image = Workload::by_name("image").expect("suite function");
+//! let result = run_one(StrategyKind::SnapBpf, &image, &RunConfig::single(0.05))?;
+//! assert!(result.e2e_mean().as_millis() < 1_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use snapbpf;
+pub use snapbpf_ebpf;
+pub use snapbpf_kernel;
+pub use snapbpf_mem;
+pub use snapbpf_sim;
+pub use snapbpf_storage;
+pub use snapbpf_vmm;
+pub use snapbpf_workloads;
+
+/// The names most programs want in scope.
+pub mod prelude {
+    pub use snapbpf::figures::FigureConfig;
+    pub use snapbpf::{
+        run_one, run_one_with, DeviceKind, FigureData, RunConfig, RunResult, Strategy,
+        StrategyKind,
+    };
+    pub use snapbpf_sim::{SimDuration, SimTime};
+    pub use snapbpf_workloads::Workload;
+}

@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: the full stack (workload → trace →
+//! snapshot → strategy → kernel → device) exercised through the
+//! public API only.
+
+use snapbpf_repro::prelude::*;
+use snapbpf_repro::snapbpf_kernel::{HostKernel, KernelConfig, PAGE_CACHE_ADD_HOOK};
+use snapbpf_repro::snapbpf_storage::{Disk, SsdModel};
+
+const SCALE: f64 = 0.05;
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = |kind: StrategyKind| {
+        let w = Workload::by_name("chameleon").unwrap();
+        run_one(kind, &w, &RunConfig::concurrent(SCALE, 4)).unwrap()
+    };
+    for kind in [
+        StrategyKind::LinuxRa,
+        StrategyKind::Reap,
+        StrategyKind::Faasnap,
+        StrategyKind::SnapBpf,
+    ] {
+        assert_eq!(run(kind), run(kind), "{kind} must be deterministic");
+    }
+}
+
+#[test]
+fn every_strategy_completes_every_function() {
+    let cfg = RunConfig::single(0.02);
+    for w in Workload::suite() {
+        for kind in [
+            StrategyKind::LinuxNoRa,
+            StrategyKind::Reap,
+            StrategyKind::Faast,
+            StrategyKind::Faasnap,
+            StrategyKind::SnapBpf,
+        ] {
+            let r = run_one(kind, &w, &cfg)
+                .unwrap_or_else(|e| panic!("{kind} on {}: {e}", w.name()));
+            assert!(
+                r.e2e_mean() > SimDuration::ZERO,
+                "{kind} on {}",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn latency_decomposition_is_sane() {
+    // E2E >= pure compute, and warm runs converge toward compute.
+    let w = Workload::by_name("pyaes").unwrap();
+    let r = run_one(StrategyKind::SnapBpf, &w, &RunConfig::single(SCALE)).unwrap();
+    let compute = w.scaled(SCALE).trace().total_compute();
+    assert!(r.e2e_mean() > compute);
+    assert!(
+        r.e2e_mean() < compute * 30,
+        "e2e {} vastly exceeds compute {}",
+        r.e2e_mean(),
+        compute
+    );
+}
+
+#[test]
+fn instances_scale_memory_for_uffd_but_not_page_cache() {
+    let w = Workload::by_name("cnn").unwrap();
+    for (kind, scales_with_instances) in
+        [(StrategyKind::Reap, true), (StrategyKind::SnapBpf, false)]
+    {
+        let one = run_one(kind, &w, &RunConfig::concurrent(SCALE, 1)).unwrap();
+        let four = run_one(kind, &w, &RunConfig::concurrent(SCALE, 4)).unwrap();
+        let ratio = four.memory.total_bytes() as f64 / one.memory.total_bytes() as f64;
+        if scales_with_instances {
+            assert!(ratio > 3.0, "{kind}: ratio {ratio}");
+        } else {
+            assert!(ratio < 2.5, "{kind}: ratio {ratio}");
+        }
+    }
+}
+
+#[test]
+fn snapbpf_reads_track_working_set_not_snapshot() {
+    let w = Workload::by_name("rnn").unwrap();
+    let r = run_one(StrategyKind::SnapBpf, &w, &RunConfig::single(SCALE)).unwrap();
+    let spec = *w.scaled(SCALE).spec();
+    let ws_bytes = spec.ws_pages() * 4096;
+    let snapshot_bytes = spec.snapshot_pages() * 4096;
+    assert!(r.invoke_read_bytes >= ws_bytes * 9 / 10);
+    assert!(
+        r.invoke_read_bytes < snapshot_bytes / 2,
+        "reads {} should stay far below the {} byte snapshot",
+        r.invoke_read_bytes,
+        snapshot_bytes
+    );
+}
+
+#[test]
+fn ebpf_layer_is_reachable_through_umbrella() {
+    use snapbpf_repro::snapbpf_ebpf::{MapDef, ProgramBuilder, Reg};
+
+    let disk = Disk::new(Box::new(SsdModel::micron_5300()));
+    let mut kernel = HostKernel::new(disk, KernelConfig::default());
+    let _map = kernel.create_map(MapDef::array(8, 4)).unwrap();
+    let mut b = ProgramBuilder::new("noop");
+    b.mov(Reg::R0, 0).exit();
+    let probe = kernel
+        .load_and_attach(PAGE_CACHE_ADD_HOOK, &b.build().unwrap())
+        .unwrap();
+    assert!(kernel.probe_enabled(probe));
+}
+
+#[test]
+fn offset_artifacts_are_metadata_sized() {
+    // SnapBPF's only artifact is the offsets file: ~16 bytes per
+    // range vs 4096 bytes per page for prior art.
+    let w = Workload::by_name("bfs").unwrap();
+    let cfg = RunConfig::single(SCALE);
+    let snap = run_one(StrategyKind::SnapBpf, &w, &cfg).unwrap();
+    let reap = run_one(StrategyKind::Reap, &w, &cfg).unwrap();
+    assert!(snap.artifact_pages * 20 < reap.artifact_pages);
+}
