@@ -1,0 +1,46 @@
+//! F1x fleet experiments: regenerate the fleet figures at bench
+//! scale and time one representative fleet run per strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snapbpf::StrategyKind;
+use snapbpf_fleet::figures::{fleet_breakdown, fleet_keepalive, fleet_sweep, FleetFigureConfig};
+use snapbpf_fleet::{run_fleet, FleetConfig};
+use snapbpf_sim::SimDuration;
+use snapbpf_workloads::Workload;
+use std::hint::black_box;
+
+fn regenerate_rows() {
+    let cfg = FleetFigureConfig::quick(0.05);
+    match fleet_sweep(&cfg) {
+        Ok(fig) => println!("{}", fig.render()),
+        Err(e) => eprintln!("fleet-sweep failed: {e}"),
+    }
+    match fleet_breakdown(&cfg) {
+        Ok(fig) => println!("{}", fig.render()),
+        Err(e) => eprintln!("fleet-breakdown failed: {e}"),
+    }
+    match fleet_keepalive(&cfg) {
+        Ok(fig) => println!("{}", fig.render()),
+        Err(e) => eprintln!("fleet-keepalive failed: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_rows();
+
+    let workloads: Vec<Workload> = Workload::suite().into_iter().take(6).collect();
+    let mut g = c.benchmark_group("fleet");
+    g.sample_size(10);
+    for kind in [StrategyKind::Reap, StrategyKind::SnapBpf] {
+        let mut cfg = FleetConfig::new(kind, workloads.len(), 60.0);
+        cfg.scale = 0.05;
+        cfg.duration = SimDuration::from_millis(500);
+        g.bench_function(&format!("run/{}/60rps", kind.label()), |b| {
+            b.iter(|| run_fleet(black_box(&cfg), &workloads).expect("fleet run"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,13 +12,13 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use snapbpf::figures::{
-    ablation_coalesce, ablation_cow, ablation_device, ablation_grouping, ext_cost_analysis,
-    ext_colocation, ext_concurrency_sweep, ext_input_variants, ext_memory_pressure,
-    ext_record_cost, ext_warm_start, fig3a, fig3b, fig3c, fig4, overheads, table1,
-    FigureConfig,
+    ablation_coalesce, ablation_cow, ablation_device, ablation_grouping, ext_colocation,
+    ext_concurrency_sweep, ext_cost_analysis, ext_input_variants, ext_memory_pressure,
+    ext_record_cost, ext_warm_start, fig3a, fig3b, fig3c, fig4, overheads, table1, FigureConfig,
 };
-use snapbpf::FigureData;
+use snapbpf::{DeviceKind, FigureData};
 use snapbpf_bench::write_figure;
+use snapbpf_fleet::figures::{fleet_breakdown, fleet_keepalive, fleet_sweep, FleetFigureConfig};
 use snapbpf_workloads::Workload;
 
 struct Args {
@@ -26,6 +26,7 @@ struct Args {
     instances: usize,
     out: PathBuf,
     only: Option<String>,
+    device: DeviceKind,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,13 +35,11 @@ fn parse_args() -> Result<Args, String> {
         instances: 10,
         out: PathBuf::from("results"),
         only: None,
+        device: DeviceKind::Sata5300,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--scale" => {
                 args.scale = value("--scale")?
@@ -57,13 +56,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--only" => args.only = Some(value("--only")?),
+            "--device" => {
+                let name = value("--device")?;
+                args.device = DeviceKind::parse(&name)
+                    .ok_or_else(|| format!("bad --device {name} (sata-ssd, nvme, hdd)"))?;
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: figures [--scale S] [--instances N] [--out DIR] [--only ID]\n\
+                    "usage: figures [--scale S] [--instances N] [--out DIR] [--only ID] \
+                     [--device sata-ssd|nvme|hdd]\n\
                      IDs: table1 fig3a fig3b fig3c fig4 overheads \
                      ablation-coalesce ablation-device ablation-cow ablation-grouping \
                      ext-variants ext-costs ext-memory-pressure ext-colocation \
-                     ext-record-cost ext-warm-start ext-concurrency"
+                     ext-record-cost ext-warm-start ext-concurrency \
+                     fleet-sweep fleet-breakdown fleet-keepalive"
                         .into(),
                 )
             }
@@ -89,10 +95,13 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         scale: args.scale,
         instances: args.instances,
         workloads: Workload::suite(),
+        device: args.device,
     };
     println!(
-        "SnapBPF reproduction — scale {} x, {} concurrent instances\n",
-        args.scale, args.instances
+        "SnapBPF reproduction — scale {} x, {} concurrent instances, {}\n",
+        args.scale,
+        args.instances,
+        args.device.label()
     );
 
     if wants(&args.only, "table1") {
@@ -118,8 +127,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             n.id = "fig3b-normalized".into();
             n
         });
-        if let (Some(reap), Some(snap)) =
-            (fig.series_values("REAP"), fig.series_values("SnapBPF"))
+        if let (Some(reap), Some(snap)) = (fig.series_values("REAP"), fig.series_values("SnapBPF"))
         {
             let best = reap
                 .iter()
@@ -132,8 +140,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if wants(&args.only, "fig3c") {
         let fig = fig3c(&cfg)?;
         emit(&args.out, &fig);
-        if let (Some(reap), Some(snap)) =
-            (fig.series_values("REAP"), fig.series_values("SnapBPF"))
+        if let (Some(reap), Some(snap)) = (fig.series_values("REAP"), fig.series_values("SnapBPF"))
         {
             let best = reap
                 .iter()
@@ -200,6 +207,27 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     if wants(&args.only, "ext-colocation") {
         emit(&args.out, &ext_colocation(&cfg)?);
+    }
+    let fleet_cfg = {
+        let mut f = FleetFigureConfig::paper(args.scale);
+        f.device = args.device;
+        f
+    };
+    if wants(&args.only, "fleet-sweep") {
+        let fig = fleet_sweep(&fleet_cfg)?;
+        emit(&args.out, &fig);
+        if let (Some(reap), Some(snap)) = (
+            fig.meta_value("sustained-rps-REAP"),
+            fig.meta_value("sustained-rps-SnapBPF"),
+        ) {
+            println!("sustained rate before p99 knee: REAP {reap} rps, SnapBPF {snap} rps\n");
+        }
+    }
+    if wants(&args.only, "fleet-breakdown") {
+        emit(&args.out, &fleet_breakdown(&fleet_cfg)?);
+    }
+    if wants(&args.only, "fleet-keepalive") {
+        emit(&args.out, &fleet_keepalive(&fleet_cfg)?);
     }
     if wants(&args.only, "ext-memory-pressure") {
         let w = Workload::by_name("bert").expect("suite function");

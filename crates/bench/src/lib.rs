@@ -11,6 +11,7 @@ use std::io;
 use std::path::Path;
 
 use snapbpf::figures::FigureConfig;
+use snapbpf::DeviceKind;
 use snapbpf::FigureData;
 use snapbpf_workloads::Workload;
 
@@ -22,6 +23,7 @@ pub fn bench_config() -> FigureConfig {
         scale: 0.15,
         instances: 10,
         workloads: Workload::suite(),
+        device: DeviceKind::Sata5300,
     }
 }
 

@@ -47,6 +47,14 @@ impl DeviceKind {
             DeviceKind::Hdd7200 => "hdd",
         }
     }
+
+    /// Every modeled device, in sweep order.
+    pub const ALL: [DeviceKind; 3] = [DeviceKind::Sata5300, DeviceKind::Nvme, DeviceKind::Hdd7200];
+
+    /// Parses a [`DeviceKind::label`] string (CLI `--device` values).
+    pub fn parse(s: &str) -> Option<DeviceKind> {
+        DeviceKind::ALL.into_iter().find(|d| d.label() == s)
+    }
 }
 
 /// Configuration of one experiment run.
@@ -217,10 +225,7 @@ pub fn run_one_with(
         workload.snapshot_pages(),
         &mut host,
     )?;
-    let func = FunctionCtx {
-        workload,
-        snapshot,
-    };
+    let func = FunctionCtx { workload, snapshot };
 
     // Phase 1: record.
     let t_rec = strategy.record(t_snap, &mut host, &func)?;
@@ -331,8 +336,7 @@ pub fn run_colocated(
     let mut strategies = Vec::with_capacity(workloads.len());
     for w in workloads {
         let w = w.scaled(cfg.scale);
-        let (snapshot, t_snap) =
-            Snapshot::create(t, w.name(), w.snapshot_pages(), &mut host)?;
+        let (snapshot, t_snap) = Snapshot::create(t, w.name(), w.snapshot_pages(), &mut host)?;
         let func = FunctionCtx {
             workload: w,
             snapshot,
@@ -351,9 +355,7 @@ pub fn run_colocated(
         .iter()
         .zip(&mut strategies)
         .enumerate()
-        .map(|(i, (func, strategy))| {
-            strategy.restore(t, &mut host, func, OwnerId::new(i as u32))
-        })
+        .map(|(i, (func, strategy))| strategy.restore(t, &mut host, func, OwnerId::new(i as u32)))
         .collect::<Result<_, _>>()?;
 
     let owned_traces: Vec<snapbpf_workloads::InvocationTrace> =
@@ -488,23 +490,44 @@ mod tests {
         // image (allocation-heavy) gains a lot from PV PTEs alone;
         // rnn (model-heavy) gains mostly from prefetching.
         let cfg = RunConfig::single(SCALE);
-        let image_ra = run_one(StrategyKind::LinuxRa, &Workload::by_name("image").unwrap(), &cfg).unwrap();
-        let image_pv =
-            run_one(StrategyKind::SnapBpfPvOnly, &Workload::by_name("image").unwrap(), &cfg).unwrap();
-        let image_full =
-            run_one(StrategyKind::SnapBpf, &Workload::by_name("image").unwrap(), &cfg).unwrap();
+        let image_ra = run_one(
+            StrategyKind::LinuxRa,
+            &Workload::by_name("image").unwrap(),
+            &cfg,
+        )
+        .unwrap();
+        let image_pv = run_one(
+            StrategyKind::SnapBpfPvOnly,
+            &Workload::by_name("image").unwrap(),
+            &cfg,
+        )
+        .unwrap();
+        let image_full = run_one(
+            StrategyKind::SnapBpf,
+            &Workload::by_name("image").unwrap(),
+            &cfg,
+        )
+        .unwrap();
         assert!(
-            (image_pv.e2e_mean().as_nanos() as f64)
-                < 0.8 * image_ra.e2e_mean().as_nanos() as f64,
+            (image_pv.e2e_mean().as_nanos() as f64) < 0.8 * image_ra.e2e_mean().as_nanos() as f64,
             "PV alone should speed up image noticeably: {} vs {}",
             image_pv.e2e_mean(),
             image_ra.e2e_mean()
         );
         assert!(image_full.e2e_mean() <= image_pv.e2e_mean());
 
-        let rnn_ra = run_one(StrategyKind::LinuxRa, &Workload::by_name("rnn").unwrap(), &cfg).unwrap();
-        let rnn_pv =
-            run_one(StrategyKind::SnapBpfPvOnly, &Workload::by_name("rnn").unwrap(), &cfg).unwrap();
+        let rnn_ra = run_one(
+            StrategyKind::LinuxRa,
+            &Workload::by_name("rnn").unwrap(),
+            &cfg,
+        )
+        .unwrap();
+        let rnn_pv = run_one(
+            StrategyKind::SnapBpfPvOnly,
+            &Workload::by_name("rnn").unwrap(),
+            &cfg,
+        )
+        .unwrap();
         let rnn_ratio = rnn_pv.e2e_mean().ratio(rnn_ra.e2e_mean());
         assert!(
             rnn_ratio > 0.85,

@@ -22,6 +22,9 @@ pub struct FigureConfig {
     pub instances: usize,
     /// The functions to evaluate (paper: the full 14-function suite).
     pub workloads: Vec<Workload>,
+    /// Storage device every run uses (paper testbed: SATA SSD;
+    /// sweepable to NVMe/HDD from the `figures` CLI).
+    pub device: DeviceKind,
 }
 
 impl FigureConfig {
@@ -32,6 +35,7 @@ impl FigureConfig {
             scale: 1.0,
             instances: 10,
             workloads: Workload::suite(),
+            device: DeviceKind::Sata5300,
         }
     }
 
@@ -44,11 +48,24 @@ impl FigureConfig {
                 .iter()
                 .map(|n| Workload::by_name(n).expect("suite function"))
                 .collect(),
+            device: DeviceKind::Sata5300,
         }
     }
 
     fn names(&self) -> Vec<String> {
         self.workloads.iter().map(|w| w.name().to_owned()).collect()
+    }
+
+    /// A single-instance run configuration on this figure set's
+    /// device.
+    fn single(&self) -> RunConfig {
+        RunConfig::single(self.scale).on(self.device)
+    }
+
+    /// A `instances`-way concurrent run configuration on this figure
+    /// set's device.
+    fn concurrent(&self) -> RunConfig {
+        RunConfig::concurrent(self.scale, self.instances).on(self.device)
     }
 }
 
@@ -84,10 +101,14 @@ pub fn fig3a(cfg: &FigureConfig) -> Result<FigureData, StrategyError> {
         "s",
         cfg.names(),
     );
-    let run_cfg = RunConfig::single(cfg.scale);
+    let run_cfg = cfg.single();
     collect_series(
         cfg,
-        &[StrategyKind::Reap, StrategyKind::Faasnap, StrategyKind::SnapBpf],
+        &[
+            StrategyKind::Reap,
+            StrategyKind::Faasnap,
+            StrategyKind::SnapBpf,
+        ],
         &run_cfg,
         |r| r.e2e_mean().as_secs_f64(),
         &mut fig,
@@ -104,11 +125,14 @@ pub fn fig3a(cfg: &FigureConfig) -> Result<FigureData, StrategyError> {
 pub fn fig3b(cfg: &FigureConfig) -> Result<FigureData, StrategyError> {
     let mut fig = FigureData::new(
         "fig3b",
-        &format!("E2E function latency, {} concurrent instances", cfg.instances),
+        &format!(
+            "E2E function latency, {} concurrent instances",
+            cfg.instances
+        ),
         "s",
         cfg.names(),
     );
-    let run_cfg = RunConfig::concurrent(cfg.scale, cfg.instances);
+    let run_cfg = cfg.concurrent();
     collect_series(
         cfg,
         &[
@@ -137,7 +161,7 @@ pub fn fig3c(cfg: &FigureConfig) -> Result<FigureData, StrategyError> {
         "GiB",
         cfg.names(),
     );
-    let run_cfg = RunConfig::concurrent(cfg.scale, cfg.instances);
+    let run_cfg = cfg.concurrent();
     collect_series(
         cfg,
         &[
@@ -166,7 +190,7 @@ pub fn fig4(cfg: &FigureConfig) -> Result<FigureData, StrategyError> {
         "s",
         cfg.names(),
     );
-    let run_cfg = RunConfig::single(cfg.scale);
+    let run_cfg = cfg.single();
     collect_series(
         cfg,
         &[
@@ -223,7 +247,7 @@ pub fn overheads(cfg: &FigureConfig) -> Result<FigureData, StrategyError> {
         "ms / fraction",
         cfg.names(),
     );
-    let run_cfg = RunConfig::single(cfg.scale);
+    let run_cfg = cfg.single();
     let mut load_ms = Vec::new();
     let mut frac = Vec::new();
     for w in &cfg.workloads {
@@ -278,7 +302,7 @@ pub fn ablation_coalesce(
 ///
 /// Strategy errors propagate.
 pub fn ablation_device(workload: &Workload, scale: f64) -> Result<FigureData, StrategyError> {
-    let devices = [DeviceKind::Sata5300, DeviceKind::Nvme, DeviceKind::Hdd7200];
+    let devices = DeviceKind::ALL;
     let mut fig = FigureData::new(
         "ablation-device",
         &format!("Device sensitivity ({})", workload.name()),
@@ -309,7 +333,7 @@ pub fn ablation_cow(cfg: &FigureConfig) -> Result<FigureData, StrategyError> {
         "GiB",
         cfg.names(),
     );
-    let run_cfg = RunConfig::concurrent(cfg.scale, cfg.instances);
+    let run_cfg = cfg.concurrent();
     collect_series(
         cfg,
         &[StrategyKind::SnapBpf, StrategyKind::SnapBpfBuggyCow],
@@ -340,7 +364,7 @@ pub fn ablation_grouping(cfg: &FigureConfig) -> Result<FigureData, StrategyError
         ("sort-only", false, true),
         ("neither", false, false),
     ];
-    let run_cfg = RunConfig::single(cfg.scale);
+    let run_cfg = cfg.single();
     for (label, group, sort) in variants {
         let mut values = Vec::new();
         for w in &cfg.workloads {
@@ -370,7 +394,7 @@ pub fn ext_input_variants(cfg: &FigureConfig) -> Result<FigureData, StrategyErro
         "GiB",
         cfg.names(),
     );
-    let base = RunConfig::concurrent(cfg.scale, cfg.instances);
+    let base = cfg.concurrent();
     let varying = base.with_varying_inputs();
     for (label, run_cfg, kind) in [
         ("REAP-identical", base, StrategyKind::Reap),
@@ -403,7 +427,7 @@ pub fn ext_cost_analysis(cfg: &FigureConfig) -> Result<FigureData, StrategyError
         "ms / count / ratio",
         cfg.names(),
     );
-    let run_cfg = RunConfig::single(cfg.scale);
+    let run_cfg = cfg.single();
     let mut ebpf_ms = Vec::new();
     let mut fires = Vec::new();
     let mut ebpf_frac = Vec::new();
@@ -516,7 +540,7 @@ pub fn ext_record_cost(cfg: &FigureConfig) -> Result<FigureData, StrategyError> 
         "s",
         cfg.names(),
     );
-    let run_cfg = RunConfig::single(cfg.scale);
+    let run_cfg = cfg.single();
     collect_series(
         cfg,
         &[
@@ -620,11 +644,14 @@ pub fn ext_warm_start(cfg: &FigureConfig) -> Result<FigureData, StrategyError> {
 pub fn ext_colocation(cfg: &FigureConfig) -> Result<FigureData, StrategyError> {
     let mut fig = FigureData::new(
         "ext-colocation",
-        &format!("{} co-located functions, one sandbox each", cfg.workloads.len()),
+        &format!(
+            "{} co-located functions, one sandbox each",
+            cfg.workloads.len()
+        ),
         "s",
         cfg.names(),
     );
-    let run_cfg = RunConfig::single(cfg.scale);
+    let run_cfg = cfg.single();
     for kind in [StrategyKind::Reap, StrategyKind::SnapBpf] {
         let r = run_colocated(kind, &cfg.workloads, &run_cfg)?;
         fig.push_series(
@@ -670,6 +697,7 @@ mod tests {
                 .iter()
                 .map(|n| Workload::by_name(n).unwrap())
                 .collect(),
+            device: DeviceKind::Sata5300,
         }
     }
 
@@ -811,6 +839,7 @@ mod tests {
                 .iter()
                 .map(|n| Workload::by_name(n).unwrap())
                 .collect(),
+            device: DeviceKind::Sata5300,
         };
         let fig = ext_colocation(&cfg).unwrap();
         let reap_mem = fig.series_values("REAP-total-GiB").unwrap()[0];
@@ -841,6 +870,7 @@ mod tests {
             scale: 0.05,
             instances: 4,
             workloads: vec![Workload::by_name("bfs").unwrap()],
+            device: DeviceKind::Sata5300,
         };
         let fig = ext_input_variants(&cfg).unwrap();
         let snap_same = fig.series_values("SnapBPF-identical").unwrap()[0];

@@ -66,9 +66,7 @@ pub use programs::{
     read_captured_samples, wset_map_def, GROUPS_COUNT_SLOT, GROUPS_CURSOR_SLOT, WSET_COUNT_SLOT,
 };
 pub use report::{FigureData, Series};
-pub use strategy::{
-    Capabilities, FunctionCtx, RestoredVm, Strategy, StrategyError, StrategyKind,
-};
+pub use strategy::{Capabilities, FunctionCtx, RestoredVm, Strategy, StrategyError, StrategyKind};
 pub use wset::{
     coalesce_regions, decode_groups, encode_groups, group_offsets, total_pages, OffsetSample,
     WsGroup,

@@ -102,10 +102,12 @@ pub fn build_capture_program(snapshot: FileId, wset: MapId, max_samples: u32) ->
     b.store(Reg::R0, 0, Reg::R7, AccessSize::B8);
 
     // wset[count_slot] = count + 1 (through the stashed pointer).
-    b.add(Reg::R9, 1)
-        .store(Reg::R8, 0, Reg::R9, AccessSize::B8);
+    b.add(Reg::R9, 1).store(Reg::R8, 0, Reg::R9, AccessSize::B8);
 
-    b.bind(out).expect("label bound once").mov(Reg::R0, 0).exit();
+    b.bind(out)
+        .expect("label bound once")
+        .mov(Reg::R0, 0)
+        .exit();
     b.build().expect("capture program assembles")
 }
 
@@ -160,7 +162,10 @@ pub fn build_prefetch_program(snapshot: FileId, groups: MapId) -> Program {
         .expect("label bound once")
         .mov(Reg::R0, PROG_RET_DISABLE as i64)
         .exit();
-    b.bind(out).expect("label bound once").mov(Reg::R0, 0).exit();
+    b.bind(out)
+        .expect("label bound once")
+        .mov(Reg::R0, 0)
+        .exit();
     b.build().expect("prefetch program assembles")
 }
 
@@ -236,7 +241,9 @@ mod tests {
         let pages: Vec<u64> = samples.iter().map(|s| s.page).collect();
         assert_eq!(pages, vec![500, 100, 101, 4000]);
         // Timestamps are non-decreasing in capture order.
-        assert!(samples.windows(2).all(|w| w[0].first_access_ns <= w[1].first_access_ns));
+        assert!(samples
+            .windows(2)
+            .all(|w| w[0].first_access_ns <= w[1].first_access_ns));
     }
 
     #[test]
@@ -261,9 +268,21 @@ mod tests {
         k.set_readahead(false);
         let snap = k.disk_mut().create_file("snap", 8192).unwrap();
         let groups = vec![
-            WsGroup { start: 1000, len: 16, earliest_ns: 0 },
-            WsGroup { start: 200, len: 8, earliest_ns: 1 },
-            WsGroup { start: 4000, len: 4, earliest_ns: 2 },
+            WsGroup {
+                start: 1000,
+                len: 16,
+                earliest_ns: 0,
+            },
+            WsGroup {
+                start: 200,
+                len: 8,
+                earliest_ns: 1,
+            },
+            WsGroup {
+                start: 4000,
+                len: 4,
+                earliest_ns: 2,
+            },
         ];
         let map = k.create_map(groups_map_def(groups.len() as u32)).unwrap();
         let image = groups_map_image(&groups);
@@ -283,7 +302,11 @@ mod tests {
 
     #[test]
     fn groups_map_image_layout() {
-        let groups = [WsGroup { start: 7, len: 3, earliest_ns: 0 }];
+        let groups = [WsGroup {
+            start: 7,
+            len: 3,
+            earliest_ns: 0,
+        }];
         let image = groups_map_image(&groups);
         assert_eq!(image, vec![1, 0, 7, 3]);
     }

@@ -5,10 +5,10 @@
 //! as an aligned text table (what the benchmark harness prints) and
 //! serializable to JSON (what `EXPERIMENTS.md` tooling consumes).
 
-use serde::{Deserialize, Serialize};
+use snapbpf_json::{Json, JsonError};
 
 /// One series (one bar colour) of a figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -17,8 +17,9 @@ pub struct Series {
 }
 
 /// A regenerated figure: functions on the x-axis, one or more
-/// series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// series, plus optional scalar metadata (run parameters, summary
+/// statistics) carried alongside the series in the JSON output.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureData {
     /// Figure identifier (e.g. `"fig3a"`).
     pub id: String,
@@ -30,6 +31,9 @@ pub struct FigureData {
     pub functions: Vec<String>,
     /// The series.
     pub series: Vec<Series>,
+    /// Named scalar metadata (e.g. `"sustained-rate-rps"`), in
+    /// insertion order; empty for plain paper figures.
+    pub meta: Vec<(String, f64)>,
 }
 
 impl FigureData {
@@ -41,7 +45,22 @@ impl FigureData {
             unit: unit.to_owned(),
             functions,
             series: Vec::new(),
+            meta: Vec::new(),
         }
+    }
+
+    /// Attaches (or overwrites) a scalar metadata entry.
+    pub fn set_meta(&mut self, key: &str, value: f64) {
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+            return;
+        }
+        self.meta.push((key.to_owned(), value));
+    }
+
+    /// The value of a scalar metadata entry, if present.
+    pub fn meta_value(&self, key: &str) -> Option<f64> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
     }
 
     /// Appends a series.
@@ -145,8 +164,35 @@ impl FigureData {
     /// # Errors
     ///
     /// Serialization errors (practically unreachable).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        let mut fields = vec![
+            ("id".to_owned(), Json::from(self.id.as_str())),
+            ("title".to_owned(), Json::from(self.title.as_str())),
+            ("unit".to_owned(), Json::from(self.unit.as_str())),
+            (
+                "functions".to_owned(),
+                Json::array(self.functions.iter().map(|f| Json::from(f.as_str()))),
+            ),
+            (
+                "series".to_owned(),
+                Json::array(self.series.iter().map(|s| {
+                    Json::object([
+                        ("label".to_owned(), Json::from(s.label.as_str())),
+                        (
+                            "values".to_owned(),
+                            Json::array(s.values.iter().map(|&v| Json::from(v))),
+                        ),
+                    ])
+                })),
+            ),
+        ];
+        if !self.meta.is_empty() {
+            fields.push((
+                "meta".to_owned(),
+                Json::object(self.meta.iter().map(|(k, v)| (k.clone(), Json::from(*v)))),
+            ));
+        }
+        Ok(Json::Object(fields).pretty())
     }
 
     /// Parses from JSON.
@@ -154,8 +200,67 @@ impl FigureData {
     /// # Errors
     ///
     /// Malformed input.
-    pub fn from_json(json: &str) -> Result<FigureData, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<FigureData, JsonError> {
+        let v = Json::parse(json)?;
+        let field_err = |what: &str| JsonError {
+            message: format!("figure data: missing or invalid '{what}'"),
+            offset: 0,
+        };
+        let str_field = |key: &str| {
+            v[key]
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| field_err(key))
+        };
+        let functions = v["functions"]
+            .as_array()
+            .ok_or_else(|| field_err("functions"))?
+            .iter()
+            .map(|f| {
+                f.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| field_err("functions"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let series = v["series"]
+            .as_array()
+            .ok_or_else(|| field_err("series"))?
+            .iter()
+            .map(|s| {
+                let label = s["label"]
+                    .as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| field_err("series.label"))?;
+                let values = s["values"]
+                    .as_array()
+                    .ok_or_else(|| field_err("series.values"))?
+                    .iter()
+                    .map(|x| x.as_f64().ok_or_else(|| field_err("series.values")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Series { label, values })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let meta = match v.get("meta") {
+            None => Vec::new(),
+            Some(m) => m
+                .as_object()
+                .ok_or_else(|| field_err("meta"))?
+                .iter()
+                .map(|(k, x)| {
+                    x.as_f64()
+                        .map(|x| (k.clone(), x))
+                        .ok_or_else(|| field_err("meta"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        Ok(FigureData {
+            id: str_field("id")?,
+            title: str_field("title")?,
+            unit: str_field("unit")?,
+            functions,
+            series,
+            meta,
+        })
     }
 }
 
@@ -164,12 +269,7 @@ mod tests {
     use super::*;
 
     fn sample() -> FigureData {
-        let mut f = FigureData::new(
-            "figX",
-            "test",
-            "s",
-            vec!["a".into(), "b".into()],
-        );
+        let mut f = FigureData::new("figX", "test", "s", vec!["a".into(), "b".into()]);
         f.push_series("base", vec![2.0, 4.0]);
         f.push_series("fast", vec![1.0, 1.0]);
         f
@@ -219,6 +319,26 @@ mod tests {
         let f = sample();
         let back = FigureData::from_json(&f.to_json().unwrap()).unwrap();
         assert_eq!(back, f);
+    }
+
+    #[test]
+    fn meta_roundtrips_and_overwrites() {
+        let mut f = sample();
+        f.set_meta("sustained-rate-rps", 120.0);
+        f.set_meta("sustained-rate-rps", 150.0);
+        f.set_meta("memory-hwm-bytes", 1024.0);
+        assert_eq!(f.meta_value("sustained-rate-rps"), Some(150.0));
+        let back = FigureData::from_json(&f.to_json().unwrap()).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.meta_value("memory-hwm-bytes"), Some(1024.0));
+        assert_eq!(back.meta_value("missing"), None);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(FigureData::from_json("{").is_err());
+        assert!(FigureData::from_json("{\"id\": 3}").is_err());
+        assert!(FigureData::from_json("null").is_err());
     }
 
     #[test]

@@ -325,8 +325,7 @@ mod tests {
         assert!(r.stats.filtered_anon_faults > 0);
         // Invoke-phase reads stay well below "WS + all allocations".
         let read = host.disk().tracer().read_bytes() - tracer_before;
-        let everything = (trace.ws_page_list().len() + trace.ephemeral_page_list().len())
-            as u64
+        let everything = (trace.ws_page_list().len() + trace.ephemeral_page_list().len()) as u64
             * snapbpf_sim::PAGE_SIZE;
         assert!(read < everything * 2);
     }

@@ -154,9 +154,9 @@ impl Strategy for Faast {
         func: &FunctionCtx,
         owner: OwnerId,
     ) -> Result<RestoredVm, StrategyError> {
-        let ws_file = self.ws_file.ok_or(StrategyError::NotRecorded {
-            strategy: "Faast",
-        })?;
+        let ws_file = self
+            .ws_file
+            .ok_or(StrategyError::NotRecorded { strategy: "Faast" })?;
         host.set_readahead(true);
         let available = sequential_prefetch_times(now, ws_file, &self.ws_order, host)?;
 
@@ -216,7 +216,9 @@ mod tests {
         let t0 = faast.record(SimTime::ZERO, &mut host, &func).unwrap();
         host.drop_all_caches().unwrap();
 
-        let mut restored = faast.restore(t0, &mut host, &func, OwnerId::new(0)).unwrap();
+        let mut restored = faast
+            .restore(t0, &mut host, &func, OwnerId::new(0))
+            .unwrap();
         let trace = func.workload.trace();
         let before = host.disk().tracer().read_bytes();
         let r = run_invocation(
@@ -231,7 +233,10 @@ mod tests {
         // Reads cover only the serialized WS (chunks), not the
         // ephemeral allocations.
         let ws_bytes = faast.ws_pages() * snapbpf_sim::PAGE_SIZE;
-        assert!(read <= ws_bytes + 64 * snapbpf_sim::PAGE_SIZE, "read {read} vs ws {ws_bytes}");
+        assert!(
+            read <= ws_bytes + 64 * snapbpf_sim::PAGE_SIZE,
+            "read {read} vs ws {ws_bytes}"
+        );
         assert!(r.uffd_resolved > 0);
     }
 }

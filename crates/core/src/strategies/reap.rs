@@ -210,7 +210,9 @@ impl Strategy for Reap {
         let ws_name = format!("{}.reap.ws", func.workload.name());
         let (ws_file, t1) = write_ws_file(result.end_time, &ws_name, self.ws_pages(), host)?;
         self.ws_file = Some(ws_file);
-        let meta_pages = (self.ws_pages() * 8).div_ceil(snapbpf_sim::PAGE_SIZE).max(1);
+        let meta_pages = (self.ws_pages() * 8)
+            .div_ceil(snapbpf_sim::PAGE_SIZE)
+            .max(1);
         let meta_name = format!("{}.reap.meta", func.workload.name());
         let (_meta, t2) = write_ws_file(t1, &meta_name, meta_pages, host)?;
         Ok(t2)
@@ -223,9 +225,9 @@ impl Strategy for Reap {
         func: &FunctionCtx,
         owner: OwnerId,
     ) -> Result<RestoredVm, StrategyError> {
-        let ws_file = self.ws_file.ok_or(StrategyError::NotRecorded {
-            strategy: "REAP",
-        })?;
+        let ws_file = self
+            .ws_file
+            .ok_or(StrategyError::NotRecorded { strategy: "REAP" })?;
         host.set_readahead(true);
 
         // The prefetch thread starts reading the ws file immediately.

@@ -150,7 +150,12 @@ impl Strategy for SnapBpf {
 
         // Recording invocation with the PV-patched guest, so
         // allocations never pollute the capture.
-        let mut vm = MicroVm::restore(OwnerId::new(u32::MAX), &func.snapshot, self.cow_policy, self.pv_pte);
+        let mut vm = MicroVm::restore(
+            OwnerId::new(u32::MAX),
+            &func.snapshot,
+            self.cow_policy,
+            self.pv_pte,
+        );
         let trace = func.workload.trace();
         let result = run_invocation(
             now + Snapshot::restore_overhead(),
@@ -188,9 +193,13 @@ impl Strategy for SnapBpf {
         let file_pages = (bytes.len() as u64).div_ceil(PAGE_SIZE).max(1);
         let name = format!("{}.snapbpf.offsets", func.workload.name());
         let offsets_file = host.disk_mut().create_file(&name, file_pages)?;
-        let done = host
-            .disk_mut()
-            .write_file_pages(result.end_time, offsets_file, 0, file_pages, IoPath::Buffered)?;
+        let done = host.disk_mut().write_file_pages(
+            result.end_time,
+            offsets_file,
+            0,
+            file_pages,
+            IoPath::Buffered,
+        )?;
         self.offsets_file = Some(offsets_file);
 
         // Round-trip through the on-disk encoding, as the real
@@ -222,9 +231,13 @@ impl Strategy for SnapBpf {
             // ① Read the grouped offsets from disk and load them
             //   into the kernel via the eBPF map.
             let file_pages = host.disk().file_pages(offsets_file)?;
-            let read = host
-                .disk_mut()
-                .read_file_pages(t, offsets_file, 0, file_pages, IoPath::Buffered)?;
+            let read = host.disk_mut().read_file_pages(
+                t,
+                offsets_file,
+                0,
+                file_pages,
+                IoPath::Buffered,
+            )?;
             t = read.done_at;
 
             let map = host.create_map(groups_map_def(self.groups.len() as u32))?;

@@ -15,11 +15,9 @@
 //!   the mmap count manageable but inflates the working-set file
 //!   (the I/O amplification the paper verifies with eBPF, §2.1).
 
-use serde::{Deserialize, Serialize};
-
 /// One captured working-set sample: a page offset and when it was
 /// first touched.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OffsetSample {
     /// Page offset within the snapshot file.
     pub page: u64,
@@ -28,7 +26,7 @@ pub struct OffsetSample {
 }
 
 /// A contiguous range of working-set pages with its scheduling key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WsGroup {
     /// First page of the range.
     pub start: u64,
@@ -233,8 +231,16 @@ mod tests {
     #[test]
     fn coalescing_includes_gap_pages() {
         let groups = [
-            WsGroup { start: 10, len: 2, earliest_ns: 5 },
-            WsGroup { start: 14, len: 2, earliest_ns: 3 },
+            WsGroup {
+                start: 10,
+                len: 2,
+                earliest_ns: 5,
+            },
+            WsGroup {
+                start: 14,
+                len: 2,
+                earliest_ns: 3,
+            },
         ];
         let merged = coalesce_regions(&groups, 2);
         assert_eq!(merged.len(), 1);
@@ -249,9 +255,21 @@ mod tests {
     #[test]
     fn zero_gap_coalescing_only_merges_adjacent() {
         let groups = [
-            WsGroup { start: 0, len: 2, earliest_ns: 0 },
-            WsGroup { start: 2, len: 2, earliest_ns: 0 },
-            WsGroup { start: 5, len: 2, earliest_ns: 0 },
+            WsGroup {
+                start: 0,
+                len: 2,
+                earliest_ns: 0,
+            },
+            WsGroup {
+                start: 2,
+                len: 2,
+                earliest_ns: 0,
+            },
+            WsGroup {
+                start: 5,
+                len: 2,
+                earliest_ns: 0,
+            },
         ];
         let merged = coalesce_regions(&groups, 0);
         assert_eq!(merged.len(), 2);
@@ -262,7 +280,11 @@ mod tests {
     #[test]
     fn larger_gaps_reduce_region_count_but_inflate() {
         let groups: Vec<WsGroup> = (0..50)
-            .map(|i| WsGroup { start: i * 10, len: 3, earliest_ns: i })
+            .map(|i| WsGroup {
+                start: i * 10,
+                len: 3,
+                earliest_ns: i,
+            })
             .collect();
         let tight = coalesce_regions(&groups, 0);
         let loose = coalesce_regions(&groups, 16);

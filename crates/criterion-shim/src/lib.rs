@@ -1,0 +1,200 @@
+//! # criterion (offline shim)
+//!
+//! An in-tree stand-in for the [`criterion`] bench harness so
+//! `cargo bench` works in fully offline environments. It implements
+//! the API surface the workspace's benches use — `criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], `sample_size`, and
+//! [`Bencher::iter`] — and reports simple wall-clock statistics
+//! (mean / min / max per iteration) instead of criterion's full
+//! statistical analysis.
+//!
+//! Like upstream criterion with `harness = false`, binaries run both
+//! under `cargo bench` and directly; `--test` (passed by `cargo test
+//! --benches`) runs each benchmark exactly once as a smoke test.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench context (one per `criterion_group!` function).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` / `cargo test --benches` pass
+        // their extra args straight to the binary.
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_owned()),
+                _ => {}
+            }
+        }
+        Criterion {
+            sample_size: 10,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let samples = self.sample_size;
+        self.run_one(name, samples, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: if self.test_mode { 1 } else { samples },
+            times: Vec::new(),
+        };
+        f(&mut b);
+        if b.times.is_empty() {
+            println!("  {name}: no measurements");
+            return;
+        }
+        let total: Duration = b.times.iter().sum();
+        let mean = total / b.times.len() as u32;
+        let min = *b.times.iter().min().expect("non-empty");
+        let max = *b.times.iter().max().expect("non-empty");
+        println!(
+            "  {name}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+            b.times.len()
+        );
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let name = format!("{}/{id}", self.name);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&name, samples, f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim keeps
+    /// the method for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, one sample per call, `samples` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up run, untimed.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a bench group function list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        // warm-up + 2 samples (or 1 in --test mode).
+        assert!(ran >= 2);
+    }
+
+    #[test]
+    fn macros_compile() {
+        fn bench(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        }
+        criterion_group!(benches, bench);
+        benches();
+    }
+}

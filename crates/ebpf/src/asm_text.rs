@@ -128,7 +128,7 @@ fn jmp_cond(mnemonic: &str) -> Option<JmpCond> {
         "jslt" => JmpCond::SLt,
         "jsle" => JmpCond::SLe,
         "jset" => JmpCond::Set,
-    _ => return None,
+        _ => return None,
     })
 }
 

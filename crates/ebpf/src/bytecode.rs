@@ -126,7 +126,12 @@ fn sub_alu(b: u8, at: usize) -> Result<AluOp, DecodeError> {
         9 => AluOp::Rsh,
         10 => AluOp::Arsh,
         11 => AluOp::Mov,
-        _ => return Err(DecodeError::BadField { at, field: "alu op" }),
+        _ => {
+            return Err(DecodeError::BadField {
+                at,
+                field: "alu op",
+            })
+        }
     })
 }
 
@@ -159,7 +164,12 @@ fn sub_cond(b: u8, at: usize) -> Result<JmpCond, DecodeError> {
         8 => JmpCond::SLt,
         9 => JmpCond::SLe,
         10 => JmpCond::Set,
-        _ => return Err(DecodeError::BadField { at, field: "jump condition" }),
+        _ => {
+            return Err(DecodeError::BadField {
+                at,
+                field: "jump condition",
+            })
+        }
     })
 }
 
@@ -178,7 +188,12 @@ fn sub_size(b: u8, at: usize) -> Result<AccessSize, DecodeError> {
         1 => AccessSize::B2,
         2 => AccessSize::B4,
         3 => AccessSize::B8,
-        _ => return Err(DecodeError::BadField { at, field: "access size" }),
+        _ => {
+            return Err(DecodeError::BadField {
+                at,
+                field: "access size",
+            })
+        }
     })
 }
 
@@ -203,7 +218,12 @@ fn sub_helper(b: u8, at: usize) -> Result<HelperId, DecodeError> {
         4 => HelperId::GetSmpProcessorId,
         5 => HelperId::TracePrintk,
         6 => HelperId::RingbufOutput,
-        _ => return Err(DecodeError::BadField { at, field: "helper id" }),
+        _ => {
+            return Err(DecodeError::BadField {
+                at,
+                field: "helper id",
+            })
+        }
     })
 }
 
@@ -244,25 +264,48 @@ pub fn encode_program(program: &Program) -> Vec<u8> {
                     OP_ALU32
                 };
                 match src {
-                    Operand::Reg(r) => {
-                        put(&mut out, opcode, dst.index() as u8, r.index() as u8, alu_sub(op), 0, 0)
-                    }
-                    Operand::Imm(v) => {
-                        put(&mut out, opcode, dst.index() as u8, SRC_IMM, alu_sub(op), 0, v)
-                    }
+                    Operand::Reg(r) => put(
+                        &mut out,
+                        opcode,
+                        dst.index() as u8,
+                        r.index() as u8,
+                        alu_sub(op),
+                        0,
+                        0,
+                    ),
+                    Operand::Imm(v) => put(
+                        &mut out,
+                        opcode,
+                        dst.index() as u8,
+                        SRC_IMM,
+                        alu_sub(op),
+                        0,
+                        v,
+                    ),
                 }
             }
             Insn::Neg { dst } => put(&mut out, OP_NEG, dst.index() as u8, 0, 0, 0, 0),
             Insn::LoadImm64 { dst, imm } => {
                 put(&mut out, OP_LD_IMM, dst.index() as u8, 0, 0, 0, imm)
             }
-            Insn::LoadMapRef { dst, map } => {
-                put(&mut out, OP_LD_MAP, dst.index() as u8, 0, 0, 0, map.as_u32() as i64)
-            }
+            Insn::LoadMapRef { dst, map } => put(
+                &mut out,
+                OP_LD_MAP,
+                dst.index() as u8,
+                0,
+                0,
+                0,
+                map.as_u32() as i64,
+            ),
             Insn::LoadCtx { dst, index } => {
                 put(&mut out, OP_LD_CTX, dst.index() as u8, 0, index, 0, 0)
             }
-            Insn::Load { dst, base, off, size } => put(
+            Insn::Load {
+                dst,
+                base,
+                off,
+                size,
+            } => put(
                 &mut out,
                 OP_LDX,
                 dst.index() as u8,
@@ -271,7 +314,12 @@ pub fn encode_program(program: &Program) -> Vec<u8> {
                 off as i32,
                 0,
             ),
-            Insn::Store { base, off, src, size } => put(
+            Insn::Store {
+                base,
+                off,
+                src,
+                size,
+            } => put(
                 &mut out,
                 OP_STX,
                 base.index() as u8,
@@ -280,7 +328,12 @@ pub fn encode_program(program: &Program) -> Vec<u8> {
                 off as i32,
                 0,
             ),
-            Insn::StoreImm { base, off, imm, size } => put(
+            Insn::StoreImm {
+                base,
+                off,
+                imm,
+                size,
+            } => put(
                 &mut out,
                 OP_ST_IMM,
                 base.index() as u8,
@@ -290,7 +343,12 @@ pub fn encode_program(program: &Program) -> Vec<u8> {
                 imm,
             ),
             Insn::Jump { off } => put(&mut out, OP_JA, 0, 0, 0, off, 0),
-            Insn::JumpIf { cond, dst, src, off } => match src {
+            Insn::JumpIf {
+                cond,
+                dst,
+                src,
+                off,
+            } => match src {
                 Operand::Reg(r) => put(
                     &mut out,
                     OP_JCC,
@@ -372,8 +430,10 @@ pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
                 imm,
             },
             OP_LD_MAP => {
-                let raw = u32::try_from(imm)
-                    .map_err(|_| DecodeError::BadField { at, field: "map id" })?;
+                let raw = u32::try_from(imm).map_err(|_| DecodeError::BadField {
+                    at,
+                    field: "map id",
+                })?;
                 Insn::LoadMapRef {
                     dst: reg(dst, at, "dst register")?,
                     map: MapId::from_raw(raw),
@@ -386,18 +446,27 @@ pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
             OP_LDX => Insn::Load {
                 dst: reg(dst, at, "dst register")?,
                 base: reg(src, at, "base register")?,
-                off: i16::try_from(off).map_err(|_| DecodeError::BadField { at, field: "offset" })?,
+                off: i16::try_from(off).map_err(|_| DecodeError::BadField {
+                    at,
+                    field: "offset",
+                })?,
                 size: sub_size(sub, at)?,
             },
             OP_STX => Insn::Store {
                 base: reg(dst, at, "base register")?,
                 src: reg(src, at, "src register")?,
-                off: i16::try_from(off).map_err(|_| DecodeError::BadField { at, field: "offset" })?,
+                off: i16::try_from(off).map_err(|_| DecodeError::BadField {
+                    at,
+                    field: "offset",
+                })?,
                 size: sub_size(sub, at)?,
             },
             OP_ST_IMM => Insn::StoreImm {
                 base: reg(dst, at, "base register")?,
-                off: i16::try_from(off).map_err(|_| DecodeError::BadField { at, field: "offset" })?,
+                off: i16::try_from(off).map_err(|_| DecodeError::BadField {
+                    at,
+                    field: "offset",
+                })?,
                 imm,
                 size: sub_size(sub, at)?,
             },
@@ -410,14 +479,21 @@ pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
                 } else {
                     Operand::Reg(reg(src, at, "src register")?)
                 };
-                Insn::JumpIf { cond, dst, src, off }
+                Insn::JumpIf {
+                    cond,
+                    dst,
+                    src,
+                    off,
+                }
             }
             OP_CALL => Insn::Call {
                 helper: sub_helper(sub, at)?,
             },
             OP_KFUNC => {
-                let kfunc = u32::try_from(imm)
-                    .map_err(|_| DecodeError::BadField { at, field: "kfunc index" })?;
+                let kfunc = u32::try_from(imm).map_err(|_| DecodeError::BadField {
+                    at,
+                    field: "kfunc index",
+                })?;
                 Insn::CallKfunc { kfunc }
             }
             OP_EXIT => Insn::Exit,
@@ -535,7 +611,10 @@ mod tests {
         v.extend_from_slice(&[0xEE, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
         assert_eq!(
             decode_program(&v),
-            Err(DecodeError::BadOpcode { at: 0, opcode: 0xEE })
+            Err(DecodeError::BadOpcode {
+                at: 0,
+                opcode: 0xEE
+            })
         );
 
         // Register out of range.
@@ -543,7 +622,10 @@ mod tests {
         v.extend_from_slice(&[OP_LD_IMM, 11, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
         assert!(matches!(
             decode_program(&v),
-            Err(DecodeError::BadField { at: 0, field: "dst register" })
+            Err(DecodeError::BadField {
+                at: 0,
+                field: "dst register"
+            })
         ));
 
         // Bad ALU sub-op.
@@ -551,7 +633,10 @@ mod tests {
         v.extend_from_slice(&[OP_ALU64, 0, SRC_IMM, 99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
         assert!(matches!(
             decode_program(&v),
-            Err(DecodeError::BadField { at: 0, field: "alu op" })
+            Err(DecodeError::BadField {
+                at: 0,
+                field: "alu op"
+            })
         ));
 
         // Load offset exceeding i16.
@@ -562,7 +647,10 @@ mod tests {
         v.extend_from_slice(&rec);
         assert!(matches!(
             decode_program(&v),
-            Err(DecodeError::BadField { at: 0, field: "offset" })
+            Err(DecodeError::BadField {
+                at: 0,
+                field: "offset"
+            })
         ));
     }
 
@@ -571,7 +659,9 @@ mod tests {
         // Cheap deterministic fuzz over the decoder.
         let mut rng = 0x12345u64;
         let mut next = || {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (rng >> 33) as u8
         };
         for len in 0..200usize {

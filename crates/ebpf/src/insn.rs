@@ -392,17 +392,37 @@ impl fmt::Display for Insn {
             Insn::LoadImm64 { dst, imm } => write!(f, "lddw {dst}, {imm}"),
             Insn::LoadMapRef { dst, map } => write!(f, "lddw {dst}, map#{}", map.as_u32()),
             Insn::LoadCtx { dst, index } => write!(f, "ldctx {dst}, arg{index}"),
-            Insn::Load { dst, base, off, size } => {
+            Insn::Load {
+                dst,
+                base,
+                off,
+                size,
+            } => {
                 write!(f, "ldx{size} {dst}, [{base}{off:+}]")
             }
-            Insn::Store { base, off, src, size } => {
+            Insn::Store {
+                base,
+                off,
+                src,
+                size,
+            } => {
                 write!(f, "stx{size} [{base}{off:+}], {src}")
             }
-            Insn::StoreImm { base, off, imm, size } => {
+            Insn::StoreImm {
+                base,
+                off,
+                imm,
+                size,
+            } => {
                 write!(f, "st{size} [{base}{off:+}], {imm}")
             }
             Insn::Jump { off } => write!(f, "ja {off:+}"),
-            Insn::JumpIf { cond, dst, src, off } => write!(f, "{cond} {dst}, {src}, {off:+}"),
+            Insn::JumpIf {
+                cond,
+                dst,
+                src,
+                off,
+            } => write!(f, "{cond} {dst}, {src}, {off:+}"),
             Insn::Call { helper } => write!(f, "call {helper}"),
             Insn::CallKfunc { kfunc } => write!(f, "call kfunc#{kfunc}"),
             Insn::Exit => write!(f, "exit"),
@@ -453,10 +473,26 @@ mod tests {
     #[test]
     fn disassembly_smoke() {
         let insns = [
-            Insn::Alu64 { op: AluOp::Mov, dst: Reg::R1, src: Operand::Imm(7) },
-            Insn::Load { dst: Reg::R0, base: Reg::R10, off: -8, size: AccessSize::B8 },
-            Insn::JumpIf { cond: JmpCond::Eq, dst: Reg::R0, src: Operand::Imm(0), off: 2 },
-            Insn::Call { helper: HelperId::KtimeGetNs },
+            Insn::Alu64 {
+                op: AluOp::Mov,
+                dst: Reg::R1,
+                src: Operand::Imm(7),
+            },
+            Insn::Load {
+                dst: Reg::R0,
+                base: Reg::R10,
+                off: -8,
+                size: AccessSize::B8,
+            },
+            Insn::JumpIf {
+                cond: JmpCond::Eq,
+                dst: Reg::R0,
+                src: Operand::Imm(0),
+                off: 2,
+            },
+            Insn::Call {
+                helper: HelperId::KtimeGetNs,
+            },
             Insn::Exit,
         ];
         let text: Vec<String> = insns.iter().map(|i| i.to_string()).collect();

@@ -293,7 +293,12 @@ impl Interpreter {
                         Value::Scalar(ctx.get(index as usize).copied().unwrap_or(0));
                     pc += 1;
                 }
-                Insn::Load { dst, base, off, size } => {
+                Insn::Load {
+                    dst,
+                    base,
+                    off,
+                    size,
+                } => {
                     let v = match &regs[base.index()] {
                         Value::FramePtr | Value::StackPtr(_) => {
                             let idx = match stack_index(&regs[base.index()], off, size) {
@@ -302,7 +307,11 @@ impl Interpreter {
                             };
                             read_le(&stack[idx..idx + size.bytes()])
                         }
-                        Value::MapValue { map, loc, off: ptr_off } => {
+                        Value::MapValue {
+                            map,
+                            loc,
+                            off: ptr_off,
+                        } => {
                             let total = (*ptr_off + off as i64) as usize;
                             let bytes = map_value_bytes(maps, *map, loc)?;
                             match bytes.get(total..total + size.bytes()) {
@@ -315,7 +324,12 @@ impl Interpreter {
                     regs[dst.index()] = Value::Scalar(v);
                     pc += 1;
                 }
-                Insn::Store { base, off, src, size } => {
+                Insn::Store {
+                    base,
+                    off,
+                    src,
+                    size,
+                } => {
                     let v = match regs[src.index()].as_scalar() {
                         Some(v) => v,
                         None => internal!("store of non-scalar"),
@@ -323,14 +337,24 @@ impl Interpreter {
                     self.do_store(&mut stack, maps, &regs, base, off, size, v, pc)?;
                     pc += 1;
                 }
-                Insn::StoreImm { base, off, imm, size } => {
+                Insn::StoreImm {
+                    base,
+                    off,
+                    imm,
+                    size,
+                } => {
                     self.do_store(&mut stack, maps, &regs, base, off, size, imm as u64, pc)?;
                     pc += 1;
                 }
                 Insn::Jump { off } => {
                     pc = (pc as i64 + 1 + off as i64) as usize;
                 }
-                Insn::JumpIf { cond, dst, src, off } => {
+                Insn::JumpIf {
+                    cond,
+                    dst,
+                    src,
+                    off,
+                } => {
                     let a = match &regs[dst.index()] {
                         Value::Scalar(v) => *v,
                         // A null-checkable map-value pointer compares
@@ -410,7 +434,11 @@ impl Interpreter {
                 write_le(&mut stack[idx..idx + size.bytes()], value);
                 Ok(())
             }
-            Value::MapValue { map, loc, off: ptr_off } => {
+            Value::MapValue {
+                map,
+                loc,
+                off: ptr_off,
+            } => {
                 let total = (*ptr_off + off as i64) as usize;
                 let bytes = map_value_bytes_mut(maps, *map, loc)?;
                 let slot = bytes.get_mut(total..total + size.bytes()).ok_or_else(|| {
@@ -453,8 +481,7 @@ impl Interpreter {
                     .ok_or_else(|| internal("bad key pointer"))?;
                 match def.kind {
                     MapKind::Array => {
-                        let index =
-                            u32::from_le_bytes(key[..4].try_into().expect("4-byte key"));
+                        let index = u32::from_le_bytes(key[..4].try_into().expect("4-byte key"));
                         if index < def.max_entries {
                             Value::MapValue {
                                 map,
@@ -487,9 +514,8 @@ impl Interpreter {
                 let def = maps.def(map)?;
                 let key = read_stack_buf(stack, &regs[Reg::R2.index()], def.key_size as usize)
                     .ok_or_else(|| internal("bad key pointer"))?;
-                let value =
-                    read_stack_buf(stack, &regs[Reg::R3.index()], def.value_size as usize)
-                        .ok_or_else(|| internal("bad value pointer"))?;
+                let value = read_stack_buf(stack, &regs[Reg::R3.index()], def.value_size as usize)
+                    .ok_or_else(|| internal("bad value pointer"))?;
                 match maps.update(map, &key, &value) {
                     Ok(()) => Value::Scalar(0),
                     // Capacity errors surface as -E2BIG, like the
@@ -577,11 +603,7 @@ fn read_stack_buf(stack: &[u8; STACK_SIZE], ptr: &Value, len: usize) -> Option<V
     }
 }
 
-fn map_value_bytes<'m>(
-    maps: &'m MapSet,
-    map: MapId,
-    loc: &MapLoc,
-) -> Result<&'m [u8], RunError> {
+fn map_value_bytes<'m>(maps: &'m MapSet, map: MapId, loc: &MapLoc) -> Result<&'m [u8], RunError> {
     match loc {
         MapLoc::Array { index } => {
             let (values, def) = maps.array_raw(map)?;
@@ -700,10 +722,7 @@ mod tests {
         let mut maps = MapSet::new();
         let out = run_prog(
             |b| {
-                b.mov(Reg::R0, 10)
-                    .mul(Reg::R0, 4)
-                    .add(Reg::R0, 2)
-                    .exit();
+                b.mov(Reg::R0, 10).mul(Reg::R0, 4).add(Reg::R0, 2).exit();
             },
             &[],
             &mut maps,
@@ -857,8 +876,12 @@ mod tests {
             .unwrap()
             .mov(Reg::R0, 0)
             .exit();
-        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
-        let out = Interpreter::new().run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        let p = Verifier::new(&maps, &[])
+            .verify(&b.build().unwrap())
+            .unwrap();
+        let out = Interpreter::new()
+            .run(&p, &[], &mut maps, &mut NoKfuncs)
+            .unwrap();
         assert_eq!(out.helper_calls, 1);
         assert_eq!(maps.array_load_u64(m, 2).unwrap(), 101);
     }
@@ -881,8 +904,12 @@ mod tests {
             .unwrap()
             .mov(Reg::R0, 8) // valid path
             .exit();
-        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
-        let out = Interpreter::new().run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        let p = Verifier::new(&maps, &[])
+            .verify(&b.build().unwrap())
+            .unwrap();
+        let out = Interpreter::new()
+            .run(&p, &[], &mut maps, &mut NoKfuncs)
+            .unwrap();
         assert_eq!(out.return_value, 7);
     }
 
@@ -902,8 +929,12 @@ mod tests {
             .mov(Reg::R4, 0)
             .call(HelperId::MapUpdate)
             .exit();
-        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
-        let out = Interpreter::new().run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        let p = Verifier::new(&maps, &[])
+            .verify(&b.build().unwrap())
+            .unwrap();
+        let out = Interpreter::new()
+            .run(&p, &[], &mut maps, &mut NoKfuncs)
+            .unwrap();
         assert_eq!(out.return_value, 0);
         assert_eq!(
             maps.lookup(m, &5u32.to_le_bytes()).unwrap().unwrap(),
@@ -918,8 +949,12 @@ mod tests {
             .add(Reg::R2, -4)
             .call(HelperId::MapDelete)
             .exit();
-        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
-        let out = Interpreter::new().run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        let p = Verifier::new(&maps, &[])
+            .verify(&b.build().unwrap())
+            .unwrap();
+        let out = Interpreter::new()
+            .run(&p, &[], &mut maps, &mut NoKfuncs)
+            .unwrap();
         assert_eq!(out.return_value, 0);
         assert_eq!(maps.lookup(m, &5u32.to_le_bytes()).unwrap(), None);
     }
@@ -929,7 +964,9 @@ mod tests {
         let mut maps = MapSet::new();
         let mut b = ProgramBuilder::new("time");
         b.call(HelperId::KtimeGetNs).exit();
-        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+        let p = Verifier::new(&maps, &[])
+            .verify(&b.build().unwrap())
+            .unwrap();
         let mut interp = Interpreter::new();
         interp.set_now_ns(123_456);
         let out = interp.run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
@@ -949,8 +986,12 @@ mod tests {
             .mov(Reg::R4, 0)
             .call(HelperId::RingbufOutput)
             .exit();
-        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
-        let out = Interpreter::new().run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        let p = Verifier::new(&maps, &[])
+            .verify(&b.build().unwrap())
+            .unwrap();
+        let out = Interpreter::new()
+            .run(&p, &[], &mut maps, &mut NoKfuncs)
+            .unwrap();
         assert_eq!(out.return_value, 0);
         let rec = maps.ring_pop(r).unwrap().unwrap();
         assert_eq!(u64::from_le_bytes(rec.try_into().unwrap()), 0xABCD);
@@ -975,10 +1016,14 @@ mod tests {
         }];
         let mut b = ProgramBuilder::new("kf");
         b.mov(Reg::R1, 30).mov(Reg::R2, 12).call_kfunc(0).exit();
-        let p = Verifier::new(&maps, &sigs).verify(&b.build().unwrap()).unwrap();
+        let p = Verifier::new(&maps, &sigs)
+            .verify(&b.build().unwrap())
+            .unwrap();
         let mut maps = maps;
         let mut host = Adder { calls: vec![] };
-        let out = Interpreter::new().run(&p, &[], &mut maps, &mut host).unwrap();
+        let out = Interpreter::new()
+            .run(&p, &[], &mut maps, &mut host)
+            .unwrap();
         assert_eq!(out.return_value, 42);
         assert_eq!(out.kfunc_calls, 1);
         assert_eq!(host.calls.len(), 1);
@@ -997,7 +1042,9 @@ mod tests {
         let sigs = [crate::verify::KfuncSig { name: "f", args: 0 }];
         let mut b = ProgramBuilder::new("kf");
         b.call_kfunc(0).exit();
-        let p = Verifier::new(&maps, &sigs).verify(&b.build().unwrap()).unwrap();
+        let p = Verifier::new(&maps, &sigs)
+            .verify(&b.build().unwrap())
+            .unwrap();
         let mut maps = maps;
         let err = Interpreter::new()
             .run(&p, &[], &mut maps, &mut Failing)
@@ -1015,7 +1062,9 @@ mod tests {
             .call(HelperId::TracePrintk)
             .mov(Reg::R0, 0)
             .exit();
-        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+        let p = Verifier::new(&maps, &[])
+            .verify(&b.build().unwrap())
+            .unwrap();
         let mut interp = Interpreter::new();
         interp.run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
         assert_eq!(interp.trace_events(), 2);

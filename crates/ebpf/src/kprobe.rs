@@ -257,15 +257,17 @@ impl KprobeRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::insn::Reg;
     use crate::interp::NoKfuncs;
     use crate::program::ProgramBuilder;
-    use crate::insn::Reg;
     use crate::verify::Verifier;
 
     fn ret_const(maps: &MapSet, v: i64) -> VerifiedProgram {
         let mut b = ProgramBuilder::new(format!("ret{v}"));
         b.mov(Reg::R0, v).exit();
-        Verifier::new(maps, &[]).verify(&b.build().unwrap()).unwrap()
+        Verifier::new(maps, &[])
+            .verify(&b.build().unwrap())
+            .unwrap()
     }
 
     #[test]

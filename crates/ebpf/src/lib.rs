@@ -81,11 +81,12 @@ mod verify;
 pub use asm_text::{parse_program, ParseError};
 pub use bytecode::{decode_program, encode_program, DecodeError, MAGIC, VERSION};
 pub use insn::{
-    AccessSize, AluOp, HelperId, Insn, JmpCond, Operand, Reg, MAX_CTX_WORDS, MAX_INSNS,
-    STACK_SIZE,
+    AccessSize, AluOp, HelperId, Insn, JmpCond, Operand, Reg, MAX_CTX_WORDS, MAX_INSNS, STACK_SIZE,
 };
 pub use interp::{Interpreter, KfuncHost, NoKfuncs, RunError, RunOutcome, INSN_BUDGET};
 pub use kprobe::{FireResult, KprobeRegistry, ProbeError, ProbeId};
 pub use map::{MapDef, MapError, MapId, MapKind, MapSet};
 pub use program::{AsmError, Label, Program, ProgramBuilder};
-pub use verify::{KfuncSig, VerifiedProgram, Verifier, VerifyError, VerifyErrorKind, COMPLEXITY_LIMIT};
+pub use verify::{
+    KfuncSig, VerifiedProgram, Verifier, VerifyError, VerifyErrorKind, COMPLEXITY_LIMIT,
+};

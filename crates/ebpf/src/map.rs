@@ -152,8 +152,15 @@ impl fmt::Display for MapError {
             MapError::BadValueSize { map, expected, got } => {
                 write!(f, "{map}: value size {got}, expected {expected}")
             }
-            MapError::IndexOutOfBounds { map, index, max_entries } => {
-                write!(f, "{map}: index {index} out of bounds ({max_entries} entries)")
+            MapError::IndexOutOfBounds {
+                map,
+                index,
+                max_entries,
+            } => {
+                write!(
+                    f,
+                    "{map}: index {index} out of bounds ({max_entries} entries)"
+                )
             }
             MapError::Full(id) => write!(f, "{id}: map full"),
             MapError::RingFull(id) => write!(f, "{id}: ring buffer full"),
@@ -237,7 +244,9 @@ impl MapSet {
             }
             MapKind::Hash => {
                 if def.key_size == 0 || def.value_size == 0 {
-                    return Err(MapError::BadDefinition("hash maps need key and value sizes"));
+                    return Err(MapError::BadDefinition(
+                        "hash maps need key and value sizes",
+                    ));
                 }
                 MapStorage::Hash {
                     entries: HashMap::new(),
@@ -452,13 +461,13 @@ impl MapSet {
     ///
     /// Out-of-bounds indices and non-8-byte values are errors.
     pub fn array_load_u64(&self, id: MapId, index: u32) -> Result<u64, MapError> {
-        let v = self
-            .lookup(id, &index.to_le_bytes())?
-            .ok_or_else(|| MapError::IndexOutOfBounds {
-                map: id,
-                index,
-                max_entries: self.def(id).map(|d| d.max_entries).unwrap_or(0),
-            })?;
+        let v =
+            self.lookup(id, &index.to_le_bytes())?
+                .ok_or_else(|| MapError::IndexOutOfBounds {
+                    map: id,
+                    index,
+                    max_entries: self.def(id).map(|d| d.max_entries).unwrap_or(0),
+                })?;
         let bytes: [u8; 8] = v
             .as_slice()
             .try_into()
@@ -574,7 +583,10 @@ mod tests {
         maps.update(m, &k2, &20u64.to_le_bytes()).unwrap();
         assert_eq!(maps.entry_count(m).unwrap(), 2);
         // Capacity enforced for new keys, updates still allowed.
-        assert_eq!(maps.update(m, &k3, &30u64.to_le_bytes()), Err(MapError::Full(m)));
+        assert_eq!(
+            maps.update(m, &k3, &30u64.to_le_bytes()),
+            Err(MapError::Full(m))
+        );
         maps.update(m, &k1, &11u64.to_le_bytes()).unwrap();
         assert_eq!(
             maps.lookup(m, &k1).unwrap().unwrap(),
@@ -604,7 +616,7 @@ mod tests {
         let r = maps.create(MapDef::ringbuf(64)).unwrap();
         maps.ring_push(r, &[1, 2, 3]).unwrap(); // 11 bytes with header
         maps.ring_push(r, &[4, 5]).unwrap(); // 10 bytes
-        // 64 - 21 = 43 left; a 40-byte record (48 with header) fails.
+                                             // 64 - 21 = 43 left; a 40-byte record (48 with header) fails.
         assert_eq!(maps.ring_push(r, &[0u8; 40]), Err(MapError::RingFull(r)));
         assert_eq!(maps.ring_dropped(r).unwrap(), 1);
         assert_eq!(maps.ring_pop(r).unwrap().unwrap(), vec![1, 2, 3]);
@@ -621,7 +633,10 @@ mod tests {
         let r = maps.create(MapDef::ringbuf(32)).unwrap();
         assert_eq!(maps.ring_push(a, &[1]), Err(MapError::WrongKind(a)));
         assert_eq!(maps.lookup(r, &[]), Err(MapError::WrongKind(r)));
-        assert_eq!(maps.delete(a, &0u32.to_le_bytes()), Err(MapError::WrongKind(a)));
+        assert_eq!(
+            maps.delete(a, &0u32.to_le_bytes()),
+            Err(MapError::WrongKind(a))
+        );
     }
 
     #[test]

@@ -87,7 +87,11 @@ impl std::error::Error for AsmError {}
 #[derive(Debug, Clone, Copy)]
 enum PendingJump {
     Unconditional,
-    Conditional { cond: JmpCond, dst: Reg, src: Operand },
+    Conditional {
+        cond: JmpCond,
+        dst: Reg,
+        src: Operand,
+    },
 }
 
 /// Builds a [`Program`] instruction by instruction.
@@ -305,10 +309,12 @@ impl ProgramBuilder {
         }
         let mut insns = self.insns.clone();
         for &(at, pending, label) in &self.fixups {
-            let target = *self.bound.get(&label).ok_or(AsmError::UnboundLabel(label))?;
+            let target = *self
+                .bound
+                .get(&label)
+                .ok_or(AsmError::UnboundLabel(label))?;
             let rel = target as i64 - at as i64 - 1;
-            let off =
-                i32::try_from(rel).map_err(|_| AsmError::JumpOutOfRange { at })?;
+            let off = i32::try_from(rel).map_err(|_| AsmError::JumpOutOfRange { at })?;
             insns[at] = match pending {
                 PendingJump::Unconditional => Insn::Jump { off },
                 PendingJump::Conditional { cond, dst, src } => Insn::JumpIf {

@@ -205,10 +205,18 @@ impl fmt::Display for VerifyErrorKind {
             UninitStackRead { off } => write!(f, "read of uninitialized stack at fp{off:+}"),
             BadPointer(r) => write!(f, "{r} is not a valid pointer"),
             PossiblyNull(r) => write!(f, "{r} may be null; null-check required"),
-            MapValueOutOfBounds { map, off, value_size } => {
+            MapValueOutOfBounds {
+                map,
+                off,
+                value_size,
+            } => {
                 write!(f, "{map} value access at {off} outside {value_size} bytes")
             }
-            BadHelperArg { helper, arg, expected } => {
+            BadHelperArg {
+                helper,
+                arg,
+                expected,
+            } => {
                 write!(f, "{helper}: {arg} must be {expected}")
             }
             UnknownKfunc(i) => write!(f, "unknown kfunc #{i}"),
@@ -332,7 +340,10 @@ impl<'a> Verifier<'a> {
             }
             let target = target as usize;
             if target <= pc {
-                return Err(err(VerifyErrorKind::BackEdge { from: pc, to: target }));
+                return Err(err(VerifyErrorKind::BackEdge {
+                    from: pc,
+                    to: target,
+                }));
             }
             Ok(target)
         };
@@ -460,7 +471,12 @@ impl<'a> Verifier<'a> {
                 st.regs[dst.index()] = RegType::Scalar(None);
                 Ok(vec![(pc + 1, st)])
             }
-            Insn::Load { dst, base, off, size } => {
+            Insn::Load {
+                dst,
+                base,
+                off,
+                size,
+            } => {
                 if dst.is_frame_pointer() {
                     return Err(err(VerifyErrorKind::FramePointerWrite));
                 }
@@ -476,7 +492,12 @@ impl<'a> Verifier<'a> {
                 st.regs[dst.index()] = RegType::Scalar(None);
                 Ok(vec![(pc + 1, st)])
             }
-            Insn::Store { base, off, src, size } => {
+            Insn::Store {
+                base,
+                off,
+                src,
+                size,
+            } => {
                 match st.regs[src.index()] {
                     RegType::Scalar(_) => {}
                     RegType::Uninit => return Err(err(VerifyErrorKind::UninitRegister(src))),
@@ -488,7 +509,9 @@ impl<'a> Verifier<'a> {
                 }
                 Ok(vec![(pc + 1, st)])
             }
-            Insn::StoreImm { base, off, size, .. } => {
+            Insn::StoreImm {
+                base, off, size, ..
+            } => {
                 self.check_mem(&st, pc, base, off, size, true)?;
                 if let Some(start) = stack_byte_index(&st.regs[base.index()], off) {
                     st.stack_mark_init(start, size.bytes());
@@ -499,7 +522,12 @@ impl<'a> Verifier<'a> {
                 let target = jump_target(off)?;
                 Ok(vec![(target, st)])
             }
-            Insn::JumpIf { cond, dst, src, off } => {
+            Insn::JumpIf {
+                cond,
+                dst,
+                src,
+                off,
+            } => {
                 let target = jump_target(off)?;
                 let dst_ty = st.regs[dst.index()].clone();
                 if dst_ty == RegType::Uninit {
@@ -618,15 +646,13 @@ impl<'a> Verifier<'a> {
         helper: HelperId,
     ) -> Result<(), VerifyError> {
         let err = |kind| VerifyError { at: Some(pc), kind };
-        let bad = |arg: Reg, expected: &'static str| {
-            VerifyError {
-                at: Some(pc),
-                kind: VerifyErrorKind::BadHelperArg {
-                    helper,
-                    arg,
-                    expected,
-                },
-            }
+        let bad = |arg: Reg, expected: &'static str| VerifyError {
+            at: Some(pc),
+            kind: VerifyErrorKind::BadHelperArg {
+                helper,
+                arg,
+                expected,
+            },
         };
 
         /// Requires `r` to be a stack pointer to `len` initialized
@@ -925,7 +951,9 @@ mod tests {
         let maps = MapSet::new();
         for off in [-520i16, 0, 8] {
             let mut b = ProgramBuilder::new("bad");
-            b.store_imm(Reg::R10, off, 1, AccessSize::B8).mov(Reg::R0, 0).exit();
+            b.store_imm(Reg::R10, off, 1, AccessSize::B8)
+                .mov(Reg::R0, 0)
+                .exit();
             assert!(
                 matches!(
                     verify(&b.build().unwrap(), &maps).unwrap_err().kind,
@@ -940,7 +968,9 @@ mod tests {
     fn misaligned_stack_rejected() {
         let maps = MapSet::new();
         let mut b = ProgramBuilder::new("bad");
-        b.store_imm(Reg::R10, -7, 1, AccessSize::B8).mov(Reg::R0, 0).exit();
+        b.store_imm(Reg::R10, -7, 1, AccessSize::B8)
+            .mov(Reg::R0, 0)
+            .exit();
         assert!(matches!(
             verify(&b.build().unwrap(), &maps).unwrap_err().kind,
             VerifyErrorKind::BadStackAccess { .. }
@@ -1121,7 +1151,9 @@ mod tests {
             .mov(Reg::R3, 3)
             .call_kfunc(0)
             .exit();
-        assert!(Verifier::new(&maps, &kfuncs).verify(&b.build().unwrap()).is_ok());
+        assert!(Verifier::new(&maps, &kfuncs)
+            .verify(&b.build().unwrap())
+            .is_ok());
 
         // Invalid: r3 uninitialized.
         let mut b = ProgramBuilder::new("bad");

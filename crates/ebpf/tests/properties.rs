@@ -29,13 +29,15 @@ fn arb_insn() -> impl Strategy<Value = ArbInsn> {
         (0u8..11, 0u8..12, any::<i8>(), any::<bool>())
             .prop_map(|(a, b, c, d)| ArbInsn::Alu(a, b, c, d)),
         (0u8..11, 0u8..11, -600i16..600, 0u8..4).prop_map(|(a, b, c, d)| ArbInsn::Load(a, b, c, d)),
-        (0u8..11, -600i16..600, 0u8..11, 0u8..4).prop_map(|(a, b, c, d)| ArbInsn::Store(a, b, c, d)),
+        (0u8..11, -600i16..600, 0u8..11, 0u8..4)
+            .prop_map(|(a, b, c, d)| ArbInsn::Store(a, b, c, d)),
         (0u8..11, -600i16..600, any::<i64>(), 0u8..4)
             .prop_map(|(a, b, c, d)| ArbInsn::StoreImm(a, b, c, d)),
         (0u8..11, any::<i64>()).prop_map(|(a, b)| ArbInsn::LoadImm(a, b)),
         (0u8..11, 0u8..8).prop_map(|(a, b)| ArbInsn::LoadCtx(a, b)),
         (0u8..11).prop_map(ArbInsn::LoadMap),
-        (0u8..11, 0u8..11, any::<i64>(), 0u8..11).prop_map(|(a, b, c, d)| ArbInsn::JumpIf(a, b, c, d)),
+        (0u8..11, 0u8..11, any::<i64>(), 0u8..11)
+            .prop_map(|(a, b, c, d)| ArbInsn::JumpIf(a, b, c, d)),
         (0u8..7).prop_map(ArbInsn::Call),
         Just(ArbInsn::Exit),
     ]
@@ -77,9 +79,18 @@ fn build_arbitrary(insns: &[ArbInsn], maps: &MapSet, map_id: snapbpf_ebpf::MapId
         match insn.clone() {
             ArbInsn::Alu(dst, src, imm, wide) => {
                 let op = [
-                    AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Div, AluOp::Mod,
-                    AluOp::Or, AluOp::And, AluOp::Xor, AluOp::Lsh, AluOp::Rsh,
-                    AluOp::Arsh, AluOp::Mov,
+                    AluOp::Add,
+                    AluOp::Sub,
+                    AluOp::Mul,
+                    AluOp::Div,
+                    AluOp::Mod,
+                    AluOp::Or,
+                    AluOp::And,
+                    AluOp::Xor,
+                    AluOp::Lsh,
+                    AluOp::Rsh,
+                    AluOp::Arsh,
+                    AluOp::Mov,
                 ][(src % 12) as usize];
                 let dst = Reg::new(dst % 11);
                 if wide {
@@ -108,8 +119,16 @@ fn build_arbitrary(insns: &[ArbInsn], maps: &MapSet, map_id: snapbpf_ebpf::MapId
             }
             ArbInsn::JumpIf(dst, src, imm, cond) => {
                 let cond = [
-                    JmpCond::Eq, JmpCond::Ne, JmpCond::Gt, JmpCond::Ge, JmpCond::Lt,
-                    JmpCond::Le, JmpCond::SGt, JmpCond::SGe, JmpCond::SLt, JmpCond::SLe,
+                    JmpCond::Eq,
+                    JmpCond::Ne,
+                    JmpCond::Gt,
+                    JmpCond::Ge,
+                    JmpCond::Lt,
+                    JmpCond::Le,
+                    JmpCond::SGt,
+                    JmpCond::SGe,
+                    JmpCond::SLt,
+                    JmpCond::SLe,
                     JmpCond::Set,
                 ][(cond % 11) as usize];
                 let _ = src;

@@ -8,10 +8,7 @@ use snapbpf_ebpf::{
     ProgramBuilder, Reg, Verifier, VerifyErrorKind,
 };
 
-fn verify(
-    build: impl FnOnce(&mut ProgramBuilder),
-    maps: &MapSet,
-) -> Result<(), VerifyErrorKind> {
+fn verify(build: impl FnOnce(&mut ProgramBuilder), maps: &MapSet) -> Result<(), VerifyErrorKind> {
     let mut b = ProgramBuilder::new("edge");
     build(&mut b);
     Verifier::new(maps, &[])
@@ -99,7 +96,9 @@ fn mov32_of_pointer_rejected() {
     let maps = MapSet::new();
     let err = verify(
         |b| {
-            b.alu32(AluOp::Mov, Reg::R1, Reg::R10).mov(Reg::R0, 0).exit();
+            b.alu32(AluOp::Mov, Reg::R1, Reg::R10)
+                .mov(Reg::R0, 0)
+                .exit();
         },
         &maps,
     )
@@ -112,7 +111,10 @@ fn pointer_times_scalar_rejected() {
     let maps = MapSet::new();
     let err = verify(
         |b| {
-            b.mov(Reg::R1, Reg::R10).mul(Reg::R1, 2).mov(Reg::R0, 0).exit();
+            b.mov(Reg::R1, Reg::R10)
+                .mul(Reg::R1, 2)
+                .mov(Reg::R0, 0)
+                .exit();
         },
         &maps,
     )
@@ -268,15 +270,23 @@ fn jset_condition_works_end_to_end() {
         .unwrap()
         .mov(Reg::R0, 1)
         .exit();
-    let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+    let p = Verifier::new(&maps, &[])
+        .verify(&b.build().unwrap())
+        .unwrap();
     let mut maps = maps;
     let mut interp = Interpreter::new();
     assert_eq!(
-        interp.run(&p, &[0b110], &mut maps, &mut NoKfuncs).unwrap().return_value,
+        interp
+            .run(&p, &[0b110], &mut maps, &mut NoKfuncs)
+            .unwrap()
+            .return_value,
         1
     );
     assert_eq!(
-        interp.run(&p, &[0b011], &mut maps, &mut NoKfuncs).unwrap().return_value,
+        interp
+            .run(&p, &[0b011], &mut maps, &mut NoKfuncs)
+            .unwrap()
+            .return_value,
         0
     );
 }
@@ -305,14 +315,22 @@ fn exhaustive_alu_on_stack_slots() {
             .store(Reg::R10, -16, Reg::R1, AccessSize::B8)
             .load(Reg::R0, Reg::R10, -16, AccessSize::B8)
             .exit();
-        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+        let p = Verifier::new(&maps, &[])
+            .verify(&b.build().unwrap())
+            .unwrap();
         let mut m = MapSet::new();
-        let out = Interpreter::new().run(&p, &[], &mut m, &mut NoKfuncs).unwrap();
+        let out = Interpreter::new()
+            .run(&p, &[], &mut m, &mut NoKfuncs)
+            .unwrap();
         // Cross-check against direct register arithmetic.
         let mut b2 = ProgramBuilder::new("direct");
         b2.load_imm64(Reg::R0, -1234).alu(op, Reg::R0, 7i64).exit();
-        let p2 = Verifier::new(&maps, &[]).verify(&b2.build().unwrap()).unwrap();
-        let direct = Interpreter::new().run(&p2, &[], &mut m, &mut NoKfuncs).unwrap();
+        let p2 = Verifier::new(&maps, &[])
+            .verify(&b2.build().unwrap())
+            .unwrap();
+        let direct = Interpreter::new()
+            .run(&p2, &[], &mut m, &mut NoKfuncs)
+            .unwrap();
         assert_eq!(out.return_value, direct.return_value, "{op:?}");
     }
 }

@@ -1,0 +1,135 @@
+//! Fleet run configuration.
+
+use snapbpf::{DeviceKind, StrategyKind};
+use snapbpf_sim::{ArrivalProcess, SimDuration};
+use snapbpf_workloads::FunctionMix;
+
+/// What to do with an arrival that finds the admission queue full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Reject the incoming request (classic bounded-queue tail drop).
+    #[default]
+    DropNewest,
+    /// Drop the oldest queued request to admit the incoming one
+    /// (freshness-biased shedding).
+    DropOldest,
+}
+
+/// Configuration of one trace-driven fleet run on a single host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// The restore strategy cold starts go through.
+    pub strategy: StrategyKind,
+    /// Storage device of the host.
+    pub device: DeviceKind,
+    /// Workload size scale in `(0, 1]` (as in
+    /// [`snapbpf::RunConfig`]).
+    pub scale: f64,
+    /// The arrival process generating invocation request times.
+    pub arrival: ArrivalProcess,
+    /// Which function each arrival invokes.
+    pub mix: FunctionMix,
+    /// Arrival horizon: requests arrive in `[0, duration)` of the
+    /// invocation phase; in-flight work then drains to completion.
+    pub duration: SimDuration,
+    /// RNG seed for arrivals and function picks.
+    pub seed: u64,
+    /// Maximum invocations in flight (running or restoring); beyond
+    /// it requests queue.
+    pub max_concurrency: usize,
+    /// Admission-queue depth; beyond it requests are shed.
+    pub queue_depth: usize,
+    /// The shed policy for a full queue.
+    pub shed: ShedPolicy,
+    /// Keep-alive TTL of idle sandboxes.
+    pub keepalive_ttl: SimDuration,
+    /// Maximum parked idle sandboxes (LRU beyond; 0 = every start is
+    /// cold).
+    pub pool_capacity: usize,
+    /// Optional host-memory cap in pages (`None` = kernel default).
+    pub memory_pages: Option<u64>,
+}
+
+impl FleetConfig {
+    /// A baseline configuration for `n_functions` functions: Poisson
+    /// arrivals at `rate_rps` under an Azure-like popularity mix,
+    /// 2 s of arrivals, 8-deep concurrency, 64-deep queue, and a
+    /// keep-alive pool of 8 sandboxes with a 1 s TTL.
+    pub fn new(strategy: StrategyKind, n_functions: usize, rate_rps: f64) -> FleetConfig {
+        FleetConfig {
+            strategy,
+            device: DeviceKind::Sata5300,
+            scale: 0.05,
+            arrival: ArrivalProcess::Poisson { rate_rps },
+            mix: FunctionMix::azure_like(n_functions),
+            duration: SimDuration::from_secs(2),
+            seed: 42,
+            max_concurrency: 8,
+            queue_depth: 64,
+            shed: ShedPolicy::DropNewest,
+            keepalive_ttl: SimDuration::from_secs(1),
+            pool_capacity: 8,
+            memory_pages: None,
+        }
+    }
+
+    /// Same configuration with pooling disabled (pure cold-start
+    /// regime — the paper's focus).
+    #[must_use]
+    pub fn cold_only(mut self) -> FleetConfig {
+        self.pool_capacity = 0;
+        self
+    }
+
+    /// Same configuration with a different keep-alive pool.
+    #[must_use]
+    pub fn with_pool(mut self, capacity: usize, ttl: SimDuration) -> FleetConfig {
+        self.pool_capacity = capacity;
+        self.keepalive_ttl = ttl;
+        self
+    }
+
+    /// Same configuration at a different workload scale.
+    #[must_use]
+    pub fn at_scale(mut self, scale: f64) -> FleetConfig {
+        self.scale = scale;
+        self
+    }
+
+    /// Same configuration on a different device.
+    #[must_use]
+    pub fn on(mut self, device: DeviceKind) -> FleetConfig {
+        self.device = device;
+        self
+    }
+
+    /// Same configuration with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> FleetConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let cfg = FleetConfig::new(StrategyKind::SnapBpf, 14, 50.0)
+            .cold_only()
+            .at_scale(0.1)
+            .on(DeviceKind::Nvme)
+            .with_seed(7);
+        assert_eq!(cfg.pool_capacity, 0);
+        assert_eq!(cfg.scale, 0.1);
+        assert_eq!(cfg.device, DeviceKind::Nvme);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.mix.len(), 14);
+
+        let pooled = cfg.with_pool(4, SimDuration::from_millis(500));
+        assert_eq!(pooled.pool_capacity, 4);
+        assert_eq!(pooled.keepalive_ttl, SimDuration::from_millis(500));
+    }
+}

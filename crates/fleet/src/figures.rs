@@ -1,0 +1,260 @@
+//! The F1x fleet experiments: figures beyond the paper's
+//! single-batch evaluation, showing how the restore strategies behave
+//! under an open-loop request stream (see `EXPERIMENTS.md`).
+
+use snapbpf::{DeviceKind, FigureData, StrategyError, StrategyKind};
+use snapbpf_sim::SimDuration;
+use snapbpf_workloads::Workload;
+
+use crate::{run_fleet, FleetConfig, FleetResult};
+
+/// Configuration shared by the fleet figure generators.
+#[derive(Debug, Clone)]
+pub struct FleetFigureConfig {
+    /// Workload size scale in `(0, 1]`.
+    pub scale: f64,
+    /// The functions in the fleet (paper suite: all 14).
+    pub workloads: Vec<Workload>,
+    /// Arrival horizon per run.
+    pub duration: SimDuration,
+    /// Arrival rates swept by [`fleet_sweep`], in requests/s.
+    pub rates_rps: Vec<f64>,
+    /// Keep-alive TTLs swept by [`fleet_keepalive`].
+    pub ttls: Vec<SimDuration>,
+    /// Storage device of the host.
+    pub device: DeviceKind,
+}
+
+impl FleetFigureConfig {
+    /// Full-suite configuration sized for offline figure generation.
+    pub fn paper(scale: f64) -> FleetFigureConfig {
+        FleetFigureConfig {
+            scale,
+            workloads: Workload::suite(),
+            duration: SimDuration::from_secs(2),
+            rates_rps: vec![10.0, 20.0, 40.0, 80.0, 160.0, 320.0],
+            ttls: vec![
+                SimDuration::from_millis(0),
+                SimDuration::from_millis(250),
+                SimDuration::from_millis(1000),
+                SimDuration::from_millis(4000),
+            ],
+            device: DeviceKind::Sata5300,
+        }
+    }
+
+    /// A reduced configuration for quick runs and tests.
+    pub fn quick(scale: f64) -> FleetFigureConfig {
+        FleetFigureConfig {
+            scale,
+            workloads: Workload::suite().into_iter().take(4).collect(),
+            duration: SimDuration::from_millis(400),
+            rates_rps: vec![20.0, 60.0, 180.0],
+            ttls: vec![SimDuration::from_millis(0), SimDuration::from_millis(500)],
+            device: DeviceKind::Sata5300,
+        }
+    }
+
+    fn base(&self, kind: StrategyKind, rate_rps: f64) -> FleetConfig {
+        let mut cfg = FleetConfig::new(kind, self.workloads.len(), rate_rps);
+        cfg.scale = self.scale;
+        cfg.duration = self.duration;
+        cfg.device = self.device;
+        cfg
+    }
+}
+
+/// The highest swept rate whose p99 stays within `knee` times the
+/// lowest-rate p99 — the "sustained rate" before the latency knee.
+fn sustained_rps(rates: &[f64], p99s: &[f64], knee: f64) -> f64 {
+    let base = p99s.first().copied().unwrap_or(0.0).max(1e-12);
+    rates
+        .iter()
+        .zip(p99s)
+        .take_while(|(_, p99)| **p99 <= knee * base)
+        .map(|(r, _)| *r)
+        .last()
+        .unwrap_or(0.0)
+}
+
+/// F1a `fleet-sweep`: p99 end-to-end latency vs arrival rate in the
+/// pure cold-start regime, REAP vs SnapBPF. REAP's per-start
+/// working-set reads are uncacheable, so the shared disk saturates
+/// and its p99 knees at a much lower offered load; SnapBPF's
+/// cold starts share the page cache and sustain more. The meta keys
+/// `sustained-rps-<label>` record the knee rates.
+///
+/// # Errors
+///
+/// Strategy errors propagate.
+pub fn fleet_sweep(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyError> {
+    let mut fig = FigureData::new(
+        "fleet-sweep",
+        "Fleet p99 E2E latency vs arrival rate (cold starts only)",
+        "s",
+        cfg.rates_rps.iter().map(|r| format!("{r}rps")).collect(),
+    );
+    for kind in [StrategyKind::Reap, StrategyKind::SnapBpf] {
+        let mut p99s = Vec::with_capacity(cfg.rates_rps.len());
+        let mut cold_ratios = Vec::with_capacity(cfg.rates_rps.len());
+        let mut queue_waits = Vec::with_capacity(cfg.rates_rps.len());
+        for &rate in &cfg.rates_rps {
+            let r = run_fleet(&cfg.base(kind, rate).cold_only(), &cfg.workloads)?;
+            p99s.push(r.aggregate.e2e_percentile_secs(99.0));
+            cold_ratios.push(r.aggregate.cold_start_ratio());
+            queue_waits.push(r.aggregate.queue_wait_mean_secs());
+        }
+        fig.set_meta(
+            &format!("sustained-rps-{}", kind.label()),
+            sustained_rps(&cfg.rates_rps, &p99s, 3.0),
+        );
+        fig.push_series(kind.label(), p99s);
+        fig.push_series(&format!("{}-cold-ratio", kind.label()), cold_ratios);
+        fig.push_series(&format!("{}-queue-wait-s", kind.label()), queue_waits);
+    }
+    Ok(fig)
+}
+
+/// F1b `fleet-breakdown`: per-function cold-start ratio and latency
+/// breakdown (queue wait / restore / execute means) for one SnapBPF
+/// fleet run with the default keep-alive pool under the Azure-like
+/// popularity mix. Popular functions stay warm; tail functions pay
+/// the cold path.
+///
+/// # Errors
+///
+/// Strategy errors propagate.
+pub fn fleet_breakdown(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyError> {
+    let rate = cfg.rates_rps.last().copied().unwrap_or(80.0);
+    let r = run_fleet(&cfg.base(StrategyKind::SnapBpf, rate), &cfg.workloads)?;
+    let mut fig = FigureData::new(
+        "fleet-breakdown",
+        "Per-function cold-start ratio and latency breakdown (SnapBPF)",
+        "s",
+        cfg.workloads.iter().map(|w| w.name().to_owned()).collect(),
+    );
+    fig.push_series(
+        "cold-start-ratio",
+        r.per_function
+            .iter()
+            .map(|f| f.cold_start_ratio())
+            .collect(),
+    );
+    fig.push_series(
+        "queue-wait-mean-s",
+        r.per_function
+            .iter()
+            .map(|f| f.queue_wait_mean_secs())
+            .collect(),
+    );
+    fig.push_series(
+        "restore-mean-s",
+        r.per_function
+            .iter()
+            .map(|f| f.restore_mean_secs())
+            .collect(),
+    );
+    fig.push_series(
+        "exec-mean-s",
+        r.per_function.iter().map(|f| f.exec_mean_secs()).collect(),
+    );
+    fig.set_meta("arrival-rps", rate);
+    fig.set_meta("mem-hwm-mib", r.mem_hwm_bytes as f64 / (1u64 << 20) as f64);
+    fig.set_meta("disk-read-mibps", r.read_mibps());
+    Ok(fig)
+}
+
+/// F1c `fleet-keepalive`: cold-start ratio and p95 latency across
+/// keep-alive TTLs for small and large pool capacities (SnapBPF).
+/// Longer TTLs and bigger pools trade host memory (reported as meta
+/// high-water marks) for fewer cold starts.
+///
+/// # Errors
+///
+/// Strategy errors propagate.
+pub fn fleet_keepalive(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyError> {
+    let rate = cfg.rates_rps.last().copied().unwrap_or(80.0);
+    let mut fig = FigureData::new(
+        "fleet-keepalive",
+        "Cold-start ratio vs keep-alive TTL (SnapBPF)",
+        "ratio",
+        cfg.ttls
+            .iter()
+            .map(|t| format!("{}ms", t.as_secs_f64() * 1e3))
+            .collect(),
+    );
+    fig.set_meta("arrival-rps", rate);
+    for capacity in [2usize, 8] {
+        let mut ratios = Vec::with_capacity(cfg.ttls.len());
+        let mut p95s = Vec::with_capacity(cfg.ttls.len());
+        let mut hwm = 0u64;
+        for &ttl in &cfg.ttls {
+            let r: FleetResult = run_fleet(
+                &cfg.base(StrategyKind::SnapBpf, rate)
+                    .with_pool(capacity, ttl),
+                &cfg.workloads,
+            )?;
+            ratios.push(r.aggregate.cold_start_ratio());
+            p95s.push(r.aggregate.e2e_percentile_secs(95.0));
+            hwm = hwm.max(r.mem_hwm_bytes);
+        }
+        fig.push_series(&format!("pool{capacity}-cold-ratio"), ratios);
+        fig.push_series(&format!("pool{capacity}-p95-s"), p95s);
+        fig.set_meta(
+            &format!("mem-hwm-mib-pool{capacity}"),
+            hwm as f64 / (1u64 << 20) as f64,
+        );
+    }
+    Ok(fig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_and_shows_reap_knee() {
+        let cfg = FleetFigureConfig::quick(0.02);
+        let a = fleet_sweep(&cfg).unwrap();
+        let b = fleet_sweep(&cfg).unwrap();
+        assert_eq!(
+            a.to_json().unwrap(),
+            b.to_json().unwrap(),
+            "fleet-sweep must be bit-identical across runs"
+        );
+        let reap = a.meta_value("sustained-rps-REAP").unwrap();
+        let snapbpf = a.meta_value("sustained-rps-SnapBPF").unwrap();
+        assert!(
+            snapbpf >= reap,
+            "SnapBPF must sustain at least REAP's rate (snapbpf {snapbpf} vs reap {reap})"
+        );
+    }
+
+    #[test]
+    fn breakdown_covers_every_function() {
+        let cfg = FleetFigureConfig::quick(0.02);
+        let fig = fleet_breakdown(&cfg).unwrap();
+        let ratios = fig.series_values("cold-start-ratio").unwrap();
+        assert_eq!(ratios.len(), cfg.workloads.len());
+        assert!(ratios.iter().all(|r| (0.0..=1.0).contains(r)));
+        assert!(fig.series_values("queue-wait-mean-s").is_some());
+        assert!(fig.meta_value("mem-hwm-mib").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn keepalive_longer_ttl_not_colder() {
+        let cfg = FleetFigureConfig::quick(0.02);
+        let fig = fleet_keepalive(&cfg).unwrap();
+        for capacity in [2, 8] {
+            let ratios = fig
+                .series_values(&format!("pool{capacity}-cold-ratio"))
+                .unwrap();
+            let first = ratios.first().copied().unwrap();
+            let last = ratios.last().copied().unwrap();
+            assert!(
+                last <= first + 1e-12,
+                "longer TTL must not raise the cold ratio (pool {capacity}: {first} -> {last})"
+            );
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! # snapbpf-fleet — trace-driven serverless fleet simulation
+//!
+//! The paper evaluates each restore strategy on isolated invocation
+//! batches; this crate closes the loop to what a FaaS host actually
+//! experiences: an open-loop stream of invocation requests over many
+//! functions, contending for one disk, one page cache, and a bounded
+//! sandbox budget.
+//!
+//! A fleet run wires together:
+//!
+//! * an **arrival process** ([`snapbpf_sim::ArrivalProcess`]) and a
+//!   **function popularity mix**
+//!   ([`snapbpf_workloads::FunctionMix`]) deciding when requests
+//!   arrive and which function they invoke;
+//! * a **per-host control plane**: a bounded admission queue with a
+//!   configurable shed policy, a keep-alive [`SandboxPool`] with TTL
+//!   expiry and LRU eviction, and a restore scheduler that drives
+//!   cold starts through any [`snapbpf::Strategy`] onto the shared
+//!   [`snapbpf_kernel::HostKernel`];
+//! * **fleet metrics** ([`FleetResult`]): per-function and aggregate
+//!   p50/p95/p99, cold-start ratio, queueing/restore/compute latency
+//!   breakdown, host-memory high-water mark, and disk throughput.
+//!
+//! Determinism: the run is a pure function of ([`FleetConfig`],
+//! workload list). Events execute in virtual-time order (the
+//! globally earliest of next-arrival and earliest in-flight vCPU
+//! clock), so disk submissions stay monotone exactly as in the
+//! paper-figure engine (DESIGN.md §5).
+//!
+//! ## Examples
+//!
+//! ```
+//! use snapbpf::StrategyKind;
+//! use snapbpf_fleet::{run_fleet, FleetConfig};
+//! use snapbpf_sim::SimDuration;
+//! use snapbpf_workloads::Workload;
+//!
+//! let workloads: Vec<Workload> = Workload::suite().into_iter().take(3).collect();
+//! let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, workloads.len(), 30.0);
+//! cfg.scale = 0.02;
+//! cfg.duration = SimDuration::from_millis(300);
+//! let result = run_fleet(&cfg, &workloads).unwrap();
+//! assert_eq!(result.aggregate.completions,
+//!            result.per_function.iter().map(|f| f.completions).sum::<u64>());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use snapbpf::{FunctionCtx, Strategy, StrategyError};
+use snapbpf_kernel::{HostKernel, KernelConfig};
+use snapbpf_mem::OwnerId;
+use snapbpf_sim::{SimTime, SplitMix64};
+use snapbpf_storage::{Disk, IoTracer};
+use snapbpf_vmm::{InvocationCursor, MicroVm, Snapshot, UffdResolver};
+use snapbpf_workloads::{InvocationTrace, Workload};
+
+mod config;
+pub mod figures;
+mod metrics;
+mod pool;
+
+pub use config::{FleetConfig, ShedPolicy};
+pub use metrics::{FleetResult, FuncStats};
+pub use pool::SandboxPool;
+
+/// One invocation request.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    at: SimTime,
+    func: usize,
+}
+
+/// A parked warm sandbox: the microVM plus its fault resolver.
+type Parked = (MicroVm, Box<dyn UffdResolver>);
+
+/// An in-flight invocation.
+struct Active {
+    cursor: InvocationCursor,
+    func: usize,
+    arrival: SimTime,
+    dispatch: SimTime,
+    cold: bool,
+}
+
+/// Host state shared by the scheduling steps of a fleet run.
+struct Fleet<'a> {
+    host: HostKernel,
+    funcs: Vec<FunctionCtx>,
+    strategies: Vec<Box<dyn Strategy>>,
+    traces: Vec<InvocationTrace>,
+    cfg: &'a FleetConfig,
+    pool: SandboxPool<Parked>,
+    active: Vec<Active>,
+    pending: VecDeque<Request>,
+    per_func: Vec<FuncStats>,
+    owner_seq: u32,
+    mem_hwm_bytes: u64,
+    last_completion: SimTime,
+}
+
+impl Fleet<'_> {
+    fn teardown_parked(&mut self, parked: Vec<Parked>) -> Result<(), StrategyError> {
+        for (mut vm, _resolver) in parked {
+            vm.kvm_mut().teardown(&mut self.host)?;
+        }
+        Ok(())
+    }
+
+    fn sample_memory(&mut self) {
+        let bytes = self.host.memory_snapshot().total_bytes();
+        self.mem_hwm_bytes = self.mem_hwm_bytes.max(bytes);
+    }
+
+    /// Starts `req` at `now`: warm from the pool when possible,
+    /// otherwise a cold start through the strategy's restore path.
+    fn dispatch(&mut self, req: Request, now: SimTime) -> Result<(), StrategyError> {
+        let (cursor, cold) = match self.pool.checkout(req.func, now) {
+            Some((vm, resolver)) => (
+                InvocationCursor::new(now, vm, resolver, self.traces[req.func].clone()),
+                false,
+            ),
+            None => {
+                let owner = OwnerId::new(self.owner_seq);
+                self.owner_seq += 1;
+                let restored = self.strategies[req.func].restore(
+                    now,
+                    &mut self.host,
+                    &self.funcs[req.func],
+                    owner,
+                )?;
+                (
+                    InvocationCursor::new(
+                        restored.ready_at,
+                        restored.vm,
+                        restored.resolver,
+                        self.traces[req.func].clone(),
+                    ),
+                    true,
+                )
+            }
+        };
+        self.active.push(Active {
+            cursor,
+            func: req.func,
+            arrival: req.at,
+            dispatch: now,
+            cold,
+        });
+        self.sample_memory();
+        Ok(())
+    }
+
+    /// Admits, queues, or sheds a fresh arrival.
+    fn handle_arrival(&mut self, req: Request) -> Result<(), StrategyError> {
+        self.per_func[req.func].arrivals += 1;
+        let expired = self.pool.expire(req.at);
+        self.teardown_parked(expired)?;
+        if self.active.len() < self.cfg.max_concurrency {
+            self.dispatch(req, req.at)?;
+        } else if self.pending.len() < self.cfg.queue_depth {
+            self.pending.push_back(req);
+        } else {
+            match self.cfg.shed {
+                ShedPolicy::DropNewest => self.per_func[req.func].shed += 1,
+                ShedPolicy::DropOldest => {
+                    let old = self.pending.pop_front().expect("full queue is non-empty");
+                    self.per_func[old.func].shed += 1;
+                    self.pending.push_back(req);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Completes the finished invocation at `active[i]`: records its
+    /// latency breakdown, parks the sandbox, and dispatches queued
+    /// work into the freed slot.
+    fn finalize(&mut self, i: usize) -> Result<(), StrategyError> {
+        let done = self.active.swap_remove(i);
+        let end = done.cursor.clock();
+        let exec_start = done.cursor.start();
+        let (vm, resolver, _result) = done.cursor.finish();
+        self.per_func[done.func].record(
+            done.cold,
+            end.saturating_since(done.arrival),
+            done.dispatch.saturating_since(done.arrival),
+            exec_start.saturating_since(done.dispatch),
+            end.saturating_since(exec_start),
+        );
+        self.last_completion = self.last_completion.max(end);
+        self.sample_memory();
+
+        let expired = self.pool.expire(end);
+        self.teardown_parked(expired)?;
+        let evicted = self.pool.checkin(done.func, (vm, resolver), end);
+        self.teardown_parked(evicted)?;
+
+        if let Some(req) = self.pending.pop_front() {
+            self.dispatch(req, end)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs one fleet simulation (see the crate docs for the model).
+///
+/// `cfg.mix` must cover exactly `workloads.len()` functions.
+///
+/// # Errors
+///
+/// Strategy and kernel errors propagate (including memory exhaustion
+/// under a configured host-memory cap).
+///
+/// # Panics
+///
+/// Panics if the mix size does not match the workload count or
+/// `max_concurrency` is zero.
+pub fn run_fleet(cfg: &FleetConfig, workloads: &[Workload]) -> Result<FleetResult, StrategyError> {
+    assert_eq!(
+        cfg.mix.len(),
+        workloads.len(),
+        "function mix must cover the workload list"
+    );
+    assert!(cfg.max_concurrency > 0, "need at least one sandbox slot");
+
+    let mut kernel_config = KernelConfig::default();
+    if let Some(pages) = cfg.memory_pages {
+        kernel_config.total_memory_pages = pages;
+    }
+    let mut host = HostKernel::new(Disk::new(cfg.device.build()), kernel_config);
+
+    // Setup: snapshot + record every function, sequentially in
+    // virtual time (as the colocated runner does).
+    let mut t = SimTime::ZERO;
+    let mut funcs = Vec::with_capacity(workloads.len());
+    let mut strategies: Vec<Box<dyn Strategy>> = Vec::with_capacity(workloads.len());
+    let mut traces = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        let w = w.scaled(cfg.scale);
+        let (snapshot, t_snap) = Snapshot::create(t, w.name(), w.snapshot_pages(), &mut host)?;
+        let func = FunctionCtx {
+            workload: w,
+            snapshot,
+        };
+        let mut strategy = cfg.strategy.build();
+        t = strategy.record(t_snap, &mut host, &func)?;
+        traces.push(func.workload.trace());
+        funcs.push(func);
+        strategies.push(strategy);
+    }
+
+    // The invocation phase starts cache-cold with fresh I/O
+    // accounting.
+    host.drop_all_caches()?;
+    host.disk_mut().set_tracer(IoTracer::summary_only());
+    let t0 = t;
+
+    // Pre-draw the whole arrival schedule: times from the arrival
+    // process, function choices from the popularity mix.
+    let mut pick_rng = SplitMix64::new(cfg.seed ^ 0xF1EE_7B00_57A7_1C5E);
+    let arrivals: Vec<Request> = cfg
+        .arrival
+        .generator(cfg.seed)
+        .take_until(SimTime::ZERO + cfg.duration)
+        .into_iter()
+        .map(|at| Request {
+            at: t0 + at.saturating_since(SimTime::ZERO),
+            func: cfg.mix.pick(&mut pick_rng),
+        })
+        .collect();
+    let first_arrival = arrivals.first().map(|r| r.at).unwrap_or(t0);
+
+    let mut fleet = Fleet {
+        host,
+        funcs,
+        strategies,
+        traces,
+        cfg,
+        pool: SandboxPool::new(cfg.pool_capacity, cfg.keepalive_ttl),
+        active: Vec::new(),
+        pending: VecDeque::new(),
+        per_func: workloads.iter().map(|w| FuncStats::new(w.name())).collect(),
+        owner_seq: 0,
+        mem_hwm_bytes: 0,
+        last_completion: t0,
+    };
+
+    // Main loop: always execute the globally earliest event — the
+    // next arrival or the earliest in-flight vCPU clock (completion
+    // bookkeeping happens at the finished invocation's clock).
+    let mut arrival_iter = arrivals.into_iter().peekable();
+    loop {
+        let next_active = fleet
+            .active
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, a)| (a.cursor.clock(), *i))
+            .map(|(i, a)| (i, a.cursor.clock()));
+        let next_arrival = arrival_iter.peek().map(|r| r.at);
+        match (next_active, next_arrival) {
+            (None, None) => break,
+            (Some((i, tc)), ta) if ta.is_none_or(|ta| tc <= ta) => {
+                if fleet.active[i].cursor.is_done() {
+                    fleet.finalize(i)?;
+                } else {
+                    fleet.active[i]
+                        .cursor
+                        .step(&mut fleet.host)
+                        .map_err(StrategyError::Kernel)?;
+                }
+            }
+            _ => {
+                let req = arrival_iter.next().expect("peeked arrival");
+                fleet.handle_arrival(req)?;
+            }
+        }
+    }
+    debug_assert!(
+        fleet.pending.is_empty(),
+        "queued work cannot outlive all in-flight invocations"
+    );
+
+    // End of run: tear every parked sandbox down and verify the
+    // host's memory accounting closed.
+    let parked = fleet.pool.drain();
+    fleet.teardown_parked(parked)?;
+    debug_assert_eq!(fleet.host.accounting_discrepancy(), 0);
+
+    let mut aggregate = FuncStats::new("all");
+    for f in &fleet.per_func {
+        aggregate.merge(f);
+    }
+    Ok(FleetResult {
+        strategy: cfg.strategy.label(),
+        per_function: fleet.per_func,
+        aggregate,
+        mem_hwm_bytes: fleet.mem_hwm_bytes,
+        read_bytes: fleet.host.disk().tracer().read_bytes(),
+        write_bytes: fleet.host.disk().tracer().write_bytes(),
+        span: fleet.last_completion.saturating_since(first_arrival),
+        pool_evictions: fleet.pool.evictions(),
+        pool_expirations: fleet.pool.expirations(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapbpf::StrategyKind;
+    use snapbpf_sim::SimDuration;
+
+    fn small_suite() -> Vec<Workload> {
+        ["json", "html", "pyaes"]
+            .iter()
+            .map(|n| Workload::by_name(n).expect("suite function"))
+            .collect()
+    }
+
+    fn small_cfg(kind: StrategyKind, rate: f64) -> FleetConfig {
+        let mut cfg = FleetConfig::new(kind, 3, rate);
+        cfg.scale = 0.02;
+        cfg.duration = SimDuration::from_millis(500);
+        cfg
+    }
+
+    #[test]
+    fn fleet_completes_everything_it_admits() {
+        let w = small_suite();
+        let r = run_fleet(&small_cfg(StrategyKind::SnapBpf, 40.0), &w).unwrap();
+        assert!(r.aggregate.arrivals > 0);
+        assert_eq!(
+            r.aggregate.completions + r.aggregate.shed,
+            r.aggregate.arrivals
+        );
+        assert_eq!(
+            r.aggregate.cold_starts + r.aggregate.warm_starts,
+            r.aggregate.completions
+        );
+        assert!(r.span > SimDuration::ZERO);
+        assert!(r.mem_hwm_bytes > 0);
+        assert_eq!(r.per_function.len(), 3);
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let w = small_suite();
+        let cfg = small_cfg(StrategyKind::Reap, 30.0);
+        let a = run_fleet(&cfg, &w).unwrap();
+        let b = run_fleet(&cfg, &w).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keepalive_pool_produces_warm_starts() {
+        let w = small_suite();
+        let cfg = small_cfg(StrategyKind::SnapBpf, 60.0);
+        let pooled = run_fleet(&cfg, &w).unwrap();
+        assert!(
+            pooled.aggregate.warm_starts > 0,
+            "a keep-alive pool must serve warm starts at 60 rps"
+        );
+        let cold = run_fleet(&cfg.clone().cold_only(), &w).unwrap();
+        assert_eq!(cold.aggregate.warm_starts, 0);
+        assert_eq!(cold.aggregate.cold_start_ratio(), 1.0);
+        assert!(
+            pooled.aggregate.cold_start_ratio() < cold.aggregate.cold_start_ratio(),
+            "pooling must reduce the cold-start ratio"
+        );
+        // Warm starts skip the restore path entirely.
+        assert!(
+            pooled.aggregate.e2e_percentile_secs(50.0) <= cold.aggregate.e2e_percentile_secs(50.0)
+        );
+    }
+
+    #[test]
+    fn overload_sheds_and_queues() {
+        let w = small_suite();
+        let mut cfg = small_cfg(StrategyKind::Reap, 400.0);
+        cfg.max_concurrency = 2;
+        cfg.queue_depth = 4;
+        cfg.pool_capacity = 0;
+        let r = run_fleet(&cfg, &w).unwrap();
+        assert!(r.aggregate.shed > 0, "400 rps into 2 slots must shed");
+        assert!(
+            r.aggregate.queue_wait_mean_secs() > 0.0,
+            "overload must produce queueing delay"
+        );
+        // DropOldest sheds the same *number* under identical load.
+        let mut old = cfg.clone();
+        old.shed = ShedPolicy::DropOldest;
+        let r_old = run_fleet(&old, &w).unwrap();
+        assert_eq!(
+            r.aggregate.arrivals, r_old.aggregate.arrivals,
+            "same arrival schedule"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mix must cover")]
+    fn mismatched_mix_panics() {
+        let cfg = FleetConfig::new(StrategyKind::SnapBpf, 2, 10.0);
+        let _ = run_fleet(&cfg, &small_suite());
+    }
+}

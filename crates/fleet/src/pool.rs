@@ -1,0 +1,204 @@
+//! Keep-alive sandbox pool.
+//!
+//! A FaaS host parks finished sandboxes instead of tearing them down
+//! so the next invocation of the same function starts warm. Real
+//! controllers bound that memory: each idle sandbox expires after a
+//! keep-alive TTL, and the pool as a whole holds at most `capacity`
+//! sandboxes, evicting least-recently-used entries beyond it.
+//!
+//! The pool is generic over the parked payload so its eviction logic
+//! is testable without building microVMs; the fleet driver parks
+//! `(MicroVm, resolver)` pairs.
+
+use snapbpf_sim::{SimDuration, SimTime};
+
+struct Entry<T> {
+    func: usize,
+    payload: T,
+    last_used: SimTime,
+    /// Insertion sequence number: deterministic LRU tie-break when
+    /// two entries share a `last_used` instant.
+    seq: u64,
+}
+
+/// A bounded keep-alive pool of idle sandboxes (see module docs).
+pub struct SandboxPool<T> {
+    entries: Vec<Entry<T>>,
+    capacity: usize,
+    ttl: SimDuration,
+    seq: u64,
+    evictions: u64,
+    expirations: u64,
+}
+
+impl<T> SandboxPool<T> {
+    /// An empty pool holding at most `capacity` sandboxes, each for
+    /// at most `ttl` after its last use. Capacity 0 disables keeping
+    /// sandboxes entirely (every check-in comes straight back as an
+    /// eviction).
+    pub fn new(capacity: usize, ttl: SimDuration) -> SandboxPool<T> {
+        SandboxPool {
+            entries: Vec::new(),
+            capacity,
+            ttl,
+            seq: 0,
+            evictions: 0,
+            expirations: 0,
+        }
+    }
+
+    /// Number of parked sandboxes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// LRU evictions so far (capacity pressure, not TTL).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// TTL expirations so far.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+
+    /// Takes the most-recently-used live sandbox of `func`, if any.
+    /// Expired entries are discarded first (the caller gets them for
+    /// teardown via [`SandboxPool::expire`]; checkout never returns
+    /// one).
+    pub fn checkout(&mut self, func: usize, now: SimTime) -> Option<T> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.func == func && now.saturating_since(e.last_used) < self.ttl)
+            .max_by_key(|(_, e)| (e.last_used, e.seq))
+            .map(|(i, _)| i)?;
+        Some(self.entries.swap_remove(best).payload)
+    }
+
+    /// Parks a sandbox at `now`. Returns everything evicted to honor
+    /// the capacity bound (LRU order; the parked sandbox itself when
+    /// capacity is 0).
+    pub fn checkin(&mut self, func: usize, payload: T, now: SimTime) -> Vec<T> {
+        self.entries.push(Entry {
+            func,
+            payload,
+            last_used: now,
+            seq: self.seq,
+        });
+        self.seq += 1;
+        let mut evicted = Vec::new();
+        while self.entries.len() > self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.last_used, e.seq))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            evicted.push(self.entries.swap_remove(lru).payload);
+            self.evictions += 1;
+        }
+        evicted
+    }
+
+    /// Removes and returns every sandbox idle since before
+    /// `now - ttl` (for teardown).
+    pub fn expire(&mut self, now: SimTime) -> Vec<T> {
+        let ttl = self.ttl;
+        let mut expired = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if now.saturating_since(self.entries[i].last_used) >= ttl {
+                expired.push(self.entries.swap_remove(i).payload);
+                self.expirations += 1;
+            } else {
+                i += 1;
+            }
+        }
+        expired
+    }
+
+    /// Empties the pool (end-of-run teardown).
+    pub fn drain(&mut self) -> Vec<T> {
+        self.entries.drain(..).map(|e| e.payload).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TTL: SimDuration = SimDuration::from_secs(1);
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn checkout_prefers_most_recent_of_function() {
+        let mut p: SandboxPool<u32> = SandboxPool::new(8, TTL);
+        p.checkin(0, 10, at(0));
+        p.checkin(0, 11, at(100));
+        p.checkin(1, 20, at(50));
+        assert_eq!(p.checkout(0, at(200)), Some(11));
+        assert_eq!(p.checkout(0, at(200)), Some(10));
+        assert_eq!(p.checkout(0, at(200)), None);
+        assert_eq!(p.checkout(1, at(200)), Some(20));
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut p: SandboxPool<u32> = SandboxPool::new(2, TTL);
+        assert!(p.checkin(0, 1, at(0)).is_empty());
+        assert!(p.checkin(1, 2, at(10)).is_empty());
+        let evicted = p.checkin(2, 3, at(20));
+        assert_eq!(evicted, vec![1], "the oldest entry goes");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.evictions(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_pooling() {
+        let mut p: SandboxPool<u32> = SandboxPool::new(0, TTL);
+        assert_eq!(p.checkin(0, 7, at(0)), vec![7]);
+        assert!(p.is_empty());
+        assert_eq!(p.checkout(0, at(1)), None);
+    }
+
+    #[test]
+    fn ttl_expires_idle_entries() {
+        let mut p: SandboxPool<u32> = SandboxPool::new(8, TTL);
+        p.checkin(0, 1, at(0));
+        p.checkin(0, 2, at(800));
+        // Exactly at the TTL boundary the entry is gone.
+        assert_eq!(p.expire(at(1000)), vec![1]);
+        assert_eq!(p.expirations(), 1);
+        // An expired entry can also never be checked out.
+        assert_eq!(p.checkout(0, at(1801)), None);
+        assert_eq!(p.len(), 1, "expired entry stays until expire()");
+        assert_eq!(p.expire(at(1801)), vec![2]);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut p: SandboxPool<u32> = SandboxPool::new(4, TTL);
+        p.checkin(0, 1, at(0));
+        p.checkin(1, 2, at(0));
+        let mut all = p.drain();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2]);
+        assert!(p.is_empty());
+    }
+}

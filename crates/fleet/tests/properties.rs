@@ -1,0 +1,87 @@
+//! Property tests for the fleet simulator: bit-identical determinism
+//! of whole fleet runs, and the keep-alive pool's capacity bound
+//! under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use snapbpf::StrategyKind;
+use snapbpf_fleet::{run_fleet, FleetConfig, SandboxPool};
+use snapbpf_sim::{SimDuration, SimTime};
+use snapbpf_workloads::Workload;
+
+fn pair() -> Vec<Workload> {
+    ["json", "image"]
+        .iter()
+        .map(|n| Workload::by_name(n).expect("suite function"))
+        .collect()
+}
+
+proptest! {
+    // Fleet runs are comparatively expensive; a handful of sampled
+    // configurations is plenty to catch nondeterminism.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Acceptance criterion: the same (config, workloads) pair must
+    /// reproduce the entire result — every histogram bucket, counter,
+    /// and byte count — bit for bit.
+    #[test]
+    fn same_seed_same_fleet_result(
+        rate in 5.0f64..120.0,
+        seed in 0u64..1_000,
+        pool_capacity in 0usize..4,
+        max_concurrency in 1usize..6,
+    ) {
+        let workloads = pair();
+        let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, workloads.len(), rate)
+            .with_seed(seed);
+        cfg.scale = 0.02;
+        cfg.duration = SimDuration::from_millis(200);
+        cfg.pool_capacity = pool_capacity;
+        cfg.max_concurrency = max_concurrency;
+        let a = run_fleet(&cfg, &workloads).expect("fleet run");
+        let b = run_fleet(&cfg, &workloads).expect("fleet run");
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    /// The pool must never hold more than `capacity` sandboxes, and
+    /// its counters must account for every parked payload, whatever
+    /// the interleaving of check-ins, checkouts, and expiries.
+    #[test]
+    fn pool_never_exceeds_capacity(
+        capacity in 0usize..6,
+        ttl_ms in 0u64..2_000,
+        ops in prop::collection::vec((0u8..3, 0usize..4, 0u64..400), 0..48),
+    ) {
+        let mut pool: SandboxPool<u64> =
+            SandboxPool::new(capacity, SimDuration::from_millis(ttl_ms));
+        let mut now = SimTime::ZERO;
+        let mut parked = 0u64;     // payloads checked in
+        let mut returned = 0u64;   // payloads handed back out
+        for (i, &(op, func, advance_ms)) in ops.iter().enumerate() {
+            now += SimDuration::from_millis(advance_ms);
+            match op {
+                0 => {
+                    let evicted = pool.checkin(func, i as u64, now);
+                    parked += 1;
+                    returned += evicted.len() as u64;
+                }
+                1 => {
+                    if pool.checkout(func, now).is_some() {
+                        returned += 1;
+                    }
+                }
+                _ => returned += pool.expire(now).len() as u64,
+            }
+            prop_assert!(
+                pool.len() <= capacity,
+                "pool holds {} > capacity {}", pool.len(), capacity
+            );
+            prop_assert_eq!(parked, returned + pool.len() as u64,
+                "payloads leaked or duplicated");
+        }
+        returned += pool.drain().len() as u64;
+        prop_assert_eq!(parked, returned, "drain must return the rest");
+        prop_assert!(pool.is_empty());
+    }
+}

@@ -277,9 +277,12 @@ impl HostKernel {
     /// # Errors
     ///
     /// Returns [`KernelError::Verify`] when the program is rejected.
-    pub fn load_and_attach(&mut self, hook: &str, program: &Program) -> Result<ProbeId, KernelError> {
-        let verified =
-            snapbpf_ebpf::Verifier::new(&self.maps, &self.kfunc_sigs).verify(program)?;
+    pub fn load_and_attach(
+        &mut self,
+        hook: &str,
+        program: &Program,
+    ) -> Result<ProbeId, KernelError> {
+        let verified = snapbpf_ebpf::Verifier::new(&self.maps, &self.kfunc_sigs).verify(program)?;
         Ok(self.probes.attach(hook, verified))
     }
 
@@ -324,7 +327,8 @@ impl HostKernel {
             self.maps.array_store_u64(map, first_index + i as u32, v)?;
         }
         let cost = self.config.map_load_per_entry * entries.len() as u64;
-        self.counters.add("map_entries_loaded", entries.len() as u64);
+        self.counters
+            .add("map_entries_loaded", entries.len() as u64);
         Ok(cost)
     }
 
@@ -353,7 +357,9 @@ impl HostKernel {
                     self.buddy.dealloc_pages(frame, 1)?;
                 }
                 self.counters.add("cache_evictions", evicted);
-                self.buddy.alloc_pages(1).map_err(|_| KernelError::OutOfMemory)
+                self.buddy
+                    .alloc_pages(1)
+                    .map_err(|_| KernelError::OutOfMemory)
             }
             Err(e) => Err(e.into()),
         }
@@ -424,9 +430,13 @@ impl HostKernel {
             queue: &mut self.prefetch_queue,
             disk: &self.disk,
         };
-        let results = self
-            .probes
-            .fire(PAGE_CACHE_ADD_HOOK, &ctx, &mut self.interp, &mut self.maps, &mut sink);
+        let results = self.probes.fire(
+            PAGE_CACHE_ADD_HOOK,
+            &ctx,
+            &mut self.interp,
+            &mut self.maps,
+            &mut sink,
+        );
         let mut cpu = SimDuration::ZERO;
         let mut disable = Vec::new();
         for r in &results {
@@ -621,7 +631,10 @@ impl HostKernel {
     /// # Errors
     ///
     /// [`KernelError::OutOfMemory`] under exhaustion.
-    pub fn alloc_anon_page(&mut self, owner: OwnerId) -> Result<(FrameId, SimDuration), KernelError> {
+    pub fn alloc_anon_page(
+        &mut self,
+        owner: OwnerId,
+    ) -> Result<(FrameId, SimDuration), KernelError> {
         match self.anon.alloc_page(owner, &mut self.buddy) {
             Ok(f) => Ok((f, self.config.anon_zero_fill)),
             Err(AllocError::OutOfMemory { .. }) => {

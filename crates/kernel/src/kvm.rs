@@ -532,7 +532,11 @@ mod tests {
             .access(SimTime::ZERO, 500 | PV_MIRROR_BIT, true, &mut host)
             .unwrap();
         assert_eq!(out.kind, AccessKind::PvAnon);
-        assert_eq!(host.disk().tracer().read_requests(), reads_before, "no snapshot I/O");
+        assert_eq!(
+            host.disk().tracer().read_requests(),
+            reads_before,
+            "no snapshot I/O"
+        );
         assert!(out.ready_at.saturating_since(SimTime::ZERO) < SimDuration::from_micros(10));
         // The mirrored and original gpfn now resolve to the same page.
         assert!(vm.is_mapped(500));
@@ -549,8 +553,14 @@ mod tests {
         let mut vm = KvmVm::new(OwnerId::new(0), snap, 1024, CowPolicy::Opportunistic);
         let out = vm.access(SimTime::ZERO, 500, true, &mut host).unwrap();
         assert_eq!(out.kind, AccessKind::CowBreak);
-        assert!(host.disk().tracer().read_requests() > 0, "wasted snapshot I/O");
-        assert!(out.ready_at > SimTime::from_micros(50), "paid storage latency");
+        assert!(
+            host.disk().tracer().read_requests() > 0,
+            "wasted snapshot I/O"
+        );
+        assert!(
+            out.ready_at > SimTime::from_micros(50),
+            "paid storage latency"
+        );
     }
 
     #[test]
@@ -565,7 +575,9 @@ mod tests {
 
         // Handler installs the page; data was ready at time T.
         let data_ready = SimTime::from_micros(100);
-        let installed = vm.uffd_install(out.ready_at, 9, data_ready, &mut host).unwrap();
+        let installed = vm
+            .uffd_install(out.ready_at, 9, data_ready, &mut host)
+            .unwrap();
         assert!(installed.ready_at >= data_ready);
         assert!(vm.is_mapped(9));
         // Installed pages are anonymous: not shared.
@@ -599,7 +611,8 @@ mod tests {
         let mut vm = KvmVm::new(OwnerId::new(0), snap, 1024, CowPolicy::Opportunistic);
         let a = vm.access(SimTime::ZERO, 1, false, &mut host).unwrap();
         let b = vm.access(a.ready_at, 2, true, &mut host).unwrap();
-        vm.access(b.ready_at, 3 | PV_MIRROR_BIT, true, &mut host).unwrap();
+        vm.access(b.ready_at, 3 | PV_MIRROR_BIT, true, &mut host)
+            .unwrap();
         assert!(host.memory_snapshot().anon_pages > 0);
         vm.teardown(&mut host).unwrap();
         assert_eq!(host.memory_snapshot().anon_pages, 0);

@@ -3,9 +3,7 @@
 //! contents, and accounting invariants across mixed workloads.
 
 use snapbpf_ebpf::{MapDef, ProgramBuilder, Reg};
-use snapbpf_kernel::{
-    CowPolicy, HostKernel, KernelConfig, KvmVm, PAGE_CACHE_ADD_HOOK,
-};
+use snapbpf_kernel::{CowPolicy, HostKernel, KernelConfig, KvmVm, PAGE_CACHE_ADD_HOOK};
 use snapbpf_mem::OwnerId;
 use snapbpf_sim::{SimDuration, SimTime};
 use snapbpf_storage::{Disk, SsdModel};
@@ -107,7 +105,9 @@ fn prefetch_program_with_garbage_map_is_contained() {
         .unwrap()
         .mov(Reg::R0, 0)
         .exit();
-    let probe = k.load_and_attach(PAGE_CACHE_ADD_HOOK, &b.build().unwrap()).unwrap();
+    let probe = k
+        .load_and_attach(PAGE_CACHE_ADD_HOOK, &b.build().unwrap())
+        .unwrap();
 
     // Trigger: the absurd start clips to EOF — nothing beyond the
     // file is inserted, nothing panics, the program stays attached.
@@ -129,7 +129,8 @@ fn bad_kfunc_file_id_counts_runtime_error() {
         .call_kfunc(snapbpf_kernel::KFUNC_SNAPBPF_PREFETCH)
         .mov(Reg::R0, 0)
         .exit();
-    k.load_and_attach(PAGE_CACHE_ADD_HOOK, &b.build().unwrap()).unwrap();
+    k.load_and_attach(PAGE_CACHE_ADD_HOOK, &b.build().unwrap())
+        .unwrap();
     k.read_file_page(SimTime::ZERO, f, 0).unwrap();
     assert!(k.counters().get("ebpf_runtime_errors") > 0);
 }
@@ -192,7 +193,9 @@ fn uffd_vm_and_cache_vm_coexist() {
     let c = cache_vm.access(SimTime::ZERO, 5, false, &mut k).unwrap();
     let u = uffd_vm.access(c.ready_at, 5, false, &mut k).unwrap();
     assert_eq!(u.kind, snapbpf_kernel::AccessKind::Uffd);
-    uffd_vm.uffd_install(u.ready_at, 5, u.ready_at, &mut k).unwrap();
+    uffd_vm
+        .uffd_install(u.ready_at, 5, u.ready_at, &mut k)
+        .unwrap();
 
     // The cache VM shares; the uffd VM owns a private copy.
     let snap = k.memory_snapshot();

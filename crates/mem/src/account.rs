@@ -68,7 +68,9 @@ impl MemorySnapshot {
     #[must_use]
     pub fn since(&self, earlier: &MemorySnapshot) -> MemorySnapshot {
         MemorySnapshot {
-            page_cache_pages: self.page_cache_pages.saturating_sub(earlier.page_cache_pages),
+            page_cache_pages: self
+                .page_cache_pages
+                .saturating_sub(earlier.page_cache_pages),
             anon_pages: self.anon_pages.saturating_sub(earlier.anon_pages),
             cow_pages: self.cow_pages.saturating_sub(earlier.cow_pages),
         }

@@ -414,7 +414,8 @@ mod tests {
     fn file(n: u32) -> FileId {
         // FileId construction is only possible through Disk; mint ids
         // by creating files on a scratch disk.
-        let mut disk = snapbpf_storage::Disk::new(Box::new(snapbpf_storage::SsdModel::micron_5300()));
+        let mut disk =
+            snapbpf_storage::Disk::new(Box::new(snapbpf_storage::SsdModel::micron_5300()));
         let mut last = None;
         for i in 0..=n {
             last = Some(disk.create_file(&format!("f{i}"), 1).unwrap());
@@ -430,7 +431,8 @@ mod tests {
     fn insert_lookup_remove() {
         let f = file(0);
         let mut c = PageCache::new();
-        c.insert(key(f, 1), FrameId::new(10), PageState::Resident).unwrap();
+        c.insert(key(f, 1), FrameId::new(10), PageState::Resident)
+            .unwrap();
         assert_eq!(c.len(), 1);
         let v = c.lookup(key(f, 1)).unwrap();
         assert_eq!(v.frame, FrameId::new(10));
@@ -445,7 +447,8 @@ mod tests {
     fn double_insert_rejected() {
         let f = file(0);
         let mut c = PageCache::new();
-        c.insert(key(f, 1), FrameId::new(1), PageState::Resident).unwrap();
+        c.insert(key(f, 1), FrameId::new(1), PageState::Resident)
+            .unwrap();
         assert_eq!(
             c.insert(key(f, 1), FrameId::new(2), PageState::Resident),
             Err(CacheError::AlreadyCached(key(f, 1)))
@@ -457,14 +460,17 @@ mod tests {
         let f = file(0);
         let mut c = PageCache::new();
         let k = key(f, 0);
-        c.insert(k, FrameId::new(5), PageState::InFlight { ready_at: SimTime::from_micros(10) })
-            .unwrap();
+        c.insert(
+            k,
+            FrameId::new(5),
+            PageState::InFlight {
+                ready_at: SimTime::from_micros(10),
+            },
+        )
+        .unwrap();
         assert_eq!(c.in_flight_pages(), 1);
         assert_eq!(c.resident_pages(), 0);
-        assert_eq!(
-            c.get(k).unwrap().available_at(),
-            SimTime::from_micros(10)
-        );
+        assert_eq!(c.get(k).unwrap().available_at(), SimTime::from_micros(10));
         c.mark_resident(k).unwrap();
         assert_eq!(c.in_flight_pages(), 0);
         assert_eq!(c.resident_pages(), 1);
@@ -478,7 +484,8 @@ mod tests {
         let f = file(0);
         let mut c = PageCache::new();
         for p in 0..4 {
-            c.insert(key(f, p), FrameId::new(p), PageState::Resident).unwrap();
+            c.insert(key(f, p), FrameId::new(p), PageState::Resident)
+                .unwrap();
         }
         // Touch page 0 so page 1 becomes the LRU.
         c.lookup(key(f, 0));
@@ -493,8 +500,10 @@ mod tests {
     fn mapped_pages_are_not_evicted() {
         let f = file(0);
         let mut c = PageCache::new();
-        c.insert(key(f, 0), FrameId::new(0), PageState::Resident).unwrap();
-        c.insert(key(f, 1), FrameId::new(1), PageState::Resident).unwrap();
+        c.insert(key(f, 0), FrameId::new(0), PageState::Resident)
+            .unwrap();
+        c.insert(key(f, 1), FrameId::new(1), PageState::Resident)
+            .unwrap();
         c.map_page(key(f, 0)).unwrap();
         let evicted = c.evict_lru(10);
         assert_eq!(evicted.len(), 1);
@@ -507,8 +516,14 @@ mod tests {
     fn in_flight_pages_are_not_evicted() {
         let f = file(0);
         let mut c = PageCache::new();
-        c.insert(key(f, 0), FrameId::new(0), PageState::InFlight { ready_at: SimTime::ZERO })
-            .unwrap();
+        c.insert(
+            key(f, 0),
+            FrameId::new(0),
+            PageState::InFlight {
+                ready_at: SimTime::ZERO,
+            },
+        )
+        .unwrap();
         assert!(c.evict_lru(1).is_empty());
     }
 
@@ -516,8 +531,12 @@ mod tests {
     fn unmap_underflow_detected() {
         let f = file(0);
         let mut c = PageCache::new();
-        c.insert(key(f, 0), FrameId::new(0), PageState::Resident).unwrap();
-        assert_eq!(c.unmap_page(key(f, 0)), Err(CacheError::NotMapped(key(f, 0))));
+        c.insert(key(f, 0), FrameId::new(0), PageState::Resident)
+            .unwrap();
+        assert_eq!(
+            c.unmap_page(key(f, 0)),
+            Err(CacheError::NotMapped(key(f, 0)))
+        );
     }
 
     #[test]
@@ -537,8 +556,10 @@ mod tests {
         assert_ne!(fa, fb);
         let mut c = PageCache::new();
         for p in 0..5 {
-            c.insert(key(fa, p), FrameId::new(p), PageState::Resident).unwrap();
-            c.insert(key(fb, p), FrameId::new(100 + p), PageState::Resident).unwrap();
+            c.insert(key(fa, p), FrameId::new(p), PageState::Resident)
+                .unwrap();
+            c.insert(key(fb, p), FrameId::new(100 + p), PageState::Resident)
+                .unwrap();
         }
         let freed = c.drop_file(fa);
         assert_eq!(freed.len(), 5);
@@ -553,7 +574,8 @@ mod tests {
         let mut c = PageCache::new();
         for round in 0..3 {
             for p in 0..100 {
-                c.insert(key(f, p), FrameId::new(p), PageState::Resident).unwrap();
+                c.insert(key(f, p), FrameId::new(p), PageState::Resident)
+                    .unwrap();
             }
             assert_eq!(c.len(), 100, "round {round}");
             for p in 0..100 {
@@ -567,7 +589,11 @@ mod tests {
     #[test]
     fn error_display() {
         let f = file(0);
-        assert!(CacheError::AlreadyCached(key(f, 1)).to_string().contains("already"));
-        assert!(CacheError::NotCached(key(f, 1)).to_string().contains("not cached"));
+        assert!(CacheError::AlreadyCached(key(f, 1))
+            .to_string()
+            .contains("already"));
+        assert!(CacheError::NotCached(key(f, 1))
+            .to_string()
+            .contains("not cached"));
     }
 }

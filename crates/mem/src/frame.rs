@@ -314,7 +314,10 @@ mod tests {
             let size = pages.next_power_of_two();
             for &(base, len) in &blocks {
                 let disjoint = f.as_u64() + size <= base || base + len <= f.as_u64();
-                assert!(disjoint, "block at {f} size {size} overlaps ({base}, {len})");
+                assert!(
+                    disjoint,
+                    "block at {f} size {size} overlaps ({base}, {len})"
+                );
             }
             blocks.push((f.as_u64(), size));
         }
@@ -333,10 +336,7 @@ mod tests {
     fn oom_reports_order() {
         let mut b = BuddyAllocator::new(1 << MAX_ORDER);
         b.alloc_pages(1 << MAX_ORDER).unwrap();
-        assert_eq!(
-            b.alloc_pages(1),
-            Err(AllocError::OutOfMemory { order: 0 })
-        );
+        assert_eq!(b.alloc_pages(1), Err(AllocError::OutOfMemory { order: 0 }));
     }
 
     #[test]

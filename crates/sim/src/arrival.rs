@@ -1,0 +1,299 @@
+//! Deterministic arrival processes.
+//!
+//! Serverless fleet experiments need request arrivals whose shape is
+//! controllable (smooth vs. bursty vs. trace-like) but whose exact
+//! sequence is a pure function of the seed, so two runs of the same
+//! configuration see bit-identical arrival times.
+//!
+//! Three processes cover the fleet experiments:
+//!
+//! * [`ArrivalProcess::Poisson`] — memoryless arrivals at a fixed
+//!   rate, the classic open-loop load model.
+//! * [`ArrivalProcess::Mmpp`] — a two-state Markov-modulated Poisson
+//!   process alternating between a quiet and a burst rate; the
+//!   standard way to model the bursty invocation trains production
+//!   FaaS traces show.
+//! * [`ArrivalProcess::Periodic`] — fixed-period arrivals with
+//!   bounded uniform jitter, the dominant pattern of the Azure
+//!   Functions trace (most functions are timers/cron).
+
+use crate::rng::SplitMix64;
+use crate::time::{SimDuration, SimTime};
+
+/// A stochastic arrival process specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential interarrivals at `rate_rps`
+    /// requests per (virtual) second.
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate_rps: f64,
+    },
+    /// Two-state Markov-modulated Poisson process: the process dwells
+    /// in a quiet state (rate `low_rps`) and a burst state (rate
+    /// `high_rps`), with exponentially distributed dwell times of
+    /// mean `mean_dwell` in each state.
+    Mmpp {
+        /// Arrival rate in the quiet state.
+        low_rps: f64,
+        /// Arrival rate in the burst state.
+        high_rps: f64,
+        /// Mean dwell time in each state.
+        mean_dwell: SimDuration,
+    },
+    /// Timer-driven arrivals: one per `period`, each shifted by a
+    /// uniform jitter in `[0, jitter_frac * period)`.
+    Periodic {
+        /// Base interarrival period.
+        period: SimDuration,
+        /// Jitter as a fraction of the period, in `[0, 1]`.
+        jitter_frac: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run mean arrival rate in requests per second.
+    pub fn mean_rate_rps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } => rate_rps,
+            // Equal mean dwell in both states: the average of the
+            // two rates.
+            ArrivalProcess::Mmpp {
+                low_rps, high_rps, ..
+            } => (low_rps + high_rps) / 2.0,
+            ArrivalProcess::Periodic { period, .. } => 1.0 / period.as_secs_f64(),
+        }
+    }
+
+    /// Starts generating this process from `seed`.
+    pub fn generator(&self, seed: u64) -> ArrivalGen {
+        ArrivalGen {
+            process: *self,
+            rng: SplitMix64::new(seed),
+            next_at: SimTime::ZERO,
+            burst: false,
+            state_left: SimDuration::ZERO,
+            tick: 0,
+        }
+    }
+}
+
+/// Draws an exponential variate with the given mean (in seconds).
+fn exp_secs(rng: &mut SplitMix64, mean_secs: f64) -> f64 {
+    // next_f64() is in [0, 1); flip to (0, 1] so ln() is finite.
+    let u = 1.0 - rng.next_f64();
+    -u.ln() * mean_secs
+}
+
+/// A deterministic arrival-time generator (see [`ArrivalProcess`]).
+///
+/// Yields strictly ordered `SimTime`s starting after time zero. The
+/// sequence depends only on the process parameters and the seed.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    rng: SplitMix64,
+    next_at: SimTime,
+    /// MMPP: currently in the burst state?
+    burst: bool,
+    /// MMPP: time left in the current state.
+    state_left: SimDuration,
+    /// Periodic: index of the next tick.
+    tick: u64,
+}
+
+impl ArrivalGen {
+    /// The next arrival time.
+    pub fn next_arrival(&mut self) -> SimTime {
+        match self.process {
+            ArrivalProcess::Poisson { rate_rps } => {
+                assert!(rate_rps > 0.0, "Poisson rate must be positive");
+                let gap = SimDuration::from_secs_f64(exp_secs(&mut self.rng, 1.0 / rate_rps));
+                self.next_at += gap.max(SimDuration::from_nanos(1));
+            }
+            ArrivalProcess::Mmpp {
+                low_rps,
+                high_rps,
+                mean_dwell,
+            } => {
+                assert!(
+                    low_rps > 0.0 && high_rps > 0.0,
+                    "MMPP rates must be positive"
+                );
+                // Consume state dwell time until an arrival fits in
+                // the current state.
+                loop {
+                    if self.state_left.is_zero() {
+                        self.burst = !self.burst;
+                        self.state_left = SimDuration::from_secs_f64(exp_secs(
+                            &mut self.rng,
+                            mean_dwell.as_secs_f64(),
+                        ))
+                        .max(SimDuration::from_nanos(1));
+                    }
+                    let rate = if self.burst { high_rps } else { low_rps };
+                    let gap = SimDuration::from_secs_f64(exp_secs(&mut self.rng, 1.0 / rate))
+                        .max(SimDuration::from_nanos(1));
+                    if gap <= self.state_left {
+                        self.state_left = self.state_left.saturating_sub(gap);
+                        self.next_at += gap;
+                        break;
+                    }
+                    // The residual exponential restarts in the next
+                    // state (memorylessness makes this exact).
+                    self.next_at += self.state_left;
+                    self.state_left = SimDuration::ZERO;
+                }
+            }
+            ArrivalProcess::Periodic {
+                period,
+                jitter_frac,
+            } => {
+                assert!(!period.is_zero(), "period must be positive");
+                assert!(
+                    (0.0..=1.0).contains(&jitter_frac),
+                    "jitter fraction must be in [0, 1]"
+                );
+                self.tick += 1;
+                let base = SimDuration::from_nanos(period.as_nanos() * self.tick);
+                let jitter = period.mul_f64(jitter_frac * self.rng.next_f64());
+                self.next_at = SimTime::ZERO + base + jitter;
+            }
+        }
+        self.next_at
+    }
+
+    /// All arrivals strictly before `horizon`, in order.
+    pub fn take_until(&mut self, horizon: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_arrival();
+            if t >= horizon {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: SimDuration = SimDuration::from_secs(1);
+
+    #[test]
+    fn poisson_hits_its_mean_rate() {
+        let p = ArrivalProcess::Poisson { rate_rps: 100.0 };
+        let arrivals = p.generator(7).take_until(SimTime::ZERO + SEC * 50);
+        let rate = arrivals.len() as f64 / 50.0;
+        assert!((rate - 100.0).abs() < 5.0, "measured {rate} rps");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for p in [
+            ArrivalProcess::Poisson { rate_rps: 30.0 },
+            ArrivalProcess::Mmpp {
+                low_rps: 5.0,
+                high_rps: 80.0,
+                mean_dwell: SimDuration::from_millis(500),
+            },
+            ArrivalProcess::Periodic {
+                period: SimDuration::from_millis(40),
+                jitter_frac: 0.3,
+            },
+        ] {
+            let a = p.generator(42).take_until(SimTime::ZERO + SEC * 10);
+            let b = p.generator(42).take_until(SimTime::ZERO + SEC * 10);
+            assert_eq!(a, b);
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "ordered arrivals");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = ArrivalProcess::Poisson { rate_rps: 50.0 };
+        let a = p.generator(1).take_until(SimTime::ZERO + SEC * 2);
+        let b = p.generator(2).take_until(SimTime::ZERO + SEC * 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Count arrivals per 100 ms window; the MMPP's window counts
+        // must have a higher coefficient of variation than a Poisson
+        // process of the same mean rate.
+        let window = SimDuration::from_millis(100);
+        let horizon = SimTime::ZERO + SEC * 60;
+        let count_cv = |arrivals: &[SimTime]| {
+            let n_windows = 600usize;
+            let mut counts = vec![0u32; n_windows];
+            for &t in arrivals {
+                let w = (t.as_nanos() / window.as_nanos()) as usize;
+                counts[w.min(n_windows - 1)] += 1;
+            }
+            let mean = counts.iter().map(|&c| c as f64).sum::<f64>() / n_windows as f64;
+            let var = counts
+                .iter()
+                .map(|&c| (c as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n_windows as f64;
+            var.sqrt() / mean
+        };
+        let mmpp = ArrivalProcess::Mmpp {
+            low_rps: 4.0,
+            high_rps: 76.0,
+            mean_dwell: SimDuration::from_millis(800),
+        };
+        let poisson = ArrivalProcess::Poisson {
+            rate_rps: mmpp.mean_rate_rps(),
+        };
+        let cv_mmpp = count_cv(&mmpp.generator(3).take_until(horizon));
+        let cv_poisson = count_cv(&poisson.generator(3).take_until(horizon));
+        assert!(
+            cv_mmpp > 1.5 * cv_poisson,
+            "MMPP CV {cv_mmpp:.2} vs Poisson CV {cv_poisson:.2}"
+        );
+    }
+
+    #[test]
+    fn periodic_respects_period_and_jitter() {
+        let period = SimDuration::from_millis(50);
+        let p = ArrivalProcess::Periodic {
+            period,
+            jitter_frac: 0.2,
+        };
+        let arrivals = p.generator(9).take_until(SimTime::ZERO + SEC * 5);
+        // ~100 ticks in 5 s.
+        assert!((90..=101).contains(&arrivals.len()), "{}", arrivals.len());
+        for (i, &t) in arrivals.iter().enumerate() {
+            let tick = (i + 1) as u64;
+            let base = period.as_nanos() * tick;
+            assert!(t.as_nanos() >= base, "tick {tick} before its base time");
+            assert!(
+                t.as_nanos() < base + period.mul_f64(0.2).as_nanos() + 1,
+                "tick {tick} past its jitter window"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_rates_are_consistent() {
+        assert_eq!(
+            ArrivalProcess::Poisson { rate_rps: 8.0 }.mean_rate_rps(),
+            8.0
+        );
+        let mmpp = ArrivalProcess::Mmpp {
+            low_rps: 2.0,
+            high_rps: 10.0,
+            mean_dwell: SEC,
+        };
+        assert_eq!(mmpp.mean_rate_rps(), 6.0);
+        let per = ArrivalProcess::Periodic {
+            period: SimDuration::from_millis(250),
+            jitter_frac: 0.0,
+        };
+        assert!((per.mean_rate_rps() - 4.0).abs() < 1e-12);
+    }
+}

@@ -33,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrival;
 mod queue;
 mod rng;
 mod stats;
 mod time;
 
+pub use arrival::{ArrivalGen, ArrivalProcess};
 pub use queue::{Clock, EventQueue, Scheduled};
 pub use rng::SplitMix64;
 pub use stats::{Counters, Histogram, Summary};

@@ -184,7 +184,10 @@ mod tests {
         let mut rng = SplitMix64::new(11);
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| rng.next_gaussian(5.0, 2.0)).sum::<f64>() / n as f64;
-        assert!((mean - 5.0).abs() < 0.1, "sample mean {mean} too far from 5.0");
+        assert!(
+            (mean - 5.0).abs() < 0.1,
+            "sample mean {mean} too far from 5.0"
+        );
     }
 
     #[test]

@@ -157,8 +157,7 @@ pub(crate) struct Pacer {
 
 impl Pacer {
     pub(crate) fn new(iops: u64) -> Self {
-        let interval =
-            SimDuration::from_nanos(1_000_000_000u64.checked_div(iops).unwrap_or(0));
+        let interval = SimDuration::from_nanos(1_000_000_000u64.checked_div(iops).unwrap_or(0));
         Pacer {
             interval,
             next_slot: SimTime::ZERO,
@@ -189,7 +188,10 @@ mod tests {
         assert_eq!(r.end(), BlockAddr::new(12));
         assert_eq!(r.kind, IoKind::Read);
         assert_eq!(r.path, IoPath::Buffered);
-        assert_eq!(IoRequest::read_direct(BlockAddr::new(0), 1).path, IoPath::Direct);
+        assert_eq!(
+            IoRequest::read_direct(BlockAddr::new(0), 1).path,
+            IoPath::Direct
+        );
         assert_eq!(IoRequest::write(BlockAddr::new(0), 1).kind, IoKind::Write);
         assert_eq!(r.to_string(), "Rblk#4+8");
     }

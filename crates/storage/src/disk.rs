@@ -191,12 +191,7 @@ impl Disk {
             .ok_or(DiskError::NoSuchFile(file))
     }
 
-    fn check_bounds(
-        &self,
-        file: FileId,
-        first_page: u64,
-        pages: u64,
-    ) -> Result<Extent, DiskError> {
+    fn check_bounds(&self, file: FileId, first_page: u64, pages: u64) -> Result<Extent, DiskError> {
         let extent = self.file_extent(file)?;
         if pages == 0 || first_page + pages > extent.blocks() {
             return Err(DiskError::OutOfBounds {
@@ -374,7 +369,7 @@ mod tests {
             .unwrap();
         let mut full = IoTracer::new();
         std::mem::swap(&mut full, &mut d.tracer); // inspect via swap
-        // tracer was summary_only; switch to checking extents directly
+                                                  // tracer was summary_only; switch to checking extents directly
         assert_eq!(eb.block(5).as_u64(), eb.start().as_u64() + 5);
     }
 
@@ -409,6 +404,8 @@ mod tests {
             file_pages: 10,
         };
         assert!(e.to_string().contains("out of bounds"));
-        assert!(DiskError::NoSuchFile(FileId(3)).to_string().contains("file#3"));
+        assert!(DiskError::NoSuchFile(FileId(3))
+            .to_string()
+            .contains("file#3"));
     }
 }

@@ -87,7 +87,10 @@ impl HddModel {
     ///
     /// Panics if the bandwidth or total size is zero.
     pub fn new(config: HddConfig) -> Self {
-        assert!(config.bandwidth_bytes_per_sec > 0, "HDD bandwidth must be positive");
+        assert!(
+            config.bandwidth_bytes_per_sec > 0,
+            "HDD bandwidth must be positive"
+        );
         assert!(config.total_blocks > 0, "HDD must have at least one block");
         HddModel {
             head: BlockAddr::new(0),

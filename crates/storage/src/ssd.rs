@@ -125,7 +125,10 @@ impl SsdModel {
     /// Panics if `config.channels` is zero or the bandwidth is zero.
     pub fn new(config: SsdConfig) -> Self {
         assert!(config.channels > 0, "SSD needs at least one channel");
-        assert!(config.bandwidth_bytes_per_sec > 0, "SSD bandwidth must be positive");
+        assert!(
+            config.bandwidth_bytes_per_sec > 0,
+            "SSD bandwidth must be positive"
+        );
         SsdModel {
             channel_free: vec![SimTime::ZERO; config.channels],
             bus_free: SimTime::ZERO,
@@ -244,8 +247,14 @@ mod tests {
         let mut ssd = SsdModel::new(no_jitter(SsdConfig::micron_5300()));
         // Warm up so the first request's randomness doesn't skew.
         ssd.submit(SimTime::ZERO, IoRequest::read(BlockAddr::new(0), 1));
-        let seq = ssd.submit(SimTime::from_millis(10), IoRequest::read(BlockAddr::new(1), 1));
-        let rand = ssd.submit(SimTime::from_millis(20), IoRequest::read(BlockAddr::new(500), 1));
+        let seq = ssd.submit(
+            SimTime::from_millis(10),
+            IoRequest::read(BlockAddr::new(1), 1),
+        );
+        let rand = ssd.submit(
+            SimTime::from_millis(20),
+            IoRequest::read(BlockAddr::new(500), 1),
+        );
         let seq_lat = seq.done_at.saturating_since(seq.started_at);
         let rand_lat = rand.done_at.saturating_since(rand.started_at);
         assert!(seq.sequential);

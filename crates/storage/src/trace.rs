@@ -223,7 +223,11 @@ mod tests {
     fn sequential_fraction_detects_patterns() {
         let seq = traced_reads(20, 1);
         let rand = traced_reads(20, 977);
-        assert!(seq.sequential_fraction() > 0.9, "{}", seq.sequential_fraction());
+        assert!(
+            seq.sequential_fraction() > 0.9,
+            "{}",
+            seq.sequential_fraction()
+        );
         assert_eq!(rand.sequential_fraction(), 0.0);
     }
 
@@ -256,7 +260,10 @@ mod tests {
         tracer.clear();
         assert_eq!(tracer.requests(), 0);
         tracer.record(SimTime::ZERO, req, c);
-        assert!(tracer.entries().is_empty(), "summary_only mode must survive clear");
+        assert!(
+            tracer.entries().is_empty(),
+            "summary_only mode must survive clear"
+        );
     }
 
     #[test]

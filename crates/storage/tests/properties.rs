@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use snapbpf_sim::SimTime;
-use snapbpf_storage::{
-    BlockAddr, BlockDevice, HddModel, IoPath, IoRequest, SsdModel,
-};
+use snapbpf_storage::{BlockAddr, BlockDevice, HddModel, IoPath, IoRequest, SsdModel};
 
 #[derive(Debug, Clone)]
 struct Req {

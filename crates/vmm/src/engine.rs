@@ -105,7 +105,15 @@ fn advance(
         Step::Access { gpfn, write } => {
             let out = vm.kvm_mut().access(t, gpfn, write, host)?;
             if out.kind == AccessKind::Uffd {
-                Ok(resolve_uffd(t, out.cpu, gpfn, vm, host, uffd, uffd_resolved)?)
+                Ok(resolve_uffd(
+                    t,
+                    out.cpu,
+                    gpfn,
+                    vm,
+                    host,
+                    uffd,
+                    uffd_resolved,
+                )?)
             } else {
                 Ok(out.ready_at)
             }
@@ -117,7 +125,15 @@ fn advance(
                 // Allocation faults land in the uffd range too for
                 // uffd-based restores (REAP cannot tell allocations
                 // apart — exactly the semantic gap of §2.2).
-                Ok(resolve_uffd(t, out.cpu, gpfn, vm, host, uffd, uffd_resolved)?)
+                Ok(resolve_uffd(
+                    t,
+                    out.cpu,
+                    gpfn,
+                    vm,
+                    host,
+                    uffd,
+                    uffd_resolved,
+                )?)
             } else {
                 Ok(out.ready_at)
             }
@@ -148,14 +164,107 @@ fn resolve_uffd(
     if data_ready <= fault_time {
         // Pre-installed in the background; account the anonymous
         // page but charge no round trip.
-        vm.kvm_mut().uffd_install(fault_time, gpfn, data_ready, host)?;
+        vm.kvm_mut()
+            .uffd_install(fault_time, gpfn, data_ready, host)?;
         Ok(fault_time)
     } else {
         let round_trip = host.config().uffd_round_trip;
-        let installed = vm
-            .kvm_mut()
-            .uffd_install(fault_time + round_trip, gpfn, data_ready, host)?;
+        let installed =
+            vm.kvm_mut()
+                .uffd_install(fault_time + round_trip, gpfn, data_ready, host)?;
         Ok(installed.ready_at.max(fault_time + round_trip))
+    }
+}
+
+/// An in-flight invocation that can be advanced one step at a time.
+///
+/// [`run_invocation`] and [`run_concurrent`] replay fixed sets of
+/// invocations to completion; a fleet scheduler instead interleaves
+/// *ongoing* invocations with request arrivals, sandbox reuse, and
+/// evictions. `InvocationCursor` owns everything one invocation
+/// needs — the microVM, its uffd resolver, and the trace — and
+/// exposes the vCPU clock so a scheduler can always advance the
+/// globally earliest event (keeping disk submissions in virtual-time
+/// order, the determinism contract of the concurrent engine).
+pub struct InvocationCursor {
+    vm: MicroVm,
+    resolver: Box<dyn UffdResolver>,
+    trace: InvocationTrace,
+    next_step: usize,
+    t: SimTime,
+    start: SimTime,
+    uffd_resolved: u64,
+}
+
+impl InvocationCursor {
+    /// Starts an invocation of `trace` on `vm` at `start`.
+    pub fn new(
+        start: SimTime,
+        vm: MicroVm,
+        resolver: Box<dyn UffdResolver>,
+        trace: InvocationTrace,
+    ) -> InvocationCursor {
+        InvocationCursor {
+            vm,
+            resolver,
+            trace,
+            next_step: 0,
+            t: start,
+            start,
+            uffd_resolved: 0,
+        }
+    }
+
+    /// The invocation's vCPU clock (completion time once done).
+    pub fn clock(&self) -> SimTime {
+        self.t
+    }
+
+    /// When the invocation started.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Whether every step of the trace has executed.
+    pub fn is_done(&self) -> bool {
+        self.next_step >= self.trace.steps().len()
+    }
+
+    /// Executes the next step of the trace; does nothing once done.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors (I/O, memory exhaustion) propagate.
+    pub fn step(&mut self, host: &mut HostKernel) -> Result<(), KernelError> {
+        if let Some(&step) = self.trace.steps().get(self.next_step) {
+            self.t = advance(
+                self.t,
+                &mut self.vm,
+                step,
+                host,
+                self.resolver.as_mut(),
+                &mut self.uffd_resolved,
+            )?;
+            self.next_step += 1;
+        }
+        Ok(())
+    }
+
+    /// Finishes the invocation, handing back the sandbox (for reuse
+    /// or teardown) together with its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invocation has steps left.
+    pub fn finish(self) -> (MicroVm, Box<dyn UffdResolver>, InvocationResult) {
+        assert!(self.is_done(), "finish() before the trace completed");
+        let result = InvocationResult {
+            end_time: self.t,
+            e2e_latency: self.t.saturating_since(self.start),
+            stats: self.vm.kvm().stats(),
+            uffd_resolved: self.uffd_resolved,
+        };
+        (self.vm, self.resolver, result)
     }
 }
 
@@ -273,13 +382,11 @@ mod tests {
     #[test]
     fn warm_cache_invocation_is_faster() {
         let (mut host, snap, trace) = setup("json", 0.1);
-        let mut cold_vm =
-            MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
+        let mut cold_vm = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
         let cold =
             run_invocation(SimTime::ZERO, &mut cold_vm, &trace, &mut host, &mut NoUffd).unwrap();
 
-        let mut warm_vm =
-            MicroVm::restore(OwnerId::new(1), &snap, CowPolicy::Opportunistic, false);
+        let mut warm_vm = MicroVm::restore(OwnerId::new(1), &snap, CowPolicy::Opportunistic, false);
         let warm =
             run_invocation(cold.end_time, &mut warm_vm, &trace, &mut host, &mut NoUffd).unwrap();
         assert!(
@@ -296,15 +403,13 @@ mod tests {
     fn pv_marking_spares_allocation_io() {
         let (mut host, snap, trace) = setup("image", 0.05); // allocation-heavy
         let mut plain = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
-        let r1 =
-            run_invocation(SimTime::ZERO, &mut plain, &trace, &mut host, &mut NoUffd).unwrap();
+        let r1 = run_invocation(SimTime::ZERO, &mut plain, &trace, &mut host, &mut NoUffd).unwrap();
         let reads_plain = host.disk().tracer().read_bytes();
 
         // Fresh host so the cache is cold again.
         let (mut host2, snap2, trace2) = setup("image", 0.05);
         let mut pv = MicroVm::restore(OwnerId::new(0), &snap2, CowPolicy::Opportunistic, true);
-        let r2 =
-            run_invocation(SimTime::ZERO, &mut pv, &trace2, &mut host2, &mut NoUffd).unwrap();
+        let r2 = run_invocation(SimTime::ZERO, &mut pv, &trace2, &mut host2, &mut NoUffd).unwrap();
         let reads_pv = host2.disk().tracer().read_bytes();
 
         assert!(r2.stats.pv_anon_faults > 0);
@@ -363,7 +468,8 @@ mod tests {
         let total_major = results.iter().map(|r| r.stats.major_faults).sum::<u64>();
         let total_minor = results.iter().map(|r| r.stats.minor_faults).sum::<u64>();
         assert!(total_minor > 0, "the second VM must hit the shared cache");
-        let unique_reads = trace.ws_page_list().len() as u64 + trace.ephemeral_page_list().len() as u64;
+        let unique_reads =
+            trace.ws_page_list().len() as u64 + trace.ephemeral_page_list().len() as u64;
         assert!(
             total_major <= unique_reads + 64, // readahead may add a window
             "majors {total_major} vs unique pages {unique_reads}"
@@ -383,13 +489,49 @@ mod tests {
             let mut r: Vec<NoUffd> = vec![NoUffd; 4];
             let mut r_refs: Vec<&mut dyn UffdResolver> =
                 r.iter_mut().map(|x| x as &mut dyn UffdResolver).collect();
-            run_concurrent(&[SimTime::ZERO; 4], &mut vm_refs, &traces, &mut host, &mut r_refs)
-                .unwrap()
-                .iter()
-                .map(|x| x.e2e_latency.as_nanos())
-                .collect::<Vec<_>>()
+            run_concurrent(
+                &[SimTime::ZERO; 4],
+                &mut vm_refs,
+                &traces,
+                &mut host,
+                &mut r_refs,
+            )
+            .unwrap()
+            .iter()
+            .map(|x| x.e2e_latency.as_nanos())
+            .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cursor_matches_run_invocation() {
+        let (mut host_a, snap_a, trace_a) = setup("json", 0.1);
+        let mut vm = MicroVm::restore(OwnerId::new(0), &snap_a, CowPolicy::Opportunistic, false);
+        let direct =
+            run_invocation(SimTime::ZERO, &mut vm, &trace_a, &mut host_a, &mut NoUffd).unwrap();
+
+        let (mut host_b, snap_b, trace_b) = setup("json", 0.1);
+        let vm = MicroVm::restore(OwnerId::new(0), &snap_b, CowPolicy::Opportunistic, false);
+        let mut cursor = InvocationCursor::new(SimTime::ZERO, vm, Box::new(NoUffd), trace_b);
+        assert_eq!(cursor.start(), SimTime::ZERO);
+        while !cursor.is_done() {
+            cursor.step(&mut host_b).unwrap();
+        }
+        let before_done = cursor.clock();
+        cursor.step(&mut host_b).unwrap(); // no-op past the end
+        assert_eq!(cursor.clock(), before_done);
+        let (_vm, _resolver, stepped) = cursor.finish();
+        assert_eq!(stepped, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish() before")]
+    fn cursor_finish_requires_completion() {
+        let (_host, snap, trace) = setup("json", 0.05);
+        let vm = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
+        let cursor = InvocationCursor::new(SimTime::ZERO, vm, Box::new(NoUffd), trace);
+        let _ = cursor.finish();
     }
 
     #[test]
@@ -397,6 +539,12 @@ mod tests {
     fn mismatched_lengths_panic() {
         let (mut host, snap, trace) = setup("json", 0.05);
         let mut vm = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
-        let _ = run_concurrent(&[SimTime::ZERO], &mut [&mut vm], &[&trace, &trace], &mut host, &mut []);
+        let _ = run_concurrent(
+            &[SimTime::ZERO],
+            &mut [&mut vm],
+            &[&trace, &trace],
+            &mut host,
+            &mut [],
+        );
     }
 }

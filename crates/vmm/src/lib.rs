@@ -44,7 +44,7 @@ mod microvm;
 mod snapshot;
 
 pub use engine::{
-    run_concurrent, run_invocation, InvocationResult, NoUffd, UffdResolver,
+    run_concurrent, run_invocation, InvocationCursor, InvocationResult, NoUffd, UffdResolver,
 };
 pub use microvm::{GuestKernel, MicroVm};
 pub use snapshot::{Snapshot, SnapshotMeta};

@@ -8,14 +8,14 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use snapbpf_json::{Json, JsonError};
 use snapbpf_kernel::{HostKernel, KernelError};
 use snapbpf_sim::{SimDuration, SimTime};
 use snapbpf_storage::{FileId, IoPath};
 
 /// Metadata sidecar of a snapshot (what Firecracker stores in its
 /// snapshot state file, reduced to what the memory path needs).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SnapshotMeta {
     /// Function name the snapshot belongs to.
     pub function: String,
@@ -31,8 +31,13 @@ impl SnapshotMeta {
     /// # Errors
     ///
     /// Serialization errors (practically unreachable for this type).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(Json::object([
+            ("function".to_owned(), Json::from(self.function.as_str())),
+            ("memory_pages".to_owned(), Json::from(self.memory_pages)),
+            ("version".to_owned(), Json::from(self.version)),
+        ])
+        .pretty())
     }
 
     /// Parses a sidecar from JSON.
@@ -40,8 +45,25 @@ impl SnapshotMeta {
     /// # Errors
     ///
     /// Malformed JSON or missing fields.
-    pub fn from_json(json: &str) -> Result<SnapshotMeta, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<SnapshotMeta, JsonError> {
+        let v = Json::parse(json)?;
+        let field_err = |what: &str| JsonError {
+            message: format!("snapshot meta: missing or invalid '{what}'"),
+            offset: 0,
+        };
+        Ok(SnapshotMeta {
+            function: v["function"]
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| field_err("function"))?,
+            memory_pages: v["memory_pages"]
+                .as_u64()
+                .ok_or_else(|| field_err("memory_pages"))?,
+            version: v["version"]
+                .as_u64()
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or_else(|| field_err("version"))?,
+        })
     }
 }
 
@@ -160,10 +182,7 @@ mod tests {
         assert_eq!(h.disk().tracer().write_bytes(), pages * 4096);
         // Mostly sequential writes.
         assert!(h.disk().tracer().sequential_fraction() > 0.5);
-        assert_eq!(
-            h.disk().file_by_name("json.mem"),
-            Some(snap.memory_file())
-        );
+        assert_eq!(h.disk().file_by_name("json.mem"), Some(snap.memory_file()));
     }
 
     #[test]

@@ -27,9 +27,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod mix;
 mod spec;
 mod trace;
 
+pub use mix::FunctionMix;
 pub use spec::{FunctionSpec, FAASMEM, FUNCTIONBENCH};
 pub use trace::{InvocationTrace, Step, WsCluster};
 

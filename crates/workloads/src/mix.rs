@@ -1,0 +1,160 @@
+//! Function popularity mixes for fleet experiments.
+//!
+//! A fleet run needs to decide, for every arrival, *which* function
+//! is being invoked. Production FaaS traces (the Azure Functions
+//! trace being the canonical public one) show a heavily skewed
+//! popularity distribution: a handful of functions receive the vast
+//! majority of invocations while a long tail is called rarely —
+//! which is exactly the regime where keep-alive pools stop helping
+//! and cold-start latency dominates the tail.
+//!
+//! [`FunctionMix`] captures that as a normalized weight per function
+//! and deterministically maps a random draw to a function index.
+
+use snapbpf_sim::SplitMix64;
+
+/// A normalized popularity distribution over the functions of a
+/// fleet (weights sum to 1, indexed like the workload slice the mix
+/// was built for).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionMix {
+    weights: Vec<f64>,
+    /// Cumulative distribution, for O(log n) sampling.
+    cdf: Vec<f64>,
+}
+
+impl FunctionMix {
+    /// Builds a mix from raw (unnormalized) positive weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or contains a non-positive or
+    /// non-finite entry.
+    pub fn from_weights(weights: &[f64]) -> FunctionMix {
+        assert!(!weights.is_empty(), "mix needs at least one function");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive and finite"
+        );
+        let total: f64 = weights.iter().sum();
+        let weights: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w;
+                acc
+            })
+            .collect();
+        FunctionMix { weights, cdf }
+    }
+
+    /// Every function equally popular.
+    pub fn uniform(n: usize) -> FunctionMix {
+        FunctionMix::from_weights(&vec![1.0; n])
+    }
+
+    /// An Azure-Functions-style long-tailed mix: weight of the
+    /// `r`-th most popular function is proportional to `1 / r^1.5`
+    /// (a Zipf-like decay — the trace's hallmark that a few
+    /// functions dominate invocation volume while most are rare).
+    /// Function index 0 is the most popular.
+    pub fn azure_like(n: usize) -> FunctionMix {
+        let weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(1.5)).collect();
+        FunctionMix::from_weights(&weights)
+    }
+
+    /// Number of functions in the mix.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the mix is empty (never true — construction requires
+    /// at least one function).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The normalized weights, in function order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Splits a fleet-wide arrival rate into per-function rates.
+    pub fn rate_split(&self, total_rps: f64) -> Vec<f64> {
+        self.weights.iter().map(|w| w * total_rps).collect()
+    }
+
+    /// Draws a function index for one arrival.
+    pub fn pick(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i.min(self.weights.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_normalize() {
+        let m = FunctionMix::from_weights(&[3.0, 1.0]);
+        assert!((m.weights()[0] - 0.75).abs() < 1e-12);
+        assert!((m.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn azure_mix_is_skewed() {
+        let m = FunctionMix::azure_like(14);
+        // The most popular function takes a disproportionate share
+        // and the distribution is monotonically decreasing.
+        assert!(m.weights()[0] > 0.3, "head weight {}", m.weights()[0]);
+        assert!(m.weights().windows(2).all(|w| w[0] > w[1]));
+        // ... but the tail is still reachable.
+        assert!(m.weights()[13] > 0.001);
+    }
+
+    #[test]
+    fn uniform_mix_is_flat() {
+        let m = FunctionMix::uniform(7);
+        for w in m.weights() {
+            assert!((w - 1.0 / 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn picks_follow_weights_deterministically() {
+        let m = FunctionMix::from_weights(&[8.0, 1.0, 1.0]);
+        let draw = |seed| {
+            let mut rng = SplitMix64::new(seed);
+            let mut counts = [0u32; 3];
+            for _ in 0..10_000 {
+                counts[m.pick(&mut rng)] += 1;
+            }
+            counts
+        };
+        let counts = draw(11);
+        assert_eq!(counts, draw(11), "sampling must be deterministic");
+        assert!(counts[0] > 7_000, "head got {}", counts[0]);
+        assert!(counts[1] > 500 && counts[2] > 500);
+        assert_eq!(counts.iter().sum::<u32>(), 10_000);
+    }
+
+    #[test]
+    fn rate_split_preserves_total() {
+        let m = FunctionMix::azure_like(5);
+        let rates = m.rate_split(200.0);
+        assert!((rates.iter().sum::<f64>() - 200.0).abs() < 1e-9);
+        assert!(rates[0] > rates[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        let _ = FunctionMix::from_weights(&[1.0, 0.0]);
+    }
+}

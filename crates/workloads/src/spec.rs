@@ -20,10 +20,8 @@
 //! snapshots of 128–512 MiB, model-serving functions dominated by
 //! initialized state.
 
-use serde::{Deserialize, Serialize};
-
 /// Memory-behaviour profile of one serverless function.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FunctionSpec {
     /// Function name (figure x-axis label).
     pub name: &'static str,
@@ -69,7 +67,10 @@ impl FunctionSpec {
     /// Panics if `factor` is not in `(0, 1]`.
     #[must_use]
     pub fn scaled(&self, factor: f64) -> FunctionSpec {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
         FunctionSpec {
             snapshot_mib: ((self.snapshot_mib as f64 * factor) as u64).max(1),
             ws_mib: (self.ws_mib * factor).max(4096.0 / (1 << 20) as f64),

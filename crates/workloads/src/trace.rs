@@ -95,7 +95,8 @@ impl InvocationTrace {
             0,
             stable_region_end,
         );
-        let mut variant_rng = SplitMix64::new(seed_for(spec.name, variant) ^ variant_stream_marker());
+        let mut variant_rng =
+            SplitMix64::new(seed_for(spec.name, variant) ^ variant_stream_marker());
         if var_ws > 0 {
             clusters.extend(place_clusters(
                 &mut variant_rng,
@@ -119,9 +120,7 @@ impl InvocationTrace {
 
         // --- Ephemeral allocations: sequential heap pages, split
         // into batches spread through the invocation. ---
-        let eph_count = spec
-            .ephemeral_pages()
-            .min(snapshot_pages - heap_start);
+        let eph_count = spec.ephemeral_pages().min(snapshot_pages - heap_start);
         let ephemeral_pages: Vec<u64> = (0..eph_count).map(|i| heap_start + i).collect();
 
         // --- Compute: split across cluster boundaries. ---
@@ -436,9 +435,6 @@ mod tests {
         let spec = FAASMEM[2];
         let t = InvocationTrace::generate(&spec, 0);
         assert!(t.ws_page_list().len() as u64 >= spec.ws_pages() * 9 / 10);
-        assert_eq!(
-            t.ephemeral_page_list().len() as u64,
-            spec.ephemeral_pages()
-        );
+        assert_eq!(t.ephemeral_page_list().len() as u64, spec.ephemeral_pages());
     }
 }

@@ -7,12 +7,12 @@ use snapbpf_workloads::{FunctionSpec, InvocationTrace, Step, Workload};
 
 fn arb_spec() -> impl Strategy<Value = FunctionSpec> {
     (
-        8u64..256,        // snapshot MiB
-        0.1f64..0.3,      // ws fraction of snapshot
-        1u32..400,        // clusters
-        0.0f64..0.2,      // ephemeral fraction of snapshot
-        0.1f64..50.0,     // compute ms
-        0.0f64..0.9,      // write fraction
+        8u64..256,    // snapshot MiB
+        0.1f64..0.3,  // ws fraction of snapshot
+        1u32..400,    // clusters
+        0.0f64..0.2,  // ephemeral fraction of snapshot
+        0.1f64..50.0, // compute ms
+        0.0f64..0.9,  // write fraction
     )
         .prop_map(|(snap, wsf, clusters, ephf, compute, wf)| FunctionSpec {
             name: "arb",

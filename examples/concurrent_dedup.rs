@@ -16,8 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let instances: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(10);
     let scale: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.25);
 
-    let workload =
-        Workload::by_name(&name).ok_or_else(|| format!("unknown function {name:?}"))?;
+    let workload = Workload::by_name(&name).ok_or_else(|| format!("unknown function {name:?}"))?;
     let cfg = RunConfig::concurrent(scale, instances);
 
     println!("{instances} concurrent `{name}` sandboxes (scale {scale})\n");

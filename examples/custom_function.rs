@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let cfg = RunConfig::single(1.0);
-    println!("{:<12} {:>12} {:>10} {:>14}", "strategy", "E2E latency", "read MiB", "PV/filtered");
+    println!(
+        "{:<12} {:>12} {:>10} {:>14}",
+        "strategy", "E2E latency", "read MiB", "PV/filtered"
+    );
     for kind in [
         StrategyKind::LinuxRa,
         StrategyKind::Reap,

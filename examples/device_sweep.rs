@@ -16,8 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "bert".to_owned());
     let scale: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.25);
-    let workload =
-        Workload::by_name(&name).ok_or_else(|| format!("unknown function {name:?}"))?;
+    let workload = Workload::by_name(&name).ok_or_else(|| format!("unknown function {name:?}"))?;
 
     println!("single `{name}` cold start per device (scale {scale})\n");
     println!(

@@ -6,12 +6,10 @@
 //! cargo run --release --example ebpf_playground
 //! ```
 
-use snapbpf_repro::snapbpf_ebpf::{
-    AccessSize, HelperId, JmpCond, MapDef, ProgramBuilder, Reg,
-};
+use snapbpf_repro::prelude::*;
+use snapbpf_repro::snapbpf_ebpf::{AccessSize, HelperId, JmpCond, MapDef, ProgramBuilder, Reg};
 use snapbpf_repro::snapbpf_kernel::{HostKernel, KernelConfig, PAGE_CACHE_ADD_HOOK};
 use snapbpf_repro::snapbpf_storage::{Disk, SsdModel};
-use snapbpf_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let disk = Disk::new(Box::new(SsdModel::micron_5300()));

@@ -14,9 +14,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = args.next().unwrap_or_else(|| "image".to_owned());
     let scale: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.25);
 
-    let workload = Workload::by_name(&name)
-        .ok_or_else(|| format!("unknown function {name:?}; try one of {:?}",
-            Workload::suite().iter().map(|w| w.name()).collect::<Vec<_>>()))?;
+    let workload = Workload::by_name(&name).ok_or_else(|| {
+        format!(
+            "unknown function {name:?}; try one of {:?}",
+            Workload::suite()
+                .iter()
+                .map(|w| w.name())
+                .collect::<Vec<_>>()
+        )
+    })?;
     let cfg = RunConfig::single(scale);
 
     println!(

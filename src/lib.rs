@@ -45,8 +45,7 @@ pub use snapbpf_workloads;
 pub mod prelude {
     pub use snapbpf::figures::FigureConfig;
     pub use snapbpf::{
-        run_one, run_one_with, DeviceKind, FigureData, RunConfig, RunResult, Strategy,
-        StrategyKind,
+        run_one, run_one_with, DeviceKind, FigureData, RunConfig, RunResult, Strategy, StrategyKind,
     };
     pub use snapbpf_sim::{SimDuration, SimTime};
     pub use snapbpf_workloads::Workload;

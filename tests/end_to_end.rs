@@ -35,13 +35,9 @@ fn every_strategy_completes_every_function() {
             StrategyKind::Faasnap,
             StrategyKind::SnapBpf,
         ] {
-            let r = run_one(kind, &w, &cfg)
-                .unwrap_or_else(|e| panic!("{kind} on {}: {e}", w.name()));
-            assert!(
-                r.e2e_mean() > SimDuration::ZERO,
-                "{kind} on {}",
-                w.name()
-            );
+            let r =
+                run_one(kind, &w, &cfg).unwrap_or_else(|e| panic!("{kind} on {}: {e}", w.name()));
+            assert!(r.e2e_mean() > SimDuration::ZERO, "{kind} on {}", w.name());
         }
     }
 }

@@ -70,7 +70,12 @@ fn claim_memory_dedup() {
 #[test]
 fn claim_pv_pte_breakdown() {
     let cfg = RunConfig::single(SCALE);
-    let image_ra = run_one(StrategyKind::LinuxRa, &Workload::by_name("image").unwrap(), &cfg).unwrap();
+    let image_ra = run_one(
+        StrategyKind::LinuxRa,
+        &Workload::by_name("image").unwrap(),
+        &cfg,
+    )
+    .unwrap();
     let image_pv = run_one(
         StrategyKind::SnapBpfPvOnly,
         &Workload::by_name("image").unwrap(),
@@ -81,7 +86,12 @@ fn claim_pv_pte_breakdown() {
     assert!(image_gain > 1.7, "image PV-only gain {image_gain:.2}");
 
     for name in ["rnn", "bert"] {
-        let ra = run_one(StrategyKind::LinuxRa, &Workload::by_name(name).unwrap(), &cfg).unwrap();
+        let ra = run_one(
+            StrategyKind::LinuxRa,
+            &Workload::by_name(name).unwrap(),
+            &cfg,
+        )
+        .unwrap();
         let pv = run_one(
             StrategyKind::SnapBpfPvOnly,
             &Workload::by_name(name).unwrap(),
@@ -89,7 +99,10 @@ fn claim_pv_pte_breakdown() {
         )
         .unwrap();
         let gain = ra.e2e_mean().ratio(pv.e2e_mean());
-        assert!(gain < 1.35, "{name}: PV-only gain {gain:.2} should be minimal");
+        assert!(
+            gain < 1.35,
+            "{name}: PV-only gain {gain:.2} should be minimal"
+        );
     }
 }
 
