@@ -18,7 +18,9 @@ use snapbpf::figures::{
 };
 use snapbpf::{DeviceKind, FigureData};
 use snapbpf_bench::write_figure;
-use snapbpf_fleet::figures::{fleet_breakdown, fleet_keepalive, fleet_sweep, FleetFigureConfig};
+use snapbpf_fleet::figures::{
+    fleet_breakdown, fleet_keepalive, fleet_pipeline, fleet_sweep, FleetFigureConfig,
+};
 use snapbpf_workloads::Workload;
 
 struct Args {
@@ -69,7 +71,7 @@ fn parse_args() -> Result<Args, String> {
                      ablation-coalesce ablation-device ablation-cow ablation-grouping \
                      ext-variants ext-costs ext-memory-pressure ext-colocation \
                      ext-record-cost ext-warm-start ext-concurrency \
-                     fleet-sweep fleet-breakdown fleet-keepalive"
+                     fleet-sweep fleet-breakdown fleet-keepalive fleet-pipeline"
                         .into(),
                 )
             }
@@ -228,6 +230,9 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     if wants(&args.only, "fleet-keepalive") {
         emit(&args.out, &fleet_keepalive(&fleet_cfg)?);
+    }
+    if wants(&args.only, "fleet-pipeline") {
+        emit(&args.out, &fleet_pipeline(&fleet_cfg)?);
     }
     if wants(&args.only, "ext-memory-pressure") {
         let w = Workload::by_name("bert").expect("suite function");

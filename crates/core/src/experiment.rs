@@ -14,6 +14,7 @@ use snapbpf_storage::{BlockDevice, Disk, HddModel, IoTracer, SsdModel};
 use snapbpf_vmm::{run_concurrent, MicroVm, Snapshot, UffdResolver};
 use snapbpf_workloads::Workload;
 
+use crate::restore::StageTimings;
 use crate::strategy::{FunctionCtx, RestoredVm, Strategy, StrategyError, StrategyKind};
 
 /// The storage device an experiment runs on.
@@ -139,6 +140,10 @@ pub struct RunResult {
     pub invoke_read_requests: u64,
     /// Offsets-map load cost (SnapBPF only; §4 overheads).
     pub offset_load_cost: SimDuration,
+    /// Per-stage restore durations, element-wise maxima over the
+    /// restored instances (the §4 cold-start breakdown's tail
+    /// profile).
+    pub restore_stages: StageTimings,
     /// Fault statistics summed over all sandboxes.
     pub stats: VmMemStats,
     /// Pages of on-disk artifacts the record phase produced (working
@@ -246,6 +251,10 @@ pub fn run_one_with(
         .map(|r| r.offset_load_cost)
         .max()
         .unwrap_or(SimDuration::ZERO);
+    let mut restore_stages = StageTimings::default();
+    for r in &restored {
+        restore_stages.merge_max(&r.stages);
+    }
 
     // Phase 3: concurrent invocations — identical inputs by
     // default (the paper's methodology), or one input variant per
@@ -286,6 +295,7 @@ pub fn run_one_with(
         invoke_read_bytes,
         invoke_read_requests,
         offset_load_cost,
+        restore_stages,
         stats,
         artifact_pages,
         record_duration,

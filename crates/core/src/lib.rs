@@ -52,6 +52,7 @@ mod experiment;
 pub mod figures;
 mod programs;
 mod report;
+pub mod restore;
 pub mod strategies;
 mod strategy;
 #[cfg(test)]
@@ -66,6 +67,7 @@ pub use programs::{
     read_captured_samples, wset_map_def, GROUPS_COUNT_SLOT, GROUPS_CURSOR_SLOT, WSET_COUNT_SLOT,
 };
 pub use report::{FigureData, Series};
+pub use restore::{RestoreCursor, RestoreOps, RestoreStage, StageTimings, StepOutcome};
 pub use strategy::{Capabilities, FunctionCtx, RestoredVm, Strategy, StrategyError, StrategyKind};
 pub use wset::{
     coalesce_regions, decode_groups, encode_groups, group_offsets, total_pages, OffsetSample,

@@ -20,13 +20,14 @@
 
 use snapbpf_kernel::{CowPolicy, HostKernel};
 use snapbpf_mem::OwnerId;
-use snapbpf_sim::{SimDuration, SimTime};
+use snapbpf_sim::SimTime;
 use snapbpf_storage::{FileId, IoPath};
 use snapbpf_vmm::{run_invocation, MicroVm, NoUffd, Snapshot};
 
+use crate::restore::{RestoreCursor, RestoreOps, RestoreStage, StepOutcome};
 use crate::strategies::faast::allocator_free_region;
 use crate::strategies::reap::write_ws_file;
-use crate::strategy::{Capabilities, FunctionCtx, RestoredVm, Strategy, StrategyError};
+use crate::strategy::{Capabilities, FunctionCtx, Strategy, StrategyError};
 use crate::wset::{coalesce_regions, total_pages, WsGroup};
 
 /// Default coalescing gap, in pages: regions closer than this merge.
@@ -183,52 +184,101 @@ impl Strategy for Faasnap {
         Ok(t2)
     }
 
-    fn restore(
+    fn begin_restore(
         &mut self,
         now: SimTime,
-        host: &mut HostKernel,
+        _host: &mut HostKernel,
         func: &FunctionCtx,
         owner: OwnerId,
-    ) -> Result<RestoredVm, StrategyError> {
+    ) -> Result<RestoreCursor, StrategyError> {
         let ws_file = self.ws_file.ok_or(StrategyError::NotRecorded {
             strategy: "FaaSnap",
         })?;
-        host.set_readahead(true);
+        Ok(RestoreCursor::new(
+            now,
+            Box::new(FaasnapRestore {
+                ws_file,
+                regions: self.regions.clone(),
+                snapshot: func.snapshot.clone(),
+                owner,
+                next_off: 0,
+                vm: None,
+            }),
+        ))
+    }
+}
 
-        let mut vm = MicroVm::restore(owner, &func.snapshot, CowPolicy::Opportunistic, false);
+/// FaaSnap's restore state machine: mmap the working-set file's
+/// regions over the snapshot, then let a userspace prefetch thread
+/// stream the file into the page cache in the **background** while
+/// the vCPU resumes.
+struct FaasnapRestore {
+    ws_file: FileId,
+    regions: Vec<WsGroup>,
+    snapshot: Snapshot,
+    owner: OwnerId,
+    /// Working-set-file offset of the prefetch thread's next read.
+    next_off: u64,
+    vm: Option<MicroVm>,
+}
 
-        // mmap the ws file's regions over the snapshot mapping.
-        let mut file_off = 0u64;
-        for r in &self.regions {
-            vm.kvm_mut().add_overlay(r.start, r.len, ws_file, file_off);
-            file_off += r.len;
-        }
-        // Zero pages map to anonymous memory.
-        vm.kvm_mut()
-            .add_anon_filter(allocator_free_region(func.snapshot.memory_pages()));
-
-        // Prefetch thread: sequential buffered reads of the ws
-        // file. Kernel readahead keeps the device streaming ahead of
-        // the thread, so at steady state the thread's issue cadence
-        // is bounded by its per-page userspace copy (the overhead
-        // SnapBPF's in-kernel prefetch avoids); the device model
-        // paces the actual data arrivals.
-        let total = self.ws_file_pages();
-        let copy_per_page = host.config().page_copy;
-        let mut t = now;
-        let mut off = 0u64;
-        while off < total {
-            let n = PREFETCH_CHUNK_PAGES.min(total - off);
-            host.ra_unbounded(t, ws_file, off, n)?;
-            t += copy_per_page * n;
-            off += n;
-        }
-
-        Ok(RestoredVm {
-            vm,
-            resolver: Box::new(NoUffd),
-            ready_at: now + Snapshot::restore_overhead(),
-            offset_load_cost: SimDuration::ZERO,
+impl RestoreOps for FaasnapRestore {
+    fn exec(
+        &mut self,
+        stage: RestoreStage,
+        now: SimTime,
+        host: &mut HostKernel,
+    ) -> Result<StepOutcome, StrategyError> {
+        Ok(match stage {
+            RestoreStage::MetadataLoad => {
+                host.set_readahead(true);
+                StepOutcome::done(now)
+            }
+            RestoreStage::PrefetchIssue => {
+                // Prefetch thread: sequential buffered reads of the
+                // ws file. Kernel readahead keeps the device
+                // streaming ahead of the thread, so at steady state
+                // the thread's issue cadence is bounded by its
+                // per-page userspace copy (the overhead SnapBPF's
+                // in-kernel prefetch avoids); the device model paces
+                // the actual data arrivals.
+                let total = total_pages(&self.regions);
+                if self.next_off >= total {
+                    return Ok(StepOutcome::done(now));
+                }
+                let n = PREFETCH_CHUNK_PAGES.min(total - self.next_off);
+                let read = host.ra_unbounded(now, self.ws_file, self.next_off, n)?;
+                let issued = now + host.config().page_copy * n;
+                self.next_off += n;
+                if self.next_off >= total {
+                    // The thread is done once its last read's data
+                    // has actually arrived, not merely been issued.
+                    StepOutcome::background_done(issued.max(read.ready_at))
+                } else {
+                    StepOutcome::background_pending(issued)
+                }
+            }
+            RestoreStage::OverlaySetup => {
+                let mut vm =
+                    MicroVm::restore(self.owner, &self.snapshot, CowPolicy::Opportunistic, false);
+                // mmap the ws file's regions over the snapshot
+                // mapping.
+                let mut file_off = 0u64;
+                for r in &self.regions {
+                    vm.kvm_mut()
+                        .add_overlay(r.start, r.len, self.ws_file, file_off);
+                    file_off += r.len;
+                }
+                // Zero pages map to anonymous memory.
+                vm.kvm_mut()
+                    .add_anon_filter(allocator_free_region(self.snapshot.memory_pages()));
+                self.vm = Some(vm);
+                StepOutcome::done(now)
+            }
+            RestoreStage::Resume => StepOutcome::done(now + Snapshot::restore_overhead()).with_vm(
+                self.vm.take().expect("overlay stage built the VM"),
+                Box::new(NoUffd),
+            ),
         })
     }
 }

@@ -15,12 +15,13 @@ use std::collections::HashSet;
 
 use snapbpf_kernel::{CowPolicy, HostKernel};
 use snapbpf_mem::OwnerId;
-use snapbpf_sim::{SimDuration, SimTime};
+use snapbpf_sim::SimTime;
 use snapbpf_storage::{FileId, IoPath};
 use snapbpf_vmm::{run_invocation, MicroVm, Snapshot, UffdResolver};
 
-use crate::strategies::reap::{sequential_prefetch_times, write_ws_file, PrefetchedResolver};
-use crate::strategy::{Capabilities, FunctionCtx, RestoredVm, Strategy, StrategyError};
+use crate::restore::RestoreCursor;
+use crate::strategies::reap::{write_ws_file, UffdRestoreOps};
+use crate::strategy::{Capabilities, FunctionCtx, Strategy, StrategyError};
 
 /// Guest pages the allocator metadata marks as free at snapshot
 /// time. In the guest memory layout of the workload models, the
@@ -147,32 +148,26 @@ impl Strategy for Faast {
         Ok(t1)
     }
 
-    fn restore(
+    fn begin_restore(
         &mut self,
         now: SimTime,
-        host: &mut HostKernel,
+        _host: &mut HostKernel,
         func: &FunctionCtx,
         owner: OwnerId,
-    ) -> Result<RestoredVm, StrategyError> {
+    ) -> Result<RestoreCursor, StrategyError> {
         let ws_file = self
             .ws_file
             .ok_or(StrategyError::NotRecorded { strategy: "Faast" })?;
-        host.set_readahead(true);
-        let available = sequential_prefetch_times(now, ws_file, &self.ws_order, host)?;
-
-        let mut vm = MicroVm::restore(owner, &func.snapshot, CowPolicy::Opportunistic, false);
-        vm.kvm_mut().register_uffd(0, func.snapshot.memory_pages());
-
-        Ok(RestoredVm {
-            vm,
-            resolver: Box::new(PrefetchedResolver {
-                snapshot: func.snapshot.memory_file(),
-                available,
-                zero_filled: self.filtered.clone(),
-            }),
-            ready_at: now + Snapshot::restore_overhead(),
-            offset_load_cost: SimDuration::ZERO,
-        })
+        Ok(RestoreCursor::new(
+            now,
+            Box::new(UffdRestoreOps::new(
+                ws_file,
+                self.ws_order.clone(),
+                func.snapshot.clone(),
+                self.filtered.clone(),
+                owner,
+            )),
+        ))
     }
 }
 

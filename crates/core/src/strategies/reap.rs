@@ -14,15 +14,18 @@
 //!   sandboxes of the same function — the dedup failure Figure 3c
 //!   quantifies.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 use snapbpf_kernel::{CowPolicy, HostKernel, KernelError};
 use snapbpf_mem::OwnerId;
-use snapbpf_sim::{SimDuration, SimTime};
+use snapbpf_sim::SimTime;
 use snapbpf_storage::{FileId, IoPath};
 use snapbpf_vmm::{run_invocation, MicroVm, Snapshot, UffdResolver};
 
-use crate::strategy::{Capabilities, FunctionCtx, RestoredVm, Strategy, StrategyError};
+use crate::restore::{RestoreCursor, RestoreOps, RestoreStage, StepOutcome};
+use crate::strategy::{Capabilities, FunctionCtx, Strategy, StrategyError};
 
 /// Pages per working-set-file read chunk during restore prefetch.
 pub(crate) const PREFETCH_CHUNK_PAGES: u64 = 512;
@@ -50,15 +53,21 @@ impl UffdResolver for RecordingResolver {
 }
 
 /// Invocation-phase handler: working-set pages become available as
-/// the prefetch thread's chunks arrive; anything else is a demand
-/// direct-I/O read of the snapshot.
+/// the prefetch thread's chunks arrive and install; anything else is
+/// a demand direct-I/O read of the snapshot.
+///
+/// The availability map is shared (`Rc`) with the restore cursor's
+/// background prefetch step: in a pipelined fleet a fault that races
+/// ahead of the prefetch thread blocks until the page's install
+/// lands (`UFFDIO_COPY` wakes the faulting vCPU), while non-recorded
+/// pages take the demand-read path, exactly like the real system.
 pub(crate) struct PrefetchedResolver {
     pub(crate) snapshot: FileId,
-    /// gpfn -> time its bytes are in the userspace buffer.
-    pub(crate) available: HashMap<u64, SimTime>,
+    /// gpfn -> time its bytes are installed by the prefetch thread.
+    pub(crate) available: Rc<RefCell<HashMap<u64, SimTime>>>,
     /// gpfns served with zero-fill without any I/O (Faast's
     /// allocation filter; empty for REAP).
-    pub(crate) zero_filled: std::collections::HashSet<u64>,
+    pub(crate) zero_filled: HashSet<u64>,
 }
 
 impl UffdResolver for PrefetchedResolver {
@@ -71,7 +80,7 @@ impl UffdResolver for PrefetchedResolver {
         if self.zero_filled.contains(&gpfn) {
             return Ok(now);
         }
-        if let Some(&t) = self.available.get(&gpfn) {
+        if let Some(&t) = self.available.borrow().get(&gpfn) {
             return Ok(t.max(now));
         }
         let done = host
@@ -81,43 +90,109 @@ impl UffdResolver for PrefetchedResolver {
     }
 }
 
-/// Models REAP's restore-time prefetch + install pipeline over the
-/// working-set file and returns each page's **install-completion**
-/// time keyed by `page_ids[i]`:
+/// Restore state machine shared by REAP and Faast (Faast is REAP
+/// plus an allocation filter): readahead on, uffd registration, and
+/// a **background** prefetch + install pipeline over the working-set
+/// file:
 ///
-/// * the prefetch thread queues its large direct-I/O reads back to
-///   back; the device paces completions at sequential bandwidth,
+/// * the prefetch thread issues one large direct-I/O read per chunk,
+///   all queued at issue time (the device serializes them),
 /// * the installer thread walks the buffer in file order, issuing
 ///   one `UFFDIO_COPY` per page — a serial chain of page-copy +
 ///   anonymous-allocation work that starts for page `i` only once
 ///   its chunk has arrived and page `i-1` is installed.
 ///
-/// Pages the guest touches before their install completes take a
-/// userfaultfd round trip (handled by the engine); the rest are
-/// pre-installed and cost nothing extra — which is exactly REAP's
-/// behaviour.
-pub(crate) fn sequential_prefetch_times(
-    now: SimTime,
-    file: FileId,
-    page_ids: &[u64],
-    host: &mut HostKernel,
-) -> Result<HashMap<u64, SimTime>, KernelError> {
-    let install_cost = host.config().page_copy + host.config().anon_zero_fill;
-    let mut available = HashMap::with_capacity(page_ids.len());
-    let mut installer = now;
-    let mut offset = 0u64;
-    while offset < page_ids.len() as u64 {
-        let n = PREFETCH_CHUNK_PAGES.min(page_ids.len() as u64 - offset);
-        let done = host
-            .disk_mut()
-            .read_file_pages(now, file, offset, n, IoPath::Direct)?;
-        for i in offset..offset + n {
-            installer = installer.max(done.done_at) + install_cost;
-            available.insert(page_ids[i as usize], installer);
+/// The vCPU resumes without waiting for any of it: pages the guest
+/// touches before their install completes take a userfaultfd round
+/// trip (handled by the engine); the rest are pre-installed and cost
+/// nothing extra — which is exactly REAP's behaviour.
+pub(crate) struct UffdRestoreOps {
+    ws_file: FileId,
+    ws_order: Vec<u64>,
+    snapshot: Snapshot,
+    zero_filled: HashSet<u64>,
+    owner: OwnerId,
+    available: Rc<RefCell<HashMap<u64, SimTime>>>,
+    vm: Option<MicroVm>,
+}
+
+impl UffdRestoreOps {
+    pub(crate) fn new(
+        ws_file: FileId,
+        ws_order: Vec<u64>,
+        snapshot: Snapshot,
+        zero_filled: HashSet<u64>,
+        owner: OwnerId,
+    ) -> Self {
+        UffdRestoreOps {
+            ws_file,
+            ws_order,
+            snapshot,
+            zero_filled,
+            owner,
+            available: Rc::new(RefCell::new(HashMap::new())),
+            vm: None,
         }
-        offset += n;
     }
-    Ok(available)
+}
+
+impl RestoreOps for UffdRestoreOps {
+    fn exec(
+        &mut self,
+        stage: RestoreStage,
+        now: SimTime,
+        host: &mut HostKernel,
+    ) -> Result<StepOutcome, StrategyError> {
+        Ok(match stage {
+            RestoreStage::MetadataLoad => {
+                host.set_readahead(true);
+                StepOutcome::done(now)
+            }
+            RestoreStage::PrefetchIssue => {
+                let total = self.ws_order.len() as u64;
+                if total == 0 {
+                    return Ok(StepOutcome::done(now));
+                }
+                let install_cost = host.config().page_copy + host.config().anon_zero_fill;
+                let mut installer = now;
+                let mut available = self.available.borrow_mut();
+                let mut page = 0;
+                while page < total {
+                    let n = PREFETCH_CHUNK_PAGES.min(total - page);
+                    let done = host.disk_mut().read_file_pages(
+                        now,
+                        self.ws_file,
+                        page,
+                        n,
+                        IoPath::Direct,
+                    )?;
+                    for i in page..page + n {
+                        installer = installer.max(done.done_at) + install_cost;
+                        available.insert(self.ws_order[i as usize], installer);
+                    }
+                    page += n;
+                }
+                // The stage's work completes when the last install
+                // lands; the critical path never waits for it.
+                StepOutcome::background_done(installer)
+            }
+            RestoreStage::OverlaySetup => {
+                let mut vm =
+                    MicroVm::restore(self.owner, &self.snapshot, CowPolicy::Opportunistic, false);
+                vm.kvm_mut().register_uffd(0, self.snapshot.memory_pages());
+                self.vm = Some(vm);
+                StepOutcome::done(now)
+            }
+            RestoreStage::Resume => StepOutcome::done(now + Snapshot::restore_overhead()).with_vm(
+                self.vm.take().expect("overlay stage built the VM"),
+                Box::new(PrefetchedResolver {
+                    snapshot: self.snapshot.memory_file(),
+                    available: Rc::clone(&self.available),
+                    zero_filled: std::mem::take(&mut self.zero_filled),
+                }),
+            ),
+        })
+    }
 }
 
 /// The REAP strategy.
@@ -218,34 +293,26 @@ impl Strategy for Reap {
         Ok(t2)
     }
 
-    fn restore(
+    fn begin_restore(
         &mut self,
         now: SimTime,
-        host: &mut HostKernel,
+        _host: &mut HostKernel,
         func: &FunctionCtx,
         owner: OwnerId,
-    ) -> Result<RestoredVm, StrategyError> {
+    ) -> Result<RestoreCursor, StrategyError> {
         let ws_file = self
             .ws_file
             .ok_or(StrategyError::NotRecorded { strategy: "REAP" })?;
-        host.set_readahead(true);
-
-        // The prefetch thread starts reading the ws file immediately.
-        let available = sequential_prefetch_times(now, ws_file, &self.ws_order, host)?;
-
-        let mut vm = MicroVm::restore(owner, &func.snapshot, CowPolicy::Opportunistic, false);
-        vm.kvm_mut().register_uffd(0, func.snapshot.memory_pages());
-
-        Ok(RestoredVm {
-            vm,
-            resolver: Box::new(PrefetchedResolver {
-                snapshot: func.snapshot.memory_file(),
-                available,
-                zero_filled: Default::default(),
-            }),
-            ready_at: now + Snapshot::restore_overhead(),
-            offset_load_cost: SimDuration::ZERO,
-        })
+        Ok(RestoreCursor::new(
+            now,
+            Box::new(UffdRestoreOps::new(
+                ws_file,
+                self.ws_order.clone(),
+                func.snapshot.clone(),
+                HashSet::new(),
+                owner,
+            )),
+        ))
     }
 }
 

@@ -20,7 +20,7 @@
 
 use snapbpf_kernel::{CowPolicy, HostKernel, PAGE_CACHE_ADD_HOOK};
 use snapbpf_mem::OwnerId;
-use snapbpf_sim::{SimDuration, SimTime, PAGE_SIZE};
+use snapbpf_sim::{SimTime, PAGE_SIZE};
 use snapbpf_storage::{FileId, IoPath};
 use snapbpf_vmm::{run_invocation, MicroVm, NoUffd, Snapshot};
 
@@ -28,7 +28,8 @@ use crate::programs::{
     build_capture_program, build_prefetch_program, groups_map_def, groups_map_image,
     read_captured_samples, wset_map_def,
 };
-use crate::strategy::{Capabilities, FunctionCtx, RestoredVm, Strategy, StrategyError};
+use crate::restore::{RestoreCursor, RestoreOps, RestoreStage, StepOutcome};
+use crate::strategy::{Capabilities, FunctionCtx, Strategy, StrategyError};
 use crate::wset::{decode_groups, encode_groups, group_offsets, total_pages, WsGroup};
 
 /// The SnapBPF strategy, with its two mechanisms independently
@@ -43,7 +44,6 @@ pub struct SnapBpf {
     sort_by_access: bool,
     groups: Vec<WsGroup>,
     offsets_file: Option<FileId>,
-    last_offset_load: SimDuration,
 }
 
 impl SnapBpf {
@@ -79,7 +79,6 @@ impl SnapBpf {
             sort_by_access: true,
             groups: Vec::new(),
             offsets_file: None,
-            last_offset_load: SimDuration::ZERO,
         }
     }
 
@@ -101,12 +100,6 @@ impl SnapBpf {
     /// Captured working-set size in pages.
     pub fn ws_pages(&self) -> u64 {
         total_pages(&self.groups)
-    }
-
-    /// Cost of the most recent offsets-map load (the paper's §4
-    /// "SnapBPF Overheads" metric, ~1–2 ms).
-    pub fn last_offset_load(&self) -> SimDuration {
-        self.last_offset_load
     }
 }
 
@@ -211,54 +204,112 @@ impl Strategy for SnapBpf {
         Ok(done.done_at)
     }
 
-    fn restore(
+    fn begin_restore(
         &mut self,
         now: SimTime,
-        host: &mut HostKernel,
+        _host: &mut HostKernel,
         func: &FunctionCtx,
         owner: OwnerId,
-    ) -> Result<RestoredVm, StrategyError> {
-        let snap_file = func.snapshot.memory_file();
-        host.set_readahead(true);
-        let mut t = now;
-        let mut offset_load = SimDuration::ZERO;
-
-        if self.ebpf_prefetch {
-            let offsets_file = self.offsets_file.ok_or(StrategyError::NotRecorded {
+    ) -> Result<RestoreCursor, StrategyError> {
+        let offsets_file = if self.ebpf_prefetch {
+            Some(self.offsets_file.ok_or(StrategyError::NotRecorded {
                 strategy: "SnapBPF",
-            })?;
-
-            // ① Read the grouped offsets from disk and load them
-            //   into the kernel via the eBPF map.
-            let file_pages = host.disk().file_pages(offsets_file)?;
-            let read = host.disk_mut().read_file_pages(
-                t,
+            })?)
+        } else {
+            None
+        };
+        Ok(RestoreCursor::new(
+            now,
+            Box::new(SnapBpfRestore {
                 offsets_file,
-                0,
-                file_pages,
-                IoPath::Buffered,
-            )?;
-            t = read.done_at;
+                groups: self.groups.clone(),
+                snapshot: func.snapshot.clone(),
+                cow_policy: self.cow_policy,
+                pv_pte: self.pv_pte,
+                owner,
+                map: None,
+                vm: None,
+            }),
+        ))
+    }
+}
 
-            let map = host.create_map(groups_map_def(self.groups.len() as u32))?;
-            let image = groups_map_image(&self.groups);
-            offset_load = host.load_map_from_user(map, 0, &image)?;
-            t += offset_load;
+/// SnapBPF's restore state machine — the paper's §3.2 sequence:
+/// offsets-map load, eBPF prefetch kick-off, immediate resume with
+/// demand paging. Nothing runs in userspace after the kick-off: the
+/// prefetch cascade re-fires itself inside the kernel as each
+/// range's pages land in the page cache, so every stage here is on
+/// the (short) critical path and the cursor never has background
+/// work.
+struct SnapBpfRestore {
+    /// `Some` when the eBPF prefetcher is enabled (already validated
+    /// as recorded).
+    offsets_file: Option<FileId>,
+    groups: Vec<WsGroup>,
+    snapshot: Snapshot,
+    cow_policy: CowPolicy,
+    pv_pte: bool,
+    owner: OwnerId,
+    /// The groups map, created by `MetadataLoad` for `PrefetchIssue`.
+    map: Option<snapbpf_ebpf::MapId>,
+    vm: Option<MicroVm>,
+}
 
-            // ② Attach the prefetch program and trigger the cascade
-            //   by touching the first page of the snapshot.
-            let prefetch = build_prefetch_program(snap_file, map);
-            host.load_and_attach(PAGE_CACHE_ADD_HOOK, &prefetch)?;
-            host.trigger_access(t, snap_file, 0)?;
-        }
-
-        let vm = MicroVm::restore(owner, &func.snapshot, self.cow_policy, self.pv_pte);
-        self.last_offset_load = offset_load;
-        Ok(RestoredVm {
-            vm,
-            resolver: Box::new(NoUffd),
-            ready_at: t + Snapshot::restore_overhead(),
-            offset_load_cost: offset_load,
+impl RestoreOps for SnapBpfRestore {
+    fn exec(
+        &mut self,
+        stage: RestoreStage,
+        now: SimTime,
+        host: &mut HostKernel,
+    ) -> Result<StepOutcome, StrategyError> {
+        let snap_file = self.snapshot.memory_file();
+        Ok(match stage {
+            RestoreStage::MetadataLoad => {
+                host.set_readahead(true);
+                let Some(offsets_file) = self.offsets_file else {
+                    return Ok(StepOutcome::done(now));
+                };
+                // Read the grouped offsets from disk and load them
+                // into the kernel via the eBPF map.
+                let file_pages = host.disk().file_pages(offsets_file)?;
+                let read = host.disk_mut().read_file_pages(
+                    now,
+                    offsets_file,
+                    0,
+                    file_pages,
+                    IoPath::Buffered,
+                )?;
+                let map = host.create_map(groups_map_def(self.groups.len() as u32))?;
+                let image = groups_map_image(&self.groups);
+                let offset_load = host.load_map_from_user(map, 0, &image)?;
+                self.map = Some(map);
+                StepOutcome::done(read.done_at + offset_load).with_offset_load(offset_load)
+            }
+            RestoreStage::PrefetchIssue => {
+                let Some(map) = self.map else {
+                    return Ok(StepOutcome::done(now));
+                };
+                // Attach the prefetch program and trigger the
+                // cascade by touching the first page of the
+                // snapshot; the cascade continues in-kernel.
+                let prefetch = build_prefetch_program(snap_file, map);
+                host.load_and_attach(PAGE_CACHE_ADD_HOOK, &prefetch)?;
+                host.trigger_access(now, snap_file, 0)?;
+                StepOutcome::done(now)
+            }
+            RestoreStage::OverlaySetup => {
+                self.vm = Some(MicroVm::restore(
+                    self.owner,
+                    &self.snapshot,
+                    self.cow_policy,
+                    self.pv_pte,
+                ));
+                StepOutcome::done(now)
+            }
+            RestoreStage::Resume => StepOutcome::done(now + Snapshot::restore_overhead()).with_vm(
+                self.vm.take().expect("overlay stage built the VM"),
+                Box::new(NoUffd),
+            ),
         })
     }
 }
@@ -268,6 +319,7 @@ mod tests {
     use super::*;
     use crate::testutil::test_env;
     use snapbpf_mem::PageState;
+    use snapbpf_sim::SimDuration;
 
     #[test]
     fn record_captures_exact_working_set() {

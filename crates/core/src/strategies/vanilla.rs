@@ -8,10 +8,11 @@
 
 use snapbpf_kernel::{CowPolicy, HostKernel};
 use snapbpf_mem::OwnerId;
-use snapbpf_sim::{SimDuration, SimTime};
+use snapbpf_sim::SimTime;
 use snapbpf_vmm::{MicroVm, NoUffd, Snapshot};
 
-use crate::strategy::{Capabilities, FunctionCtx, RestoredVm, Strategy, StrategyError};
+use crate::restore::{RestoreCursor, RestoreOps, RestoreStage, StepOutcome};
+use crate::strategy::{Capabilities, FunctionCtx, Strategy, StrategyError};
 
 /// Vanilla restore (no prefetching).
 #[derive(Debug, Clone, Copy)]
@@ -54,20 +55,60 @@ impl Strategy for Vanilla {
         Ok(now) // nothing to record
     }
 
-    fn restore(
+    fn begin_restore(
         &mut self,
         now: SimTime,
-        host: &mut HostKernel,
+        _host: &mut HostKernel,
         func: &FunctionCtx,
         owner: OwnerId,
-    ) -> Result<RestoredVm, StrategyError> {
-        host.set_readahead(self.readahead);
-        let vm = MicroVm::restore(owner, &func.snapshot, CowPolicy::Opportunistic, false);
-        Ok(RestoredVm {
-            vm,
-            resolver: Box::new(NoUffd),
-            ready_at: now + Snapshot::restore_overhead(),
-            offset_load_cost: SimDuration::ZERO,
+    ) -> Result<RestoreCursor, StrategyError> {
+        Ok(RestoreCursor::new(
+            now,
+            Box::new(VanillaRestore {
+                readahead: self.readahead,
+                snapshot: func.snapshot.clone(),
+                owner,
+                vm: None,
+            }),
+        ))
+    }
+}
+
+/// Vanilla's restore state machine: apply the readahead switch, map
+/// the snapshot, resume. There is no prefetch work of any kind.
+struct VanillaRestore {
+    readahead: bool,
+    snapshot: Snapshot,
+    owner: OwnerId,
+    vm: Option<MicroVm>,
+}
+
+impl RestoreOps for VanillaRestore {
+    fn exec(
+        &mut self,
+        stage: RestoreStage,
+        now: SimTime,
+        host: &mut HostKernel,
+    ) -> Result<StepOutcome, StrategyError> {
+        Ok(match stage {
+            RestoreStage::MetadataLoad => {
+                host.set_readahead(self.readahead);
+                StepOutcome::done(now)
+            }
+            RestoreStage::PrefetchIssue => StepOutcome::done(now),
+            RestoreStage::OverlaySetup => {
+                self.vm = Some(MicroVm::restore(
+                    self.owner,
+                    &self.snapshot,
+                    CowPolicy::Opportunistic,
+                    false,
+                ));
+                StepOutcome::done(now)
+            }
+            RestoreStage::Resume => StepOutcome::done(now + Snapshot::restore_overhead()).with_vm(
+                self.vm.take().expect("overlay stage built the VM"),
+                Box::new(NoUffd),
+            ),
         })
     }
 }
@@ -76,6 +117,7 @@ impl Strategy for Vanilla {
 mod tests {
     use super::*;
     use crate::testutil::test_env;
+    use snapbpf_sim::SimDuration;
 
     #[test]
     fn restore_is_immediate_and_cold() {

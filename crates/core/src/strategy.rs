@@ -16,6 +16,8 @@ use snapbpf_sim::{SimDuration, SimTime};
 use snapbpf_vmm::{MicroVm, Snapshot, UffdResolver};
 use snapbpf_workloads::Workload;
 
+use crate::restore::{RestoreCursor, RestoreStage, StageTimings};
+
 /// A function under test: its workload model and its snapshot.
 #[derive(Debug)]
 pub struct FunctionCtx {
@@ -38,6 +40,9 @@ pub struct RestoredVm {
     /// Cost of loading offsets metadata into the kernel (SnapBPF's
     /// §4 overhead metric; zero for other strategies).
     pub offset_load_cost: SimDuration,
+    /// Per-stage duration breakdown of the restore (see
+    /// [`RestoreStage`]).
+    pub stages: StageTimings,
 }
 
 impl fmt::Debug for RestoredVm {
@@ -60,6 +65,14 @@ pub enum StrategyError {
         /// The strategy.
         strategy: &'static str,
     },
+    /// A restore stage failed (added by [`RestoreCursor::step`] so
+    /// fleet logs say *where* a restore died).
+    Stage {
+        /// The stage that failed.
+        stage: RestoreStage,
+        /// The underlying failure.
+        source: Box<StrategyError>,
+    },
 }
 
 impl fmt::Display for StrategyError {
@@ -69,11 +82,22 @@ impl fmt::Display for StrategyError {
             StrategyError::NotRecorded { strategy } => {
                 write!(f, "{strategy}: restore before record")
             }
+            StrategyError::Stage { stage, source } => {
+                write!(f, "restore stage {stage}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for StrategyError {}
+impl std::error::Error for StrategyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StrategyError::Kernel(e) => Some(e),
+            StrategyError::NotRecorded { .. } => None,
+            StrategyError::Stage { source, .. } => Some(source.as_ref()),
+        }
+    }
+}
 
 impl From<KernelError> for StrategyError {
     fn from(e: KernelError) -> Self {
@@ -126,20 +150,54 @@ pub trait Strategy {
         func: &FunctionCtx,
     ) -> Result<SimTime, StrategyError>;
 
-    /// Restore phase: prepares a new sandbox for one invocation
-    /// (mmap, uffd registration, overlays, prefetch kick-off).
+    /// Begins a staged restore: validates preconditions and returns
+    /// a [`RestoreCursor`] whose stages the caller steps in
+    /// virtual-time order (a fleet scheduler interleaves them with
+    /// other sandboxes' events; [`Strategy::restore`] drives them
+    /// back-to-back).
+    ///
+    /// `begin_restore` itself charges no virtual time and performs
+    /// no I/O — all restore work happens in the cursor's steps.
     ///
     /// # Errors
     ///
-    /// Kernel errors propagate; strategies requiring a record phase
-    /// return [`StrategyError::NotRecorded`] if it did not happen.
+    /// Strategies requiring a record phase return
+    /// [`StrategyError::NotRecorded`] if it did not happen.
+    fn begin_restore(
+        &mut self,
+        now: SimTime,
+        host: &mut HostKernel,
+        func: &FunctionCtx,
+        owner: OwnerId,
+    ) -> Result<RestoreCursor, StrategyError>;
+
+    /// Restore phase: prepares a new sandbox for one invocation
+    /// (mmap, uffd registration, overlays, prefetch kick-off).
+    ///
+    /// The provided default drives [`Strategy::begin_restore`]'s
+    /// cursor to completion, charging every stage — including
+    /// background prefetch work — before returning, which preserves
+    /// the classic blocking-restore semantics for single-invocation
+    /// experiments.
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors propagate wrapped in [`StrategyError::Stage`];
+    /// strategies requiring a record phase return
+    /// [`StrategyError::NotRecorded`] if it did not happen.
     fn restore(
         &mut self,
         now: SimTime,
         host: &mut HostKernel,
         func: &FunctionCtx,
         owner: OwnerId,
-    ) -> Result<RestoredVm, StrategyError>;
+    ) -> Result<RestoredVm, StrategyError> {
+        let mut cursor = self.begin_restore(now, host, func, owner)?;
+        while !cursor.is_done() {
+            cursor.step(host)?;
+        }
+        Ok(cursor.finish())
+    }
 }
 
 /// Factory enum for the strategies the evaluation compares.

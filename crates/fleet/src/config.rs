@@ -15,6 +15,21 @@ pub enum ShedPolicy {
     DropOldest,
 }
 
+/// How cold-start restores are scheduled against other host events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestoreMode {
+    /// Drive each restore to full drain inside its dispatch event —
+    /// the pre-staging behaviour: one sandbox's whole restore I/O
+    /// burst is submitted before any other event runs, and the guest
+    /// resumes only after every stage (prefetch included) completes.
+    Serialized,
+    /// Step restore stages as first-class virtual-time events,
+    /// interleaved with running vCPUs and other restores (the staged
+    /// [`snapbpf::RestoreCursor`] pipeline).
+    #[default]
+    Pipelined,
+}
+
 /// Configuration of one trace-driven fleet run on a single host.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -48,6 +63,8 @@ pub struct FleetConfig {
     pub pool_capacity: usize,
     /// Optional host-memory cap in pages (`None` = kernel default).
     pub memory_pages: Option<u64>,
+    /// How cold-start restores interleave with other host events.
+    pub restore_mode: RestoreMode,
 }
 
 impl FleetConfig {
@@ -70,7 +87,15 @@ impl FleetConfig {
             keepalive_ttl: SimDuration::from_secs(1),
             pool_capacity: 8,
             memory_pages: None,
+            restore_mode: RestoreMode::default(),
         }
+    }
+
+    /// Same configuration with a different restore scheduling mode.
+    #[must_use]
+    pub fn restore_mode(mut self, mode: RestoreMode) -> FleetConfig {
+        self.restore_mode = mode;
+        self
     }
 
     /// Same configuration with pooling disabled (pure cold-start

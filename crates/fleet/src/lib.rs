@@ -23,9 +23,16 @@
 //!
 //! Determinism: the run is a pure function of ([`FleetConfig`],
 //! workload list). Events execute in virtual-time order (the
-//! globally earliest of next-arrival and earliest in-flight vCPU
-//! clock), so disk submissions stay monotone exactly as in the
-//! paper-figure engine (DESIGN.md §5).
+//! globally earliest of next-arrival, pending restore stage, and
+//! in-flight vCPU clock), so disk submissions stay monotone exactly
+//! as in the paper-figure engine (DESIGN.md §5). Under
+//! [`RestoreMode::Pipelined`] (the default) cold-start restores are
+//! themselves staged [`RestoreCursor`]s whose metadata loads,
+//! prefetch chunks, and vCPU resume interleave with everything else
+//! on the host; [`RestoreMode::Serialized`] recovers the
+//! pre-staging behaviour for comparison — each restore runs to full
+//! drain inside its dispatch event and the guest only resumes after
+//! the last stage completes.
 //!
 //! ## Examples
 //!
@@ -49,7 +56,7 @@
 
 use std::collections::VecDeque;
 
-use snapbpf::{FunctionCtx, Strategy, StrategyError};
+use snapbpf::{FunctionCtx, RestoreCursor, StageTimings, Strategy, StrategyError};
 use snapbpf_kernel::{HostKernel, KernelConfig};
 use snapbpf_mem::OwnerId;
 use snapbpf_sim::{SimTime, SplitMix64};
@@ -62,7 +69,7 @@ pub mod figures;
 mod metrics;
 mod pool;
 
-pub use config::{FleetConfig, ShedPolicy};
+pub use config::{FleetConfig, RestoreMode, ShedPolicy};
 pub use metrics::{FleetResult, FuncStats};
 pub use pool::SandboxPool;
 
@@ -76,13 +83,45 @@ struct Request {
 /// A parked warm sandbox: the microVM plus its fault resolver.
 type Parked = (MicroVm, Box<dyn UffdResolver>);
 
-/// An in-flight invocation.
+/// An in-flight sandbox: a staged restore, a running invocation, or
+/// both at once (background prefetch overlapping guest execution).
 struct Active {
-    cursor: InvocationCursor,
+    /// The staged restore; `Some` only while it has pending steps
+    /// (dropped the moment both its tracks drain).
+    restore: Option<RestoreCursor>,
+    /// The running invocation; `None` until the restore's `Resume`
+    /// stage hands over the sandbox.
+    run: Option<InvocationCursor>,
     func: usize,
     arrival: SimTime,
     dispatch: SimTime,
     cold: bool,
+    /// The drained restore's per-stage breakdown (cold starts only).
+    stages: Option<StageTimings>,
+    /// When the restore's last event — including background prefetch
+    /// work — completed.
+    restore_end: SimTime,
+}
+
+impl Active {
+    /// Virtual time of this sandbox's next event; once done, the
+    /// instant its slot frees (the later of invocation end and
+    /// background-restore completion).
+    fn clock(&self) -> SimTime {
+        match (&self.restore, &self.run) {
+            (Some(r), None) => r.clock(),
+            (Some(r), Some(c)) if c.is_done() => r.clock(),
+            (Some(r), Some(c)) => r.clock().min(c.clock()),
+            (None, Some(c)) if c.is_done() => c.clock().max(self.restore_end),
+            (None, Some(c)) => c.clock(),
+            (None, None) => unreachable!("active sandbox with neither restore nor invocation"),
+        }
+    }
+
+    /// Whether both the restore and the invocation have finished.
+    fn is_done(&self) -> bool {
+        self.restore.is_none() && self.run.as_ref().is_some_and(|c| c.is_done())
+    }
 }
 
 /// Host state shared by the scheduling steps of a fleet run.
@@ -115,41 +154,122 @@ impl Fleet<'_> {
     }
 
     /// Starts `req` at `now`: warm from the pool when possible,
-    /// otherwise a cold start through the strategy's restore path.
+    /// otherwise a cold start through the strategy's restore path —
+    /// staged under [`RestoreMode::Pipelined`], driven to completion
+    /// inline under [`RestoreMode::Serialized`].
     fn dispatch(&mut self, req: Request, now: SimTime) -> Result<(), StrategyError> {
-        let (cursor, cold) = match self.pool.checkout(req.func, now) {
-            Some((vm, resolver)) => (
-                InvocationCursor::new(now, vm, resolver, self.traces[req.func].clone()),
-                false,
-            ),
+        let entry = match self.pool.checkout(req.func, now) {
+            Some((vm, resolver)) => Active {
+                restore: None,
+                run: Some(
+                    InvocationCursor::builder(vm, self.traces[req.func].clone())
+                        .starting_at(now)
+                        .with_resolver(resolver)
+                        .begin(),
+                ),
+                func: req.func,
+                arrival: req.at,
+                dispatch: now,
+                cold: false,
+                stages: None,
+                restore_end: now,
+            },
             None => {
                 let owner = OwnerId::new(self.owner_seq);
                 self.owner_seq += 1;
-                let restored = self.strategies[req.func].restore(
-                    now,
-                    &mut self.host,
-                    &self.funcs[req.func],
-                    owner,
-                )?;
-                (
-                    InvocationCursor::new(
-                        restored.ready_at,
-                        restored.vm,
-                        restored.resolver,
-                        self.traces[req.func].clone(),
-                    ),
-                    true,
-                )
+                match self.cfg.restore_mode {
+                    RestoreMode::Pipelined => Active {
+                        restore: Some(self.strategies[req.func].begin_restore(
+                            now,
+                            &mut self.host,
+                            &self.funcs[req.func],
+                            owner,
+                        )?),
+                        run: None,
+                        func: req.func,
+                        arrival: req.at,
+                        dispatch: now,
+                        cold: true,
+                        stages: None,
+                        restore_end: now,
+                    },
+                    RestoreMode::Serialized => {
+                        // Drive the whole restore inline and hold the
+                        // guest until every stage — including prefetch
+                        // work a pipelined run would overlap with
+                        // execution — has drained: the full serialized
+                        // cold-start latency of the pre-staging design.
+                        let mut cursor = self.strategies[req.func].begin_restore(
+                            now,
+                            &mut self.host,
+                            &self.funcs[req.func],
+                            owner,
+                        )?;
+                        while !cursor.is_done() {
+                            cursor.step(&mut self.host)?;
+                        }
+                        let drained = cursor.clock();
+                        let restored = cursor.finish();
+                        Active {
+                            restore: None,
+                            run: Some(
+                                InvocationCursor::builder(
+                                    restored.vm,
+                                    self.traces[req.func].clone(),
+                                )
+                                .starting_at(drained)
+                                .with_resolver(restored.resolver)
+                                .begin(),
+                            ),
+                            func: req.func,
+                            arrival: req.at,
+                            dispatch: now,
+                            cold: true,
+                            stages: Some(restored.stages),
+                            restore_end: drained,
+                        }
+                    }
+                }
             }
         };
-        self.active.push(Active {
-            cursor,
-            func: req.func,
-            arrival: req.at,
-            dispatch: now,
-            cold,
-        });
+        self.active.push(entry);
         self.sample_memory();
+        Ok(())
+    }
+
+    /// Advances `active[i]` by one event: the earlier of its restore
+    /// and invocation tracks. When the restore's `Resume` stage has
+    /// executed, the invocation cursor starts at the ready instant
+    /// while any background prefetch keeps draining alongside it.
+    fn advance_active(&mut self, i: usize) -> Result<(), StrategyError> {
+        let a = &mut self.active[i];
+        let step_restore = match (&a.restore, &a.run) {
+            (Some(_), None) => true,
+            (Some(r), Some(c)) => c.is_done() || r.clock() <= c.clock(),
+            (None, _) => false,
+        };
+        if step_restore {
+            let r = a.restore.as_mut().expect("restore track pending");
+            r.step(&mut self.host)?;
+            if a.run.is_none() {
+                if let Some((vm, resolver, ready)) = r.take_resumed() {
+                    a.run = Some(
+                        InvocationCursor::builder(vm, self.traces[a.func].clone())
+                            .starting_at(ready)
+                            .with_resolver(resolver)
+                            .begin(),
+                    );
+                }
+            }
+            if r.is_done() {
+                a.restore_end = a.restore_end.max(r.clock());
+                a.stages = Some(r.breakdown());
+                a.restore = None;
+            }
+        } else {
+            let c = a.run.as_mut().expect("invocation track pending");
+            c.step(&mut self.host).map_err(StrategyError::Kernel)?;
+        }
         Ok(())
     }
 
@@ -177,29 +297,35 @@ impl Fleet<'_> {
 
     /// Completes the finished invocation at `active[i]`: records its
     /// latency breakdown, parks the sandbox, and dispatches queued
-    /// work into the freed slot.
+    /// work into the freed slot. The slot frees at the later of the
+    /// invocation's end and the restore's background completion (the
+    /// sandbox's prefetch thread keeps it busy), while latency
+    /// metrics use the invocation's end.
     fn finalize(&mut self, i: usize) -> Result<(), StrategyError> {
         let done = self.active.swap_remove(i);
-        let end = done.cursor.clock();
-        let exec_start = done.cursor.start();
-        let (vm, resolver, _result) = done.cursor.finish();
+        let run = done.run.expect("finished sandbox ran its invocation");
+        let end = run.clock();
+        let exec_start = run.start();
+        let (vm, resolver, _result) = run.finish();
+        let t_ev = end.max(done.restore_end);
         self.per_func[done.func].record(
             done.cold,
             end.saturating_since(done.arrival),
             done.dispatch.saturating_since(done.arrival),
             exec_start.saturating_since(done.dispatch),
             end.saturating_since(exec_start),
+            done.stages.as_ref(),
         );
         self.last_completion = self.last_completion.max(end);
         self.sample_memory();
 
-        let expired = self.pool.expire(end);
+        let expired = self.pool.expire(t_ev);
         self.teardown_parked(expired)?;
-        let evicted = self.pool.checkin(done.func, (vm, resolver), end);
+        let evicted = self.pool.checkin(done.func, (vm, resolver), t_ev);
         self.teardown_parked(evicted)?;
 
         if let Some(req) = self.pending.pop_front() {
-            self.dispatch(req, end)?;
+            self.dispatch(req, t_ev)?;
         }
         Ok(())
     }
@@ -289,27 +415,25 @@ pub fn run_fleet(cfg: &FleetConfig, workloads: &[Workload]) -> Result<FleetResul
     };
 
     // Main loop: always execute the globally earliest event — the
-    // next arrival or the earliest in-flight vCPU clock (completion
-    // bookkeeping happens at the finished invocation's clock).
+    // next arrival or the earliest in-flight sandbox event (a
+    // restore stage, a vCPU step, or completion bookkeeping at the
+    // finished invocation's clock).
     let mut arrival_iter = arrivals.into_iter().peekable();
     loop {
         let next_active = fleet
             .active
             .iter()
             .enumerate()
-            .min_by_key(|(i, a)| (a.cursor.clock(), *i))
-            .map(|(i, a)| (i, a.cursor.clock()));
+            .min_by_key(|(i, a)| (a.clock(), *i))
+            .map(|(i, a)| (i, a.clock()));
         let next_arrival = arrival_iter.peek().map(|r| r.at);
         match (next_active, next_arrival) {
             (None, None) => break,
             (Some((i, tc)), ta) if ta.is_none_or(|ta| tc <= ta) => {
-                if fleet.active[i].cursor.is_done() {
+                if fleet.active[i].is_done() {
                     fleet.finalize(i)?;
                 } else {
-                    fleet.active[i]
-                        .cursor
-                        .step(&mut fleet.host)
-                        .map_err(StrategyError::Kernel)?;
+                    fleet.advance_active(i)?;
                 }
             }
             _ => {

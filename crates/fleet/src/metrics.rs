@@ -2,6 +2,7 @@
 //! distributions, start-type counters, and host-level resource
 //! high-water marks.
 
+use snapbpf::{RestoreStage, StageTimings};
 use snapbpf_sim::{Histogram, SimDuration};
 
 /// Latency and volume statistics for one function (or the
@@ -29,6 +30,9 @@ pub struct FuncStats {
     pub restore: Histogram,
     /// Guest execution (start to completion), ns.
     pub exec: Histogram,
+    /// Per-restore-stage durations of cold starts, indexed by
+    /// [`RestoreStage::index`], ns.
+    pub stage_breakdown: [Histogram; 4],
 }
 
 impl FuncStats {
@@ -40,7 +44,8 @@ impl FuncStats {
         }
     }
 
-    /// Records one completed invocation.
+    /// Records one completed invocation. `stages` is the restore's
+    /// per-stage breakdown — present exactly for cold starts.
     pub fn record(
         &mut self,
         cold: bool,
@@ -48,6 +53,7 @@ impl FuncStats {
         queue_wait: SimDuration,
         restore: SimDuration,
         exec: SimDuration,
+        stages: Option<&StageTimings>,
     ) {
         self.completions += 1;
         if cold {
@@ -59,6 +65,11 @@ impl FuncStats {
         self.queue_wait.record_duration(queue_wait);
         self.restore.record_duration(restore);
         self.exec.record_duration(exec);
+        if let Some(stages) = stages {
+            for stage in RestoreStage::ALL {
+                self.stage_breakdown[stage.index()].record_duration(stages.get(stage));
+            }
+        }
     }
 
     /// Fraction of completions that started cold (1.0 when nothing
@@ -87,6 +98,15 @@ impl FuncStats {
         self.queue_wait.mean() / 1e9
     }
 
+    /// The `p`-th cold-start latency percentile in seconds (dispatch
+    /// to guest-execution start; 0 when nothing completed).
+    pub fn restore_percentile_secs(&self, p: f64) -> f64 {
+        self.restore
+            .percentile(p)
+            .map(|ns| ns as f64 / 1e9)
+            .unwrap_or(0.0)
+    }
+
     /// Mean restore latency in seconds.
     pub fn restore_mean_secs(&self) -> f64 {
         if self.restore.count() == 0 {
@@ -103,6 +123,16 @@ impl FuncStats {
         self.exec.mean() / 1e9
     }
 
+    /// Mean duration of one restore stage across cold starts, in
+    /// seconds (0 when no cold start completed).
+    pub fn restore_stage_mean_secs(&self, stage: RestoreStage) -> f64 {
+        let h = &self.stage_breakdown[stage.index()];
+        if h.count() == 0 {
+            return 0.0;
+        }
+        h.mean() / 1e9
+    }
+
     /// Folds another record into this one (per-function into
     /// aggregate).
     pub fn merge(&mut self, other: &FuncStats) {
@@ -115,6 +145,9 @@ impl FuncStats {
         self.queue_wait.merge(&other.queue_wait);
         self.restore.merge(&other.restore);
         self.exec.merge(&other.exec);
+        for (mine, theirs) in self.stage_breakdown.iter_mut().zip(&other.stage_breakdown) {
+            mine.merge(theirs);
+        }
     }
 }
 
@@ -166,26 +199,40 @@ mod tests {
     fn record_and_ratio() {
         let mut s = FuncStats::new("json");
         assert_eq!(s.cold_start_ratio(), 1.0, "no data reads as all-cold");
-        s.record(true, ms(30), ms(5), ms(10), ms(15));
-        s.record(false, ms(16), ms(1), ms(0), ms(15));
-        s.record(false, ms(15), ms(0), ms(0), ms(15));
+        let mut stages = StageTimings::default();
+        stages.set(RestoreStage::MetadataLoad, ms(2));
+        stages.set(RestoreStage::Resume, ms(8));
+        s.record(true, ms(30), ms(5), ms(10), ms(15), Some(&stages));
+        s.record(false, ms(16), ms(1), ms(0), ms(15), None);
+        s.record(false, ms(15), ms(0), ms(0), ms(15), None);
         assert_eq!(s.completions, 3);
         assert!((s.cold_start_ratio() - 1.0 / 3.0).abs() < 1e-12);
         assert!(s.e2e_percentile_secs(99.0) >= 0.015);
         assert!(s.queue_wait_mean_secs() > 0.0);
         assert!(s.restore_mean_secs() > 0.0);
         assert!(s.exec_mean_secs() > 0.0);
+        // Stage breakdown covers cold starts only.
+        assert_eq!(s.stage_breakdown[0].count(), 1);
+        assert!((s.restore_stage_mean_secs(RestoreStage::Resume) - 0.008).abs() < 1e-9);
+        assert_eq!(s.restore_stage_mean_secs(RestoreStage::PrefetchIssue), 0.0);
     }
 
     #[test]
     fn merge_accumulates() {
         let mut a = FuncStats::new("a");
         a.arrivals = 2;
-        a.record(true, ms(10), ms(0), ms(4), ms(6));
+        a.record(
+            true,
+            ms(10),
+            ms(0),
+            ms(4),
+            ms(6),
+            Some(&StageTimings::default()),
+        );
         let mut b = FuncStats::new("b");
         b.arrivals = 3;
         b.shed = 1;
-        b.record(false, ms(6), ms(0), ms(0), ms(6));
+        b.record(false, ms(6), ms(0), ms(0), ms(6), None);
         let mut all = FuncStats::new("all");
         all.merge(&a);
         all.merge(&b);
@@ -195,6 +242,7 @@ mod tests {
         assert_eq!(all.warm_starts, 1);
         assert_eq!(all.shed, 1);
         assert_eq!(all.e2e.count(), 2);
+        assert_eq!(all.stage_breakdown[0].count(), 1);
     }
 
     #[test]

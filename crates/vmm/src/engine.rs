@@ -196,22 +196,57 @@ pub struct InvocationCursor {
     uffd_resolved: u64,
 }
 
-impl InvocationCursor {
-    /// Starts an invocation of `trace` on `vm` at `start`.
-    pub fn new(
-        start: SimTime,
-        vm: MicroVm,
-        resolver: Box<dyn UffdResolver>,
-        trace: InvocationTrace,
-    ) -> InvocationCursor {
+/// Builds an [`InvocationCursor`]: the microVM and trace are
+/// mandatory, the start time defaults to [`SimTime::ZERO`], and the
+/// resolver defaults to [`NoUffd`] — so the common no-uffd case reads
+/// `InvocationCursor::builder(vm, trace).starting_at(t).begin()`.
+pub struct InvocationCursorBuilder {
+    vm: MicroVm,
+    trace: InvocationTrace,
+    start: SimTime,
+    resolver: Box<dyn UffdResolver>,
+}
+
+impl InvocationCursorBuilder {
+    /// Sets when the invocation begins guest execution (typically
+    /// the restore's ready instant).
+    #[must_use]
+    pub fn starting_at(mut self, start: SimTime) -> InvocationCursorBuilder {
+        self.start = start;
+        self
+    }
+
+    /// Sets the userspace fault handler (REAP/Faast-style restores).
+    #[must_use]
+    pub fn with_resolver(mut self, resolver: Box<dyn UffdResolver>) -> InvocationCursorBuilder {
+        self.resolver = resolver;
+        self
+    }
+
+    /// Finalizes the cursor, positioned before the trace's first
+    /// step.
+    pub fn begin(self) -> InvocationCursor {
         InvocationCursor {
-            vm,
-            resolver,
-            trace,
+            vm: self.vm,
+            resolver: self.resolver,
+            trace: self.trace,
             next_step: 0,
-            t: start,
-            start,
+            t: self.start,
+            start: self.start,
             uffd_resolved: 0,
+        }
+    }
+}
+
+impl InvocationCursor {
+    /// Starts building an invocation of `trace` on `vm` (see
+    /// [`InvocationCursorBuilder`]).
+    pub fn builder(vm: MicroVm, trace: InvocationTrace) -> InvocationCursorBuilder {
+        InvocationCursorBuilder {
+            vm,
+            trace,
+            start: SimTime::ZERO,
+            resolver: Box::new(NoUffd),
         }
     }
 
@@ -513,7 +548,7 @@ mod tests {
 
         let (mut host_b, snap_b, trace_b) = setup("json", 0.1);
         let vm = MicroVm::restore(OwnerId::new(0), &snap_b, CowPolicy::Opportunistic, false);
-        let mut cursor = InvocationCursor::new(SimTime::ZERO, vm, Box::new(NoUffd), trace_b);
+        let mut cursor = InvocationCursor::builder(vm, trace_b).begin();
         assert_eq!(cursor.start(), SimTime::ZERO);
         while !cursor.is_done() {
             cursor.step(&mut host_b).unwrap();
@@ -530,7 +565,7 @@ mod tests {
     fn cursor_finish_requires_completion() {
         let (_host, snap, trace) = setup("json", 0.05);
         let vm = MicroVm::restore(OwnerId::new(0), &snap, CowPolicy::Opportunistic, false);
-        let cursor = InvocationCursor::new(SimTime::ZERO, vm, Box::new(NoUffd), trace);
+        let cursor = InvocationCursor::builder(vm, trace).begin();
         let _ = cursor.finish();
     }
 

@@ -44,7 +44,8 @@ mod microvm;
 mod snapshot;
 
 pub use engine::{
-    run_concurrent, run_invocation, InvocationCursor, InvocationResult, NoUffd, UffdResolver,
+    run_concurrent, run_invocation, InvocationCursor, InvocationCursorBuilder, InvocationResult,
+    NoUffd, UffdResolver,
 };
 pub use microvm::{GuestKernel, MicroVm};
 pub use snapshot::{Snapshot, SnapshotMeta};
