@@ -19,9 +19,36 @@ use snapbpf::figures::{
 use snapbpf::{DeviceKind, FigureData};
 use snapbpf_bench::write_figure;
 use snapbpf_fleet::figures::{
-    fleet_breakdown, fleet_keepalive, fleet_pipeline, fleet_sweep, FleetFigureConfig,
+    fleet_breakdown, fleet_keepalive, fleet_pipeline, fleet_sweep, fleet_trace, FleetFigureConfig,
 };
 use snapbpf_workloads::Workload;
+
+/// Every figure the runner knows, in presentation order — `--only`
+/// is validated against this list.
+const KNOWN_IDS: [&str; 22] = [
+    "table1",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig4",
+    "overheads",
+    "ablation-coalesce",
+    "ablation-device",
+    "ablation-cow",
+    "ablation-grouping",
+    "ext-variants",
+    "ext-costs",
+    "ext-record-cost",
+    "ext-warm-start",
+    "ext-concurrency",
+    "ext-colocation",
+    "fleet-sweep",
+    "fleet-breakdown",
+    "fleet-keepalive",
+    "fleet-pipeline",
+    "fleet-trace",
+    "ext-memory-pressure",
+];
 
 struct Args {
     scale: f64,
@@ -29,6 +56,7 @@ struct Args {
     out: PathBuf,
     only: Option<String>,
     device: DeviceKind,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("results"),
         only: None,
         device: DeviceKind::Sata5300,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,24 +87,48 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--only" => args.only = Some(value("--only")?),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--device" => {
                 let name = value("--device")?;
                 args.device = DeviceKind::parse(&name)
                     .ok_or_else(|| format!("bad --device {name} (sata-ssd, nvme, hdd)"))?;
             }
             "--help" | "-h" => {
-                return Err(
+                return Err(format!(
                     "usage: figures [--scale S] [--instances N] [--out DIR] [--only ID] \
-                     [--device sata-ssd|nvme|hdd]\n\
-                     IDs: table1 fig3a fig3b fig3c fig4 overheads \
-                     ablation-coalesce ablation-device ablation-cow ablation-grouping \
-                     ext-variants ext-costs ext-memory-pressure ext-colocation \
-                     ext-record-cost ext-warm-start ext-concurrency \
-                     fleet-sweep fleet-breakdown fleet-keepalive fleet-pipeline"
-                        .into(),
-                )
+                     [--device sata-ssd|nvme|hdd] [--trace-out FILE]\n\
+                     IDs: {}",
+                    KNOWN_IDS.join(" ")
+                ))
             }
             other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if let Some(only) = &args.only {
+        if !KNOWN_IDS.contains(&only.as_str()) {
+            return Err(format!(
+                "unknown figure `{only}` for --only; available: {}",
+                KNOWN_IDS.join(" ")
+            ));
+        }
+    }
+    if let Some(trace_out) = &args.trace_out {
+        let parent = match trace_out.parent() {
+            Some(p) if p.as_os_str().is_empty() => Path::new("."),
+            Some(p) => p,
+            None => {
+                return Err(format!(
+                    "--trace-out {}: not a file path",
+                    trace_out.display()
+                ))
+            }
+        };
+        if !parent.is_dir() {
+            return Err(format!(
+                "--trace-out {}: parent directory {} does not exist",
+                trace_out.display(),
+                parent.display()
+            ));
         }
     }
     Ok(args)
@@ -233,6 +286,20 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     }
     if wants(&args.only, "fleet-pipeline") {
         emit(&args.out, &fleet_pipeline(&fleet_cfg)?);
+    }
+    if wants(&args.only, "fleet-trace") {
+        let (fig, trace) = fleet_trace(&fleet_cfg)?;
+        emit(&args.out, &fig);
+        std::fs::create_dir_all(&args.out)?;
+        let path = args
+            .trace_out
+            .clone()
+            .unwrap_or_else(|| args.out.join("fleet-trace-events.json"));
+        std::fs::write(&path, trace.pretty())?;
+        println!(
+            "trace written to {} — open it at https://ui.perfetto.dev (Open trace file)\n",
+            path.display()
+        );
     }
     if wants(&args.only, "ext-memory-pressure") {
         let w = Workload::by_name("bert").expect("suite function");

@@ -1,0 +1,89 @@
+//! Validates a Chrome trace-event JSON file emitted by the
+//! `fleet-trace` figure (CI smoke check).
+//!
+//! ```text
+//! cargo run --release -p snapbpf-bench --bin trace_check -- <trace.json>
+//! ```
+//!
+//! Re-parses the file with the in-tree JSON parser and asserts the
+//! trace is non-empty and well-formed: a `traceEvents` array whose
+//! events all carry the Chrome-required fields (`name`, `ph`, `pid`,
+//! `tid`), with complete (`X`) events also carrying `ts` and `dur`.
+//! Exits non-zero with a diagnostic on the first problem.
+
+use std::process::ExitCode;
+
+use snapbpf_json::Json;
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or_else(|| format!("{path}: missing traceEvents key"))?
+        .as_array()
+        .ok_or_else(|| format!("{path}: traceEvents is not an array"))?;
+    if events.is_empty() {
+        return Err(format!("{path}: traceEvents is empty"));
+    }
+    let mut spans = 0usize;
+    let mut instants = 0usize;
+    let mut metadata = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let field = |k: &str| {
+            e.get(k)
+                .ok_or_else(|| format!("{path}: event {i} missing `{k}`"))
+        };
+        field("name")?
+            .as_str()
+            .ok_or_else(|| format!("{path}: event {i} name is not a string"))?;
+        let ph = field("ph")?
+            .as_str()
+            .ok_or_else(|| format!("{path}: event {i} ph is not a string"))?;
+        field("pid")?
+            .as_u64()
+            .ok_or_else(|| format!("{path}: event {i} pid is not an integer"))?;
+        field("tid")?
+            .as_u64()
+            .ok_or_else(|| format!("{path}: event {i} tid is not an integer"))?;
+        match ph {
+            "X" => {
+                field("ts")?;
+                field("dur")?;
+                spans += 1;
+            }
+            "i" => {
+                field("ts")?;
+                instants += 1;
+            }
+            "M" => metadata += 1,
+            other => return Err(format!("{path}: event {i} has unknown phase `{other}`")),
+        }
+    }
+    if spans + instants == 0 {
+        return Err(format!("{path}: trace has metadata only, no real events"));
+    }
+    if doc.get("metrics").is_none() {
+        return Err(format!("{path}: missing metrics snapshot"));
+    }
+    Ok(format!(
+        "{path}: ok — {} events ({spans} spans, {instants} instants, {metadata} metadata)",
+        events.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/fleet-trace-events.json".into());
+    match check(&path) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("trace_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

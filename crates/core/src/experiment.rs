@@ -9,7 +9,7 @@
 
 use snapbpf_kernel::{HostKernel, KernelConfig, VmMemStats};
 use snapbpf_mem::{MemorySnapshot, OwnerId};
-use snapbpf_sim::{SimDuration, SimTime};
+use snapbpf_sim::{SimDuration, SimTime, Tracer};
 use snapbpf_storage::{BlockDevice, Disk, HddModel, IoTracer, SsdModel};
 use snapbpf_vmm::{run_concurrent, MicroVm, Snapshot, UffdResolver};
 use snapbpf_workloads::Workload;
@@ -216,6 +216,33 @@ pub fn run_one_with(
     workload: &Workload,
     cfg: &RunConfig,
 ) -> Result<RunResult, StrategyError> {
+    run_one_inner(strategy, label, workload, cfg, &Tracer::disabled())
+}
+
+/// Like [`run_one`] but with a structured tracer installed on the
+/// host for the invocation phase (after the cache drop, at the same
+/// point the I/O tracer resets), so traces and metrics cover exactly
+/// what the run measures.
+///
+/// # Errors
+///
+/// Strategy and kernel errors propagate.
+pub fn run_one_traced(
+    kind: StrategyKind,
+    workload: &Workload,
+    cfg: &RunConfig,
+    tracer: &Tracer,
+) -> Result<RunResult, StrategyError> {
+    run_one_inner(kind.build().as_mut(), kind.label(), workload, cfg, tracer)
+}
+
+fn run_one_inner(
+    strategy: &mut dyn Strategy,
+    label: &'static str,
+    workload: &Workload,
+    cfg: &RunConfig,
+    tracer: &Tracer,
+) -> Result<RunResult, StrategyError> {
     let mut kernel_config = KernelConfig::default();
     if let Some(pages) = cfg.memory_pages {
         kernel_config.total_memory_pages = pages;
@@ -241,6 +268,7 @@ pub fn run_one_with(
     host.drop_all_caches()?;
     let artifact_pages = artifact_pages_of(&host, func.workload.name());
     host.disk_mut().set_tracer(IoTracer::summary_only());
+    host.install_tracer(tracer);
 
     // Phase 2: restore `instances` sandboxes at the same instant.
     let mut restored: Vec<RestoredVm> = (0..cfg.instances)
@@ -543,6 +571,43 @@ mod tests {
             rnn_ratio > 0.85,
             "PV alone should barely help rnn (got {rnn_ratio:.2})"
         );
+    }
+
+    #[test]
+    fn traced_runs_match_untraced_and_reconcile_stages() {
+        let w = Workload::by_name("json").unwrap();
+        let cfg = RunConfig::single(SCALE);
+        let plain = run_one(StrategyKind::SnapBpf, &w, &cfg).unwrap();
+
+        // A metrics-only (noop-sink) tracer must not perturb results.
+        let noop = Tracer::noop();
+        let with_noop = run_one_traced(StrategyKind::SnapBpf, &w, &cfg, &noop).unwrap();
+        assert_eq!(plain, with_noop);
+        assert!(noop.counter("mem.cache.misses") > 0);
+
+        // Neither must a full recording tracer.
+        let rec = Tracer::recording();
+        let traced = run_one_traced(StrategyKind::SnapBpf, &w, &cfg, &rec).unwrap();
+        assert_eq!(plain, traced);
+
+        // Restore-stage spans reconcile exactly with the reported
+        // per-stage breakdown (single instance: merge_max is the
+        // identity).
+        let events = rec.take_events();
+        assert!(!events.is_empty());
+        for stage in crate::restore::RestoreStage::ALL {
+            let total: u64 = events
+                .iter()
+                .filter(|e| e.cat == "restore" && e.name == stage.label())
+                .filter_map(|e| e.dur)
+                .map(|d| d.as_nanos())
+                .sum();
+            assert_eq!(
+                total,
+                traced.restore_stages.get(stage).as_nanos(),
+                "stage {stage} span total disagrees with stage_breakdown"
+            );
+        }
     }
 
     #[test]

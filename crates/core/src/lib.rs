@@ -60,7 +60,8 @@ mod testutil;
 mod wset;
 
 pub use experiment::{
-    run_colocated, run_one, run_one_with, ColocatedResult, DeviceKind, RunConfig, RunResult,
+    run_colocated, run_one, run_one_traced, run_one_with, ColocatedResult, DeviceKind, RunConfig,
+    RunResult,
 };
 pub use programs::{
     build_capture_program, build_prefetch_program, groups_map_def, groups_map_image,

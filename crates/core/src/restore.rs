@@ -245,6 +245,8 @@ pub struct RestoreCursor {
     resumed: Option<(MicroVm, Box<dyn UffdResolver>)>,
     /// Latest completion seen on either track.
     end: SimTime,
+    /// Trace track (thread id) stage spans are emitted on.
+    trace_tid: u64,
 }
 
 impl fmt::Debug for RestoreCursor {
@@ -273,6 +275,39 @@ impl RestoreCursor {
             ready_at: None,
             resumed: None,
             end: begin,
+            trace_tid: 0,
+        }
+    }
+
+    /// Sets the trace track (thread id) stage spans are emitted on —
+    /// schedulers use [`snapbpf_sim::sandbox_tid`] so each sandbox's
+    /// restore gets its own Perfetto row.
+    pub fn set_trace_tid(&mut self, tid: u64) {
+        self.trace_tid = tid;
+    }
+
+    /// Emits the trace span and metrics sample for one completed
+    /// stage. Called at exactly the `timings.set` sites with the same
+    /// `entry`/`done` instants, so trace-derived breakdowns reconcile
+    /// with [`StageTimings`].
+    fn note_stage(&self, host: &HostKernel, stage: RestoreStage, entry: SimTime, done: SimTime) {
+        let trace = host.tracer();
+        if !trace.is_enabled() {
+            return;
+        }
+        trace.observe_duration(
+            &format!("core.restore.stage.{}_ns", stage.label()),
+            done.saturating_since(entry),
+        );
+        if trace.events_enabled() {
+            trace.span(
+                "restore",
+                stage.label(),
+                self.trace_tid,
+                entry,
+                done,
+                vec![],
+            );
         }
     }
 
@@ -384,11 +419,13 @@ impl RestoreCursor {
                 });
             } else {
                 self.timings.set(stage, out.done_at.saturating_since(entry));
+                self.note_stage(host, stage, entry, out.done_at);
             }
             self.crit_idx += 1;
             self.crit_entry = None;
         } else if out.stage_complete {
             self.timings.set(stage, out.done_at.saturating_since(entry));
+            self.note_stage(host, stage, entry, out.done_at);
             self.crit = out.done_at;
             self.crit_idx += 1;
             self.crit_entry = None;
@@ -420,6 +457,7 @@ impl RestoreCursor {
         debug_assert!(out.vm.is_none(), "background work cannot resume the vCPU");
         if out.stage_complete {
             self.timings.set(stage, out.done_at.saturating_since(entry));
+            self.note_stage(host, stage, entry, out.done_at);
             self.bg = None;
         } else {
             self.bg = Some(BgWork {

@@ -73,6 +73,8 @@ pub enum StrategyError {
         /// The underlying failure.
         source: Box<StrategyError>,
     },
+    /// Writing a trace output file failed.
+    TraceIo(String),
 }
 
 impl fmt::Display for StrategyError {
@@ -85,6 +87,7 @@ impl fmt::Display for StrategyError {
             StrategyError::Stage { stage, source } => {
                 write!(f, "restore stage {stage}: {source}")
             }
+            StrategyError::TraceIo(e) => write!(f, "trace output: {e}"),
         }
     }
 }
@@ -95,6 +98,7 @@ impl std::error::Error for StrategyError {
             StrategyError::Kernel(e) => Some(e),
             StrategyError::NotRecorded { .. } => None,
             StrategyError::Stage { source, .. } => Some(source.as_ref()),
+            StrategyError::TraceIo(_) => None,
         }
     }
 }

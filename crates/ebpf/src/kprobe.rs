@@ -12,6 +12,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use snapbpf_sim::Tracer;
+
 use crate::interp::{Interpreter, KfuncHost, RunError, RunOutcome};
 use crate::map::MapSet;
 use crate::verify::VerifiedProgram;
@@ -104,12 +106,19 @@ pub struct KprobeRegistry {
     programs: Vec<Option<Attached>>,
     by_hook: HashMap<String, Vec<ProbeId>>,
     fires: u64,
+    trace: Tracer,
 }
 
 impl KprobeRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         KprobeRegistry::default()
+    }
+
+    /// Attaches the structured trace handle program-execution
+    /// counters report through.
+    pub fn set_tracer(&mut self, trace: Tracer) {
+        self.trace = trace;
     }
 
     /// Attaches a verified program to the named hook; returns its
@@ -243,10 +252,15 @@ impl KprobeRegistry {
             }
             let program = attached.program.clone();
             let outcome = interp.run(&program, ctx, maps, kfuncs);
-            if let Ok(ref o) = outcome {
-                let a = self.attached_mut(id).expect("probe vanished mid-fire");
-                a.runs += 1;
-                a.insns += o.insns_executed;
+            match outcome {
+                Ok(ref o) => {
+                    let a = self.attached_mut(id).expect("probe vanished mid-fire");
+                    a.runs += 1;
+                    a.insns += o.insns_executed;
+                    self.trace.incr("ebpf.prog.invocations");
+                    self.trace.add("ebpf.prog.insns", o.insns_executed);
+                }
+                Err(_) => self.trace.incr("ebpf.prog.errors"),
             }
             results.push(FireResult { probe: id, outcome });
         }
@@ -342,6 +356,29 @@ mod tests {
         let ra = probes.fire("a", &[], &mut interp, &mut maps, &mut NoKfuncs);
         assert_eq!(ra.len(), 1);
         assert_eq!(ra[0].outcome.as_ref().unwrap().return_value, 1);
+    }
+
+    #[test]
+    fn fire_and_map_ops_report_trace_counters() {
+        let tracer = Tracer::noop();
+        let mut maps = MapSet::new();
+        maps.set_tracer(tracer.clone());
+        let mut probes = KprobeRegistry::new();
+        probes.set_tracer(tracer.clone());
+        let map = maps.create(crate::map::MapDef::array(8, 4)).unwrap();
+        maps.array_store_u64(map, 0, 7).unwrap();
+        assert_eq!(maps.array_load_u64(map, 0).unwrap(), 7);
+        probes.attach("hook", ret_const(&maps, 1));
+        let mut interp = Interpreter::new();
+        probes.fire("hook", &[], &mut interp, &mut maps, &mut NoKfuncs);
+        probes.fire("hook", &[], &mut interp, &mut maps, &mut NoKfuncs);
+        let m = tracer.metrics_snapshot();
+        assert_eq!(m.counter("ebpf.map.creates"), 1);
+        assert_eq!(m.counter("ebpf.map.updates"), 1);
+        assert_eq!(m.counter("ebpf.map.lookups"), 1);
+        assert_eq!(m.counter("ebpf.prog.invocations"), 2);
+        assert!(m.counter("ebpf.prog.insns") >= 4);
+        assert_eq!(m.counter("ebpf.prog.errors"), 0);
     }
 
     #[test]

@@ -15,6 +15,8 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
 
+use snapbpf_sim::Tracer;
+
 /// Identifier of a map within a [`MapSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MapId(u32);
@@ -212,12 +214,19 @@ struct MapInstance {
 #[derive(Debug, Clone, Default)]
 pub struct MapSet {
     maps: Vec<MapInstance>,
+    trace: Tracer,
 }
 
 impl MapSet {
     /// Creates an empty map set.
     pub fn new() -> Self {
         MapSet::default()
+    }
+
+    /// Attaches the structured trace handle map-operation counters
+    /// report through.
+    pub fn set_tracer(&mut self, trace: Tracer) {
+        self.trace = trace;
     }
 
     /// Creates a map from a definition and returns its id.
@@ -227,6 +236,7 @@ impl MapSet {
     /// Returns [`MapError::BadDefinition`] for zero-size values,
     /// zero-capacity maps, or array keys that are not 4 bytes.
     pub fn create(&mut self, def: MapDef) -> Result<MapId, MapError> {
+        self.trace.incr("ebpf.map.creates");
         if def.max_entries == 0 {
             return Err(MapError::BadDefinition("max_entries must be positive"));
         }
@@ -303,6 +313,7 @@ impl MapSet {
     /// Key-size mismatches and unknown maps are errors; a missing
     /// hash key or out-of-bounds array index is `Ok(None)`.
     pub fn lookup(&self, id: MapId, key: &[u8]) -> Result<Option<Vec<u8>>, MapError> {
+        self.trace.incr("ebpf.map.lookups");
         let inst = self.instance(id)?;
         match &inst.storage {
             MapStorage::Array { values } => {
@@ -330,6 +341,7 @@ impl MapSet {
     /// Size mismatches, unknown maps, out-of-bounds array indices,
     /// and full hash maps are errors.
     pub fn update(&mut self, id: MapId, key: &[u8], value: &[u8]) -> Result<(), MapError> {
+        self.trace.incr("ebpf.map.updates");
         let inst = self.instance_mut(id)?;
         if value.len() != inst.def.value_size as usize {
             return Err(MapError::BadValueSize {
@@ -369,6 +381,7 @@ impl MapSet {
     /// Unknown maps, wrong kinds, and key-size mismatches are
     /// errors; deleting a missing key returns `Ok(false)`.
     pub fn delete(&mut self, id: MapId, key: &[u8]) -> Result<bool, MapError> {
+        self.trace.incr("ebpf.map.deletes");
         let inst = self.instance_mut(id)?;
         match &mut inst.storage {
             MapStorage::Hash { entries } => {
@@ -401,6 +414,7 @@ impl MapSet {
     /// [`MapError::WrongKind`] for non-ring maps. A full ring also
     /// increments the drop counter, as the kernel does.
     pub fn ring_push(&mut self, id: MapId, record: &[u8]) -> Result<(), MapError> {
+        self.trace.incr("ebpf.map.ring_pushes");
         let inst = self.instance_mut(id)?;
         match &mut inst.storage {
             MapStorage::Ring {
@@ -427,6 +441,7 @@ impl MapSet {
     ///
     /// [`MapError::WrongKind`] for non-ring maps.
     pub fn ring_pop(&mut self, id: MapId) -> Result<Option<Vec<u8>>, MapError> {
+        self.trace.incr("ebpf.map.ring_pops");
         let inst = self.instance_mut(id)?;
         match &mut inst.storage {
             MapStorage::Ring {

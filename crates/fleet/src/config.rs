@@ -1,5 +1,7 @@
 //! Fleet run configuration.
 
+use std::path::PathBuf;
+
 use snapbpf::{DeviceKind, StrategyKind};
 use snapbpf_sim::{ArrivalProcess, SimDuration};
 use snapbpf_workloads::FunctionMix;
@@ -65,6 +67,9 @@ pub struct FleetConfig {
     pub memory_pages: Option<u64>,
     /// How cold-start restores interleave with other host events.
     pub restore_mode: RestoreMode,
+    /// When set, [`crate::run_fleet_with`] writes the run's Chrome
+    /// trace-event JSON here (requires an event-retaining tracer).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl FleetConfig {
@@ -88,7 +93,15 @@ impl FleetConfig {
             pool_capacity: 8,
             memory_pages: None,
             restore_mode: RestoreMode::default(),
+            trace_out: None,
         }
+    }
+
+    /// Same configuration writing a Chrome trace to `path`.
+    #[must_use]
+    pub fn with_trace_out(mut self, path: PathBuf) -> FleetConfig {
+        self.trace_out = Some(path);
+        self
     }
 
     /// Same configuration with a different restore scheduling mode.

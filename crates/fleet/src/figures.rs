@@ -3,10 +3,10 @@
 //! under an open-loop request stream (see `EXPERIMENTS.md`).
 
 use snapbpf::{DeviceKind, FigureData, RestoreStage, StrategyError, StrategyKind};
-use snapbpf_sim::SimDuration;
+use snapbpf_sim::{chrome_trace_json, Json, MetricsRegistry, SimDuration, Tracer};
 use snapbpf_workloads::Workload;
 
-use crate::{run_fleet, FleetConfig, FleetResult, RestoreMode};
+use crate::{run_fleet, run_fleet_with, FleetConfig, FleetResult, RestoreMode};
 
 /// Configuration shared by the fleet figure generators.
 #[derive(Debug, Clone)]
@@ -100,6 +100,23 @@ impl FleetFigureConfig {
         cfg.device = self.device;
         cfg
     }
+}
+
+/// Fraction of page-cache lookups served from cache during the run
+/// (0 when nothing was looked up).
+fn cache_hit_ratio(m: &MetricsRegistry) -> f64 {
+    let hits = m.counter("mem.cache.hits") as f64;
+    let lookups = hits + m.counter("mem.cache.misses") as f64;
+    if lookups <= 0.0 {
+        return 0.0;
+    }
+    hits / lookups
+}
+
+/// Bytes of cross-sandbox duplicate inserts the page cache absorbed,
+/// in MiB.
+fn dedup_savings_mib(m: &MetricsRegistry) -> f64 {
+    m.counter("mem.cache.dedup_bytes") as f64 / (1u64 << 20) as f64
 }
 
 /// The highest swept rate whose p99 stays within `knee` times the
@@ -208,6 +225,8 @@ pub fn fleet_breakdown(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyEr
     fig.set_meta("arrival-rps", rate);
     fig.set_meta("mem-hwm-mib", r.mem_hwm_bytes as f64 / (1u64 << 20) as f64);
     fig.set_meta("disk-read-mibps", r.read_mibps());
+    fig.set_meta("page-cache-hit-ratio", cache_hit_ratio(&r.metrics));
+    fig.set_meta("dedup-savings-mib", dedup_savings_mib(&r.metrics));
     Ok(fig)
 }
 
@@ -291,6 +310,65 @@ pub fn fleet_pipeline(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyErr
     Ok(fig)
 }
 
+/// F1e `fleet-trace`: one pipelined fleet point per strategy on the
+/// SATA device at the [`PipelineFigureConfig`] rate, run under a
+/// recording [`Tracer`]. Returns the summary figure (cold-start p99,
+/// page-cache hit ratio, dedup savings, and retained event count per
+/// strategy) plus the merged Chrome trace-event JSON — one Chrome
+/// `pid` (process row) per strategy, one `tid` (thread row) per
+/// sandbox — loadable directly in Perfetto (`ui.perfetto.dev`).
+///
+/// # Errors
+///
+/// Strategy errors propagate.
+pub fn fleet_trace(cfg: &FleetFigureConfig) -> Result<(FigureData, Json), StrategyError> {
+    let pl = &cfg.pipeline;
+    let workloads: Vec<Workload> = Workload::suite().into_iter().take(pl.functions).collect();
+    let kinds = [
+        StrategyKind::Reap,
+        StrategyKind::Faast,
+        StrategyKind::Faasnap,
+        StrategyKind::SnapBpf,
+    ];
+    let mut fig = FigureData::new(
+        "fleet-trace",
+        "Traced pipelined fleet point per strategy (SATA)",
+        "s",
+        kinds.iter().map(|k| k.label().to_owned()).collect(),
+    );
+    fig.set_meta("arrival-rps", pl.rate_rps);
+    let mut events = Vec::new();
+    let mut merged = MetricsRegistry::new();
+    let mut cold_p99s = Vec::with_capacity(kinds.len());
+    let mut hit_ratios = Vec::with_capacity(kinds.len());
+    let mut dedup_mibs = Vec::with_capacity(kinds.len());
+    let mut event_counts = Vec::with_capacity(kinds.len());
+    for (i, kind) in kinds.iter().enumerate() {
+        let mut run_cfg = FleetConfig::new(*kind, workloads.len(), pl.rate_rps)
+            .cold_only()
+            .on(DeviceKind::Sata5300)
+            .restore_mode(RestoreMode::Pipelined);
+        run_cfg.scale = pl.scale;
+        run_cfg.duration = pl.duration;
+        let tracer = Tracer::recording();
+        tracer.set_pid(i as u32 + 1);
+        tracer.name_process(kind.label());
+        let r = run_fleet_with(&run_cfg, &workloads, &tracer)?;
+        let evs = tracer.take_events();
+        event_counts.push(evs.len() as f64);
+        events.extend(evs);
+        cold_p99s.push(r.aggregate.restore_percentile_secs(99.0));
+        hit_ratios.push(cache_hit_ratio(&r.metrics));
+        dedup_mibs.push(dedup_savings_mib(&r.metrics));
+        merged.merge(&r.metrics);
+    }
+    fig.push_series("cold-p99-s", cold_p99s);
+    fig.push_series("page-cache-hit-ratio", hit_ratios);
+    fig.push_series("dedup-savings-mib", dedup_mibs);
+    fig.push_series("trace-events", event_counts);
+    Ok((fig, chrome_trace_json(&events, Some(&merged))))
+}
+
 /// F1c `fleet-keepalive`: cold-start ratio and p95 latency across
 /// keep-alive TTLs for small and large pool capacities (SnapBPF).
 /// Longer TTLs and bigger pools trade host memory (reported as meta
@@ -366,6 +444,12 @@ mod tests {
         assert!(ratios.iter().all(|r| (0.0..=1.0).contains(r)));
         assert!(fig.series_values("queue-wait-mean-s").is_some());
         assert!(fig.meta_value("mem-hwm-mib").unwrap() > 0.0);
+        let hit = fig.meta_value("page-cache-hit-ratio").unwrap();
+        assert!(
+            (0.0..=1.0).contains(&hit) && hit > 0.0,
+            "a fleet run must hit the page cache (ratio {hit})"
+        );
+        assert!(fig.meta_value("dedup-savings-mib").unwrap() >= 0.0);
         // Every restore stage has a per-function series, and the
         // resume stage (the fixed VMM overhead) is non-zero wherever
         // a cold start happened.
@@ -419,6 +503,34 @@ mod tests {
             gain("FaaSnap"),
             gain("SnapBPF")
         );
+    }
+
+    #[test]
+    fn trace_figure_is_deterministic_and_parseable() {
+        let cfg = FleetFigureConfig::quick(0.02);
+        let (fig, trace) = fleet_trace(&cfg).unwrap();
+        let (_, again) = fleet_trace(&cfg).unwrap();
+        assert_eq!(
+            trace.pretty(),
+            again.pretty(),
+            "identical-seed runs must serialize byte-identical traces"
+        );
+        let parsed = Json::parse(&trace.pretty()).expect("trace reparses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|j| j.as_array())
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        // One Chrome process row per strategy.
+        let pids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(|j| j.as_u64()))
+            .collect();
+        assert_eq!(pids.len(), 4);
+        let ratios = fig.series_values("page-cache-hit-ratio").unwrap();
+        assert!(ratios.iter().all(|r| (0.0..=1.0).contains(r)));
+        let counts = fig.series_values("trace-events").unwrap();
+        assert!(counts.iter().all(|c| *c > 0.0));
     }
 
     #[test]

@@ -59,7 +59,9 @@ use std::collections::VecDeque;
 use snapbpf::{FunctionCtx, RestoreCursor, StageTimings, Strategy, StrategyError};
 use snapbpf_kernel::{HostKernel, KernelConfig};
 use snapbpf_mem::OwnerId;
-use snapbpf_sim::{SimTime, SplitMix64};
+use snapbpf_sim::{
+    chrome_trace_json, sandbox_tid, SimTime, SplitMix64, Tracer, TID_CONTROL, TID_DISK, TID_KERNEL,
+};
 use snapbpf_storage::{Disk, IoTracer};
 use snapbpf_vmm::{InvocationCursor, MicroVm, Snapshot, UffdResolver};
 use snapbpf_workloads::{InvocationTrace, Workload};
@@ -138,6 +140,7 @@ struct Fleet<'a> {
     owner_seq: u32,
     mem_hwm_bytes: u64,
     last_completion: SimTime,
+    trace: Tracer,
 }
 
 impl Fleet<'_> {
@@ -159,40 +162,75 @@ impl Fleet<'_> {
     /// inline under [`RestoreMode::Serialized`].
     fn dispatch(&mut self, req: Request, now: SimTime) -> Result<(), StrategyError> {
         let entry = match self.pool.checkout(req.func, now) {
-            Some((vm, resolver)) => Active {
-                restore: None,
-                run: Some(
-                    InvocationCursor::builder(vm, self.traces[req.func].clone())
-                        .starting_at(now)
-                        .with_resolver(resolver)
-                        .begin(),
-                ),
-                func: req.func,
-                arrival: req.at,
-                dispatch: now,
-                cold: false,
-                stages: None,
-                restore_end: now,
-            },
+            Some((vm, resolver)) => {
+                self.trace.incr("fleet.warm_hits");
+                if self.trace.events_enabled() {
+                    self.trace.instant(
+                        "fleet",
+                        "warm-hit",
+                        TID_CONTROL,
+                        now,
+                        vec![("func", req.func.into())],
+                    );
+                }
+                Active {
+                    restore: None,
+                    run: Some(
+                        InvocationCursor::builder(vm, self.traces[req.func].clone())
+                            .starting_at(now)
+                            .with_resolver(resolver)
+                            .begin(),
+                    ),
+                    func: req.func,
+                    arrival: req.at,
+                    dispatch: now,
+                    cold: false,
+                    stages: None,
+                    restore_end: now,
+                }
+            }
             None => {
                 let owner = OwnerId::new(self.owner_seq);
                 self.owner_seq += 1;
+                let tid = sandbox_tid(owner.as_u32());
+                self.trace.incr("fleet.cold_starts");
+                if self.trace.events_enabled() {
+                    self.trace.name_thread(
+                        tid,
+                        &format!(
+                            "sandbox {} ({})",
+                            owner.as_u32(),
+                            self.funcs[req.func].workload.name()
+                        ),
+                    );
+                    self.trace.instant(
+                        "fleet",
+                        "cold-start",
+                        TID_CONTROL,
+                        now,
+                        vec![("func", req.func.into()), ("owner", owner.as_u32().into())],
+                    );
+                }
                 match self.cfg.restore_mode {
-                    RestoreMode::Pipelined => Active {
-                        restore: Some(self.strategies[req.func].begin_restore(
+                    RestoreMode::Pipelined => {
+                        let mut cursor = self.strategies[req.func].begin_restore(
                             now,
                             &mut self.host,
                             &self.funcs[req.func],
                             owner,
-                        )?),
-                        run: None,
-                        func: req.func,
-                        arrival: req.at,
-                        dispatch: now,
-                        cold: true,
-                        stages: None,
-                        restore_end: now,
-                    },
+                        )?;
+                        cursor.set_trace_tid(tid);
+                        Active {
+                            restore: Some(cursor),
+                            run: None,
+                            func: req.func,
+                            arrival: req.at,
+                            dispatch: now,
+                            cold: true,
+                            stages: None,
+                            restore_end: now,
+                        }
+                    }
                     RestoreMode::Serialized => {
                         // Drive the whole restore inline and hold the
                         // guest until every stage — including prefetch
@@ -205,6 +243,7 @@ impl Fleet<'_> {
                             &self.funcs[req.func],
                             owner,
                         )?;
+                        cursor.set_trace_tid(tid);
                         while !cursor.is_done() {
                             cursor.step(&mut self.host)?;
                         }
@@ -273,21 +312,55 @@ impl Fleet<'_> {
         Ok(())
     }
 
+    /// Notes one shed request on the scheduler track.
+    fn note_shed(&mut self, at: SimTime, func: usize) {
+        self.trace.incr("fleet.shed");
+        if self.trace.events_enabled() {
+            self.trace.instant(
+                "fleet",
+                "shed",
+                TID_CONTROL,
+                at,
+                vec![("func", func.into())],
+            );
+        }
+    }
+
     /// Admits, queues, or sheds a fresh arrival.
     fn handle_arrival(&mut self, req: Request) -> Result<(), StrategyError> {
         self.per_func[req.func].arrivals += 1;
+        self.trace.incr("fleet.arrivals");
         let expired = self.pool.expire(req.at);
+        self.trace
+            .add("fleet.pool_expirations", expired.len() as u64);
         self.teardown_parked(expired)?;
         if self.active.len() < self.cfg.max_concurrency {
             self.dispatch(req, req.at)?;
         } else if self.pending.len() < self.cfg.queue_depth {
             self.pending.push_back(req);
+            self.trace.incr("fleet.enqueued");
+            if self.trace.events_enabled() {
+                self.trace.instant(
+                    "fleet",
+                    "enqueue",
+                    TID_CONTROL,
+                    req.at,
+                    vec![
+                        ("func", req.func.into()),
+                        ("depth", self.pending.len().into()),
+                    ],
+                );
+            }
         } else {
             match self.cfg.shed {
-                ShedPolicy::DropNewest => self.per_func[req.func].shed += 1,
+                ShedPolicy::DropNewest => {
+                    self.per_func[req.func].shed += 1;
+                    self.note_shed(req.at, req.func);
+                }
                 ShedPolicy::DropOldest => {
                     let old = self.pending.pop_front().expect("full queue is non-empty");
                     self.per_func[old.func].shed += 1;
+                    self.note_shed(req.at, old.func);
                     self.pending.push_back(req);
                 }
             }
@@ -320,8 +393,20 @@ impl Fleet<'_> {
         self.sample_memory();
 
         let expired = self.pool.expire(t_ev);
+        self.trace
+            .add("fleet.pool_expirations", expired.len() as u64);
         self.teardown_parked(expired)?;
         let evicted = self.pool.checkin(done.func, (vm, resolver), t_ev);
+        self.trace.add("fleet.pool_evictions", evicted.len() as u64);
+        if !evicted.is_empty() && self.trace.events_enabled() {
+            self.trace.instant(
+                "fleet",
+                "pool-evict",
+                TID_CONTROL,
+                t_ev,
+                vec![("count", evicted.len().into())],
+            );
+        }
         self.teardown_parked(evicted)?;
 
         if let Some(req) = self.pending.pop_front() {
@@ -333,7 +418,10 @@ impl Fleet<'_> {
 
 /// Runs one fleet simulation (see the crate docs for the model).
 ///
-/// `cfg.mix` must cover exactly `workloads.len()` functions.
+/// `cfg.mix` must cover exactly `workloads.len()` functions. Metrics
+/// are collected through a metrics-only tracer
+/// ([`snapbpf_sim::Tracer::noop`]); use [`run_fleet_with`] to also
+/// retain trace events.
 ///
 /// # Errors
 ///
@@ -345,6 +433,36 @@ impl Fleet<'_> {
 /// Panics if the mix size does not match the workload count or
 /// `max_concurrency` is zero.
 pub fn run_fleet(cfg: &FleetConfig, workloads: &[Workload]) -> Result<FleetResult, StrategyError> {
+    run_fleet_with(cfg, workloads, &Tracer::noop())
+}
+
+/// Runs one fleet simulation against a caller-supplied [`Tracer`].
+///
+/// The tracer is installed on the host kernel for the invocation
+/// phase only (setup — snapshot creation and strategy recording —
+/// stays untraced, matching the cache-cold measurement boundary).
+/// Pass [`Tracer::recording`] to retain Chrome trace events; when
+/// `cfg.trace_out` is set, the retained events plus a metrics
+/// snapshot are written there as Chrome trace-event JSON.
+///
+/// Tracing never perturbs the simulation: a run with a recording
+/// tracer produces a [`FleetResult`] equal to one with
+/// [`Tracer::noop`] (virtual time never consults the tracer).
+///
+/// # Errors
+///
+/// Strategy and kernel errors propagate;
+/// [`StrategyError::TraceIo`] reports a failed `trace_out` write.
+///
+/// # Panics
+///
+/// Panics if the mix size does not match the workload count or
+/// `max_concurrency` is zero.
+pub fn run_fleet_with(
+    cfg: &FleetConfig,
+    workloads: &[Workload],
+    tracer: &Tracer,
+) -> Result<FleetResult, StrategyError> {
     assert_eq!(
         cfg.mix.len(),
         workloads.len(),
@@ -379,9 +497,15 @@ pub fn run_fleet(cfg: &FleetConfig, workloads: &[Workload]) -> Result<FleetResul
     }
 
     // The invocation phase starts cache-cold with fresh I/O
-    // accounting.
+    // accounting; tracing begins at the same boundary.
     host.drop_all_caches()?;
     host.disk_mut().set_tracer(IoTracer::summary_only());
+    host.install_tracer(tracer);
+    if tracer.events_enabled() {
+        tracer.name_thread(TID_CONTROL, "scheduler");
+        tracer.name_thread(TID_DISK, "disk");
+        tracer.name_thread(TID_KERNEL, "kernel");
+    }
     let t0 = t;
 
     // Pre-draw the whole arrival schedule: times from the arrival
@@ -412,6 +536,7 @@ pub fn run_fleet(cfg: &FleetConfig, workloads: &[Workload]) -> Result<FleetResul
         owner_seq: 0,
         mem_hwm_bytes: 0,
         last_completion: t0,
+        trace: tracer.clone(),
     };
 
     // Main loop: always execute the globally earliest event — the
@@ -457,6 +582,12 @@ pub fn run_fleet(cfg: &FleetConfig, workloads: &[Workload]) -> Result<FleetResul
     for f in &fleet.per_func {
         aggregate.merge(f);
     }
+    let metrics = tracer.metrics_snapshot();
+    if let Some(path) = &cfg.trace_out {
+        let json = chrome_trace_json(&tracer.take_events(), Some(&metrics));
+        std::fs::write(path, json.pretty())
+            .map_err(|e| StrategyError::TraceIo(format!("{}: {e}", path.display())))?;
+    }
     Ok(FleetResult {
         strategy: cfg.strategy.label(),
         per_function: fleet.per_func,
@@ -467,6 +598,7 @@ pub fn run_fleet(cfg: &FleetConfig, workloads: &[Workload]) -> Result<FleetResul
         span: fleet.last_completion.saturating_since(first_arrival),
         pool_evictions: fleet.pool.evictions(),
         pool_expirations: fleet.pool.expirations(),
+        metrics,
     })
 }
 
@@ -567,5 +699,98 @@ mod tests {
     fn mismatched_mix_panics() {
         let cfg = FleetConfig::new(StrategyKind::SnapBpf, 2, 10.0);
         let _ = run_fleet(&cfg, &small_suite());
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results_and_reconciles() {
+        use snapbpf::RestoreStage;
+        let w = small_suite();
+        let cfg = small_cfg(StrategyKind::SnapBpf, 40.0);
+        let noop = run_fleet_with(&cfg, &w, &Tracer::noop()).unwrap();
+        let tracer = Tracer::recording();
+        let rec = run_fleet_with(&cfg, &w, &tracer).unwrap();
+        assert_eq!(
+            noop, rec,
+            "retaining trace events must not change virtual-time results"
+        );
+
+        // The scheduler's counters account for exactly the decisions
+        // the latency metrics saw.
+        assert_eq!(
+            rec.metrics.counter("fleet.arrivals"),
+            rec.aggregate.arrivals
+        );
+        assert_eq!(
+            rec.metrics.counter("fleet.cold_starts"),
+            rec.aggregate.cold_starts
+        );
+        assert_eq!(
+            rec.metrics.counter("fleet.warm_hits"),
+            rec.aggregate.warm_starts
+        );
+        assert_eq!(rec.metrics.counter("fleet.shed"), rec.aggregate.shed);
+        assert_eq!(
+            rec.metrics.counter("fleet.pool_evictions"),
+            rec.pool_evictions
+        );
+        assert_eq!(
+            rec.metrics.counter("fleet.pool_expirations"),
+            rec.pool_expirations
+        );
+
+        // Restore-stage spans in the trace reconcile with the
+        // aggregate stage-breakdown histograms: same total time per
+        // stage (stages that never execute record zero and emit no
+        // span).
+        let events = tracer.take_events();
+        assert!(!events.is_empty(), "a recording tracer retains events");
+        for stage in RestoreStage::ALL {
+            let hist = &rec.aggregate.stage_breakdown[stage.index()];
+            let span_sum: u64 = events
+                .iter()
+                .filter(|e| e.cat == "restore" && e.name == stage.label())
+                .map(|e| e.dur.expect("restore spans are complete events").as_nanos())
+                .sum();
+            let hist_sum = hist.mean() * hist.count() as f64;
+            assert!(
+                (span_sum as f64 - hist_sum).abs() <= 1e-6 * hist_sum.max(1.0),
+                "stage {} trace sum {span_sum} ns vs histogram sum {hist_sum} ns",
+                stage.label()
+            );
+        }
+    }
+
+    #[test]
+    fn trace_out_writes_parseable_chrome_json() {
+        let w = small_suite();
+        let path =
+            std::env::temp_dir().join(format!("snapbpf-fleet-trace-{}.json", std::process::id()));
+        let cfg = small_cfg(StrategyKind::Reap, 30.0).with_trace_out(path.clone());
+        let r = run_fleet_with(&cfg, &w, &Tracer::recording()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let parsed = snapbpf_sim::Json::parse(&text).expect("trace file reparses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|j| j.as_array())
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        for e in events {
+            assert!(e.get("name").and_then(|j| j.as_str()).is_some());
+            assert!(e.get("ph").and_then(|j| j.as_str()).is_some());
+            assert!(e.get("pid").and_then(|j| j.as_u64()).is_some());
+            assert!(e.get("tid").and_then(|j| j.as_u64()).is_some());
+        }
+        assert!(parsed.get("metrics").is_some());
+        assert!(r.metrics.counter("fleet.arrivals") > 0);
+    }
+
+    #[test]
+    fn trace_out_unwritable_parent_reports_trace_io() {
+        let w = small_suite();
+        let path = std::path::PathBuf::from("/nonexistent-dir/fleet-trace.json");
+        let cfg = small_cfg(StrategyKind::Reap, 30.0).with_trace_out(path);
+        let err = run_fleet_with(&cfg, &w, &Tracer::recording()).unwrap_err();
+        assert!(matches!(err, StrategyError::TraceIo(_)), "got {err}");
     }
 }

@@ -3,7 +3,7 @@
 //! high-water marks.
 
 use snapbpf::{RestoreStage, StageTimings};
-use snapbpf_sim::{Histogram, SimDuration};
+use snapbpf_sim::{Histogram, MetricsRegistry, SimDuration};
 
 /// Latency and volume statistics for one function (or the
 /// fleet-wide aggregate).
@@ -84,53 +84,34 @@ impl FuncStats {
     /// The `p`-th end-to-end latency percentile in seconds (0 when
     /// nothing completed).
     pub fn e2e_percentile_secs(&self, p: f64) -> f64 {
-        self.e2e
-            .percentile(p)
-            .map(|ns| ns as f64 / 1e9)
-            .unwrap_or(0.0)
+        self.e2e.percentile_secs(p)
     }
 
     /// Mean admission-queue wait in seconds.
     pub fn queue_wait_mean_secs(&self) -> f64 {
-        if self.queue_wait.count() == 0 {
-            return 0.0;
-        }
-        self.queue_wait.mean() / 1e9
+        self.queue_wait.mean_secs()
     }
 
     /// The `p`-th cold-start latency percentile in seconds (dispatch
     /// to guest-execution start; 0 when nothing completed).
     pub fn restore_percentile_secs(&self, p: f64) -> f64 {
-        self.restore
-            .percentile(p)
-            .map(|ns| ns as f64 / 1e9)
-            .unwrap_or(0.0)
+        self.restore.percentile_secs(p)
     }
 
     /// Mean restore latency in seconds.
     pub fn restore_mean_secs(&self) -> f64 {
-        if self.restore.count() == 0 {
-            return 0.0;
-        }
-        self.restore.mean() / 1e9
+        self.restore.mean_secs()
     }
 
     /// Mean guest-execution time in seconds.
     pub fn exec_mean_secs(&self) -> f64 {
-        if self.exec.count() == 0 {
-            return 0.0;
-        }
-        self.exec.mean() / 1e9
+        self.exec.mean_secs()
     }
 
     /// Mean duration of one restore stage across cold starts, in
     /// seconds (0 when no cold start completed).
     pub fn restore_stage_mean_secs(&self, stage: RestoreStage) -> f64 {
-        let h = &self.stage_breakdown[stage.index()];
-        if h.count() == 0 {
-            return 0.0;
-        }
-        h.mean() / 1e9
+        self.stage_breakdown[stage.index()].mean_secs()
     }
 
     /// Folds another record into this one (per-function into
@@ -173,6 +154,10 @@ pub struct FleetResult {
     pub pool_evictions: u64,
     /// Pool TTL expirations.
     pub pool_expirations: u64,
+    /// Snapshot of the run's metrics registry: every layer's counters
+    /// (page-cache hits, dedup savings, eBPF invocations, scheduler
+    /// decisions, …), gauges, and histograms.
+    pub metrics: MetricsRegistry,
 }
 
 impl FleetResult {
@@ -257,6 +242,7 @@ mod tests {
             span: SimDuration::ZERO,
             pool_evictions: 0,
             pool_expirations: 0,
+            metrics: MetricsRegistry::default(),
         };
         assert_eq!(r.read_mibps(), 0.0);
         let r2 = FleetResult {

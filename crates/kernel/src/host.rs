@@ -32,7 +32,7 @@ use snapbpf_mem::{
     AllocError, AnonRegistry, BuddyAllocator, CacheError, FrameId, MemorySnapshot, OwnerId,
     PageCache, PageKey, PageState,
 };
-use snapbpf_sim::{Counters, SimDuration, SimTime};
+use snapbpf_sim::{Counters, SimDuration, SimTime, Tracer, TID_KERNEL};
 use snapbpf_storage::{Disk, DiskError, FileId, IoPath};
 
 use crate::config::KernelConfig;
@@ -205,6 +205,7 @@ pub struct HostKernel {
     counters: Counters,
     cow_pages: u64,
     ebpf_cpu: SimDuration,
+    trace: Tracer,
 }
 
 impl HostKernel {
@@ -227,8 +228,25 @@ impl HostKernel {
             counters: Counters::new(),
             cow_pages: 0,
             ebpf_cpu: SimDuration::ZERO,
+            trace: Tracer::disabled(),
             config,
         }
+    }
+
+    /// Installs a structured tracer, propagating clones to every
+    /// subcomponent (disk, page cache, maps, kprobes) so one handle
+    /// collects events and metrics from the whole host.
+    pub fn install_tracer(&mut self, tracer: &Tracer) {
+        self.trace = tracer.clone();
+        self.disk.set_trace(tracer.clone());
+        self.cache.set_tracer(tracer.clone());
+        self.maps.set_tracer(tracer.clone());
+        self.probes.set_tracer(tracer.clone());
+    }
+
+    /// The installed tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.trace
     }
 
     /// The kernel's configuration.
@@ -329,6 +347,18 @@ impl HostKernel {
         let cost = self.config.map_load_per_entry * entries.len() as u64;
         self.counters
             .add("map_entries_loaded", entries.len() as u64);
+        if self.trace.events_enabled() {
+            self.trace.instant_now(
+                "ebpf",
+                "map-load",
+                TID_KERNEL,
+                vec![
+                    ("map", map.as_u32().into()),
+                    ("entries", entries.len().into()),
+                    ("cost_ns", cost.as_nanos().into()),
+                ],
+            );
+        }
         Ok(cost)
     }
 
@@ -375,6 +405,7 @@ impl HostKernel {
         start: u64,
         count: u64,
     ) -> Result<SimTime, KernelError> {
+        self.trace.advance_clock(now);
         let file_pages = self.disk.file_pages(file)?;
         let start = start.min(file_pages);
         let end = (start + count).min(file_pages);
@@ -456,6 +487,16 @@ impl HostKernel {
         for p in disable {
             let _ = self.probes.disable(p);
             self.counters.incr("prog_self_disables");
+            self.trace.incr("ebpf.prog.self_disables");
+            if self.trace.events_enabled() {
+                self.trace.instant(
+                    "ebpf",
+                    "prog-self-disable",
+                    TID_KERNEL,
+                    now,
+                    vec![("probe", p.as_u32().into())],
+                );
+            }
         }
         self.ebpf_cpu += cpu;
     }
@@ -468,6 +509,21 @@ impl HostKernel {
         while let Some(req) = self.prefetch_queue.pop_front() {
             safety = safety.checked_sub(1).expect("prefetch cascade diverged");
             self.counters.incr("prefetch_ranges_issued");
+            self.trace.incr("ebpf.prefetch.ranges");
+            self.trace.add("ebpf.prefetch.pages", req.count);
+            if self.trace.events_enabled() {
+                self.trace.instant(
+                    "ebpf",
+                    "prefetch-range",
+                    TID_KERNEL,
+                    now,
+                    vec![
+                        ("file", req.file.as_u32().into()),
+                        ("start_page", req.start_page.into()),
+                        ("pages", req.count.into()),
+                    ],
+                );
+            }
             self.insert_and_read(now, req.file, req.start_page, req.count)?;
         }
         let _ = safety;
@@ -486,6 +542,7 @@ impl HostKernel {
         file: FileId,
         page: u64,
     ) -> Result<ReadOutcome, KernelError> {
+        self.trace.advance_clock(now);
         let key = PageKey::new(file, page);
         self.refresh(now, key);
         if let Some(view) = self.cache.lookup(key) {
@@ -666,6 +723,7 @@ impl HostKernel {
     pub(crate) fn note_cow_break(&mut self) {
         self.cow_pages += 1;
         self.counters.incr("cow_breaks");
+        self.trace.incr("mem.cow_breaks");
     }
 
     /// Mutable access to the page cache (KVM map/unmap bookkeeping).

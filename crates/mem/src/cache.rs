@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use snapbpf_sim::SimTime;
+use snapbpf_sim::{SimTime, Tracer, PAGE_SIZE, TID_KERNEL};
 use snapbpf_storage::FileId;
 
 use crate::frame::FrameId;
@@ -146,6 +146,7 @@ pub struct PageCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    trace: Tracer,
 }
 
 impl PageCache {
@@ -193,6 +194,12 @@ impl PageCache {
         self.evictions
     }
 
+    /// Attaches the structured trace handle hit/miss/insert/evict
+    /// and dedup metrics report through.
+    pub fn set_tracer(&mut self, trace: Tracer) {
+        self.trace = trace;
+    }
+
     fn detach(&mut self, idx: usize) {
         let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
         if prev != NIL {
@@ -229,6 +236,7 @@ impl PageCache {
                 self.detach(idx);
                 self.push_front(idx);
                 self.hits += 1;
+                self.trace.incr("mem.cache.hits");
                 let n = &self.nodes[idx];
                 Some(PageView {
                     frame: n.frame,
@@ -238,6 +246,7 @@ impl PageCache {
             }
             None => {
                 self.misses += 1;
+                self.trace.incr("mem.cache.misses");
                 None
             }
         }
@@ -293,6 +302,7 @@ impl PageCache {
             PageState::Resident => self.resident += 1,
             PageState::InFlight { .. } => self.in_flight += 1,
         }
+        self.trace.incr("mem.cache.inserts");
         Ok(())
     }
 
@@ -319,6 +329,12 @@ impl PageCache {
     /// Returns [`CacheError::NotCached`] for an unknown key.
     pub fn map_page(&mut self, key: PageKey) -> Result<(), CacheError> {
         let idx = *self.index.get(&key).ok_or(CacheError::NotCached(key))?;
+        if self.nodes[idx].mapcount > 0 {
+            // Another sandbox already maps this frame: the shared
+            // cache just deduplicated one page of memory (§3.1).
+            self.trace.incr("mem.cache.dedup_hits");
+            self.trace.add("mem.cache.dedup_bytes", PAGE_SIZE);
+        }
         self.nodes[idx].mapcount += 1;
         Ok(())
     }
@@ -368,14 +384,26 @@ impl PageCache {
                 victims.push(n.key);
             }
         }
-        victims
+        let evicted: Vec<(PageKey, FrameId)> = victims
             .into_iter()
             .map(|key| {
                 let frame = self.remove(key).expect("victim vanished");
                 self.evictions += 1;
                 (key, frame)
             })
-            .collect()
+            .collect();
+        if !evicted.is_empty() {
+            self.trace.add("mem.cache.evictions", evicted.len() as u64);
+            if self.trace.events_enabled() {
+                self.trace.instant_now(
+                    "mem",
+                    "cache-evict",
+                    TID_KERNEL,
+                    vec![("asked", want.into()), ("evicted", evicted.len().into())],
+                );
+            }
+        }
+        evicted
     }
 
     /// Iterates over all cached keys of a file (unordered).
@@ -595,5 +623,33 @@ mod tests {
         assert!(CacheError::NotCached(key(f, 1))
             .to_string()
             .contains("not cached"));
+    }
+
+    #[test]
+    fn cache_reports_trace_metrics() {
+        let f = file(0);
+        let mut c = PageCache::new();
+        let tr = Tracer::recording();
+        c.set_tracer(tr.clone());
+        c.insert(key(f, 0), FrameId::new(1), PageState::Resident)
+            .unwrap();
+        assert!(c.lookup(key(f, 0)).is_some());
+        assert!(c.lookup(key(f, 9)).is_none());
+        // Two sandboxes map the same page: the second map is a dedup
+        // hit; the first is not.
+        c.map_page(key(f, 0)).unwrap();
+        c.map_page(key(f, 0)).unwrap();
+        c.unmap_page(key(f, 0)).unwrap();
+        c.unmap_page(key(f, 0)).unwrap();
+        assert_eq!(c.evict_lru(4).len(), 1);
+        assert_eq!(tr.counter("mem.cache.hits"), 1);
+        assert_eq!(tr.counter("mem.cache.misses"), 1);
+        assert_eq!(tr.counter("mem.cache.inserts"), 1);
+        assert_eq!(tr.counter("mem.cache.evictions"), 1);
+        assert_eq!(tr.counter("mem.cache.dedup_hits"), 1);
+        assert_eq!(tr.counter("mem.cache.dedup_bytes"), 4096);
+        let events = tr.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "cache-evict");
     }
 }

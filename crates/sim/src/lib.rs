@@ -38,12 +38,18 @@ mod queue;
 mod rng;
 mod stats;
 mod time;
+pub mod trace;
 
 pub use arrival::{ArrivalGen, ArrivalProcess};
 pub use queue::{Clock, EventQueue, Scheduled};
 pub use rng::SplitMix64;
-pub use stats::{Counters, Histogram, Summary};
+pub use snapbpf_json::Json;
+pub use stats::{Counters, Histogram, Quantile, Summary};
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    chrome_trace_json, sandbox_tid, MetricsRegistry, NoopSink, RecordingSink, TraceEvent,
+    TracePhase, TraceSink, TraceValue, Tracer, TID_CONTROL, TID_DISK, TID_KERNEL,
+};
 
 /// Size of a page in bytes, fixed at 4 KiB exactly as on the paper's
 /// x86-64 testbed.

@@ -6,6 +6,69 @@ use std::fmt;
 
 use crate::time::SimDuration;
 
+/// The standard quantile points reported across the workspace
+/// (p50 / p90 / p99 / p99.9).
+///
+/// Both [`Summary::quantile`] and [`Histogram::quantile`] accept
+/// these, so every layer shares one tail-latency vocabulary.
+///
+/// # Examples
+///
+/// ```
+/// use snapbpf_sim::Quantile;
+///
+/// assert_eq!(Quantile::P999.percent(), 99.9);
+/// assert_eq!(Quantile::P90.label(), "p90");
+/// assert_eq!(Quantile::ALL.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantile {
+    /// The median.
+    P50,
+    /// The 90th percentile.
+    P90,
+    /// The 99th percentile.
+    P99,
+    /// The 99.9th percentile.
+    P999,
+}
+
+impl Quantile {
+    /// Every quantile point, in ascending order.
+    pub const ALL: [Quantile; 4] = [Quantile::P50, Quantile::P90, Quantile::P99, Quantile::P999];
+
+    /// Percentile rank in `0..=100` (`P999` → `99.9`).
+    pub const fn percent(self) -> f64 {
+        match self {
+            Quantile::P50 => 50.0,
+            Quantile::P90 => 90.0,
+            Quantile::P99 => 99.0,
+            Quantile::P999 => 99.9,
+        }
+    }
+
+    /// Short display label (`"p50"` … `"p99.9"`).
+    pub const fn label(self) -> &'static str {
+        match self {
+            Quantile::P50 => "p50",
+            Quantile::P90 => "p90",
+            Quantile::P99 => "p99",
+            Quantile::P999 => "p99.9",
+        }
+    }
+
+    /// Standard-normal z-score of this quantile, used by
+    /// [`Summary::quantile`]'s normal approximation.
+    const fn z(self) -> f64 {
+        match self {
+            Quantile::P50 => 0.0,
+            Quantile::P90 => 1.281_551_565_544_600_4,
+            Quantile::P99 => 2.326_347_874_040_840_8,
+            Quantile::P999 => 3.090_232_306_167_813,
+        }
+    }
+}
+
 /// Online summary of a stream of `f64` samples (count, mean, min,
 /// max, variance) using Welford's algorithm.
 ///
@@ -96,6 +159,24 @@ impl Summary {
     /// Largest sample, if any.
     pub fn max(&self) -> Option<f64> {
         self.max
+    }
+
+    /// Approximate value at quantile `q` under a normal model:
+    /// `mean + z·σ`, clamped to the observed `[min, max]` range so a
+    /// heavy tail can never push the estimate past a real sample.
+    /// `None` when empty.
+    ///
+    /// A Welford summary keeps no per-sample state, so this is an
+    /// *approximation* — exact for symmetric distributions, and
+    /// bounded by the observed extremes otherwise. Use [`Histogram`]
+    /// where accurate tails matter.
+    pub fn quantile(&self, q: Quantile) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let est = self.mean() + q.z() * self.stddev();
+        let (min, max) = (self.min?, self.max?);
+        Some(est.clamp(min, max))
     }
 
     /// Merges another summary into this one, as if all of its samples
@@ -275,6 +356,33 @@ impl Histogram {
         let mantissa = key & ((1 << (SUB_BUCKET_BITS + 1)) - 1);
         let base = mantissa << shift;
         Self::bucket_representative(base)
+    }
+
+    /// Approximate value at quantile `q`, or `None` when empty.
+    /// Shares [`Histogram::percentile`]'s ~19% worst-case relative
+    /// error.
+    pub fn quantile(&self, q: Quantile) -> Option<u64> {
+        self.percentile(q.percent())
+    }
+
+    /// The `p`-th percentile of a *nanosecond-valued* histogram,
+    /// converted to seconds (0.0 when empty) — the common shape the
+    /// figure generators report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile_secs(&self, p: f64) -> f64 {
+        self.percentile(p).map(|ns| ns as f64 / 1e9).unwrap_or(0.0)
+    }
+
+    /// Mean of a *nanosecond-valued* histogram, in seconds (0.0 when
+    /// empty).
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.mean() / 1e9
     }
 
     /// Merges another histogram into this one.
@@ -483,6 +591,73 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), Some(10));
         assert_eq!(a.max(), Some(1_000_000));
+    }
+
+    #[test]
+    fn histogram_quantiles_match_uniform_distribution() {
+        // Uniform on [1, 1_000_000]: the q-th quantile is q * max.
+        let mut h = Histogram::new();
+        let mut rng = crate::rng::SplitMix64::new(7);
+        for _ in 0..50_000 {
+            h.record(rng.next_range(1, 1_000_000));
+        }
+        for q in Quantile::ALL {
+            let expect = q.percent() / 100.0 * 1_000_000.0;
+            let got = h.quantile(q).unwrap() as f64;
+            // Bucketing error (~19%) plus sampling noise.
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.25, "{}: got {got}, expected {expect}", q.label());
+        }
+        assert_eq!(h.quantile(Quantile::P50), h.percentile(50.0));
+        assert_eq!(h.quantile(Quantile::P999), h.percentile(99.9));
+    }
+
+    #[test]
+    fn histogram_secs_helpers() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile_secs(99.0), 0.0);
+        assert_eq!(h.mean_secs(), 0.0);
+        h.record_duration(SimDuration::from_secs(2));
+        assert!((h.percentile_secs(50.0) - 2.0).abs() < 0.5);
+        assert!((h.mean_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_quantiles_match_normal_distribution() {
+        let mut s = Summary::new();
+        let mut rng = crate::rng::SplitMix64::new(99);
+        for _ in 0..50_000 {
+            s.record(rng.next_gaussian(100.0, 15.0));
+        }
+        let expect = [
+            (Quantile::P50, 100.0),
+            (Quantile::P90, 100.0 + 15.0 * 1.2816),
+            (Quantile::P99, 100.0 + 15.0 * 2.3263),
+        ];
+        for (q, want) in expect {
+            let got = s.quantile(q).unwrap();
+            assert!(
+                (got - want).abs() / want < 0.02,
+                "{}: got {got}, expected {want}",
+                q.label()
+            );
+        }
+    }
+
+    #[test]
+    fn summary_quantiles_clamp_and_empty() {
+        assert_eq!(Summary::new().quantile(Quantile::P99), None);
+        let mut s = Summary::new();
+        for _ in 0..10 {
+            s.record(5.0);
+        }
+        // Degenerate distribution: every quantile is the value.
+        for q in Quantile::ALL {
+            assert_eq!(s.quantile(q), Some(5.0));
+        }
+        // A single outlier cannot be exceeded by the estimate.
+        s.record(50.0);
+        assert!(s.quantile(Quantile::P999).unwrap() <= 50.0);
     }
 
     #[test]

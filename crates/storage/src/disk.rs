@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use snapbpf_sim::SimTime;
+use snapbpf_sim::{SimTime, Tracer, TID_DISK};
 
 use crate::addr::{BlockAddr, Extent};
 use crate::device::{BlockDevice, IoCompletion, IoKind, IoPath, IoRequest};
@@ -105,6 +105,10 @@ pub struct Disk {
     by_name: HashMap<String, FileId>,
     next_block: u64,
     tracer: IoTracer,
+    trace: Tracer,
+    // Completion times (ns) of submitted-but-not-yet-done requests —
+    // pruned lazily, so `len()` at submit time is the queue depth.
+    outstanding: Vec<u64>,
 }
 
 /// Gap (in blocks) left between consecutive file extents so that the
@@ -123,6 +127,8 @@ impl Disk {
             by_name: HashMap::new(),
             next_block: 0,
             tracer: IoTracer::summary_only(),
+            trace: Tracer::disabled(),
+            outstanding: Vec::new(),
         }
     }
 
@@ -228,6 +234,7 @@ impl Disk {
         };
         let completion = self.device.submit(now, req);
         self.tracer.record(now, req, completion);
+        self.note_trace(now, file, req, completion);
         Ok(completion)
     }
 
@@ -254,7 +261,81 @@ impl Disk {
         };
         let completion = self.device.submit(now, req);
         self.tracer.record(now, req, completion);
+        self.note_trace(now, file, req, completion);
         Ok(completion)
+    }
+
+    /// Reports one submitted request to the structured trace layer:
+    /// a submit→complete span on the disk track with the queue depth
+    /// observed at submit time, plus request/byte/latency metrics.
+    fn note_trace(&mut self, now: SimTime, file: FileId, req: IoRequest, done: IoCompletion) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let now_ns = now.as_nanos();
+        self.outstanding.retain(|&d| d > now_ns);
+        let depth = self.outstanding.len() as u64;
+        self.outstanding.push(done.done_at.as_nanos());
+        let (name, requests, bytes, latency) = match req.kind {
+            IoKind::Read => (
+                "disk-read",
+                "storage.read.requests",
+                "storage.read.bytes",
+                "storage.read.latency_ns",
+            ),
+            IoKind::Write => (
+                "disk-write",
+                "storage.write.requests",
+                "storage.write.bytes",
+                "storage.write.latency_ns",
+            ),
+        };
+        self.trace.incr(requests);
+        self.trace.add(bytes, req.bytes());
+        self.trace
+            .observe_duration(latency, done.done_at.saturating_since(now));
+        self.trace.observe("storage.queue.depth", depth);
+        if self.trace.events_enabled() {
+            let file_name = self
+                .files
+                .get(file.as_u32() as usize)
+                .map(|m| m.name.as_str())
+                .unwrap_or("?");
+            self.trace.span(
+                "storage",
+                name,
+                TID_DISK,
+                now,
+                done.done_at,
+                vec![
+                    ("device", self.device.model_name().into()),
+                    ("file", file_name.into()),
+                    ("blocks", req.blocks.into()),
+                    ("bytes", req.bytes().into()),
+                    (
+                        "path",
+                        match req.path {
+                            IoPath::Buffered => "buffered",
+                            IoPath::Direct => "direct",
+                        }
+                        .into(),
+                    ),
+                    ("sequential", done.sequential.into()),
+                    ("queue_depth", depth.into()),
+                    (
+                        "queue_ns",
+                        done.started_at.saturating_since(now).as_nanos().into(),
+                    ),
+                ],
+            );
+        }
+    }
+
+    /// Attaches the structured trace handle disk spans and metrics
+    /// report through (shared with the rest of the host).
+    pub fn set_trace(&mut self, trace: Tracer) {
+        self.trace = trace;
+        self.outstanding.clear();
     }
 
     /// The attached tracer.
@@ -393,6 +474,37 @@ mod tests {
         let old = d.set_tracer(IoTracer::new());
         assert_eq!(old.entries().len(), 1);
         assert_eq!(d.tracer().requests(), 0);
+    }
+
+    #[test]
+    fn requests_emit_trace_spans_and_metrics() {
+        let mut d = disk();
+        let f = d.create_file("snap", 64).unwrap();
+        let tr = Tracer::recording();
+        d.set_trace(tr.clone());
+        d.read_file_pages(SimTime::ZERO, f, 0, 8, IoPath::Buffered)
+            .unwrap();
+        d.write_file_pages(SimTime::ZERO, f, 0, 4, IoPath::Direct)
+            .unwrap();
+        assert_eq!(tr.counter("storage.read.requests"), 1);
+        assert_eq!(tr.counter("storage.write.requests"), 1);
+        assert_eq!(tr.counter("storage.read.bytes"), 8 * 4096);
+        let events = tr.take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "disk-read");
+        assert_eq!(events[0].tid, TID_DISK);
+        assert!(events[0].dur.unwrap().as_nanos() > 0);
+        // The write was submitted while the read still occupied the
+        // device, so it observed queue depth 1.
+        let depth = events[1]
+            .args
+            .iter()
+            .find(|(k, _)| *k == "queue_depth")
+            .unwrap();
+        assert_eq!(depth.1, snapbpf_sim::TraceValue::U64(1));
+        let m = tr.metrics_snapshot();
+        assert_eq!(m.histogram("storage.queue.depth").unwrap().count(), 2);
+        assert!(m.histogram("storage.read.latency_ns").unwrap().mean() > 0.0);
     }
 
     #[test]

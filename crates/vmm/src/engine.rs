@@ -13,10 +13,26 @@
 //! so they only contend on the shared disk and page cache.
 
 use snapbpf_kernel::{AccessKind, HostKernel, KernelError, VmMemStats};
-use snapbpf_sim::{SimDuration, SimTime};
+use snapbpf_sim::{sandbox_tid, SimDuration, SimTime};
 use snapbpf_workloads::{InvocationTrace, Step};
 
 use crate::microvm::MicroVm;
+
+/// Bumps the per-fault-kind metrics counters for one guest access.
+fn note_access(host: &HostKernel, kind: AccessKind) {
+    let trace = host.tracer();
+    if !trace.is_enabled() {
+        return;
+    }
+    match kind {
+        AccessKind::Hit => {}
+        AccessKind::PvAnon => trace.incr("vmm.guest.pv_anon_faults"),
+        AccessKind::Minor => trace.incr("vmm.guest.minor_faults"),
+        AccessKind::Major => trace.incr("vmm.guest.major_faults"),
+        AccessKind::CowBreak => trace.incr("vmm.guest.cow_breaks"),
+        AccessKind::Uffd => trace.incr("vmm.uffd.faults"),
+    }
+}
 
 /// Userspace handler for userfaultfd faults (REAP / Faast).
 ///
@@ -104,6 +120,7 @@ fn advance(
         Step::Compute(d) => Ok(t + d),
         Step::Access { gpfn, write } => {
             let out = vm.kvm_mut().access(t, gpfn, write, host)?;
+            note_access(host, out.kind);
             if out.kind == AccessKind::Uffd {
                 Ok(resolve_uffd(
                     t,
@@ -121,6 +138,7 @@ fn advance(
         Step::Alloc { gpfn } => {
             let gpfn_as_mapped = vm.guest_mut().alloc_page(gpfn);
             let out = vm.kvm_mut().access(t, gpfn_as_mapped, true, host)?;
+            note_access(host, out.kind);
             if out.kind == AccessKind::Uffd {
                 // Allocation faults land in the uffd range too for
                 // uffd-based restores (REAP cannot tell allocations
@@ -166,13 +184,28 @@ fn resolve_uffd(
         // page but charge no round trip.
         vm.kvm_mut()
             .uffd_install(fault_time, gpfn, data_ready, host)?;
+        host.tracer()
+            .observe_duration("vmm.uffd.wait_ns", SimDuration::ZERO);
         Ok(fault_time)
     } else {
         let round_trip = host.config().uffd_round_trip;
         let installed =
             vm.kvm_mut()
                 .uffd_install(fault_time + round_trip, gpfn, data_ready, host)?;
-        Ok(installed.ready_at.max(fault_time + round_trip))
+        let done = installed.ready_at.max(fault_time + round_trip);
+        let trace = host.tracer();
+        trace.observe_duration("vmm.uffd.wait_ns", done.saturating_since(fault_time));
+        if trace.events_enabled() {
+            trace.span(
+                "vmm",
+                "uffd-round-trip",
+                sandbox_tid(vm.owner().as_u32()),
+                fault_time,
+                done,
+                vec![("gpfn", gpfn.into())],
+            );
+        }
+        Ok(done)
     }
 }
 
