@@ -19,13 +19,14 @@ use snapbpf::figures::{
 use snapbpf::{DeviceKind, FigureData};
 use snapbpf_bench::write_figure;
 use snapbpf_fleet::figures::{
-    fleet_breakdown, fleet_keepalive, fleet_pipeline, fleet_sweep, fleet_trace, FleetFigureConfig,
+    fleet_breakdown, fleet_keepalive, fleet_pipeline, fleet_shard, fleet_sweep, fleet_trace,
+    FleetFigureConfig,
 };
 use snapbpf_workloads::Workload;
 
 /// Every figure the runner knows, in presentation order — `--only`
 /// is validated against this list.
-const KNOWN_IDS: [&str; 22] = [
+const KNOWN_IDS: [&str; 23] = [
     "table1",
     "fig3a",
     "fig3b",
@@ -47,6 +48,7 @@ const KNOWN_IDS: [&str; 22] = [
     "fleet-keepalive",
     "fleet-pipeline",
     "fleet-trace",
+    "fleet-shard",
     "ext-memory-pressure",
 ];
 
@@ -57,6 +59,7 @@ struct Args {
     only: Option<String>,
     device: DeviceKind,
     trace_out: Option<PathBuf>,
+    hosts: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -67,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
         only: None,
         device: DeviceKind::Sata5300,
         trace_out: None,
+        hosts: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -88,6 +92,16 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--only" => args.only = Some(value("--only")?),
             "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            // The cluster size for fleet-shard. 0 is accepted here so
+            // the cluster's own validation surfaces its clean config
+            // error instead of the CLI inventing a second one.
+            "--hosts" => {
+                args.hosts = Some(
+                    value("--hosts")?
+                        .parse()
+                        .map_err(|e| format!("bad --hosts: {e}"))?,
+                )
+            }
             "--device" => {
                 let name = value("--device")?;
                 args.device = DeviceKind::parse(&name)
@@ -96,7 +110,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: figures [--scale S] [--instances N] [--out DIR] [--only ID] \
-                     [--device sata-ssd|nvme|hdd] [--trace-out FILE]\n\
+                     [--device sata-ssd|nvme|hdd] [--trace-out FILE] [--hosts N]\n\
                      IDs: {}",
                     KNOWN_IDS.join(" ")
                 ))
@@ -266,6 +280,9 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let fleet_cfg = {
         let mut f = FleetFigureConfig::paper(args.scale);
         f.device = args.device;
+        if let Some(hosts) = args.hosts {
+            f.shard.hosts = hosts;
+        }
         f
     };
     if wants(&args.only, "fleet-sweep") {
@@ -300,6 +317,23 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             "trace written to {} — open it at https://ui.perfetto.dev (Open trace file)\n",
             path.display()
         );
+    }
+    if wants(&args.only, "fleet-shard") {
+        let fig = fleet_shard(&fleet_cfg)?;
+        emit(&args.out, &fig);
+        for device in &fleet_cfg.shard.devices {
+            if let (Some(ll), Some(loc)) = (
+                fig.meta_value(&format!("lead-least-loaded-{}", device.label())),
+                fig.meta_value(&format!("lead-locality-{}", device.label())),
+            ) {
+                println!(
+                    "SnapBPF lead over REAP on {}: {ll:.2}x under least-loaded, \
+                     {loc:.2}x under locality placement",
+                    device.label()
+                );
+            }
+        }
+        println!();
     }
     if wants(&args.only, "ext-memory-pressure") {
         let w = Workload::by_name("bert").expect("suite function");

@@ -75,6 +75,10 @@ pub enum StrategyError {
     },
     /// Writing a trace output file failed.
     TraceIo(String),
+    /// A run configuration was invalid (e.g. a zero-host cluster or
+    /// an empty function mix) — reported instead of panicking so CLI
+    /// surfaces can print a clean message.
+    Config(String),
 }
 
 impl fmt::Display for StrategyError {
@@ -88,6 +92,7 @@ impl fmt::Display for StrategyError {
                 write!(f, "restore stage {stage}: {source}")
             }
             StrategyError::TraceIo(e) => write!(f, "trace output: {e}"),
+            StrategyError::Config(e) => write!(f, "config: {e}"),
         }
     }
 }
@@ -98,7 +103,7 @@ impl std::error::Error for StrategyError {
             StrategyError::Kernel(e) => Some(e),
             StrategyError::NotRecorded { .. } => None,
             StrategyError::Stage { source, .. } => Some(source.as_ref()),
-            StrategyError::TraceIo(_) => None,
+            StrategyError::TraceIo(_) | StrategyError::Config(_) => None,
         }
     }
 }

@@ -6,43 +6,11 @@
 //! sandbox must produce identical metrics.
 
 use proptest::prelude::*;
-use snapbpf::{FunctionCtx, RestoredVm, Strategy, StrategyKind};
-use snapbpf_kernel::{HostKernel, KernelConfig};
+use snapbpf::{FunctionCtx, RestoredVm, StrategyKind};
+use snapbpf_kernel::HostKernel;
 use snapbpf_mem::OwnerId;
-use snapbpf_sim::SimTime;
-use snapbpf_storage::{Disk, SsdModel};
-use snapbpf_vmm::{run_invocation, InvocationResult, Snapshot};
-use snapbpf_workloads::Workload;
-
-/// A recorded, cache-cold environment for `kind`: host, function
-/// context, strategy instance, and the restore-request instant.
-fn recorded_env(
-    kind: StrategyKind,
-    name: &str,
-    scale: f64,
-) -> (HostKernel, FunctionCtx, Box<dyn Strategy>, SimTime) {
-    let mut host = HostKernel::new(
-        Disk::new(Box::new(SsdModel::micron_5300())),
-        KernelConfig::default(),
-    );
-    let workload = Workload::by_name(name)
-        .unwrap_or_else(|| panic!("unknown workload {name}"))
-        .scaled(scale);
-    let (snapshot, t_snap) = Snapshot::create(
-        SimTime::ZERO,
-        workload.name(),
-        workload.snapshot_pages(),
-        &mut host,
-    )
-    .expect("snapshot creation");
-    let func = FunctionCtx { workload, snapshot };
-    let mut strategy = kind.build();
-    let t_rec = strategy
-        .record(t_snap, &mut host, &func)
-        .expect("record phase");
-    host.drop_all_caches().expect("cache drop");
-    (host, func, strategy, t_rec)
-}
+use snapbpf_testkit::recorded_env;
+use snapbpf_vmm::{run_invocation, InvocationResult};
 
 /// Restores and replays one invocation, returning the restore
 /// product and the invocation metrics.

@@ -1,0 +1,358 @@
+//! Multi-host cluster simulation: N per-host worlds, a placement
+//! policy routing arrivals between them, and a snapshot-distribution
+//! cost model (DESIGN.md §8).
+//!
+//! A cluster run generalizes the single-host fleet run: every host
+//! owns its own simulated kernel, disk, page cache, and keep-alive
+//! [`crate::SandboxPool`], all configured identically from the one
+//! [`FleetConfig`]. One global arrival schedule is drawn exactly as
+//! [`crate::run_fleet`] draws it; a [`PlacementPolicy`] then decides,
+//! per arrival, which host serves it. Events across hosts execute in
+//! global virtual-time order (ties break toward the lower host
+//! index), so the run is deterministic end to end: a pure function of
+//! ([`FleetConfig`], workload list).
+//!
+//! With one host, [`crate::SnapshotDistribution::Local`], and any placement
+//! policy, a cluster run degenerates to a single-host fleet run —
+//! the exact same scheduling code runs (`crate::host::Host` is shared
+//! by both entry points), so per-function statistics, memory
+//! high-water marks, I/O volumes, and the metrics registry are all
+//! equal to [`crate::run_fleet_with`]'s. The cluster tests assert
+//! this field for field.
+
+use snapbpf_sim::{
+    chrome_trace_json, MetricsRegistry, SimDuration, SimTime, Tracer, TID_CONTROL, TID_DISK,
+    TID_KERNEL,
+};
+use snapbpf_workloads::Workload;
+
+use crate::config::FleetConfig;
+use crate::host::{build_host, draw_arrivals, Host};
+use crate::metrics::FuncStats;
+use crate::placement::{HostView, PlacementPolicy};
+use snapbpf::StrategyError;
+
+/// Everything one host of a cluster run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostResult {
+    /// Host index, `0..hosts`.
+    pub host: usize,
+    /// Per-function statistics for work served by this host, in
+    /// workload order (functions never routed here have empty
+    /// records).
+    pub per_function: Vec<FuncStats>,
+    /// This host's aggregate over every function.
+    pub aggregate: FuncStats,
+    /// Host memory high-water mark in bytes.
+    pub mem_hwm_bytes: u64,
+    /// Bytes read from this host's storage during the invocation
+    /// phase.
+    pub read_bytes: u64,
+    /// Bytes written to this host's storage during the invocation
+    /// phase.
+    pub write_bytes: u64,
+    /// Pool LRU evictions (capacity pressure).
+    pub pool_evictions: u64,
+    /// Pool TTL expirations.
+    pub pool_expirations: u64,
+    /// High-water mark of parked sandboxes — never exceeds the
+    /// configured pool capacity (property-tested).
+    pub pool_hwm: u64,
+    /// Arrivals the placement policy routed to this host.
+    pub placed: u64,
+    /// Remote snapshot transfers this host paid (first cold start
+    /// per function under [`crate::SnapshotDistribution::Remote`];
+    /// always 0 under [`crate::SnapshotDistribution::Local`]).
+    pub snapshot_fetches: u64,
+}
+
+/// Everything a cluster run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterResult {
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Placement-policy label.
+    pub placement: &'static str,
+    /// Per-host results, indexed by host.
+    pub hosts: Vec<HostResult>,
+    /// Cluster-wide per-function statistics (each function's
+    /// per-host records merged), in workload order.
+    pub per_function: Vec<FuncStats>,
+    /// Cluster-wide aggregate.
+    pub aggregate: FuncStats,
+    /// Virtual time from the first arrival to the last completion on
+    /// any host.
+    pub span: SimDuration,
+    /// Snapshot of the run's metrics registry, merged across hosts
+    /// (every host reports into the one tracer).
+    pub metrics: MetricsRegistry,
+}
+
+impl ClusterResult {
+    /// Total bytes read from storage across all hosts.
+    pub fn read_bytes(&self) -> u64 {
+        self.hosts.iter().map(|h| h.read_bytes).sum()
+    }
+
+    /// Total arrivals the placement policy routed (equals cluster
+    /// arrivals).
+    pub fn placed(&self) -> u64 {
+        self.hosts.iter().map(|h| h.placed).sum()
+    }
+
+    /// Total remote snapshot transfers paid across hosts.
+    pub fn snapshot_fetches(&self) -> u64 {
+        self.hosts.iter().map(|h| h.snapshot_fetches).sum()
+    }
+}
+
+/// Rejects configurations a cluster run cannot execute, with a
+/// [`StrategyError::Config`] instead of a panic so CLI surfaces
+/// print a clean message.
+fn validate(cfg: &FleetConfig, workloads: &[Workload]) -> Result<(), StrategyError> {
+    if cfg.hosts == 0 {
+        return Err(StrategyError::Config(
+            "a cluster needs at least one host (hosts = 0)".to_owned(),
+        ));
+    }
+    if workloads.is_empty() || cfg.mix.is_empty() {
+        return Err(StrategyError::Config(
+            "the function mix is empty: a cluster run needs at least one function".to_owned(),
+        ));
+    }
+    if cfg.mix.len() != workloads.len() {
+        return Err(StrategyError::Config(format!(
+            "the function mix covers {} functions but {} workloads were given",
+            cfg.mix.len(),
+            workloads.len()
+        )));
+    }
+    if cfg.max_concurrency == 0 {
+        return Err(StrategyError::Config(
+            "max_concurrency must be at least 1".to_owned(),
+        ));
+    }
+    Ok(())
+}
+
+/// Runs one cluster simulation (see the module docs for the model).
+///
+/// Metrics are collected through a metrics-only tracer; use
+/// [`run_cluster_with`] to also retain trace events.
+///
+/// # Errors
+///
+/// [`StrategyError::Config`] on a zero-host cluster, an empty
+/// function mix, a mix/workload count mismatch, or zero
+/// `max_concurrency`; strategy and kernel errors propagate.
+pub fn run_cluster(
+    cfg: &FleetConfig,
+    workloads: &[Workload],
+) -> Result<ClusterResult, StrategyError> {
+    run_cluster_with(cfg, workloads, &Tracer::noop())
+}
+
+/// Runs one cluster simulation against a caller-supplied [`Tracer`].
+///
+/// Each host appears as its own Chrome trace process (`pid = host
+/// index + 1`, named `host N`) with the familiar per-host tracks —
+/// scheduler, disk, kernel, and one track per sandbox — nested under
+/// it; placement decisions appear as `cluster`-category instants on
+/// the serving host's scheduler track. When `cfg.trace_out` is set,
+/// the retained events plus a metrics snapshot are written there as
+/// Chrome trace-event JSON.
+///
+/// Tracing never perturbs the simulation (virtual time never
+/// consults the tracer).
+///
+/// # Errors
+///
+/// As [`run_cluster`]; additionally [`StrategyError::TraceIo`] for a
+/// failed `trace_out` write.
+pub fn run_cluster_with(
+    cfg: &FleetConfig,
+    workloads: &[Workload],
+    tracer: &Tracer,
+) -> Result<ClusterResult, StrategyError> {
+    validate(cfg, workloads)?;
+    let mut policy: Box<dyn PlacementPolicy> = cfg.placement.build();
+
+    // Build every host world. Setup is identical per host (same
+    // config, same workloads), so t0 — the invocation-phase start —
+    // agrees across hosts.
+    let mut hosts: Vec<Host<'_>> = Vec::with_capacity(cfg.hosts);
+    let mut t0 = SimTime::ZERO;
+    for h in 0..cfg.hosts {
+        tracer.set_pid(h as u32 + 1);
+        let (host, t) = build_host(cfg, workloads, tracer)?;
+        if tracer.events_enabled() {
+            tracer.name_process(&format!("host {h}"));
+            tracer.name_thread(TID_CONTROL, "scheduler");
+            tracer.name_thread(TID_DISK, "disk");
+            tracer.name_thread(TID_KERNEL, "kernel");
+        }
+        t0 = t;
+        hosts.push(host);
+    }
+
+    let arrivals = draw_arrivals(cfg, t0);
+    let first_arrival = arrivals.first().map(|r| r.at).unwrap_or(t0);
+
+    // Main loop: always execute the globally earliest event across
+    // all hosts — the next arrival or the earliest in-flight sandbox
+    // event anywhere (host-event ties break toward the lower host
+    // index; arrival/event ties toward the event, exactly as the
+    // single-host loop breaks them).
+    let mut arrival_iter = arrivals.into_iter().peekable();
+    loop {
+        let next_active = hosts
+            .iter()
+            .enumerate()
+            .filter_map(|(h, host)| host.next_event().map(|(i, t)| (t, h, i)))
+            .min();
+        let next_arrival = arrival_iter.peek().map(|r| r.at);
+        match (next_active, next_arrival) {
+            (None, None) => break,
+            (Some((tc, h, i)), ta) if ta.is_none_or(|ta| tc <= ta) => {
+                tracer.set_pid(h as u32 + 1);
+                hosts[h].step_event(i)?;
+            }
+            _ => {
+                let req = arrival_iter.next().expect("peeked arrival");
+                let views: Vec<HostView> = hosts
+                    .iter()
+                    .enumerate()
+                    .map(|(h, host)| HostView {
+                        host: h,
+                        in_flight: host.active.len(),
+                        queued: host.pending.len(),
+                        warm_parked: host.warm_parked(req.func, req.at),
+                        cached_snapshot_pages: host.cached_snapshot_pages(req.func),
+                    })
+                    .collect();
+                let name = hosts[0].funcs[req.func].workload.name();
+                let target = policy.place(name, &views);
+                assert!(
+                    target < hosts.len(),
+                    "placement policy {} returned host {target} of {}",
+                    policy.label(),
+                    hosts.len()
+                );
+                tracer.set_pid(target as u32 + 1);
+                if tracer.events_enabled() {
+                    tracer.instant(
+                        "cluster",
+                        "place",
+                        TID_CONTROL,
+                        req.at,
+                        vec![("func", req.func.into()), ("policy", policy.label().into())],
+                    );
+                }
+                hosts[target].handle_arrival(req)?;
+            }
+        }
+    }
+
+    // End of run: tear every host down (parked sandboxes released,
+    // memory accounting verified closed).
+    for (h, host) in hosts.iter_mut().enumerate() {
+        tracer.set_pid(h as u32 + 1);
+        host.teardown()?;
+    }
+    tracer.set_pid(1);
+
+    // Assemble: merge per-host per-function records into cluster-wide
+    // ones, then fold those into the aggregate.
+    let mut per_function: Vec<FuncStats> =
+        workloads.iter().map(|w| FuncStats::new(w.name())).collect();
+    let mut last_completion = t0;
+    let mut host_results = Vec::with_capacity(hosts.len());
+    for (h, host) in hosts.into_iter().enumerate() {
+        for (merged, f) in per_function.iter_mut().zip(&host.per_func) {
+            merged.merge(f);
+        }
+        let mut host_aggregate = FuncStats::new("all");
+        for f in &host.per_func {
+            host_aggregate.merge(f);
+        }
+        last_completion = last_completion.max(host.last_completion);
+        host_results.push(HostResult {
+            host: h,
+            aggregate: host_aggregate,
+            mem_hwm_bytes: host.mem_hwm_bytes,
+            read_bytes: host.kernel.disk().tracer().read_bytes(),
+            write_bytes: host.kernel.disk().tracer().write_bytes(),
+            pool_evictions: host.pool.evictions(),
+            pool_expirations: host.pool.expirations(),
+            pool_hwm: host.pool_hwm,
+            placed: host.placed,
+            snapshot_fetches: host.snapshot_fetches,
+            per_function: host.per_func,
+        });
+    }
+    let mut aggregate = FuncStats::new("all");
+    for f in &per_function {
+        aggregate.merge(f);
+    }
+
+    let metrics = tracer.metrics_snapshot();
+    if let Some(path) = &cfg.trace_out {
+        let json = chrome_trace_json(&tracer.take_events(), Some(&metrics));
+        std::fs::write(path, json.pretty())
+            .map_err(|e| StrategyError::TraceIo(format!("{}: {e}", path.display())))?;
+    }
+    Ok(ClusterResult {
+        strategy: cfg.strategy.label(),
+        placement: cfg.placement.label(),
+        hosts: host_results,
+        per_function,
+        aggregate,
+        span: last_completion.saturating_since(first_arrival),
+        metrics,
+    })
+}
+
+// Unit tests live in `tests/cluster.rs` (integration surface) and
+// `tests/properties.rs`; this module keeps only the validation-edge
+// checks that need no host setup.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapbpf::StrategyKind;
+
+    #[test]
+    fn zero_hosts_is_a_config_error() {
+        let w: Vec<Workload> = vec![Workload::by_name("json").unwrap()];
+        let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, 1, 10.0);
+        cfg.hosts = 0;
+        let err = run_cluster(&cfg, &w).unwrap_err();
+        assert!(matches!(err, StrategyError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("at least one host"), "{err}");
+    }
+
+    #[test]
+    fn empty_mix_is_a_config_error() {
+        let cfg = FleetConfig::new(StrategyKind::SnapBpf, 0, 10.0);
+        let err = run_cluster(&cfg, &[]).unwrap_err();
+        assert!(matches!(err, StrategyError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("mix is empty"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_mix_is_a_config_error() {
+        let w: Vec<Workload> = vec![Workload::by_name("json").unwrap()];
+        let cfg = FleetConfig::new(StrategyKind::SnapBpf, 2, 10.0);
+        let err = run_cluster(&cfg, &w).unwrap_err();
+        assert!(matches!(err, StrategyError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("covers 2 functions"), "{err}");
+    }
+
+    #[test]
+    fn zero_concurrency_is_a_config_error() {
+        let w: Vec<Workload> = vec![Workload::by_name("json").unwrap()];
+        let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, 1, 10.0);
+        cfg.max_concurrency = 0;
+        let err = run_cluster(&cfg, &w).unwrap_err();
+        assert!(matches!(err, StrategyError::Config(_)), "got {err}");
+    }
+}

@@ -6,6 +6,8 @@ use snapbpf::{DeviceKind, StrategyKind};
 use snapbpf_sim::{ArrivalProcess, SimDuration};
 use snapbpf_workloads::FunctionMix;
 
+use crate::placement::PlacementKind;
+
 /// What to do with an arrival that finds the admission queue full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ShedPolicy {
@@ -30,6 +32,55 @@ pub enum RestoreMode {
     /// [`snapbpf::RestoreCursor`] pipeline).
     #[default]
     Pipelined,
+}
+
+/// How function snapshots reach a host that has never run the
+/// function before (the cross-host snapshot-distribution cost model
+/// of a cluster run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotDistribution {
+    /// Every host already holds every snapshot on local disk (shared
+    /// image store or pre-seeded fleet). First cold starts pay
+    /// nothing beyond the normal restore path. This is the default —
+    /// and the mode under which a one-host cluster reproduces a
+    /// single-host fleet run exactly.
+    #[default]
+    Local,
+    /// Snapshots live in a remote registry: the *first* cold start of
+    /// a function on a given host pays `base + per_mib × snapshot
+    /// MiB` of transfer latency before its restore stages may begin.
+    /// Subsequent restores on that host hit local disk and page
+    /// cache.
+    Remote {
+        /// Fixed per-transfer latency (control-plane round trip plus
+        /// connection setup).
+        base: SimDuration,
+        /// Additional latency per MiB of snapshot memory transferred.
+        per_mib: SimDuration,
+    },
+}
+
+impl SnapshotDistribution {
+    /// A remote registry over a ~10 Gb/s fabric: 2 ms setup plus
+    /// ~0.8 ms per MiB.
+    pub fn remote_10g() -> SnapshotDistribution {
+        SnapshotDistribution::Remote {
+            base: SimDuration::from_millis(2),
+            per_mib: SimDuration::from_micros(800),
+        }
+    }
+
+    /// Transfer latency for a snapshot of `bytes` bytes (zero under
+    /// [`SnapshotDistribution::Local`]).
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        match *self {
+            SnapshotDistribution::Local => SimDuration::ZERO,
+            SnapshotDistribution::Remote { base, per_mib } => {
+                let per_byte_scaled = (per_mib.as_nanos() as u128 * bytes as u128) >> 20;
+                base + SimDuration::from_nanos(per_byte_scaled as u64)
+            }
+        }
+    }
 }
 
 /// Configuration of one trace-driven fleet run on a single host.
@@ -67,6 +118,17 @@ pub struct FleetConfig {
     pub memory_pages: Option<u64>,
     /// How cold-start restores interleave with other host events.
     pub restore_mode: RestoreMode,
+    /// Number of hosts in a cluster run ([`crate::run_cluster`]);
+    /// each host gets its own kernel, disk, page cache, and sandbox
+    /// pool with this configuration. Single-host entry points
+    /// ([`crate::run_fleet`]) ignore it; [`crate::run_cluster`]
+    /// rejects 0 with a configuration error.
+    pub hosts: usize,
+    /// Which host each arrival is routed to in a cluster run.
+    pub placement: PlacementKind,
+    /// How snapshots reach hosts that have never run a function
+    /// (cluster runs only).
+    pub distribution: SnapshotDistribution,
     /// When set, [`crate::run_fleet_with`] writes the run's Chrome
     /// trace-event JSON here (requires an event-retaining tracer).
     pub trace_out: Option<PathBuf>,
@@ -93,8 +155,28 @@ impl FleetConfig {
             pool_capacity: 8,
             memory_pages: None,
             restore_mode: RestoreMode::default(),
+            hosts: 1,
+            placement: PlacementKind::default(),
+            distribution: SnapshotDistribution::default(),
             trace_out: None,
         }
+    }
+
+    /// Same configuration sharded over `hosts` hosts under
+    /// `placement` (cluster entry points only).
+    #[must_use]
+    pub fn sharded(mut self, hosts: usize, placement: PlacementKind) -> FleetConfig {
+        self.hosts = hosts;
+        self.placement = placement;
+        self
+    }
+
+    /// Same configuration with a different snapshot-distribution
+    /// cost model.
+    #[must_use]
+    pub fn with_distribution(mut self, distribution: SnapshotDistribution) -> FleetConfig {
+        self.distribution = distribution;
+        self
     }
 
     /// Same configuration writing a Chrome trace to `path`.
@@ -169,5 +251,44 @@ mod tests {
         let pooled = cfg.with_pool(4, SimDuration::from_millis(500));
         assert_eq!(pooled.pool_capacity, 4);
         assert_eq!(pooled.keepalive_ttl, SimDuration::from_millis(500));
+
+        let sharded = pooled
+            .sharded(3, PlacementKind::Locality)
+            .with_distribution(SnapshotDistribution::remote_10g());
+        assert_eq!(sharded.hosts, 3);
+        assert_eq!(sharded.placement, PlacementKind::Locality);
+        assert_ne!(sharded.distribution, SnapshotDistribution::Local);
+    }
+
+    #[test]
+    fn defaults_are_single_host_local() {
+        let cfg = FleetConfig::new(StrategyKind::Reap, 2, 10.0);
+        assert_eq!(cfg.hosts, 1);
+        assert_eq!(cfg.placement, PlacementKind::Hash);
+        assert_eq!(cfg.distribution, SnapshotDistribution::Local);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_snapshot_size() {
+        assert_eq!(
+            SnapshotDistribution::Local.transfer_time(64 << 20),
+            SimDuration::ZERO
+        );
+        let remote = SnapshotDistribution::Remote {
+            base: SimDuration::from_millis(2),
+            per_mib: SimDuration::from_micros(800),
+        };
+        assert_eq!(remote.transfer_time(0), SimDuration::from_millis(2));
+        // 64 MiB at 800 µs/MiB on top of the 2 ms base.
+        assert_eq!(
+            remote.transfer_time(64 << 20),
+            SimDuration::from_micros(2_000 + 64 * 800)
+        );
+        // Sub-MiB snapshots scale proportionally (no truncation to
+        // whole MiB).
+        assert_eq!(
+            remote.transfer_time(512 << 10),
+            SimDuration::from_micros(2_000 + 400)
+        );
     }
 }

@@ -6,7 +6,10 @@ use snapbpf::{DeviceKind, FigureData, RestoreStage, StrategyError, StrategyKind}
 use snapbpf_sim::{chrome_trace_json, Json, MetricsRegistry, SimDuration, Tracer};
 use snapbpf_workloads::Workload;
 
-use crate::{run_fleet, run_fleet_with, FleetConfig, FleetResult, RestoreMode};
+use crate::{
+    run_cluster, run_fleet, run_fleet_with, FleetConfig, FleetResult, PlacementKind, RestoreMode,
+    SnapshotDistribution,
+};
 
 /// Configuration shared by the fleet figure generators.
 #[derive(Debug, Clone)]
@@ -25,6 +28,8 @@ pub struct FleetFigureConfig {
     pub device: DeviceKind,
     /// Sizing of the [`fleet_pipeline`] comparison.
     pub pipeline: PipelineFigureConfig,
+    /// Sizing of the [`fleet_shard`] comparison.
+    pub shard: ShardFigureConfig,
 }
 
 /// Sizing of the [`fleet_pipeline`] figure. The serialized-vs-
@@ -45,6 +50,36 @@ pub struct PipelineFigureConfig {
     pub duration: SimDuration,
     /// Arrival-process seeds; reported p99s are means over them.
     pub seeds: Vec<u64>,
+}
+
+/// Sizing of the [`fleet_shard`] figure (F2). A placement-policy
+/// contrast needs more functions than hosts (so hashing can collide
+/// popular functions on one host), a rate past the device knee (so a
+/// collision actually hurts), and a remote snapshot distribution (so
+/// scattering a function across hosts has a visible cost); it
+/// carries its own sizing like the pipeline figure does.
+#[derive(Debug, Clone)]
+pub struct ShardFigureConfig {
+    /// Devices compared (one cluster run per strategy × policy each).
+    pub devices: Vec<DeviceKind>,
+    /// Hosts in the cluster.
+    pub hosts: usize,
+    /// Arrival rate, in requests/s.
+    pub rate_rps: f64,
+    /// Per-host concurrent-restore slots. Kept tight so a placement
+    /// collision saturates the host (queueing, not just disk time, is
+    /// what separates the policies).
+    pub max_concurrency: usize,
+    /// Workload size scale in `(0, 1]`.
+    pub scale: f64,
+    /// Fleet size: the first `functions` suite workloads.
+    pub functions: usize,
+    /// Arrival horizon per run.
+    pub duration: SimDuration,
+    /// Arrival-process seeds; reported p99s are means over them.
+    pub seeds: Vec<u64>,
+    /// Cross-host snapshot-distribution cost model.
+    pub distribution: SnapshotDistribution,
 }
 
 impl FleetFigureConfig {
@@ -70,6 +105,17 @@ impl FleetFigureConfig {
                 duration: SimDuration::from_millis(1500),
                 seeds: vec![1, 7, 42],
             },
+            shard: ShardFigureConfig {
+                devices: vec![DeviceKind::Sata5300, DeviceKind::Nvme],
+                hosts: 3,
+                rate_rps: 900.0,
+                max_concurrency: 2,
+                scale: 0.05,
+                functions: 8,
+                duration: SimDuration::from_millis(1500),
+                seeds: vec![1, 7, 42],
+                distribution: SnapshotDistribution::remote_10g(),
+            },
         }
     }
 
@@ -89,6 +135,17 @@ impl FleetFigureConfig {
                 functions: 8,
                 duration: SimDuration::from_millis(1000),
                 seeds: vec![1, 7],
+            },
+            shard: ShardFigureConfig {
+                devices: vec![DeviceKind::Sata5300, DeviceKind::Nvme],
+                hosts: 3,
+                rate_rps: 900.0,
+                max_concurrency: 2,
+                scale: 0.05,
+                functions: 8,
+                duration: SimDuration::from_millis(800),
+                seeds: vec![1],
+                distribution: SnapshotDistribution::remote_10g(),
             },
         }
     }
@@ -369,6 +426,105 @@ pub fn fleet_trace(cfg: &FleetFigureConfig) -> Result<(FigureData, Json), Strate
     Ok((fig, chrome_trace_json(&events, Some(&merged))))
 }
 
+/// F2 `fleet-shard`: cluster cold-start p99 (end-to-end, arrival to
+/// completion — queueing included) per placement policy per strategy
+/// per device — the multi-host experiment (DESIGN.md §8).
+///
+/// Each point is a [`run_cluster`] over [`ShardFigureConfig::hosts`]
+/// hosts in the pure cold-start regime under a remote snapshot
+/// distribution and tight per-host concurrency, averaged over the
+/// configured seeds. Consistent hashing gives perfect snapshot
+/// affinity but collides popular functions on one host, which
+/// saturates its restore slots and convoys its queue; least-loaded
+/// balances load but scatters every function across all hosts, so
+/// restores keep missing the page cache (and every host pays the
+/// snapshot transfer); locality-aware placement spreads first touches
+/// by load, sticks each function to the host already holding its
+/// snapshot pages, and escapes to the least-loaded host before a
+/// sticky host convoys. The stickiness only pays off for strategies
+/// whose restores actually populate the page cache: SnapBPF's
+/// in-kernel prefetch caches the full working set, so locality
+/// placement compounds with it, while REAP's uncacheable per-start
+/// reads leave locality nothing to see (it degenerates to
+/// least-loaded). The meta keys record, per device, the
+/// hash→locality p99 gain per strategy (`gain-<label>-<device>`) and
+/// SnapBPF's lead over REAP under the two load-balancing policies
+/// (`lead-least-loaded-<device>`, `lead-locality-<device>`; locality
+/// widens it).
+///
+/// # Errors
+///
+/// Strategy and configuration errors propagate.
+pub fn fleet_shard(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyError> {
+    let sh = &cfg.shard;
+    let workloads: Vec<Workload> = Workload::suite().into_iter().take(sh.functions).collect();
+    let kinds = [
+        StrategyKind::Reap,
+        StrategyKind::Faasnap,
+        StrategyKind::SnapBpf,
+    ];
+    let mut fig = FigureData::new(
+        "fleet-shard",
+        "Cluster cold-start p99 by placement policy",
+        "s",
+        PlacementKind::ALL
+            .iter()
+            .map(|p| p.label().to_owned())
+            .collect(),
+    );
+    fig.set_meta("hosts", sh.hosts as f64);
+    fig.set_meta("arrival-rps", sh.rate_rps);
+    fig.set_meta("seeds", sh.seeds.len() as f64);
+    for &device in &sh.devices {
+        let mut by_kind: Vec<Vec<f64>> = Vec::with_capacity(kinds.len());
+        for kind in kinds {
+            let mut p99s = Vec::with_capacity(PlacementKind::ALL.len());
+            for placement in PlacementKind::ALL {
+                let mut acc = 0.0;
+                for &seed in &sh.seeds {
+                    let mut base = FleetConfig::new(kind, workloads.len(), sh.rate_rps)
+                        .cold_only()
+                        .on(device)
+                        .with_seed(seed)
+                        .sharded(sh.hosts, placement)
+                        .with_distribution(sh.distribution);
+                    base.scale = sh.scale;
+                    base.duration = sh.duration;
+                    base.max_concurrency = sh.max_concurrency;
+                    let r = run_cluster(&base, &workloads)?;
+                    acc += r.aggregate.e2e_percentile_secs(99.0);
+                }
+                p99s.push(acc / sh.seeds.len() as f64);
+            }
+            fig.set_meta(
+                &format!("gain-{}-{}", kind.label(), device.label()),
+                p99s[0] / p99s[2].max(1e-12),
+            );
+            fig.push_series(
+                &format!("{}-cold-p99-{}", kind.label(), device.label()),
+                p99s.clone(),
+            );
+            by_kind.push(p99s);
+        }
+        // SnapBPF's lead over REAP under least-loaded vs locality
+        // placement (PlacementKind::ALL order: hash, least-loaded,
+        // locality). Hash is excluded from the lead comparison: it
+        // convoys REAP so badly that it inflates the lead for the
+        // wrong reason.
+        let reap = &by_kind[0];
+        let snapbpf = &by_kind[kinds.len() - 1];
+        fig.set_meta(
+            &format!("lead-least-loaded-{}", device.label()),
+            reap[1] / snapbpf[1].max(1e-12),
+        );
+        fig.set_meta(
+            &format!("lead-locality-{}", device.label()),
+            reap[2] / snapbpf[2].max(1e-12),
+        );
+    }
+    Ok(fig)
+}
+
 /// F1c `fleet-keepalive`: cold-start ratio and p95 latency across
 /// keep-alive TTLs for small and large pool capacities (SnapBPF).
 /// Longer TTLs and bigger pools trade host memory (reported as meta
@@ -531,6 +687,52 @@ mod tests {
         assert!(ratios.iter().all(|r| (0.0..=1.0).contains(r)));
         let counts = fig.series_values("trace-events").unwrap();
         assert!(counts.iter().all(|c| *c > 0.0));
+    }
+
+    #[test]
+    fn shard_locality_beats_hash_for_snapbpf_on_both_devices() {
+        let cfg = FleetFigureConfig::quick(0.02);
+        let fig = fleet_shard(&cfg).unwrap();
+        // The F2 acceptance ordering, on SATA *and* NVMe: for
+        // SnapBPF, locality-aware placement must beat consistent
+        // hashing on cluster cold-start p99 (series order follows
+        // PlacementKind::ALL: hash, least-loaded, locality).
+        for device in [DeviceKind::Sata5300, DeviceKind::Nvme] {
+            let p99 = fig
+                .series_values(&format!("SnapBPF-cold-p99-{}", device.label()))
+                .unwrap();
+            assert_eq!(p99.len(), 3);
+            assert!(
+                p99[2] < p99[0],
+                "locality ({}) must beat hash ({}) for SnapBPF on {}",
+                p99[2],
+                p99[0],
+                device.label()
+            );
+            // ...beat plain least-loaded too (the cache-affinity
+            // payoff, not just load balancing)...
+            assert!(
+                p99[2] < p99[1],
+                "locality ({}) must beat least-loaded ({}) for SnapBPF on {}",
+                p99[2],
+                p99[1],
+                device.label()
+            );
+            // ...and widen SnapBPF's lead over REAP relative to
+            // locality-blind load balancing.
+            let lead_ll = fig
+                .meta_value(&format!("lead-least-loaded-{}", device.label()))
+                .unwrap();
+            let lead_locality = fig
+                .meta_value(&format!("lead-locality-{}", device.label()))
+                .unwrap();
+            assert!(
+                lead_locality > lead_ll,
+                "locality must widen SnapBPF's lead over REAP on {} \
+                 (least-loaded {lead_ll}, locality {lead_locality})",
+                device.label()
+            );
+        }
     }
 
     #[test]

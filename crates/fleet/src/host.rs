@@ -1,0 +1,545 @@
+//! One simulated FaaS host: kernel + disk + page cache + admission
+//! queue + keep-alive pool + restore scheduling.
+//!
+//! This is the per-host world behind both entry points: a
+//! single-host fleet run ([`crate::run_fleet_with`]) drives exactly
+//! one `Host`; a cluster run ([`crate::run_cluster_with`]) owns `N`
+//! of them and routes each arrival through a placement policy. The
+//! scheduling logic is identical in both cases — a cluster of one
+//! host reproduces a fleet run result-for-result (asserted in the
+//! cluster tests).
+
+use std::collections::VecDeque;
+
+use snapbpf::{FunctionCtx, RestoreCursor, StageTimings, Strategy, StrategyError};
+use snapbpf_kernel::{HostKernel, KernelConfig};
+use snapbpf_mem::OwnerId;
+use snapbpf_sim::{sandbox_tid, SimDuration, SimTime, SplitMix64, Tracer, TID_CONTROL};
+use snapbpf_storage::{Disk, IoTracer};
+use snapbpf_vmm::{InvocationCursor, MicroVm, Snapshot, UffdResolver};
+use snapbpf_workloads::{InvocationTrace, Workload};
+
+use crate::config::{FleetConfig, RestoreMode, ShedPolicy, SnapshotDistribution};
+use crate::metrics::FuncStats;
+use crate::pool::SandboxPool;
+
+/// One invocation request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Request {
+    pub(crate) at: SimTime,
+    pub(crate) func: usize,
+}
+
+/// A parked warm sandbox: the microVM plus its fault resolver.
+pub(crate) type Parked = (MicroVm, Box<dyn UffdResolver>);
+
+/// An in-flight sandbox: a staged restore, a running invocation, or
+/// both at once (background prefetch overlapping guest execution).
+pub(crate) struct Active {
+    /// The staged restore; `Some` only while it has pending steps
+    /// (dropped the moment both its tracks drain).
+    restore: Option<RestoreCursor>,
+    /// The running invocation; `None` until the restore's `Resume`
+    /// stage hands over the sandbox.
+    run: Option<InvocationCursor>,
+    func: usize,
+    arrival: SimTime,
+    dispatch: SimTime,
+    cold: bool,
+    /// The drained restore's per-stage breakdown (cold starts only).
+    stages: Option<StageTimings>,
+    /// When the restore's last event — including background prefetch
+    /// work — completed.
+    restore_end: SimTime,
+}
+
+impl Active {
+    /// Virtual time of this sandbox's next event; once done, the
+    /// instant its slot frees (the later of invocation end and
+    /// background-restore completion).
+    pub(crate) fn clock(&self) -> SimTime {
+        match (&self.restore, &self.run) {
+            (Some(r), None) => r.clock(),
+            (Some(r), Some(c)) if c.is_done() => r.clock(),
+            (Some(r), Some(c)) => r.clock().min(c.clock()),
+            (None, Some(c)) if c.is_done() => c.clock().max(self.restore_end),
+            (None, Some(c)) => c.clock(),
+            (None, None) => unreachable!("active sandbox with neither restore nor invocation"),
+        }
+    }
+
+    /// Whether both the restore and the invocation have finished.
+    pub(crate) fn is_done(&self) -> bool {
+        self.restore.is_none() && self.run.as_ref().is_some_and(|c| c.is_done())
+    }
+}
+
+/// Host state shared by the scheduling steps of a fleet run.
+pub(crate) struct Host<'a> {
+    pub(crate) kernel: HostKernel,
+    pub(crate) funcs: Vec<FunctionCtx>,
+    strategies: Vec<Box<dyn Strategy>>,
+    traces: Vec<InvocationTrace>,
+    cfg: &'a FleetConfig,
+    pub(crate) pool: SandboxPool<Parked>,
+    pub(crate) active: Vec<Active>,
+    pub(crate) pending: VecDeque<Request>,
+    pub(crate) per_func: Vec<FuncStats>,
+    owner_seq: u32,
+    pub(crate) mem_hwm_bytes: u64,
+    pub(crate) last_completion: SimTime,
+    trace: Tracer,
+    /// Which functions' snapshots already reside on this host's local
+    /// disk (all of them under [`SnapshotDistribution::Local`]; none
+    /// initially under [`SnapshotDistribution::Remote`]).
+    snapshot_present: Vec<bool>,
+    /// Snapshot transfers this host paid (first cold start per
+    /// function under a remote distribution model).
+    pub(crate) snapshot_fetches: u64,
+    /// Arrivals the placement policy routed here.
+    pub(crate) placed: u64,
+    /// High-water mark of parked sandboxes (capacity-bound witness).
+    pub(crate) pool_hwm: u64,
+}
+
+/// Builds one host world: a fresh kernel over the configured device,
+/// a snapshot + recorded strategy per workload (sequentially in
+/// virtual time, as the colocated runner does), caches dropped and
+/// I/O accounting reset at the invocation-phase boundary, and the
+/// caller's tracer installed from that boundary on.
+///
+/// Returns the host plus `t0`, the virtual time the invocation phase
+/// starts at. Deterministic: two hosts built from the same
+/// (config, workloads) are in identical states.
+pub(crate) fn build_host<'a>(
+    cfg: &'a FleetConfig,
+    workloads: &[Workload],
+    tracer: &Tracer,
+) -> Result<(Host<'a>, SimTime), StrategyError> {
+    let mut kernel_config = KernelConfig::default();
+    if let Some(pages) = cfg.memory_pages {
+        kernel_config.total_memory_pages = pages;
+    }
+    let mut kernel = HostKernel::new(Disk::new(cfg.device.build()), kernel_config);
+
+    let mut t = SimTime::ZERO;
+    let mut funcs = Vec::with_capacity(workloads.len());
+    let mut strategies: Vec<Box<dyn Strategy>> = Vec::with_capacity(workloads.len());
+    let mut traces = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        let w = w.scaled(cfg.scale);
+        let (snapshot, t_snap) = Snapshot::create(t, w.name(), w.snapshot_pages(), &mut kernel)?;
+        let func = FunctionCtx {
+            workload: w,
+            snapshot,
+        };
+        let mut strategy = cfg.strategy.build();
+        t = strategy.record(t_snap, &mut kernel, &func)?;
+        traces.push(func.workload.trace());
+        funcs.push(func);
+        strategies.push(strategy);
+    }
+
+    // The invocation phase starts cache-cold with fresh I/O
+    // accounting; tracing begins at the same boundary.
+    kernel.drop_all_caches()?;
+    kernel.disk_mut().set_tracer(IoTracer::summary_only());
+    kernel.install_tracer(tracer);
+    let t0 = t;
+
+    let present = matches!(cfg.distribution, SnapshotDistribution::Local);
+    let n = workloads.len();
+    Ok((
+        Host {
+            kernel,
+            funcs,
+            strategies,
+            traces,
+            cfg,
+            pool: SandboxPool::new(cfg.pool_capacity, cfg.keepalive_ttl),
+            active: Vec::new(),
+            pending: VecDeque::new(),
+            per_func: workloads.iter().map(|w| FuncStats::new(w.name())).collect(),
+            owner_seq: 0,
+            mem_hwm_bytes: 0,
+            last_completion: t0,
+            trace: tracer.clone(),
+            snapshot_present: vec![present; n],
+            snapshot_fetches: 0,
+            placed: 0,
+            pool_hwm: 0,
+        },
+        t0,
+    ))
+}
+
+/// Pre-draws the whole arrival schedule: times from the arrival
+/// process, function choices from the popularity mix. Shared by the
+/// fleet and cluster entry points — a cluster draws ONE schedule and
+/// shards it, it does not draw per host.
+pub(crate) fn draw_arrivals(cfg: &FleetConfig, t0: SimTime) -> Vec<Request> {
+    let mut pick_rng = SplitMix64::new(cfg.seed ^ 0xF1EE_7B00_57A7_1C5E);
+    cfg.arrival
+        .generator(cfg.seed)
+        .take_until(SimTime::ZERO + cfg.duration)
+        .into_iter()
+        .map(|at| Request {
+            at: t0 + at.saturating_since(SimTime::ZERO),
+            func: cfg.mix.pick(&mut pick_rng),
+        })
+        .collect()
+}
+
+impl Host<'_> {
+    pub(crate) fn teardown_parked(&mut self, parked: Vec<Parked>) -> Result<(), StrategyError> {
+        for (mut vm, _resolver) in parked {
+            vm.kvm_mut().teardown(&mut self.kernel)?;
+        }
+        Ok(())
+    }
+
+    fn sample_memory(&mut self) {
+        let bytes = self.kernel.memory_snapshot().total_bytes();
+        self.mem_hwm_bytes = self.mem_hwm_bytes.max(bytes);
+    }
+
+    /// Index + clock of this host's earliest in-flight sandbox event.
+    pub(crate) fn next_event(&self) -> Option<(usize, SimTime)> {
+        self.active
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, a)| (a.clock(), *i))
+            .map(|(i, a)| (i, a.clock()))
+    }
+
+    /// Executes the event at `active[i]`: completion bookkeeping when
+    /// the sandbox is done, otherwise its next restore / vCPU step.
+    pub(crate) fn step_event(&mut self, i: usize) -> Result<(), StrategyError> {
+        if self.active[i].is_done() {
+            self.finalize(i)
+        } else {
+            self.advance_active(i)
+        }
+    }
+
+    /// Delay before restore stages may begin: the snapshot transfer
+    /// cost if this is the function's first cold start on this host
+    /// and snapshots are remotely distributed. Marks the snapshot
+    /// present (the fetched bytes land on the local disk out of
+    /// band — subsequent restores hit local disk and page cache).
+    fn fetch_delay(&mut self, func: usize, now: SimTime, tid: u64) -> SimDuration {
+        if self.snapshot_present[func] {
+            return SimDuration::ZERO;
+        }
+        self.snapshot_present[func] = true;
+        let bytes = self.funcs[func].snapshot.memory_pages() * 4096;
+        let delay = self.cfg.distribution.transfer_time(bytes);
+        if delay > SimDuration::ZERO {
+            self.snapshot_fetches += 1;
+            self.trace.incr("cluster.snapshot_fetches");
+            self.trace
+                .observe_duration("cluster.snapshot_fetch_ns", delay);
+            if self.trace.events_enabled() {
+                self.trace.span(
+                    "cluster",
+                    "snapshot-fetch",
+                    tid,
+                    now,
+                    now + delay,
+                    vec![("func", func.into()), ("bytes", bytes.into())],
+                );
+            }
+        }
+        delay
+    }
+
+    /// Starts `req` at `now`: warm from the pool when possible,
+    /// otherwise a cold start through the strategy's restore path —
+    /// staged under [`RestoreMode::Pipelined`], driven to completion
+    /// inline under [`RestoreMode::Serialized`]. A cold start whose
+    /// snapshot is not yet on this host first pays the distribution
+    /// model's transfer latency.
+    pub(crate) fn dispatch(&mut self, req: Request, now: SimTime) -> Result<(), StrategyError> {
+        let entry = match self.pool.checkout(req.func, now) {
+            Some((vm, resolver)) => {
+                self.trace.incr("fleet.warm_hits");
+                if self.trace.events_enabled() {
+                    self.trace.instant(
+                        "fleet",
+                        "warm-hit",
+                        TID_CONTROL,
+                        now,
+                        vec![("func", req.func.into())],
+                    );
+                }
+                Active {
+                    restore: None,
+                    run: Some(
+                        InvocationCursor::builder(vm, self.traces[req.func].clone())
+                            .starting_at(now)
+                            .with_resolver(resolver)
+                            .begin(),
+                    ),
+                    func: req.func,
+                    arrival: req.at,
+                    dispatch: now,
+                    cold: false,
+                    stages: None,
+                    restore_end: now,
+                }
+            }
+            None => {
+                let owner = OwnerId::new(self.owner_seq);
+                self.owner_seq += 1;
+                let tid = sandbox_tid(owner.as_u32());
+                self.trace.incr("fleet.cold_starts");
+                if self.trace.events_enabled() {
+                    self.trace.name_thread(
+                        tid,
+                        &format!(
+                            "sandbox {} ({})",
+                            owner.as_u32(),
+                            self.funcs[req.func].workload.name()
+                        ),
+                    );
+                    self.trace.instant(
+                        "fleet",
+                        "cold-start",
+                        TID_CONTROL,
+                        now,
+                        vec![("func", req.func.into()), ("owner", owner.as_u32().into())],
+                    );
+                }
+                let start = now + self.fetch_delay(req.func, now, tid);
+                match self.cfg.restore_mode {
+                    RestoreMode::Pipelined => {
+                        let mut cursor = self.strategies[req.func].begin_restore(
+                            start,
+                            &mut self.kernel,
+                            &self.funcs[req.func],
+                            owner,
+                        )?;
+                        cursor.set_trace_tid(tid);
+                        Active {
+                            restore: Some(cursor),
+                            run: None,
+                            func: req.func,
+                            arrival: req.at,
+                            dispatch: now,
+                            cold: true,
+                            stages: None,
+                            restore_end: now,
+                        }
+                    }
+                    RestoreMode::Serialized => {
+                        // Drive the whole restore inline and hold the
+                        // guest until every stage — including prefetch
+                        // work a pipelined run would overlap with
+                        // execution — has drained: the full serialized
+                        // cold-start latency of the pre-staging design.
+                        let mut cursor = self.strategies[req.func].begin_restore(
+                            start,
+                            &mut self.kernel,
+                            &self.funcs[req.func],
+                            owner,
+                        )?;
+                        cursor.set_trace_tid(tid);
+                        while !cursor.is_done() {
+                            cursor.step(&mut self.kernel)?;
+                        }
+                        let drained = cursor.clock();
+                        let restored = cursor.finish();
+                        Active {
+                            restore: None,
+                            run: Some(
+                                InvocationCursor::builder(
+                                    restored.vm,
+                                    self.traces[req.func].clone(),
+                                )
+                                .starting_at(drained)
+                                .with_resolver(restored.resolver)
+                                .begin(),
+                            ),
+                            func: req.func,
+                            arrival: req.at,
+                            dispatch: now,
+                            cold: true,
+                            stages: Some(restored.stages),
+                            restore_end: drained,
+                        }
+                    }
+                }
+            }
+        };
+        self.active.push(entry);
+        self.sample_memory();
+        Ok(())
+    }
+
+    /// Advances `active[i]` by one event: the earlier of its restore
+    /// and invocation tracks. When the restore's `Resume` stage has
+    /// executed, the invocation cursor starts at the ready instant
+    /// while any background prefetch keeps draining alongside it.
+    fn advance_active(&mut self, i: usize) -> Result<(), StrategyError> {
+        let a = &mut self.active[i];
+        let step_restore = match (&a.restore, &a.run) {
+            (Some(_), None) => true,
+            (Some(r), Some(c)) => c.is_done() || r.clock() <= c.clock(),
+            (None, _) => false,
+        };
+        if step_restore {
+            let r = a.restore.as_mut().expect("restore track pending");
+            r.step(&mut self.kernel)?;
+            if a.run.is_none() {
+                if let Some((vm, resolver, ready)) = r.take_resumed() {
+                    a.run = Some(
+                        InvocationCursor::builder(vm, self.traces[a.func].clone())
+                            .starting_at(ready)
+                            .with_resolver(resolver)
+                            .begin(),
+                    );
+                }
+            }
+            if r.is_done() {
+                a.restore_end = a.restore_end.max(r.clock());
+                a.stages = Some(r.breakdown());
+                a.restore = None;
+            }
+        } else {
+            let c = a.run.as_mut().expect("invocation track pending");
+            c.step(&mut self.kernel).map_err(StrategyError::Kernel)?;
+        }
+        Ok(())
+    }
+
+    /// Notes one shed request on the scheduler track.
+    fn note_shed(&mut self, at: SimTime, func: usize) {
+        self.trace.incr("fleet.shed");
+        if self.trace.events_enabled() {
+            self.trace.instant(
+                "fleet",
+                "shed",
+                TID_CONTROL,
+                at,
+                vec![("func", func.into())],
+            );
+        }
+    }
+
+    /// Admits, queues, or sheds a fresh arrival.
+    pub(crate) fn handle_arrival(&mut self, req: Request) -> Result<(), StrategyError> {
+        self.placed += 1;
+        self.per_func[req.func].arrivals += 1;
+        self.trace.incr("fleet.arrivals");
+        let expired = self.pool.expire(req.at);
+        self.trace
+            .add("fleet.pool_expirations", expired.len() as u64);
+        self.teardown_parked(expired)?;
+        if self.active.len() < self.cfg.max_concurrency {
+            self.dispatch(req, req.at)?;
+        } else if self.pending.len() < self.cfg.queue_depth {
+            self.pending.push_back(req);
+            self.trace.incr("fleet.enqueued");
+            if self.trace.events_enabled() {
+                self.trace.instant(
+                    "fleet",
+                    "enqueue",
+                    TID_CONTROL,
+                    req.at,
+                    vec![
+                        ("func", req.func.into()),
+                        ("depth", self.pending.len().into()),
+                    ],
+                );
+            }
+        } else {
+            match self.cfg.shed {
+                ShedPolicy::DropNewest => {
+                    self.per_func[req.func].shed += 1;
+                    self.note_shed(req.at, req.func);
+                }
+                ShedPolicy::DropOldest => {
+                    let old = self.pending.pop_front().expect("full queue is non-empty");
+                    self.per_func[old.func].shed += 1;
+                    self.note_shed(req.at, old.func);
+                    self.pending.push_back(req);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Completes the finished invocation at `active[i]`: records its
+    /// latency breakdown, parks the sandbox, and dispatches queued
+    /// work into the freed slot. The slot frees at the later of the
+    /// invocation's end and the restore's background completion (the
+    /// sandbox's prefetch thread keeps it busy), while latency
+    /// metrics use the invocation's end.
+    fn finalize(&mut self, i: usize) -> Result<(), StrategyError> {
+        let done = self.active.swap_remove(i);
+        let run = done.run.expect("finished sandbox ran its invocation");
+        let end = run.clock();
+        let exec_start = run.start();
+        let (vm, resolver, _result) = run.finish();
+        let t_ev = end.max(done.restore_end);
+        self.per_func[done.func].record(
+            done.cold,
+            end.saturating_since(done.arrival),
+            done.dispatch.saturating_since(done.arrival),
+            exec_start.saturating_since(done.dispatch),
+            end.saturating_since(exec_start),
+            done.stages.as_ref(),
+        );
+        self.last_completion = self.last_completion.max(end);
+        self.sample_memory();
+
+        let expired = self.pool.expire(t_ev);
+        self.trace
+            .add("fleet.pool_expirations", expired.len() as u64);
+        self.teardown_parked(expired)?;
+        let evicted = self.pool.checkin(done.func, (vm, resolver), t_ev);
+        self.pool_hwm = self.pool_hwm.max(self.pool.len() as u64);
+        self.trace.add("fleet.pool_evictions", evicted.len() as u64);
+        if !evicted.is_empty() && self.trace.events_enabled() {
+            self.trace.instant(
+                "fleet",
+                "pool-evict",
+                TID_CONTROL,
+                t_ev,
+                vec![("count", evicted.len().into())],
+            );
+        }
+        self.teardown_parked(evicted)?;
+
+        if let Some(req) = self.pending.pop_front() {
+            self.dispatch(req, t_ev)?;
+        }
+        Ok(())
+    }
+
+    /// End-of-run teardown: every parked sandbox torn down and memory
+    /// accounting verified closed.
+    pub(crate) fn teardown(&mut self) -> Result<(), StrategyError> {
+        let parked = self.pool.drain();
+        self.teardown_parked(parked)?;
+        debug_assert_eq!(self.kernel.accounting_discrepancy(), 0);
+        debug_assert!(
+            self.pending.is_empty(),
+            "queued work cannot outlive all in-flight invocations"
+        );
+        Ok(())
+    }
+
+    /// Live parked sandboxes for `func` at `now` (placement signal).
+    pub(crate) fn warm_parked(&self, func: usize, now: SimTime) -> usize {
+        self.pool.count_live(func, now)
+    }
+
+    /// Pages of `func`'s snapshot currently in this host's page cache
+    /// (resident or in flight) — the snapshot-locality placement
+    /// signal.
+    pub(crate) fn cached_snapshot_pages(&self, func: usize) -> u64 {
+        let file = self.funcs[func].snapshot.memory_file();
+        self.kernel.cache().pages_of_file(file).count() as u64
+    }
+}

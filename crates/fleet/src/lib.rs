@@ -1,10 +1,11 @@
 //! # snapbpf-fleet — trace-driven serverless fleet simulation
 //!
 //! The paper evaluates each restore strategy on isolated invocation
-//! batches; this crate closes the loop to what a FaaS host actually
-//! experiences: an open-loop stream of invocation requests over many
-//! functions, contending for one disk, one page cache, and a bounded
-//! sandbox budget.
+//! batches; this crate closes the loop to what a FaaS deployment
+//! actually experiences: an open-loop stream of invocation requests
+//! over many functions, contending for disks, page caches, and a
+//! bounded sandbox budget — on one host ([`run_fleet`]) or sharded
+//! across a cluster of hosts ([`run_cluster`]).
 //!
 //! A fleet run wires together:
 //!
@@ -21,18 +22,27 @@
 //!   p50/p95/p99, cold-start ratio, queueing/restore/compute latency
 //!   breakdown, host-memory high-water mark, and disk throughput.
 //!
-//! Determinism: the run is a pure function of ([`FleetConfig`],
+//! A **cluster run** ([`run_cluster`], DESIGN.md §8) owns N such host
+//! worlds — each with its own kernel, disk, page cache, and sandbox
+//! pool — and routes every arrival through a [`PlacementPolicy`]
+//! (consistent-hash, least-loaded, or snapshot-locality-aware),
+//! optionally charging a [`SnapshotDistribution`] transfer cost the
+//! first time a function cold-starts on a host that does not yet
+//! hold its snapshot. Results come back per host and aggregated
+//! ([`ClusterResult`]).
+//!
+//! Determinism: every run is a pure function of ([`FleetConfig`],
 //! workload list). Events execute in virtual-time order (the
 //! globally earliest of next-arrival, pending restore stage, and
-//! in-flight vCPU clock), so disk submissions stay monotone exactly
-//! as in the paper-figure engine (DESIGN.md §5). Under
-//! [`RestoreMode::Pipelined`] (the default) cold-start restores are
-//! themselves staged [`RestoreCursor`]s whose metadata loads,
-//! prefetch chunks, and vCPU resume interleave with everything else
-//! on the host; [`RestoreMode::Serialized`] recovers the
-//! pre-staging behaviour for comparison — each restore runs to full
-//! drain inside its dispatch event and the guest only resumes after
-//! the last stage completes.
+//! in-flight vCPU clock, across all hosts), so disk submissions stay
+//! monotone exactly as in the paper-figure engine (DESIGN.md §5).
+//! Under [`RestoreMode::Pipelined`] (the default) cold-start
+//! restores are themselves staged [`snapbpf::RestoreCursor`]s whose
+//! metadata loads, prefetch chunks, and vCPU resume interleave with
+//! everything else on the host; [`RestoreMode::Serialized`] recovers
+//! the pre-staging behaviour for comparison — each restore runs to
+//! full drain inside its dispatch event and the guest only resumes
+//! after the last stage completes.
 //!
 //! ## Examples
 //!
@@ -50,371 +60,51 @@
 //! assert_eq!(result.aggregate.completions,
 //!            result.per_function.iter().map(|f| f.completions).sum::<u64>());
 //! ```
+//!
+//! Sharding the same run over three hosts under locality-aware
+//! placement:
+//!
+//! ```
+//! use snapbpf::StrategyKind;
+//! use snapbpf_fleet::{run_cluster, FleetConfig, PlacementKind};
+//! use snapbpf_sim::SimDuration;
+//! use snapbpf_workloads::Workload;
+//!
+//! let workloads: Vec<Workload> = Workload::suite().into_iter().take(3).collect();
+//! let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, workloads.len(), 30.0)
+//!     .sharded(3, PlacementKind::Locality);
+//! cfg.scale = 0.02;
+//! cfg.duration = SimDuration::from_millis(300);
+//! let result = run_cluster(&cfg, &workloads).unwrap();
+//! assert_eq!(result.hosts.len(), 3);
+//! assert_eq!(result.placed(), result.aggregate.arrivals);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::VecDeque;
+use snapbpf::StrategyError;
+use snapbpf_sim::{chrome_trace_json, Tracer, TID_CONTROL, TID_DISK, TID_KERNEL};
+use snapbpf_workloads::Workload;
 
-use snapbpf::{FunctionCtx, RestoreCursor, StageTimings, Strategy, StrategyError};
-use snapbpf_kernel::{HostKernel, KernelConfig};
-use snapbpf_mem::OwnerId;
-use snapbpf_sim::{
-    chrome_trace_json, sandbox_tid, SimTime, SplitMix64, Tracer, TID_CONTROL, TID_DISK, TID_KERNEL,
-};
-use snapbpf_storage::{Disk, IoTracer};
-use snapbpf_vmm::{InvocationCursor, MicroVm, Snapshot, UffdResolver};
-use snapbpf_workloads::{InvocationTrace, Workload};
-
+mod cluster;
 mod config;
 pub mod figures;
+mod host;
 mod metrics;
+mod placement;
 mod pool;
 
-pub use config::{FleetConfig, RestoreMode, ShedPolicy};
+pub use cluster::{run_cluster, run_cluster_with, ClusterResult, HostResult};
+pub use config::{FleetConfig, RestoreMode, ShedPolicy, SnapshotDistribution};
 pub use metrics::{FleetResult, FuncStats};
+pub use placement::{
+    HashPlacement, HostView, LeastLoadedPlacement, LocalityPlacement, PlacementKind,
+    PlacementPolicy,
+};
 pub use pool::SandboxPool;
 
-/// One invocation request.
-#[derive(Debug, Clone, Copy)]
-struct Request {
-    at: SimTime,
-    func: usize,
-}
-
-/// A parked warm sandbox: the microVM plus its fault resolver.
-type Parked = (MicroVm, Box<dyn UffdResolver>);
-
-/// An in-flight sandbox: a staged restore, a running invocation, or
-/// both at once (background prefetch overlapping guest execution).
-struct Active {
-    /// The staged restore; `Some` only while it has pending steps
-    /// (dropped the moment both its tracks drain).
-    restore: Option<RestoreCursor>,
-    /// The running invocation; `None` until the restore's `Resume`
-    /// stage hands over the sandbox.
-    run: Option<InvocationCursor>,
-    func: usize,
-    arrival: SimTime,
-    dispatch: SimTime,
-    cold: bool,
-    /// The drained restore's per-stage breakdown (cold starts only).
-    stages: Option<StageTimings>,
-    /// When the restore's last event — including background prefetch
-    /// work — completed.
-    restore_end: SimTime,
-}
-
-impl Active {
-    /// Virtual time of this sandbox's next event; once done, the
-    /// instant its slot frees (the later of invocation end and
-    /// background-restore completion).
-    fn clock(&self) -> SimTime {
-        match (&self.restore, &self.run) {
-            (Some(r), None) => r.clock(),
-            (Some(r), Some(c)) if c.is_done() => r.clock(),
-            (Some(r), Some(c)) => r.clock().min(c.clock()),
-            (None, Some(c)) if c.is_done() => c.clock().max(self.restore_end),
-            (None, Some(c)) => c.clock(),
-            (None, None) => unreachable!("active sandbox with neither restore nor invocation"),
-        }
-    }
-
-    /// Whether both the restore and the invocation have finished.
-    fn is_done(&self) -> bool {
-        self.restore.is_none() && self.run.as_ref().is_some_and(|c| c.is_done())
-    }
-}
-
-/// Host state shared by the scheduling steps of a fleet run.
-struct Fleet<'a> {
-    host: HostKernel,
-    funcs: Vec<FunctionCtx>,
-    strategies: Vec<Box<dyn Strategy>>,
-    traces: Vec<InvocationTrace>,
-    cfg: &'a FleetConfig,
-    pool: SandboxPool<Parked>,
-    active: Vec<Active>,
-    pending: VecDeque<Request>,
-    per_func: Vec<FuncStats>,
-    owner_seq: u32,
-    mem_hwm_bytes: u64,
-    last_completion: SimTime,
-    trace: Tracer,
-}
-
-impl Fleet<'_> {
-    fn teardown_parked(&mut self, parked: Vec<Parked>) -> Result<(), StrategyError> {
-        for (mut vm, _resolver) in parked {
-            vm.kvm_mut().teardown(&mut self.host)?;
-        }
-        Ok(())
-    }
-
-    fn sample_memory(&mut self) {
-        let bytes = self.host.memory_snapshot().total_bytes();
-        self.mem_hwm_bytes = self.mem_hwm_bytes.max(bytes);
-    }
-
-    /// Starts `req` at `now`: warm from the pool when possible,
-    /// otherwise a cold start through the strategy's restore path —
-    /// staged under [`RestoreMode::Pipelined`], driven to completion
-    /// inline under [`RestoreMode::Serialized`].
-    fn dispatch(&mut self, req: Request, now: SimTime) -> Result<(), StrategyError> {
-        let entry = match self.pool.checkout(req.func, now) {
-            Some((vm, resolver)) => {
-                self.trace.incr("fleet.warm_hits");
-                if self.trace.events_enabled() {
-                    self.trace.instant(
-                        "fleet",
-                        "warm-hit",
-                        TID_CONTROL,
-                        now,
-                        vec![("func", req.func.into())],
-                    );
-                }
-                Active {
-                    restore: None,
-                    run: Some(
-                        InvocationCursor::builder(vm, self.traces[req.func].clone())
-                            .starting_at(now)
-                            .with_resolver(resolver)
-                            .begin(),
-                    ),
-                    func: req.func,
-                    arrival: req.at,
-                    dispatch: now,
-                    cold: false,
-                    stages: None,
-                    restore_end: now,
-                }
-            }
-            None => {
-                let owner = OwnerId::new(self.owner_seq);
-                self.owner_seq += 1;
-                let tid = sandbox_tid(owner.as_u32());
-                self.trace.incr("fleet.cold_starts");
-                if self.trace.events_enabled() {
-                    self.trace.name_thread(
-                        tid,
-                        &format!(
-                            "sandbox {} ({})",
-                            owner.as_u32(),
-                            self.funcs[req.func].workload.name()
-                        ),
-                    );
-                    self.trace.instant(
-                        "fleet",
-                        "cold-start",
-                        TID_CONTROL,
-                        now,
-                        vec![("func", req.func.into()), ("owner", owner.as_u32().into())],
-                    );
-                }
-                match self.cfg.restore_mode {
-                    RestoreMode::Pipelined => {
-                        let mut cursor = self.strategies[req.func].begin_restore(
-                            now,
-                            &mut self.host,
-                            &self.funcs[req.func],
-                            owner,
-                        )?;
-                        cursor.set_trace_tid(tid);
-                        Active {
-                            restore: Some(cursor),
-                            run: None,
-                            func: req.func,
-                            arrival: req.at,
-                            dispatch: now,
-                            cold: true,
-                            stages: None,
-                            restore_end: now,
-                        }
-                    }
-                    RestoreMode::Serialized => {
-                        // Drive the whole restore inline and hold the
-                        // guest until every stage — including prefetch
-                        // work a pipelined run would overlap with
-                        // execution — has drained: the full serialized
-                        // cold-start latency of the pre-staging design.
-                        let mut cursor = self.strategies[req.func].begin_restore(
-                            now,
-                            &mut self.host,
-                            &self.funcs[req.func],
-                            owner,
-                        )?;
-                        cursor.set_trace_tid(tid);
-                        while !cursor.is_done() {
-                            cursor.step(&mut self.host)?;
-                        }
-                        let drained = cursor.clock();
-                        let restored = cursor.finish();
-                        Active {
-                            restore: None,
-                            run: Some(
-                                InvocationCursor::builder(
-                                    restored.vm,
-                                    self.traces[req.func].clone(),
-                                )
-                                .starting_at(drained)
-                                .with_resolver(restored.resolver)
-                                .begin(),
-                            ),
-                            func: req.func,
-                            arrival: req.at,
-                            dispatch: now,
-                            cold: true,
-                            stages: Some(restored.stages),
-                            restore_end: drained,
-                        }
-                    }
-                }
-            }
-        };
-        self.active.push(entry);
-        self.sample_memory();
-        Ok(())
-    }
-
-    /// Advances `active[i]` by one event: the earlier of its restore
-    /// and invocation tracks. When the restore's `Resume` stage has
-    /// executed, the invocation cursor starts at the ready instant
-    /// while any background prefetch keeps draining alongside it.
-    fn advance_active(&mut self, i: usize) -> Result<(), StrategyError> {
-        let a = &mut self.active[i];
-        let step_restore = match (&a.restore, &a.run) {
-            (Some(_), None) => true,
-            (Some(r), Some(c)) => c.is_done() || r.clock() <= c.clock(),
-            (None, _) => false,
-        };
-        if step_restore {
-            let r = a.restore.as_mut().expect("restore track pending");
-            r.step(&mut self.host)?;
-            if a.run.is_none() {
-                if let Some((vm, resolver, ready)) = r.take_resumed() {
-                    a.run = Some(
-                        InvocationCursor::builder(vm, self.traces[a.func].clone())
-                            .starting_at(ready)
-                            .with_resolver(resolver)
-                            .begin(),
-                    );
-                }
-            }
-            if r.is_done() {
-                a.restore_end = a.restore_end.max(r.clock());
-                a.stages = Some(r.breakdown());
-                a.restore = None;
-            }
-        } else {
-            let c = a.run.as_mut().expect("invocation track pending");
-            c.step(&mut self.host).map_err(StrategyError::Kernel)?;
-        }
-        Ok(())
-    }
-
-    /// Notes one shed request on the scheduler track.
-    fn note_shed(&mut self, at: SimTime, func: usize) {
-        self.trace.incr("fleet.shed");
-        if self.trace.events_enabled() {
-            self.trace.instant(
-                "fleet",
-                "shed",
-                TID_CONTROL,
-                at,
-                vec![("func", func.into())],
-            );
-        }
-    }
-
-    /// Admits, queues, or sheds a fresh arrival.
-    fn handle_arrival(&mut self, req: Request) -> Result<(), StrategyError> {
-        self.per_func[req.func].arrivals += 1;
-        self.trace.incr("fleet.arrivals");
-        let expired = self.pool.expire(req.at);
-        self.trace
-            .add("fleet.pool_expirations", expired.len() as u64);
-        self.teardown_parked(expired)?;
-        if self.active.len() < self.cfg.max_concurrency {
-            self.dispatch(req, req.at)?;
-        } else if self.pending.len() < self.cfg.queue_depth {
-            self.pending.push_back(req);
-            self.trace.incr("fleet.enqueued");
-            if self.trace.events_enabled() {
-                self.trace.instant(
-                    "fleet",
-                    "enqueue",
-                    TID_CONTROL,
-                    req.at,
-                    vec![
-                        ("func", req.func.into()),
-                        ("depth", self.pending.len().into()),
-                    ],
-                );
-            }
-        } else {
-            match self.cfg.shed {
-                ShedPolicy::DropNewest => {
-                    self.per_func[req.func].shed += 1;
-                    self.note_shed(req.at, req.func);
-                }
-                ShedPolicy::DropOldest => {
-                    let old = self.pending.pop_front().expect("full queue is non-empty");
-                    self.per_func[old.func].shed += 1;
-                    self.note_shed(req.at, old.func);
-                    self.pending.push_back(req);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Completes the finished invocation at `active[i]`: records its
-    /// latency breakdown, parks the sandbox, and dispatches queued
-    /// work into the freed slot. The slot frees at the later of the
-    /// invocation's end and the restore's background completion (the
-    /// sandbox's prefetch thread keeps it busy), while latency
-    /// metrics use the invocation's end.
-    fn finalize(&mut self, i: usize) -> Result<(), StrategyError> {
-        let done = self.active.swap_remove(i);
-        let run = done.run.expect("finished sandbox ran its invocation");
-        let end = run.clock();
-        let exec_start = run.start();
-        let (vm, resolver, _result) = run.finish();
-        let t_ev = end.max(done.restore_end);
-        self.per_func[done.func].record(
-            done.cold,
-            end.saturating_since(done.arrival),
-            done.dispatch.saturating_since(done.arrival),
-            exec_start.saturating_since(done.dispatch),
-            end.saturating_since(exec_start),
-            done.stages.as_ref(),
-        );
-        self.last_completion = self.last_completion.max(end);
-        self.sample_memory();
-
-        let expired = self.pool.expire(t_ev);
-        self.trace
-            .add("fleet.pool_expirations", expired.len() as u64);
-        self.teardown_parked(expired)?;
-        let evicted = self.pool.checkin(done.func, (vm, resolver), t_ev);
-        self.trace.add("fleet.pool_evictions", evicted.len() as u64);
-        if !evicted.is_empty() && self.trace.events_enabled() {
-            self.trace.instant(
-                "fleet",
-                "pool-evict",
-                TID_CONTROL,
-                t_ev,
-                vec![("count", evicted.len().into())],
-            );
-        }
-        self.teardown_parked(evicted)?;
-
-        if let Some(req) = self.pending.pop_front() {
-            self.dispatch(req, t_ev)?;
-        }
-        Ok(())
-    }
-}
+use host::{build_host, draw_arrivals};
 
 /// Runs one fleet simulation (see the crate docs for the model).
 ///
@@ -470,74 +160,15 @@ pub fn run_fleet_with(
     );
     assert!(cfg.max_concurrency > 0, "need at least one sandbox slot");
 
-    let mut kernel_config = KernelConfig::default();
-    if let Some(pages) = cfg.memory_pages {
-        kernel_config.total_memory_pages = pages;
-    }
-    let mut host = HostKernel::new(Disk::new(cfg.device.build()), kernel_config);
-
-    // Setup: snapshot + record every function, sequentially in
-    // virtual time (as the colocated runner does).
-    let mut t = SimTime::ZERO;
-    let mut funcs = Vec::with_capacity(workloads.len());
-    let mut strategies: Vec<Box<dyn Strategy>> = Vec::with_capacity(workloads.len());
-    let mut traces = Vec::with_capacity(workloads.len());
-    for w in workloads {
-        let w = w.scaled(cfg.scale);
-        let (snapshot, t_snap) = Snapshot::create(t, w.name(), w.snapshot_pages(), &mut host)?;
-        let func = FunctionCtx {
-            workload: w,
-            snapshot,
-        };
-        let mut strategy = cfg.strategy.build();
-        t = strategy.record(t_snap, &mut host, &func)?;
-        traces.push(func.workload.trace());
-        funcs.push(func);
-        strategies.push(strategy);
-    }
-
-    // The invocation phase starts cache-cold with fresh I/O
-    // accounting; tracing begins at the same boundary.
-    host.drop_all_caches()?;
-    host.disk_mut().set_tracer(IoTracer::summary_only());
-    host.install_tracer(tracer);
+    let (mut fleet, t0) = build_host(cfg, workloads, tracer)?;
     if tracer.events_enabled() {
         tracer.name_thread(TID_CONTROL, "scheduler");
         tracer.name_thread(TID_DISK, "disk");
         tracer.name_thread(TID_KERNEL, "kernel");
     }
-    let t0 = t;
 
-    // Pre-draw the whole arrival schedule: times from the arrival
-    // process, function choices from the popularity mix.
-    let mut pick_rng = SplitMix64::new(cfg.seed ^ 0xF1EE_7B00_57A7_1C5E);
-    let arrivals: Vec<Request> = cfg
-        .arrival
-        .generator(cfg.seed)
-        .take_until(SimTime::ZERO + cfg.duration)
-        .into_iter()
-        .map(|at| Request {
-            at: t0 + at.saturating_since(SimTime::ZERO),
-            func: cfg.mix.pick(&mut pick_rng),
-        })
-        .collect();
+    let arrivals = draw_arrivals(cfg, t0);
     let first_arrival = arrivals.first().map(|r| r.at).unwrap_or(t0);
-
-    let mut fleet = Fleet {
-        host,
-        funcs,
-        strategies,
-        traces,
-        cfg,
-        pool: SandboxPool::new(cfg.pool_capacity, cfg.keepalive_ttl),
-        active: Vec::new(),
-        pending: VecDeque::new(),
-        per_func: workloads.iter().map(|w| FuncStats::new(w.name())).collect(),
-        owner_seq: 0,
-        mem_hwm_bytes: 0,
-        last_completion: t0,
-        trace: tracer.clone(),
-    };
 
     // Main loop: always execute the globally earliest event — the
     // next arrival or the earliest in-flight sandbox event (a
@@ -545,21 +176,12 @@ pub fn run_fleet_with(
     // finished invocation's clock).
     let mut arrival_iter = arrivals.into_iter().peekable();
     loop {
-        let next_active = fleet
-            .active
-            .iter()
-            .enumerate()
-            .min_by_key(|(i, a)| (a.clock(), *i))
-            .map(|(i, a)| (i, a.clock()));
+        let next_active = fleet.next_event();
         let next_arrival = arrival_iter.peek().map(|r| r.at);
         match (next_active, next_arrival) {
             (None, None) => break,
             (Some((i, tc)), ta) if ta.is_none_or(|ta| tc <= ta) => {
-                if fleet.active[i].is_done() {
-                    fleet.finalize(i)?;
-                } else {
-                    fleet.advance_active(i)?;
-                }
+                fleet.step_event(i)?;
             }
             _ => {
                 let req = arrival_iter.next().expect("peeked arrival");
@@ -567,16 +189,10 @@ pub fn run_fleet_with(
             }
         }
     }
-    debug_assert!(
-        fleet.pending.is_empty(),
-        "queued work cannot outlive all in-flight invocations"
-    );
 
     // End of run: tear every parked sandbox down and verify the
     // host's memory accounting closed.
-    let parked = fleet.pool.drain();
-    fleet.teardown_parked(parked)?;
-    debug_assert_eq!(fleet.host.accounting_discrepancy(), 0);
+    fleet.teardown()?;
 
     let mut aggregate = FuncStats::new("all");
     for f in &fleet.per_func {
@@ -593,8 +209,8 @@ pub fn run_fleet_with(
         per_function: fleet.per_func,
         aggregate,
         mem_hwm_bytes: fleet.mem_hwm_bytes,
-        read_bytes: fleet.host.disk().tracer().read_bytes(),
-        write_bytes: fleet.host.disk().tracer().write_bytes(),
+        read_bytes: fleet.kernel.disk().tracer().read_bytes(),
+        write_bytes: fleet.kernel.disk().tracer().write_bytes(),
         span: fleet.last_completion.saturating_since(first_arrival),
         pool_evictions: fleet.pool.evictions(),
         pool_expirations: fleet.pool.expirations(),
@@ -607,16 +223,15 @@ mod tests {
     use super::*;
     use snapbpf::StrategyKind;
     use snapbpf_sim::SimDuration;
+    // `snapbpf_testkit` supplies the workload fixtures; its config
+    // helpers return the *externally built* `snapbpf_fleet` types
+    // (cargo's dev-dependency cycle builds this crate twice), so the
+    // config helper stays local to unit tests. Integration tests
+    // (`tests/`) link the same build as testkit and use its helpers.
+    use snapbpf_testkit::small_suite;
 
-    fn small_suite() -> Vec<Workload> {
-        ["json", "html", "pyaes"]
-            .iter()
-            .map(|n| Workload::by_name(n).expect("suite function"))
-            .collect()
-    }
-
-    fn small_cfg(kind: StrategyKind, rate: f64) -> FleetConfig {
-        let mut cfg = FleetConfig::new(kind, 3, rate);
+    fn small_cfg(kind: StrategyKind, rate_rps: f64) -> FleetConfig {
+        let mut cfg = FleetConfig::new(kind, 3, rate_rps);
         cfg.scale = 0.02;
         cfg.duration = SimDuration::from_millis(500);
         cfg

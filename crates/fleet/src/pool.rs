@@ -62,6 +62,17 @@ impl<T> SandboxPool<T> {
         self.capacity
     }
 
+    /// Parked sandboxes of `func` still live at `now` (their TTL has
+    /// not lapsed). Placement policies use this as the warm-locality
+    /// signal; unlike [`SandboxPool::checkout`] it does not remove
+    /// anything.
+    pub fn count_live(&self, func: usize, now: SimTime) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.func == func && now.saturating_since(e.last_used) < self.ttl)
+            .count()
+    }
+
     /// LRU evictions so far (capacity pressure, not TTL).
     pub fn evictions(&self) -> u64 {
         self.evictions
@@ -175,6 +186,22 @@ mod tests {
         assert_eq!(p.checkin(0, 7, at(0)), vec![7]);
         assert!(p.is_empty());
         assert_eq!(p.checkout(0, at(1)), None);
+    }
+
+    #[test]
+    fn count_live_respects_ttl_and_function() {
+        let mut p: SandboxPool<u32> = SandboxPool::new(8, TTL);
+        p.checkin(0, 1, at(0));
+        p.checkin(0, 2, at(500));
+        p.checkin(1, 3, at(500));
+        assert_eq!(p.count_live(0, at(600)), 2);
+        assert_eq!(p.count_live(1, at(600)), 1);
+        assert_eq!(p.count_live(2, at(600)), 0);
+        // The first entry's TTL lapses at 1000; counting is
+        // non-destructive either side of that boundary.
+        assert_eq!(p.count_live(0, at(1000)), 1);
+        assert_eq!(p.count_live(0, at(1000)), 1);
+        assert_eq!(p.len(), 3, "counting never removes entries");
     }
 
     #[test]

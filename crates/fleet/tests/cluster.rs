@@ -1,0 +1,156 @@
+//! Integration tests for the multi-host cluster layer: single-host
+//! equivalence with the fleet runner, whole-run determinism
+//! (byte-identical traces) under every placement policy, and the
+//! invocation-conservation bookkeeping the figures rely on.
+
+use snapbpf::{StrategyError, StrategyKind};
+use snapbpf_fleet::{
+    run_cluster, run_cluster_with, run_fleet_with, PlacementKind, SnapshotDistribution,
+};
+use snapbpf_sim::{chrome_trace_json, Tracer};
+use snapbpf_testkit::{small_cluster_cfg, small_fleet_cfg, small_suite};
+
+/// A one-host cluster under local snapshot distribution runs the
+/// exact same per-host scheduling code as `run_fleet_with`, so every
+/// measured quantity must agree field for field — not approximately,
+/// exactly.
+#[test]
+fn single_host_cluster_reproduces_the_fleet_exactly() {
+    let workloads = small_suite();
+    for kind in [StrategyKind::Reap, StrategyKind::SnapBpf] {
+        for placement in PlacementKind::ALL {
+            let mut cfg = small_cluster_cfg(kind, 1, 80.0);
+            cfg.placement = placement;
+            let fleet = run_fleet_with(&cfg, &workloads, &Tracer::noop()).unwrap();
+            let cluster = run_cluster(&cfg, &workloads).unwrap();
+
+            assert_eq!(cluster.hosts.len(), 1);
+            let host = &cluster.hosts[0];
+            assert_eq!(cluster.strategy, fleet.strategy);
+            assert_eq!(cluster.per_function, fleet.per_function);
+            assert_eq!(cluster.aggregate, fleet.aggregate);
+            assert_eq!(host.per_function, fleet.per_function);
+            assert_eq!(host.mem_hwm_bytes, fleet.mem_hwm_bytes);
+            assert_eq!(host.read_bytes, fleet.read_bytes);
+            assert_eq!(host.write_bytes, fleet.write_bytes);
+            assert_eq!(host.pool_evictions, fleet.pool_evictions);
+            assert_eq!(host.pool_expirations, fleet.pool_expirations);
+            assert_eq!(host.placed, fleet.aggregate.arrivals);
+            assert_eq!(host.snapshot_fetches, 0, "local distribution is free");
+            assert_eq!(cluster.span, fleet.span);
+            assert_eq!(
+                cluster.metrics,
+                fleet.metrics,
+                "{} + {}: one-host cluster metrics must equal the fleet's",
+                kind.label(),
+                placement.label()
+            );
+        }
+    }
+}
+
+/// Same seed, same config: the whole `ClusterResult` and the
+/// serialized Chrome trace must be byte-identical across repeat runs,
+/// for every placement policy.
+#[test]
+fn same_seed_cluster_runs_are_byte_identical_for_every_policy() {
+    let workloads = small_suite();
+    for placement in PlacementKind::ALL {
+        let mut cfg = small_cluster_cfg(StrategyKind::SnapBpf, 3, 120.0);
+        cfg.placement = placement;
+        cfg.distribution = SnapshotDistribution::remote_10g();
+
+        let run = || {
+            let tracer = Tracer::recording();
+            let r = run_cluster_with(&cfg, &workloads, &tracer).unwrap();
+            let json = chrome_trace_json(&tracer.take_events(), Some(&r.metrics));
+            (r, json.pretty())
+        };
+        let (a, trace_a) = run();
+        let (b, trace_b) = run();
+        assert_eq!(
+            a,
+            b,
+            "{}: results must be equal across same-seed runs",
+            placement.label()
+        );
+        assert_eq!(
+            trace_a,
+            trace_b,
+            "{}: traces must serialize byte-identically",
+            placement.label()
+        );
+        assert!(!trace_a.is_empty());
+    }
+}
+
+/// Each host of a traced cluster run appears as its own Chrome
+/// process row (`pid = host + 1`), and placement decisions land on
+/// the serving host's scheduler track as `cluster` instants.
+#[test]
+fn traced_cluster_run_has_one_process_row_per_host() {
+    let workloads = small_suite();
+    let mut cfg = small_cluster_cfg(StrategyKind::SnapBpf, 3, 120.0);
+    cfg.placement = PlacementKind::Locality;
+    let tracer = Tracer::recording();
+    let r = run_cluster_with(&cfg, &workloads, &tracer).unwrap();
+    let json = chrome_trace_json(&tracer.take_events(), Some(&r.metrics));
+    let parsed = snapbpf_sim::Json::parse(&json.pretty()).expect("trace reparses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|j| j.as_array())
+        .expect("traceEvents array");
+    let pids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter_map(|e| e.get("pid").and_then(|j| j.as_u64()))
+        .collect();
+    assert_eq!(pids, [1u64, 2, 3].into_iter().collect());
+    let places = events
+        .iter()
+        .filter(|e| {
+            e.get("cat").and_then(|j| j.as_str()) == Some("cluster")
+                && e.get("name").and_then(|j| j.as_str()) == Some("place")
+        })
+        .count() as u64;
+    assert_eq!(
+        places,
+        r.placed(),
+        "every routed arrival must leave a placement instant"
+    );
+}
+
+/// Conservation: every admitted invocation is served by exactly one
+/// host — per-host placements sum to the cluster's arrivals, and the
+/// merged per-function records account for every per-host record.
+#[test]
+fn cluster_accounting_is_conserved_across_hosts() {
+    let workloads = small_suite();
+    for placement in PlacementKind::ALL {
+        let mut cfg = small_cluster_cfg(StrategyKind::SnapBpf, 3, 150.0);
+        cfg.placement = placement;
+        let r = run_cluster(&cfg, &workloads).unwrap();
+        assert_eq!(r.placed(), r.aggregate.arrivals, "{}", placement.label());
+        for (i, merged) in r.per_function.iter().enumerate() {
+            let host_sum: u64 = r.hosts.iter().map(|h| h.per_function[i].arrivals).sum();
+            assert_eq!(merged.arrivals, host_sum, "function {i} leaked arrivals");
+        }
+        let completions: u64 = r.hosts.iter().map(|h| h.aggregate.completions).sum();
+        assert_eq!(r.aggregate.completions, completions);
+    }
+}
+
+/// A cluster over a degenerate configuration reports a clean
+/// [`StrategyError::Config`]; it must never panic.
+#[test]
+fn degenerate_cluster_configs_error_cleanly() {
+    let workloads = small_suite();
+    let mut zero_hosts = small_cluster_cfg(StrategyKind::SnapBpf, 0, 40.0);
+    zero_hosts.distribution = SnapshotDistribution::remote_10g();
+    let err = run_cluster(&zero_hosts, &workloads).unwrap_err();
+    assert!(matches!(err, StrategyError::Config(_)), "got {err}");
+    assert!(err.to_string().contains("at least one host"), "{err}");
+
+    let empty = small_fleet_cfg(StrategyKind::SnapBpf, 40.0);
+    let err = run_cluster(&empty, &[]).unwrap_err();
+    assert!(matches!(err, StrategyError::Config(_)), "got {err}");
+}

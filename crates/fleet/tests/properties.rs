@@ -1,18 +1,20 @@
 //! Property tests for the fleet simulator: bit-identical determinism
-//! of whole fleet runs, and the keep-alive pool's capacity bound
-//! under arbitrary operation sequences.
+//! of whole fleet runs, the keep-alive pool's capacity bound under
+//! arbitrary operation sequences, and the cluster layer's
+//! conservation and placement-stability invariants.
 
 use proptest::prelude::*;
 use snapbpf::StrategyKind;
-use snapbpf_fleet::{run_fleet, FleetConfig, SandboxPool};
+use snapbpf_fleet::{
+    run_cluster, run_fleet, FleetConfig, HashPlacement, HostView, PlacementKind, PlacementPolicy,
+    SandboxPool,
+};
 use snapbpf_sim::{SimDuration, SimTime};
+use snapbpf_testkit::workload_pair;
 use snapbpf_workloads::Workload;
 
 fn pair() -> Vec<Workload> {
-    ["json", "image"]
-        .iter()
-        .map(|n| Workload::by_name(n).expect("suite function"))
-        .collect()
+    workload_pair()
 }
 
 proptest! {
@@ -83,5 +85,89 @@ proptest! {
         returned += pool.drain().len() as u64;
         prop_assert_eq!(parked, returned, "drain must return the rest");
         prop_assert!(pool.is_empty());
+    }
+}
+
+proptest! {
+    // Cluster runs cost a few host setups each; a handful of sampled
+    // shapes exercises the invariants.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Conservation + capacity: whatever the placement policy, host
+    /// count, rate, and pool sizing, every admitted invocation lands
+    /// on exactly one host (per-host placements and per-function
+    /// records sum to the cluster totals), and no host's keep-alive
+    /// pool ever held more than its configured capacity.
+    #[test]
+    fn cluster_conserves_invocations_and_bounds_pools(
+        hosts in 1usize..5,
+        rate in 20.0f64..200.0,
+        seed in 0u64..1_000,
+        pool_capacity in 0usize..4,
+        policy_idx in 0usize..3,
+    ) {
+        let workloads = pair();
+        let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, workloads.len(), rate)
+            .with_seed(seed)
+            .sharded(hosts, PlacementKind::ALL[policy_idx]);
+        cfg.scale = 0.02;
+        cfg.duration = SimDuration::from_millis(200);
+        cfg.pool_capacity = pool_capacity;
+        let r = run_cluster(&cfg, &workloads).expect("cluster run");
+        prop_assert_eq!(r.hosts.len(), hosts);
+        prop_assert_eq!(r.placed(), r.aggregate.arrivals,
+            "placements must cover every admitted arrival exactly once");
+        for (i, merged) in r.per_function.iter().enumerate() {
+            let host_sum: u64 = r.hosts.iter().map(|h| h.per_function[i].arrivals).sum();
+            prop_assert_eq!(merged.arrivals, host_sum, "function {} leaked", i);
+        }
+        for h in &r.hosts {
+            prop_assert!(
+                h.pool_hwm <= pool_capacity as u64,
+                "host {} pool peaked at {} > capacity {}",
+                h.host, h.pool_hwm, pool_capacity
+            );
+        }
+    }
+
+    /// Hash placement keys on the function name alone: permuting the
+    /// rest of the function mix (same hosts, same names in a
+    /// different order) must not move any function to a different
+    /// host.
+    #[test]
+    fn hash_placement_is_stable_under_mix_permutations(
+        hosts in 1usize..8,
+        perm_seed in 0u64..1_000,
+        names in prop::collection::vec("[a-z]{1,12}", 1..16),
+    ) {
+        let views: Vec<HostView> = (0..hosts)
+            .map(|host| HostView {
+                host,
+                in_flight: 0,
+                queued: 0,
+                warm_parked: 0,
+                cached_snapshot_pages: 0,
+            })
+            .collect();
+        let mut policy = HashPlacement;
+        let before: Vec<usize> = names.iter().map(|n| policy.place(n, &views)).collect();
+        // Fisher-Yates off a tiny splitmix-style stream: a
+        // deterministic host-count-preserving permutation of the mix.
+        let mut permuted: Vec<(String, usize)> =
+            names.iter().cloned().zip(before.iter().copied()).collect();
+        let mut state = perm_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        for i in (1..permuted.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            permuted.swap(i, (state as usize) % (i + 1));
+        }
+        for (name, expected) in permuted {
+            prop_assert_eq!(
+                policy.place(&name, &views),
+                expected,
+                "{} moved hosts when the mix was reordered", name
+            );
+        }
     }
 }

@@ -1,0 +1,153 @@
+//! # snapbpf-testkit — shared test fixtures
+//!
+//! Every crate in the workspace needs the same handful of fixtures:
+//! a host kernel over the paper's SSD with a freshly built snapshot,
+//! a small deterministic workload suite, and seeded fleet / cluster
+//! configurations sized so a test run finishes in milliseconds. They
+//! used to be duplicated between `snapbpf`'s private `testutil` and
+//! the fleet test modules; this crate is the single home, pulled in
+//! as a dev-dependency by `snapbpf`, `snapbpf-fleet`, and the
+//! umbrella integration tests (cargo permits the dev-dependency
+//! cycle — the fixtures build against the published library API).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use snapbpf::{FunctionCtx, Strategy, StrategyKind};
+use snapbpf_fleet::FleetConfig;
+use snapbpf_kernel::{HostKernel, KernelConfig};
+use snapbpf_sim::{SimDuration, SimTime};
+use snapbpf_storage::{Disk, SsdModel};
+use snapbpf_vmm::Snapshot;
+use snapbpf_workloads::Workload;
+
+/// Builds a host kernel over the paper's SSD and a snapshot for the
+/// named workload at `scale` — the fixture every strategy unit test
+/// starts from.
+///
+/// # Panics
+///
+/// Panics if `name` is not a suite workload or snapshot creation
+/// fails (both are test-setup bugs, not conditions to handle).
+pub fn test_env(name: &str, scale: f64) -> (HostKernel, FunctionCtx) {
+    let mut host = HostKernel::new(
+        Disk::new(Box::new(SsdModel::micron_5300())),
+        KernelConfig::default(),
+    );
+    let workload = Workload::by_name(name)
+        .unwrap_or_else(|| panic!("unknown workload {name}"))
+        .scaled(scale);
+    let (snapshot, _) = Snapshot::create(
+        SimTime::ZERO,
+        workload.name(),
+        workload.snapshot_pages(),
+        &mut host,
+    )
+    .expect("snapshot creation");
+    (host, FunctionCtx { workload, snapshot })
+}
+
+/// A recorded, cache-cold environment for `kind`: host, function
+/// context, strategy instance (record phase already run), and the
+/// restore-request instant. The fixture the staged-restore and
+/// strategy-equivalence integration tests start from.
+///
+/// NOTE: only usable from *integration* tests (`tests/` directories)
+/// — inside `snapbpf`'s own unit tests, `FunctionCtx` here is a
+/// different build of the crate and the types will not unify.
+///
+/// # Panics
+///
+/// Panics if `name` is not a suite workload or snapshot creation /
+/// recording fails (test-setup bugs, not conditions to handle).
+pub fn recorded_env(
+    kind: StrategyKind,
+    name: &str,
+    scale: f64,
+) -> (HostKernel, FunctionCtx, Box<dyn Strategy>, SimTime) {
+    let mut host = HostKernel::new(
+        Disk::new(Box::new(SsdModel::micron_5300())),
+        KernelConfig::default(),
+    );
+    let workload = Workload::by_name(name)
+        .unwrap_or_else(|| panic!("unknown workload {name}"))
+        .scaled(scale);
+    let (snapshot, t_snap) = Snapshot::create(
+        SimTime::ZERO,
+        workload.name(),
+        workload.snapshot_pages(),
+        &mut host,
+    )
+    .expect("snapshot creation");
+    let func = FunctionCtx { workload, snapshot };
+    let mut strategy = kind.build();
+    let t_rec = strategy
+        .record(t_snap, &mut host, &func)
+        .expect("record phase");
+    host.drop_all_caches().expect("cache drop");
+    (host, func, strategy, t_rec)
+}
+
+/// The three-function mini-suite the fleet tests run against
+/// (`json`, `html`, `pyaes` — small, mixed working-set shapes).
+///
+/// # Panics
+///
+/// Panics if the paper suite ever loses one of the three (a fixture
+/// bug).
+pub fn small_suite() -> Vec<Workload> {
+    ["json", "html", "pyaes"]
+        .iter()
+        .map(|n| Workload::by_name(n).expect("suite function"))
+        .collect()
+}
+
+/// A two-function pair (`json`, `image`) for property tests that
+/// need the cheapest possible fleet runs.
+///
+/// # Panics
+///
+/// Panics if the paper suite ever loses one of the two (a fixture
+/// bug).
+pub fn workload_pair() -> Vec<Workload> {
+    ["json", "image"]
+        .iter()
+        .map(|n| Workload::by_name(n).expect("suite function"))
+        .collect()
+}
+
+/// A seeded three-function fleet configuration sized for tests:
+/// scale 0.02 and a 500 ms arrival horizon over [`small_suite`].
+pub fn small_fleet_cfg(kind: StrategyKind, rate_rps: f64) -> FleetConfig {
+    let mut cfg = FleetConfig::new(kind, 3, rate_rps);
+    cfg.scale = 0.02;
+    cfg.duration = SimDuration::from_millis(500);
+    cfg
+}
+
+/// [`small_fleet_cfg`] spread over `hosts` hosts (placement and
+/// distribution stay at the config defaults — hash placement, local
+/// snapshots — so tests opt into what they exercise).
+pub fn small_cluster_cfg(kind: StrategyKind, hosts: usize, rate_rps: f64) -> FleetConfig {
+    let mut cfg = small_fleet_cfg(kind, rate_rps);
+    cfg.hosts = hosts;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let (host, func) = test_env("json", 0.05);
+        assert!(func.snapshot.memory_pages() > 0);
+        assert_eq!(host.accounting_discrepancy(), 0);
+        assert_eq!(small_suite().len(), 3);
+        assert_eq!(workload_pair().len(), 2);
+        let cfg = small_fleet_cfg(StrategyKind::SnapBpf, 40.0);
+        assert_eq!(cfg.mix.len(), 3);
+        assert_eq!(cfg.hosts, 1);
+        assert_eq!(small_cluster_cfg(StrategyKind::Reap, 3, 40.0).hosts, 3);
+    }
+}

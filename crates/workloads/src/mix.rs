@@ -24,14 +24,17 @@ pub struct FunctionMix {
 }
 
 impl FunctionMix {
-    /// Builds a mix from raw (unnormalized) positive weights.
+    /// Builds a mix from raw (unnormalized) positive weights. An
+    /// empty slice yields an empty mix — constructible so run entry
+    /// points can reject it with a clean configuration error instead
+    /// of a constructor panic, but [`FunctionMix::pick`] cannot draw
+    /// from it.
     ///
     /// # Panics
     ///
-    /// Panics if `weights` is empty or contains a non-positive or
-    /// non-finite entry.
+    /// Panics if `weights` contains a non-positive or non-finite
+    /// entry.
     pub fn from_weights(weights: &[f64]) -> FunctionMix {
-        assert!(!weights.is_empty(), "mix needs at least one function");
         assert!(
             weights.iter().all(|w| w.is_finite() && *w > 0.0),
             "weights must be positive and finite"
@@ -69,8 +72,8 @@ impl FunctionMix {
         self.weights.len()
     }
 
-    /// Whether the mix is empty (never true — construction requires
-    /// at least one function).
+    /// Whether the mix is empty (no fleet or cluster run accepts an
+    /// empty mix; they report a configuration error).
     pub fn is_empty(&self) -> bool {
         self.weights.is_empty()
     }
@@ -86,7 +89,12 @@ impl FunctionMix {
     }
 
     /// Draws a function index for one arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty mix (there is no function to draw).
     pub fn pick(&self, rng: &mut SplitMix64) -> usize {
+        assert!(!self.is_empty(), "cannot pick from an empty mix");
         let u = rng.next_f64();
         match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
             Ok(i) | Err(i) => i.min(self.weights.len() - 1),
@@ -156,5 +164,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_weight_rejected() {
         let _ = FunctionMix::from_weights(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_mix_is_constructible_but_unpickable() {
+        let m = FunctionMix::from_weights(&[]);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert!(FunctionMix::azure_like(0).is_empty());
+        assert!(FunctionMix::uniform(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mix")]
+    fn empty_mix_pick_panics() {
+        let m = FunctionMix::from_weights(&[]);
+        let mut rng = SplitMix64::new(1);
+        let _ = m.pick(&mut rng);
     }
 }
