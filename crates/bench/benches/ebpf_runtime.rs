@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
     let wset = maps.create(wset_map_def(4096)).unwrap();
     let groups = maps.create(groups_map_def(256)).unwrap();
     let capture = build_capture_program(snap, wset, 4096);
-    let prefetch = build_prefetch_program(snap, groups);
+    let prefetch = build_prefetch_program(snap, groups, 256);
     let sigs = [KfuncSig {
         name: "snapbpf_prefetch",
         args: 3,

@@ -60,6 +60,7 @@ struct Args {
     device: DeviceKind,
     trace_out: Option<PathBuf>,
     hosts: Option<usize>,
+    verifier_log: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
         device: DeviceKind::Sata5300,
         trace_out: None,
         hosts: None,
+        verifier_log: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -90,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --instances: {e}"))?;
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
+            "--verifier-log" => args.verifier_log = true,
             "--only" => args.only = Some(value("--only")?),
             "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             // The cluster size for fleet-shard. 0 is accepted here so
@@ -110,7 +113,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: figures [--scale S] [--instances N] [--out DIR] [--only ID] \
-                     [--device sata-ssd|nvme|hdd] [--trace-out FILE] [--hosts N]\n\
+                     [--device sata-ssd|nvme|hdd] [--trace-out FILE] [--hosts N] \
+                     [--verifier-log]\n\
                      IDs: {}",
                     KNOWN_IDS.join(" ")
                 ))
@@ -173,6 +177,14 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         args.device.label()
     );
 
+    if args.verifier_log {
+        let report = snapbpf::verifier_log_report()?;
+        println!("{report}");
+        std::fs::create_dir_all(&args.out)?;
+        let path = args.out.join("verifier-log.txt");
+        std::fs::write(&path, &report)?;
+        println!("verifier log written to {}\n", path.display());
+    }
     if wants(&args.only, "table1") {
         let t = table1();
         println!("{t}");

@@ -1,0 +1,62 @@
+//! Verifies every shipped eBPF program with the verifier log enabled
+//! (CI `verifier-corpus` smoke check).
+//!
+//! ```text
+//! cargo run --release -p snapbpf-bench --bin verifier_check
+//! ```
+//!
+//! Runs the capture program, the looped prefetch program, and the
+//! re-trigger cascade baseline through the host kernel's load path
+//! with log capture on, then sanity-checks the rendered logs: one
+//! per program, each ending in a stats footer with a non-zero
+//! `insns_processed`. The rejection corpus itself runs as
+//! `cargo test -p snapbpf-ebpf --test verifier_corpus`; this binary
+//! covers the accept side. Exits non-zero with a diagnostic on the
+//! first problem.
+
+use std::process::ExitCode;
+
+fn check() -> Result<String, String> {
+    let report =
+        snapbpf::verifier_log_report().map_err(|e| format!("shipped program rejected: {e}"))?;
+    let logs: Vec<&str> = report
+        .split("verifying program ")
+        .filter(|s| !s.trim().is_empty())
+        .collect();
+    if logs.len() != 3 {
+        return Err(format!(
+            "expected 3 program logs (capture, looped prefetch, cascade), found {}",
+            logs.len()
+        ));
+    }
+    for log in &logs {
+        let name = log.lines().next().unwrap_or("?").trim_matches('`');
+        let stats = log
+            .lines()
+            .find(|l| l.starts_with("verification stats:"))
+            .ok_or_else(|| format!("program {name}: log has no stats footer"))?;
+        if stats.contains("insns_processed=0 ") {
+            return Err(format!(
+                "program {name}: verifier processed no instructions"
+            ));
+        }
+    }
+    Ok(format!(
+        "verifier_check: ok — {} programs verified with log enabled ({} log lines)",
+        logs.len(),
+        report.lines().count()
+    ))
+}
+
+fn main() -> ExitCode {
+    match check() {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("verifier_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

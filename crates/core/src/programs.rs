@@ -7,17 +7,20 @@
 //!   and appends `(page offset, first-access timestamp)` samples to
 //!   the working-set map,
 //! * the **prefetch** program walks the pre-loaded, access-order
-//!   sorted group list, issuing one contiguous range per trigger via
-//!   the `snapbpf_prefetch()` kfunc (each issued range re-fires the
-//!   hook as its pages are inserted, cascading through the list),
-//!   and disables itself after the last group.
+//!   sorted group list in a single bounded loop, issuing one
+//!   contiguous range per group via the `snapbpf_prefetch()` kfunc
+//!   and disabling itself once the list is exhausted — one hook
+//!   invocation per restore. The pre-5.3 "re-trigger" variant
+//!   ([`build_prefetch_program_cascade`]), which issued one range
+//!   per trigger and relied on each range's insertions re-firing the
+//!   hook, is retained for comparison.
 //!
 //! Both are built with [`ProgramBuilder`], verified by the kernel's
 //! verifier at attach time, and executed by the interpreter — the
 //! mechanism is exercised end-to-end, not narrated.
 
 use snapbpf_ebpf::{AccessSize, HelperId, JmpCond, MapDef, MapId, Program, ProgramBuilder, Reg};
-use snapbpf_kernel::{KFUNC_SNAPBPF_PREFETCH, PROG_RET_DISABLE};
+use snapbpf_kernel::{KFUNC_SNAPBPF_PREFETCH, PAGE_CACHE_ADD_HOOK, PROG_RET_DISABLE};
 use snapbpf_storage::FileId;
 
 use crate::wset::{OffsetSample, WsGroup};
@@ -111,14 +114,85 @@ pub fn build_capture_program(snapshot: FileId, wset: MapId, max_samples: u32) ->
     b.build().expect("capture program assembles")
 }
 
-/// Builds the prefetch program for `snapshot` reading ranges from
-/// `groups` (an array map shaped by [`groups_map_def`]).
+/// Builds the looped prefetch program for `snapshot` reading ranges
+/// from `groups` (an array map shaped by [`groups_map_def`] for
+/// `max_groups`).
+///
+/// A single invocation loops `cursor` from 0 to `ngroups` (clamped
+/// to `max_groups`, which is what lets the verifier bound the trip
+/// count), calling `snapbpf_prefetch(snapshot, start, len)` per
+/// group, then publishes the final cursor and returns
+/// [`PROG_RET_DISABLE`]. The self-disable lands before the prefetch
+/// queue drains, so the hook re-fires from the issued ranges hit a
+/// disabled probe: one program invocation per restore instead of the
+/// cascade's `ngroups + 1`.
+///
+/// Register roles: `r6` ngroups, `r7` loop cursor, `r9` slot index
+/// scratch; `(start, len)` are staged at `fp-24`/`fp-32` across the
+/// kfunc call.
+pub fn build_prefetch_program(snapshot: FileId, groups: MapId, max_groups: u32) -> Program {
+    let mut b = ProgramBuilder::new("snapbpf_prefetch_loop");
+    let out = b.label();
+    let top = b.label();
+    let done = b.label();
+
+    // r6 = ngroups, clamped so the verifier sees a loop bound.
+    emit_array_lookup(&mut b, groups, None, GROUPS_COUNT_SLOT as i64, out);
+    b.load(Reg::R6, Reg::R0, 0, AccessSize::B8)
+        .jump_if(JmpCond::Gt, Reg::R6, max_groups as i64, out)
+        .mov(Reg::R7, 0);
+
+    b.bind(top)
+        .expect("label bound once")
+        .jump_if(JmpCond::Ge, Reg::R7, Reg::R6, done);
+
+    // start = groups[2 + 2*cursor]  -> stash at fp-24.
+    b.mov(Reg::R9, Reg::R7).mul(Reg::R9, 2).add(Reg::R9, 2);
+    emit_array_lookup(&mut b, groups, Some(Reg::R9), 0, out);
+    b.load(Reg::R2, Reg::R0, 0, AccessSize::B8)
+        .store(Reg::R10, -24, Reg::R2, AccessSize::B8);
+
+    // len = groups[3 + 2*cursor]    -> stash at fp-32.
+    b.mov(Reg::R9, Reg::R7).mul(Reg::R9, 2).add(Reg::R9, 3);
+    emit_array_lookup(&mut b, groups, Some(Reg::R9), 0, out);
+    b.load(Reg::R2, Reg::R0, 0, AccessSize::B8)
+        .store(Reg::R10, -32, Reg::R2, AccessSize::B8);
+
+    // snapbpf_prefetch(snapshot, start, len); r6/r7 survive the call.
+    b.mov(Reg::R1, snapshot.as_u32() as i64)
+        .load(Reg::R2, Reg::R10, -24, AccessSize::B8)
+        .load(Reg::R3, Reg::R10, -32, AccessSize::B8)
+        .call_kfunc(KFUNC_SNAPBPF_PREFETCH)
+        .add(Reg::R7, 1)
+        .jump(top);
+
+    // done: publish cursor = ngroups (same end state the cascade
+    // leaves behind), then self-disable.
+    b.bind(done).expect("label bound once");
+    emit_array_lookup(&mut b, groups, None, GROUPS_CURSOR_SLOT as i64, out);
+    b.store(Reg::R0, 0, Reg::R7, AccessSize::B8)
+        .mov(Reg::R0, PROG_RET_DISABLE as i64)
+        .exit();
+
+    b.bind(out)
+        .expect("label bound once")
+        .mov(Reg::R0, 0)
+        .exit();
+    b.build().expect("looped prefetch program assembles")
+}
+
+/// Builds the pre-5.3 "re-trigger" prefetch program for `snapshot`
+/// reading ranges from `groups` (an array map shaped by
+/// [`groups_map_def`]).
 ///
 /// Per trigger: load `ngroups` and `cursor`; if `cursor >= ngroups`
 /// return [`PROG_RET_DISABLE`]; otherwise advance the cursor, read
 /// the group's `(start, len)`, and call
-/// `snapbpf_prefetch(snapshot, start, len)`.
-pub fn build_prefetch_program(snapshot: FileId, groups: MapId) -> Program {
+/// `snapbpf_prefetch(snapshot, start, len)` — each issued range's
+/// insertions re-fire the hook, cascading through the list one group
+/// per invocation. Retained as the comparison baseline for the
+/// looped [`build_prefetch_program`].
+pub fn build_prefetch_program_cascade(snapshot: FileId, groups: MapId) -> Program {
     let mut b = ProgramBuilder::new("snapbpf_prefetch");
     let out = b.label();
     let disable = b.label();
@@ -167,6 +241,38 @@ pub fn build_prefetch_program(snapshot: FileId, groups: MapId) -> Program {
         .mov(Reg::R0, 0)
         .exit();
     b.build().expect("prefetch program assembles")
+}
+
+/// Verifies every shipped program — capture, the looped prefetch
+/// program, and the re-trigger cascade baseline — against a fresh
+/// host kernel with the verifier log enabled, returning the
+/// concatenated rendered logs. This backs the `figures` CLI's
+/// `--verifier-log` flag and the CI `verifier-corpus` smoke step.
+///
+/// # Errors
+///
+/// Fails if any shipped program is rejected by the verifier.
+pub fn verifier_log_report() -> Result<String, snapbpf_kernel::KernelError> {
+    use snapbpf_kernel::{HostKernel, KernelConfig};
+    use snapbpf_storage::{Disk, SsdModel};
+
+    let mut k = HostKernel::new(
+        Disk::new(Box::new(SsdModel::micron_5300())),
+        KernelConfig::default(),
+    );
+    k.set_verifier_log(true);
+    let snap = k.disk_mut().create_file("snap", 8192)?;
+    let wset = k.create_map(wset_map_def(4096))?;
+    let groups = k.create_map(groups_map_def(256))?;
+    for prog in [
+        build_capture_program(snap, wset, 4096),
+        build_prefetch_program(snap, groups, 256),
+        build_prefetch_program_cascade(snap, groups),
+    ] {
+        let probe = k.load_and_attach(PAGE_CACHE_ADD_HOOK, &prog)?;
+        k.detach(probe)?;
+    }
+    Ok(k.take_verifier_logs().join("\n"))
 }
 
 /// Reads the captured samples back out of a capture map (the
@@ -262,12 +368,8 @@ mod tests {
         assert_eq!(samples.len(), 2);
     }
 
-    #[test]
-    fn prefetch_program_cascades_through_groups() {
-        let mut k = kernel();
-        k.set_readahead(false);
-        let snap = k.disk_mut().create_file("snap", 8192).unwrap();
-        let groups = vec![
+    fn test_groups() -> Vec<WsGroup> {
+        vec![
             WsGroup {
                 start: 1000,
                 len: 16,
@@ -283,21 +385,143 @@ mod tests {
                 len: 4,
                 earliest_ns: 2,
             },
-        ];
+        ]
+    }
+
+    /// Runs one restore with `prog` attached and returns the ordered
+    /// `(start_page, pages)` prefetch-range sequence plus the probe's
+    /// invocation count.
+    fn run_prefetch(
+        groups: &[WsGroup],
+        build: impl FnOnce(snapbpf_storage::FileId, snapbpf_ebpf::MapId) -> snapbpf_ebpf::Program,
+    ) -> (Vec<(u64, u64)>, u64) {
+        let mut k = kernel();
+        let tracer = snapbpf_sim::Tracer::recording();
+        k.install_tracer(&tracer);
+        k.set_readahead(false);
+        let snap = k.disk_mut().create_file("snap", 8192).unwrap();
         let map = k.create_map(groups_map_def(groups.len() as u32)).unwrap();
-        let image = groups_map_image(&groups);
-        k.load_map_from_user(map, 0, &image).unwrap();
-        let prog = build_prefetch_program(snap, map);
+        k.load_map_from_user(map, 0, &groups_map_image(groups))
+            .unwrap();
+        let prog = build(snap, map);
         let probe = k.load_and_attach(PAGE_CACHE_ADD_HOOK, &prog).unwrap();
 
         k.trigger_access(SimTime::ZERO, snap, 0).unwrap();
 
-        for g in &groups {
+        for g in groups {
             for p in g.start..g.end() {
                 assert!(k.page_state(snap, p).is_some(), "page {p} missing");
             }
         }
         assert!(!k.probe_enabled(probe), "program must disable itself");
+        assert_eq!(
+            k.maps().array_load_u64(map, GROUPS_CURSOR_SLOT).unwrap(),
+            groups.len() as u64,
+            "final cursor must equal ngroups"
+        );
+
+        let ranges = tracer
+            .take_events()
+            .into_iter()
+            .filter(|e| e.name == "prefetch-range")
+            .map(|e| {
+                let field = |key: &str| {
+                    e.args
+                        .iter()
+                        .find_map(|(k, v)| match v {
+                            snapbpf_sim::TraceValue::U64(n) if *k == key => Some(*n),
+                            _ => None,
+                        })
+                        .expect("u64 arg present")
+                };
+                (field("start_page"), field("pages"))
+            })
+            .collect();
+        (ranges, k.probe_runs(probe).unwrap())
+    }
+
+    #[test]
+    fn prefetch_program_cascades_through_groups() {
+        let groups = test_groups();
+        let (_, runs) = run_prefetch(&groups, build_prefetch_program_cascade);
+        // One invocation per issued group plus the final self-disable.
+        assert_eq!(runs, groups.len() as u64 + 1);
+    }
+
+    #[test]
+    fn looped_prefetch_program_runs_once() {
+        let groups = test_groups();
+        let (ranges, runs) = run_prefetch(&groups, |snap, map| {
+            build_prefetch_program(snap, map, groups.len() as u32)
+        });
+        assert_eq!(runs, 1, "looped program must need a single invocation");
+        assert_eq!(
+            ranges,
+            groups.iter().map(|g| (g.start, g.len)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn looped_and_cascade_prefetch_identical_sequences() {
+        // The equivalence the verifier upgrade must preserve: on the
+        // same recorded working set, the looped program issues the
+        // exact range sequence of the re-trigger cascade — while
+        // cutting `ebpf.prog.invocations` from `ngroups + 1` to 1.
+        let groups = test_groups();
+        let (cascade_seq, cascade_runs) = run_prefetch(&groups, build_prefetch_program_cascade);
+        let (looped_seq, looped_runs) = run_prefetch(&groups, |snap, map| {
+            build_prefetch_program(snap, map, groups.len() as u32)
+        });
+        assert_eq!(looped_seq, cascade_seq);
+        assert!(!looped_seq.is_empty());
+        assert_eq!(cascade_runs, groups.len() as u64 + 1);
+        assert_eq!(looped_runs, 1);
+        assert!(looped_runs < cascade_runs);
+    }
+
+    #[test]
+    fn looped_prefetch_handles_empty_and_full_maps() {
+        // ngroups == 0: the loop body never runs, the program still
+        // self-disables on its first invocation.
+        let (ranges, runs) = run_prefetch(&[], |snap, map| build_prefetch_program(snap, map, 0));
+        assert_eq!(ranges, vec![]);
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn verify_rejection_chains_through_error_sources() {
+        use std::error::Error as _;
+
+        let mut k = kernel();
+        let mut b = snapbpf_ebpf::ProgramBuilder::new("bad");
+        b.mov(Reg::R0, Reg::R3).exit(); // r3 is never initialized
+        let err = k
+            .load_and_attach(PAGE_CACHE_ADD_HOOK, &b.build().unwrap())
+            .unwrap_err();
+        // KernelError -> VerifyError -> VerifyErrorKind, the same
+        // chain StrategyError::Stage exposes via source().
+        let verify = err
+            .source()
+            .expect("kernel error has a source")
+            .downcast_ref::<snapbpf_ebpf::VerifyError>()
+            .expect("source is the verifier rejection");
+        assert_eq!(verify.at, Some(0), "Display must carry the offending pc");
+        assert!(
+            verify.register_snapshot().is_some(),
+            "rejection carries the abstract register state"
+        );
+        assert!(verify.source().is_some(), "kind terminates the chain");
+    }
+
+    #[test]
+    fn verifier_log_report_covers_all_shipped_programs() {
+        let report = verifier_log_report().unwrap();
+        assert_eq!(
+            report.matches("verification OK").count(),
+            3,
+            "capture, looped prefetch, and cascade must all verify:\n{report}"
+        );
+        assert_eq!(report.matches("verifying program ").count(), 3);
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! reviewed as text files and round-tripped losslessly:
 //! `parse(program.to_string()) == program`.
 //!
-//! Jump targets are written as relative instruction offsets (`+2`,
-//! `-3` is rejected later by the verifier's no-back-edge rule), the
-//! same convention the disassembly uses.
+//! Jump targets are written as relative instruction offsets (`+2`
+//! forward, `-3` backward — back-edges are legal since the verifier
+//! proves loops bounded), the same convention the disassembly uses.
 
 use std::fmt;
 

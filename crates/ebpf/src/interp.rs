@@ -14,8 +14,11 @@ use crate::insn::{AccessSize, AluOp, HelperId, Insn, JmpCond, Operand, Reg, STAC
 use crate::map::{MapError, MapId, MapKind, MapSet};
 use crate::verify::VerifiedProgram;
 
-/// Hard ceiling on interpreted instructions per run; a verified
-/// program cannot loop, so this is generous.
+/// Default ceiling on interpreted instructions per run. Verified
+/// programs may contain bounded loops, so the budget is the runtime
+/// backstop that keeps one invocation from monopolizing the
+/// (virtual) CPU — the analogue of the kernel's 1M-insn limit.
+/// Override per interpreter with [`Interpreter::set_insn_budget`].
 pub const INSN_BUDGET: u64 = 1 << 20;
 
 /// Host side of kfunc calls.
@@ -81,8 +84,8 @@ impl Value {
 /// Runtime failure of a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
-    /// Instruction budget exhausted (should be unreachable for
-    /// verified programs).
+    /// Per-invocation instruction budget exhausted (a verified
+    /// bounded loop that still overruns its runtime allowance).
     BudgetExhausted,
     /// A defensive runtime check failed; indicates a verifier or
     /// interpreter bug.
@@ -157,16 +160,29 @@ pub struct RunOutcome {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Interpreter {
     /// Virtual time reported by `bpf_ktime_get_ns`.
     now_ns: u64,
     /// Count of `bpf_trace_printk` calls across runs (observability).
     trace_events: u64,
+    /// Per-invocation instruction ceiling.
+    insn_budget: u64,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter {
+            now_ns: 0,
+            trace_events: 0,
+            insn_budget: INSN_BUDGET,
+        }
+    }
 }
 
 impl Interpreter {
-    /// Creates an interpreter with the virtual clock at zero.
+    /// Creates an interpreter with the virtual clock at zero and the
+    /// default [`INSN_BUDGET`].
     pub fn new() -> Self {
         Interpreter::default()
     }
@@ -174,6 +190,18 @@ impl Interpreter {
     /// Sets the virtual time returned by `bpf_ktime_get_ns`.
     pub fn set_now_ns(&mut self, now_ns: u64) {
         self.now_ns = now_ns;
+    }
+
+    /// Sets the per-invocation instruction budget (default
+    /// [`INSN_BUDGET`]). A run that executes this many instructions
+    /// without exiting fails with [`RunError::BudgetExhausted`].
+    pub fn set_insn_budget(&mut self, budget: u64) {
+        self.insn_budget = budget;
+    }
+
+    /// The per-invocation instruction budget in effect.
+    pub fn insn_budget(&self) -> u64 {
+        self.insn_budget
     }
 
     /// Total `bpf_trace_printk` events across runs.
@@ -215,7 +243,7 @@ impl Interpreter {
         }
 
         loop {
-            if executed >= INSN_BUDGET {
+            if executed >= self.insn_budget {
                 return Err(RunError::BudgetExhausted);
             }
             executed += 1;
@@ -1050,6 +1078,36 @@ mod tests {
             .run(&p, &[], &mut maps, &mut Failing)
             .unwrap_err();
         assert!(matches!(err, RunError::KfuncFailed { kfunc: 0, .. }));
+    }
+
+    #[test]
+    fn insn_budget_bounds_a_verified_loop() {
+        // A 1000-iteration verified loop runs under the default
+        // budget but trips a deliberately tiny one.
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("loop");
+        let top = b.label();
+        let done = b.label();
+        b.mov(Reg::R0, 0).mov(Reg::R6, 0);
+        b.bind(top).unwrap();
+        b.jump_if(JmpCond::Ge, Reg::R6, 1000i64, done)
+            .add(Reg::R6, 1)
+            .jump(top)
+            .bind(done)
+            .unwrap()
+            .exit();
+        let p = Verifier::new(&maps, &[])
+            .verify(&b.build().unwrap())
+            .unwrap();
+        let mut maps = maps;
+        let mut interp = Interpreter::new();
+        let out = interp.run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        assert!(out.insns_executed > 3000);
+
+        interp.set_insn_budget(100);
+        assert_eq!(interp.insn_budget(), 100);
+        let err = interp.run(&p, &[], &mut maps, &mut NoKfuncs).unwrap_err();
+        assert_eq!(err, RunError::BudgetExhausted);
     }
 
     #[test]

@@ -259,6 +259,8 @@ impl KprobeRegistry {
                     a.insns += o.insns_executed;
                     self.trace.incr("ebpf.prog.invocations");
                     self.trace.add("ebpf.prog.insns", o.insns_executed);
+                    self.trace
+                        .observe("ebpf.prog.insns_per_invocation", o.insns_executed);
                 }
                 Err(_) => self.trace.incr("ebpf.prog.errors"),
             }

@@ -7,9 +7,12 @@
 //! * [`ProgramBuilder`] — a label-based assembler for the
 //!   register-machine [instruction set](Insn),
 //! * [`Verifier`] — a static verifier enforcing the kernel's safety
-//!   rules: initialized registers, bounded stack and map-value
-//!   accesses, null checks after `bpf_map_lookup_elem`, helper
-//!   signatures, no loops, bounded complexity,
+//!   rules with 5.3-class range analysis: initialized registers,
+//!   bounded stack and map-value accesses (constant *or*
+//!   range-proven offsets), null checks after
+//!   `bpf_map_lookup_elem`, helper signatures, bounded loops via
+//!   state pruning, bounded complexity — with an optional
+//!   [`VerifierLog`],
 //! * [`Interpreter`] — executes verified programs with eBPF
 //!   semantics (helper calling convention, div-by-zero-is-zero,
 //!   32-bit zero extension),
@@ -88,5 +91,6 @@ pub use kprobe::{FireResult, KprobeRegistry, ProbeError, ProbeId};
 pub use map::{MapDef, MapError, MapId, MapKind, MapSet};
 pub use program::{AsmError, Label, Program, ProgramBuilder};
 pub use verify::{
-    KfuncSig, VerifiedProgram, Verifier, VerifyError, VerifyErrorKind, COMPLEXITY_LIMIT,
+    KfuncSig, VerifiedProgram, Verifier, VerifierLog, VerifierStats, VerifyError, VerifyErrorKind,
+    COMPLEXITY_LIMIT,
 };

@@ -2,24 +2,35 @@
 //!
 //! Before a program may be attached, it is verified the way the Linux
 //! verifier checks real eBPF: abstract interpretation over typed
-//! registers. The model enforces:
+//! registers. Since the 5.3-class upgrade the analysis is
+//! *range-based*: every scalar carries signed and unsigned interval
+//! bounds (`smin/smax/umin/umax`) that ALU ops transform and
+//! conditional jumps refine per branch direction, so a map-value or
+//! stack access indexed by a bounds-checked register verifies without
+//! a verifier-known constant. The model enforces:
 //!
 //! * every register is initialized before use; `r10` is read-only,
 //! * all stack accesses are in-bounds, aligned, and read only
 //!   initialized bytes,
 //! * map-value pointers are null-checked before dereference and stay
-//!   within the value's bounds,
+//!   within the value's bounds for every offset in their range,
 //! * helper calls match their signatures (map refs, key/value
 //!   pointers into initialized stack memory),
-//! * no back-edges (the pre-5.3 "no loops" rule — SnapBPF's programs
-//!   are written in the re-trigger style this implies),
-//! * every path ends in `exit` with `r0` initialized,
+//! * back-edges are allowed: bounded loops verify via state pruning
+//!   (a loop-header state subsumed by an already-explored one is
+//!   pruned; repeated identical states are rejected as
+//!   non-terminating), with [`COMPLEXITY_LIMIT`] as the backstop,
+//! * every path ends in `exit` with `r0` initialized, and no
+//!   instruction is statically unreachable,
 //! * path exploration is bounded by a complexity limit.
 //!
 //! Verification returns a [`VerifiedProgram`] token; the interpreter
-//! only accepts verified programs.
+//! only accepts verified programs. [`Verifier::verify_logged`]
+//! additionally produces a structured [`VerifierLog`] with per-insn
+//! state transitions, rejection reasons, and summary
+//! [`VerifierStats`].
 
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::fmt;
 
 use crate::insn::{
@@ -32,6 +43,12 @@ use crate::program::Program;
 /// verifier gives up, mirroring the kernel's complexity limit.
 pub const COMPLEXITY_LIMIT: usize = 100_000;
 
+/// Cap on the per-instruction list of subsumption-prune candidates.
+const WIDE_CAND_LIMIT: usize = 64;
+
+/// Cap on verifier-log lines; beyond this the log is truncated.
+const LOG_LINE_LIMIT: usize = 4096;
+
 /// Signature of a kfunc as known to the verifier.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KfuncSig {
@@ -41,25 +58,136 @@ pub struct KfuncSig {
     pub args: u8,
 }
 
+/// Interval bounds on a scalar register, tracked in both the signed
+/// and unsigned domains (the value is a single 64-bit quantity; both
+/// views constrain it simultaneously).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ScalarRange {
+    smin: i64,
+    smax: i64,
+    umin: u64,
+    umax: u64,
+}
+
+impl ScalarRange {
+    fn exact(v: i64) -> Self {
+        ScalarRange {
+            smin: v,
+            smax: v,
+            umin: v as u64,
+            umax: v as u64,
+        }
+    }
+
+    fn unknown() -> Self {
+        ScalarRange {
+            smin: i64::MIN,
+            smax: i64::MAX,
+            umin: 0,
+            umax: u64::MAX,
+        }
+    }
+
+    /// The exact value, when both domains agree on a single point.
+    fn const_value(&self) -> Option<i64> {
+        if self.smin == self.smax && self.umin == self.umax && self.smin as u64 == self.umin {
+            Some(self.smin)
+        } else {
+            None
+        }
+    }
+
+    fn is_valid(&self) -> bool {
+        self.smin <= self.smax && self.umin <= self.umax
+    }
+
+    /// Cross-deduces bounds between the signed and unsigned views:
+    /// a known-non-negative signed range pins the unsigned one and
+    /// vice versa.
+    fn deduce(mut self) -> Self {
+        if self.smin >= 0 {
+            self.umin = self.umin.max(self.smin as u64);
+            self.umax = self.umax.min(self.smax as u64);
+        }
+        if self.umax <= i64::MAX as u64 {
+            self.smin = self.smin.max(self.umin as i64);
+            self.smax = self.smax.min(self.umax as i64);
+        }
+        self
+    }
+
+    /// Whether every value admitted by `other` is admitted by `self`.
+    fn subsumes(&self, other: &Self) -> bool {
+        self.smin <= other.smin
+            && self.smax >= other.smax
+            && self.umin <= other.umin
+            && self.umax >= other.umax
+    }
+}
+
+/// A (possibly variable) pointer offset, as an inclusive byte range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct VarOff {
+    min: i32,
+    max: i32,
+}
+
+impl VarOff {
+    fn exact(v: i32) -> Self {
+        VarOff { min: v, max: v }
+    }
+
+    fn is_exact(&self) -> bool {
+        self.min == self.max
+    }
+
+    fn subsumes(&self, other: &Self) -> bool {
+        self.min <= other.min && self.max >= other.max
+    }
+}
+
 /// Abstract type of a register during verification.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum RegType {
     Uninit,
-    /// A scalar; `Some(v)` when the exact value is known.
-    Scalar(Option<i64>),
+    /// A scalar with interval bounds.
+    Scalar(ScalarRange),
     /// The frame pointer (`r10`).
     FramePtr,
-    /// `r10 + off` for a known constant `off`.
-    StackPtr(i32),
+    /// `r10 + off` for a bounded offset range.
+    StackPtr(VarOff),
     /// A reference to a map (from [`Insn::LoadMapRef`]).
     MapRef(MapId),
     /// Result of `bpf_map_lookup_elem`: value pointer or null.
     MapValueOrNull(MapId),
-    /// A null-checked map-value pointer at byte offset `off`.
-    MapValue(MapId, i32),
+    /// A null-checked map-value pointer at a bounded byte offset.
+    MapValue(MapId, VarOff),
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+impl RegType {
+    fn scalar_exact(v: i64) -> Self {
+        RegType::Scalar(ScalarRange::exact(v))
+    }
+
+    fn scalar_unknown() -> Self {
+        RegType::Scalar(ScalarRange::unknown())
+    }
+
+    /// Whether this abstract value covers every concrete value
+    /// `other` covers (`Uninit` covers everything: a program safe
+    /// with the register unwritten never reads it).
+    fn subsumes(&self, other: &RegType) -> bool {
+        match (self, other) {
+            (RegType::Uninit, _) => true,
+            (RegType::Scalar(a), RegType::Scalar(b)) => a.subsumes(b),
+            (RegType::StackPtr(a), RegType::StackPtr(b)) => a.subsumes(b),
+            (RegType::MapValue(m, a), RegType::MapValue(n, b)) => m == n && a.subsumes(b),
+            _ => self == other,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct AbsState {
     regs: [RegType; 11],
     /// One bit per stack byte: initialized?
@@ -68,7 +196,7 @@ struct AbsState {
 
 impl AbsState {
     fn entry() -> Self {
-        let mut regs = std::array::from_fn(|_| RegType::Uninit);
+        let mut regs = [RegType::Uninit; 11];
         regs[10] = RegType::FramePtr;
         // r1 holds the context pointer in real eBPF; our LoadCtx
         // pseudo-instruction replaces ctx pointer arithmetic, so r1
@@ -88,15 +216,67 @@ impl AbsState {
     fn stack_is_init(&self, start: usize, len: usize) -> bool {
         (start..start + len).all(|b| self.stack_init[b / 64] & (1 << (b % 64)) != 0)
     }
+
+    /// State subsumption: every register covers the other state's,
+    /// and this state assumes *no more* initialized stack bytes.
+    fn subsumes(&self, other: &AbsState) -> bool {
+        self.regs
+            .iter()
+            .zip(&other.regs)
+            .all(|(a, b)| a.subsumes(b))
+            && self
+                .stack_init
+                .iter()
+                .zip(&other.stack_init)
+                .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether pruning against this state can ever beat exact
+    /// equality (i.e. it strictly covers more than one point).
+    fn widenable(&self) -> bool {
+        self.regs.iter().any(|r| match r {
+            RegType::Uninit => true,
+            RegType::Scalar(s) => s.const_value().is_none(),
+            RegType::StackPtr(v) | RegType::MapValue(_, v) => !v.is_exact(),
+            _ => false,
+        })
+    }
 }
 
-/// Verification failure, with the offending instruction index.
+/// Verification failure, with the offending instruction index and
+/// (when available) a snapshot of the abstract register state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyError {
     /// Instruction index, when attributable.
     pub at: Option<usize>,
     /// What went wrong.
     pub kind: VerifyErrorKind,
+    /// Rendered register state at the point of failure.
+    regs: Option<String>,
+}
+
+impl VerifyError {
+    fn new(at: Option<usize>, kind: VerifyErrorKind) -> Self {
+        VerifyError {
+            at,
+            kind,
+            regs: None,
+        }
+    }
+
+    fn with_regs(mut self, st: &AbsState) -> Self {
+        if self.regs.is_none() {
+            self.regs = Some(format_regs(st));
+        }
+        self
+    }
+
+    /// The abstract register state at the failing instruction, as
+    /// rendered in the verifier log (`None` when no state applies,
+    /// e.g. for an empty program).
+    pub fn register_snapshot(&self) -> Option<&str> {
+        self.regs.as_deref()
+    }
 }
 
 /// The kinds of verification failure.
@@ -112,13 +292,17 @@ pub enum VerifyErrorKind {
     FallOffEnd,
     /// A jump leaves the program.
     JumpOutOfProgram,
-    /// A backward jump (loop) was found.
-    BackEdge {
-        /// Jump source.
+    /// An edge closes a cycle by revisiting an abstract state still
+    /// being explored on the current path: the loop makes no provable
+    /// progress and cannot be bounded.
+    InfiniteLoop {
+        /// Source of the cycle-closing edge.
         from: usize,
-        /// Jump target.
+        /// Instruction revisited with an identical state.
         to: usize,
     },
+    /// An instruction no execution path can ever reach.
+    DeadCode,
     /// Stack access outside `[-512, 0)` or misaligned.
     BadStackAccess {
         /// Byte offset relative to the frame pointer.
@@ -161,7 +345,7 @@ pub enum VerifyErrorKind {
         arg: Reg,
     },
     /// Arithmetic that the verifier cannot prove safe (e.g. pointer
-    /// arithmetic with an unknown offset, or non-add/sub on a
+    /// arithmetic with an unbounded offset, or non-add/sub on a
     /// pointer).
     BadPointerArithmetic(Reg),
     /// Spilling a pointer to the stack (not supported by this
@@ -185,9 +369,13 @@ pub enum VerifyErrorKind {
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.at {
-            Some(at) => write!(f, "at insn {at}: {}", self.kind),
-            None => write!(f, "{}", self.kind),
+            Some(at) => write!(f, "at insn {at}: {}", self.kind)?,
+            None => write!(f, "{}", self.kind)?,
         }
+        if let Some(regs) = &self.regs {
+            write!(f, "\n  regs: {regs}")?;
+        }
+        Ok(())
     }
 }
 
@@ -200,7 +388,11 @@ impl fmt::Display for VerifyErrorKind {
             FramePointerWrite => write!(f, "write to frame pointer r10"),
             FallOffEnd => write!(f, "execution can fall off the end"),
             JumpOutOfProgram => write!(f, "jump target outside program"),
-            BackEdge { from, to } => write!(f, "back-edge from {from} to {to} (loops forbidden)"),
+            InfiniteLoop { from, to } => write!(
+                f,
+                "infinite loop: edge from {from} to {to} revisits an identical state"
+            ),
+            DeadCode => write!(f, "unreachable instruction (dead code)"),
             BadStackAccess { off } => write!(f, "invalid stack access at fp{off:+}"),
             UninitStackRead { off } => write!(f, "read of uninitialized stack at fp{off:+}"),
             BadPointer(r) => write!(f, "{r} is not a valid pointer"),
@@ -235,14 +427,111 @@ impl fmt::Display for VerifyErrorKind {
     }
 }
 
-impl std::error::Error for VerifyError {}
+impl std::error::Error for VerifyErrorKind {}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.kind)
+    }
+}
+
+/// Summary statistics from one verification run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifierStats {
+    /// Total instructions processed (counting revisits with new
+    /// abstract states).
+    pub insns_processed: u64,
+    /// `(pc, state)` pairs explored (same count as
+    /// `insns_processed`; kept for the complexity-limit contract).
+    pub states_explored: usize,
+    /// States skipped because an equal or subsuming state was
+    /// already fully explored at the same instruction.
+    pub states_pruned: u64,
+    /// Deepest conditional-branch nesting reached on any path.
+    pub peak_branch_depth: usize,
+    /// Statically-reachable instructions that no explored path
+    /// visited (branch pruning proved them dynamically dead).
+    pub dead_insns: u64,
+}
+
+/// A structured, human-readable log of one verification run:
+/// per-instruction state transitions, prune decisions, the
+/// rejection reason (if any), and summary [`VerifierStats`].
+#[derive(Debug, Clone, Default)]
+pub struct VerifierLog {
+    enabled: bool,
+    truncated: bool,
+    lines: Vec<String>,
+    stats: VerifierStats,
+}
+
+impl VerifierLog {
+    fn note(&mut self, line: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.lines.len() >= LOG_LINE_LIMIT {
+            self.truncated = true;
+            return;
+        }
+        self.lines.push(line());
+    }
+
+    /// Like [`Self::note`] but exempt from the line limit: the
+    /// rejection reason must survive even when per-insn tracing
+    /// already filled the log.
+    fn note_critical(&mut self, line: impl FnOnce() -> String) {
+        if self.enabled {
+            self.lines.push(line());
+        }
+    }
+
+    /// The log lines, in exploration order.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The summary statistics.
+    pub fn stats(&self) -> &VerifierStats {
+        &self.stats
+    }
+
+    /// Renders the full log: every line plus a stats footer.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if self.truncated {
+            out.push_str("... (log truncated)\n");
+        }
+        let s = &self.stats;
+        out.push_str(&format!(
+            "verification stats: insns_processed={} states_explored={} states_pruned={} \
+             peak_branch_depth={} dead_insns={}\n",
+            s.insns_processed,
+            s.states_explored,
+            s.states_pruned,
+            s.peak_branch_depth,
+            s.dead_insns
+        ));
+        out
+    }
+}
+
+impl fmt::Display for VerifierLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
 
 /// A program that passed verification, ready to run or attach.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifiedProgram {
     program: Program,
-    /// Instruction-count statistics from verification.
-    states_explored: usize,
+    stats: VerifierStats,
+    log: Option<String>,
 }
 
 impl VerifiedProgram {
@@ -253,8 +542,40 @@ impl VerifiedProgram {
 
     /// How many `(pc, state)` pairs verification explored.
     pub fn states_explored(&self) -> usize {
-        self.states_explored
+        self.stats.states_explored
     }
+
+    /// Summary statistics from the verification run.
+    pub fn stats(&self) -> &VerifierStats {
+        &self.stats
+    }
+
+    /// The rendered verifier log, when verification ran with logging
+    /// enabled ([`Verifier::verify_logged`]).
+    pub fn log(&self) -> Option<&str> {
+        self.log.as_deref()
+    }
+}
+
+/// Per-instruction memory of *fully explored* states: exact states
+/// for O(1) revisit pruning plus wider-than-a-point states for
+/// subsumption pruning. States still on the walk path are tracked
+/// separately — pruning against an unfinished state would let a
+/// loop justify itself circularly.
+#[derive(Default)]
+struct SeenAt {
+    all: HashSet<AbsState>,
+    wide: Vec<AbsState>,
+}
+
+/// One node on the depth-first walk path: the state being explored
+/// at `pc` plus its not-yet-visited successors.
+struct Frame {
+    pc: usize,
+    state: AbsState,
+    depth: usize,
+    branched: bool,
+    succs: Vec<(usize, AbsState)>,
 }
 
 /// The verifier. Holds the map set (for bounds/signature data) and
@@ -277,50 +598,162 @@ impl<'a> Verifier<'a> {
     ///
     /// Returns the first [`VerifyError`] found on any path.
     pub fn verify(&self, program: &Program) -> Result<VerifiedProgram, VerifyError> {
+        self.verify_impl(program, false).0
+    }
+
+    /// Verifies `program` with the verifier log enabled; the log is
+    /// returned alongside the result (and also retained on the
+    /// [`VerifiedProgram`] on success).
+    pub fn verify_logged(
+        &self,
+        program: &Program,
+    ) -> (Result<VerifiedProgram, VerifyError>, VerifierLog) {
+        self.verify_impl(program, true)
+    }
+
+    fn verify_impl(
+        &self,
+        program: &Program,
+        want_log: bool,
+    ) -> (Result<VerifiedProgram, VerifyError>, VerifierLog) {
+        let mut log = VerifierLog {
+            enabled: want_log,
+            ..VerifierLog::default()
+        };
+        log.note(|| format!("verifying program `{}`", program.name()));
+
         if program.is_empty() {
-            return Err(VerifyError {
-                at: None,
-                kind: VerifyErrorKind::EmptyProgram,
-            });
+            let e = VerifyError::new(None, VerifyErrorKind::EmptyProgram);
+            log.note_critical(|| format!("rejected: {e}"));
+            return (Err(e), log);
         }
 
         let insns = program.insns();
-        let mut visited: HashMap<usize, Vec<AbsState>> = HashMap::new();
-        let mut stack = vec![(0usize, AbsState::entry())];
-        let mut explored = 0usize;
+        let reachable = static_reachable(insns);
+        let mut completed: Vec<SeenAt> = (0..insns.len()).map(|_| SeenAt::default()).collect();
+        let mut path_set: HashSet<(usize, AbsState)> = HashSet::new();
+        let mut visited = vec![false; insns.len()];
+        let mut stats = VerifierStats::default();
 
-        while let Some((pc, state)) = stack.pop() {
-            // Prune exact revisits.
-            let seen = visited.entry(pc).or_default();
-            if seen.iter().any(|s| s == &state) {
-                continue;
+        let reject = |e: VerifyError, stats: VerifierStats, mut log: VerifierLog| {
+            log.note_critical(|| format!("rejected: {e}"));
+            log.stats = stats;
+            (Err(e), log)
+        };
+
+        // Depth-first walk with an explicit path. A state is pruned
+        // only against states whose whole subtree already verified;
+        // re-entering a (pc, state) still on the current path is a
+        // cycle with no abstract progress — an unprovable loop.
+        let mut path: Vec<Frame> = Vec::new();
+        let mut next: Option<(usize, AbsState, Option<usize>, usize)> =
+            Some((0, AbsState::entry(), None, 0));
+
+        'walk: loop {
+            if let Some((pc, state, parent, depth)) = next.take() {
+                stats.peak_branch_depth = stats.peak_branch_depth.max(depth);
+
+                if pc >= insns.len() {
+                    let e =
+                        VerifyError::new(Some(pc.saturating_sub(1)), VerifyErrorKind::FallOffEnd)
+                            .with_regs(&state);
+                    return reject(e, stats, log);
+                }
+
+                if completed[pc].all.contains(&state) {
+                    stats.states_pruned += 1;
+                    log.note(|| format!("{pc}: pruned (state already explored)"));
+                } else if completed[pc].wide.iter().any(|w| w.subsumes(&state)) {
+                    stats.states_pruned += 1;
+                    log.note(|| format!("{pc}: pruned (subsumed by wider explored state)"));
+                } else if path_set.contains(&(pc, state)) {
+                    let from = parent.unwrap_or(pc);
+                    let e = VerifyError::new(
+                        Some(from),
+                        VerifyErrorKind::InfiniteLoop { from, to: pc },
+                    )
+                    .with_regs(&state);
+                    return reject(e, stats, log);
+                } else {
+                    stats.insns_processed += 1;
+                    stats.states_explored += 1;
+                    if stats.states_explored > COMPLEXITY_LIMIT {
+                        let e = VerifyError::new(Some(pc), VerifyErrorKind::TooComplex)
+                            .with_regs(&state);
+                        return reject(e, stats, log);
+                    }
+                    visited[pc] = true;
+                    log.note(|| format!("{pc}: {} ; {}", insns[pc], format_regs(&state)));
+
+                    let succs = match self.step(pc, insns[pc], state, insns.len()) {
+                        Ok(s) => s,
+                        Err(e) => return reject(e.with_regs(&state), stats, log),
+                    };
+                    let branched = succs.len() > 1;
+                    path_set.insert((pc, state));
+                    path.push(Frame {
+                        pc,
+                        state,
+                        depth,
+                        branched,
+                        succs,
+                    });
+                }
             }
-            seen.push(state.clone());
 
-            explored += 1;
-            if explored > COMPLEXITY_LIMIT {
-                return Err(VerifyError {
-                    at: Some(pc),
-                    kind: VerifyErrorKind::TooComplex,
-                });
+            // Advance to the next unvisited successor, retiring
+            // fully explored frames into the prune sets as we pop.
+            next = loop {
+                let Some(top) = path.last_mut() else {
+                    break 'walk;
+                };
+                if let Some((npc, nst)) = top.succs.pop() {
+                    break Some((
+                        npc,
+                        nst,
+                        Some(top.pc),
+                        top.depth + usize::from(top.branched),
+                    ));
+                }
+                let done = path.pop().expect("path non-empty");
+                path_set.remove(&(done.pc, done.state));
+                if done.state.widenable() && completed[done.pc].wide.len() < WIDE_CAND_LIMIT {
+                    completed[done.pc].wide.push(done.state);
+                }
+                completed[done.pc].all.insert(done.state);
+            };
+        }
+
+        // Static dead code is a rejection; dynamically-pruned (but
+        // statically reachable) instructions are only a statistic.
+        for pc in 0..insns.len() {
+            if !reachable[pc] {
+                let e = VerifyError::new(Some(pc), VerifyErrorKind::DeadCode);
+                return reject(e, stats, log);
             }
-
-            if pc >= insns.len() {
-                return Err(VerifyError {
-                    at: Some(pc.saturating_sub(1)),
-                    kind: VerifyErrorKind::FallOffEnd,
-                });
-            }
-
-            for (next_pc, next_state) in self.step(pc, insns[pc], state, insns.len())? {
-                stack.push((next_pc, next_state));
+            if !visited[pc] {
+                stats.dead_insns += 1;
+                log.note(|| format!("{pc}: never reached (branch pruning)"));
             }
         }
 
-        Ok(VerifiedProgram {
-            program: program.clone(),
-            states_explored: explored,
-        })
+        log.note_critical(|| {
+            format!(
+                "verification OK: {} insns, {} states",
+                insns.len(),
+                stats.states_explored
+            )
+        });
+        log.stats = stats.clone();
+        let rendered = want_log.then(|| log.render());
+        (
+            Ok(VerifiedProgram {
+                program: program.clone(),
+                stats,
+                log: rendered,
+            }),
+            log,
+        )
     }
 
     /// Executes one instruction abstractly, returning successor
@@ -332,20 +765,13 @@ impl<'a> Verifier<'a> {
         mut st: AbsState,
         prog_len: usize,
     ) -> Result<Vec<(usize, AbsState)>, VerifyError> {
-        let err = |kind| VerifyError { at: Some(pc), kind };
+        let err = |kind| VerifyError::new(Some(pc), kind);
         let jump_target = |off: i32| -> Result<usize, VerifyError> {
             let target = pc as i64 + 1 + off as i64;
             if target < 0 || target as usize >= prog_len {
                 return Err(err(VerifyErrorKind::JumpOutOfProgram));
             }
-            let target = target as usize;
-            if target <= pc {
-                return Err(err(VerifyErrorKind::BackEdge {
-                    from: pc,
-                    to: target,
-                }));
-            }
-            Ok(target)
+            Ok(target as usize)
         };
 
         match insn {
@@ -355,28 +781,28 @@ impl<'a> Verifier<'a> {
                 }
                 let wide = matches!(insn, Insn::Alu64 { .. });
                 let src_ty = match src {
-                    Operand::Imm(v) => RegType::Scalar(Some(v)),
+                    Operand::Imm(v) => RegType::scalar_exact(v),
                     Operand::Reg(r) => {
-                        let t = st.regs[r.index()].clone();
+                        let t = st.regs[r.index()];
                         if t == RegType::Uninit {
                             return Err(err(VerifyErrorKind::UninitRegister(r)));
                         }
                         t
                     }
                 };
-                let dst_ty = st.regs[dst.index()].clone();
+                let dst_ty = st.regs[dst.index()];
                 let new_ty = if op == AluOp::Mov {
                     // Moves propagate types (including pointers).
                     if wide {
                         src_ty
                     } else {
-                        // 32-bit move truncates: pointers become
-                        // scalars of unknown value.
+                        // 32-bit move truncates: pointers may not be
+                        // truncated.
                         match src_ty {
-                            RegType::Scalar(Some(v)) => {
-                                RegType::Scalar(Some((v as u64 as u32) as i64))
-                            }
-                            RegType::Scalar(None) => RegType::Scalar(None),
+                            RegType::Scalar(s) => match s.const_value() {
+                                Some(v) => RegType::scalar_exact((v as u64 as u32) as i64),
+                                None => RegType::Scalar(range_u32()),
+                            },
                             _ => return Err(err(VerifyErrorKind::BadPointerArithmetic(dst))),
                         }
                     }
@@ -384,46 +810,32 @@ impl<'a> Verifier<'a> {
                     if dst_ty == RegType::Uninit {
                         return Err(err(VerifyErrorKind::UninitRegister(dst)));
                     }
-                    match (&dst_ty, &src_ty) {
+                    match (dst_ty, src_ty) {
                         // Scalar op scalar.
-                        (RegType::Scalar(dv), RegType::Scalar(sv)) => {
-                            let known = match (dv, sv, wide) {
-                                (Some(a), Some(b), true) => eval_alu64(op, *a, *b),
-                                (Some(a), Some(b), false) => eval_alu32(op, *a, *b),
-                                _ => None,
-                            };
-                            RegType::Scalar(known)
+                        (RegType::Scalar(a), RegType::Scalar(b)) => {
+                            RegType::Scalar(alu_range(op, wide, a, b))
                         }
-                        // Pointer +/- known constant.
-                        (RegType::FramePtr, RegType::Scalar(Some(k)))
+                        // Pointer +/- bounded scalar.
+                        (RegType::FramePtr, RegType::Scalar(k))
                             if wide && (op == AluOp::Add || op == AluOp::Sub) =>
                         {
-                            let delta = if op == AluOp::Add { *k } else { -*k };
-                            RegType::StackPtr(
-                                i32::try_from(delta)
-                                    .map_err(|_| err(VerifyErrorKind::BadPointerArithmetic(dst)))?,
-                            )
+                            let voff = voff_add(VarOff::exact(0), k, op == AluOp::Sub)
+                                .ok_or_else(|| err(VerifyErrorKind::BadPointerArithmetic(dst)))?;
+                            RegType::StackPtr(voff)
                         }
-                        (RegType::StackPtr(off), RegType::Scalar(Some(k)))
+                        (RegType::StackPtr(off), RegType::Scalar(k))
                             if wide && (op == AluOp::Add || op == AluOp::Sub) =>
                         {
-                            let delta = if op == AluOp::Add { *k } else { -*k };
-                            let new_off = *off as i64 + delta;
-                            RegType::StackPtr(
-                                i32::try_from(new_off)
-                                    .map_err(|_| err(VerifyErrorKind::BadPointerArithmetic(dst)))?,
-                            )
+                            let voff = voff_add(off, k, op == AluOp::Sub)
+                                .ok_or_else(|| err(VerifyErrorKind::BadPointerArithmetic(dst)))?;
+                            RegType::StackPtr(voff)
                         }
-                        (RegType::MapValue(m, off), RegType::Scalar(Some(k)))
+                        (RegType::MapValue(m, off), RegType::Scalar(k))
                             if wide && (op == AluOp::Add || op == AluOp::Sub) =>
                         {
-                            let delta = if op == AluOp::Add { *k } else { -*k };
-                            let new_off = *off as i64 + delta;
-                            RegType::MapValue(
-                                *m,
-                                i32::try_from(new_off)
-                                    .map_err(|_| err(VerifyErrorKind::BadPointerArithmetic(dst)))?,
-                            )
+                            let voff = voff_add(off, k, op == AluOp::Sub)
+                                .ok_or_else(|| err(VerifyErrorKind::BadPointerArithmetic(dst)))?;
+                            RegType::MapValue(m, voff)
                         }
                         _ => return Err(err(VerifyErrorKind::BadPointerArithmetic(dst))),
                     }
@@ -436,8 +848,8 @@ impl<'a> Verifier<'a> {
                     return Err(err(VerifyErrorKind::FramePointerWrite));
                 }
                 match st.regs[dst.index()] {
-                    RegType::Scalar(v) => {
-                        st.regs[dst.index()] = RegType::Scalar(v.map(i64::wrapping_neg));
+                    RegType::Scalar(s) => {
+                        st.regs[dst.index()] = RegType::Scalar(neg_range(s));
                         Ok(vec![(pc + 1, st)])
                     }
                     RegType::Uninit => Err(err(VerifyErrorKind::UninitRegister(dst))),
@@ -448,7 +860,7 @@ impl<'a> Verifier<'a> {
                 if dst.is_frame_pointer() {
                     return Err(err(VerifyErrorKind::FramePointerWrite));
                 }
-                st.regs[dst.index()] = RegType::Scalar(Some(imm));
+                st.regs[dst.index()] = RegType::scalar_exact(imm);
                 Ok(vec![(pc + 1, st)])
             }
             Insn::LoadMapRef { dst, map } => {
@@ -468,7 +880,7 @@ impl<'a> Verifier<'a> {
                 if index >= MAX_CTX_WORDS {
                     return Err(err(VerifyErrorKind::BadCtxIndex(index)));
                 }
-                st.regs[dst.index()] = RegType::Scalar(None);
+                st.regs[dst.index()] = RegType::scalar_unknown();
                 Ok(vec![(pc + 1, st)])
             }
             Insn::Load {
@@ -480,16 +892,17 @@ impl<'a> Verifier<'a> {
                 if dst.is_frame_pointer() {
                     return Err(err(VerifyErrorKind::FramePointerWrite));
                 }
-                self.check_mem(&st, pc, base, off, size, false)?;
-                // Reads of initialized stack must be checked.
-                if let Some(start) = stack_byte_index(&st.regs[base.index()], off) {
-                    if !st.stack_is_init(start, size.bytes()) {
+                self.check_mem(&st, pc, base, off, size)?;
+                // Reads of initialized stack must be checked over the
+                // whole offset range.
+                if let Some((lo, hi)) = stack_byte_span(&st.regs[base.index()], off) {
+                    if !st.stack_is_init(lo, hi - lo + size.bytes()) {
                         return Err(err(VerifyErrorKind::UninitStackRead {
-                            off: rel_off(&st.regs[base.index()], off),
+                            off: rel_bounds(&st.regs[base.index()], off).0,
                         }));
                     }
                 }
-                st.regs[dst.index()] = RegType::Scalar(None);
+                st.regs[dst.index()] = RegType::scalar_unknown();
                 Ok(vec![(pc + 1, st)])
             }
             Insn::Store {
@@ -503,18 +916,24 @@ impl<'a> Verifier<'a> {
                     RegType::Uninit => return Err(err(VerifyErrorKind::UninitRegister(src))),
                     _ => return Err(err(VerifyErrorKind::PointerSpill(src))),
                 }
-                self.check_mem(&st, pc, base, off, size, true)?;
-                if let Some(start) = stack_byte_index(&st.regs[base.index()], off) {
-                    st.stack_mark_init(start, size.bytes());
+                self.check_mem(&st, pc, base, off, size)?;
+                if let Some((lo, hi)) = stack_byte_span(&st.regs[base.index()], off) {
+                    // Only an exactly-known slot becomes initialized;
+                    // a variable-offset store hits *some* slot.
+                    if lo == hi {
+                        st.stack_mark_init(lo, size.bytes());
+                    }
                 }
                 Ok(vec![(pc + 1, st)])
             }
             Insn::StoreImm {
                 base, off, size, ..
             } => {
-                self.check_mem(&st, pc, base, off, size, true)?;
-                if let Some(start) = stack_byte_index(&st.regs[base.index()], off) {
-                    st.stack_mark_init(start, size.bytes());
+                self.check_mem(&st, pc, base, off, size)?;
+                if let Some((lo, hi)) = stack_byte_span(&st.regs[base.index()], off) {
+                    if lo == hi {
+                        st.stack_mark_init(lo, size.bytes());
+                    }
                 }
                 Ok(vec![(pc + 1, st)])
             }
@@ -529,29 +948,28 @@ impl<'a> Verifier<'a> {
                 off,
             } => {
                 let target = jump_target(off)?;
-                let dst_ty = st.regs[dst.index()].clone();
+                let dst_ty = st.regs[dst.index()];
                 if dst_ty == RegType::Uninit {
                     return Err(err(VerifyErrorKind::UninitRegister(dst)));
                 }
-                if let Operand::Reg(r) = src {
-                    let t = &st.regs[r.index()];
-                    if *t == RegType::Uninit {
-                        return Err(err(VerifyErrorKind::UninitRegister(r)));
-                    }
-                    if !matches!(t, RegType::Scalar(_)) {
-                        return Err(err(VerifyErrorKind::PointerComparison));
-                    }
-                }
+                let src_range = match src {
+                    Operand::Imm(v) => ScalarRange::exact(v),
+                    Operand::Reg(r) => match st.regs[r.index()] {
+                        RegType::Uninit => return Err(err(VerifyErrorKind::UninitRegister(r))),
+                        RegType::Scalar(s) => s,
+                        _ => return Err(err(VerifyErrorKind::PointerComparison)),
+                    },
+                };
 
                 // Null-check refinement: `if rX ==/!= 0` on a
                 // maybe-null map value.
                 if let RegType::MapValueOrNull(map) = dst_ty {
                     let zero_imm = matches!(src, Operand::Imm(0));
                     if zero_imm && (cond == JmpCond::Eq || cond == JmpCond::Ne) {
-                        let mut null_state = st.clone();
-                        null_state.regs[dst.index()] = RegType::Scalar(Some(0));
+                        let mut null_state = st;
+                        null_state.regs[dst.index()] = RegType::scalar_exact(0);
                         let mut valid_state = st;
-                        valid_state.regs[dst.index()] = RegType::MapValue(map, 0);
+                        valid_state.regs[dst.index()] = RegType::MapValue(map, VarOff::exact(0));
                         return Ok(if cond == JmpCond::Eq {
                             vec![(target, null_state), (pc + 1, valid_state)]
                         } else {
@@ -560,10 +978,32 @@ impl<'a> Verifier<'a> {
                     }
                     return Err(err(VerifyErrorKind::PossiblyNull(dst)));
                 }
-                if !matches!(dst_ty, RegType::Scalar(_)) {
-                    return Err(err(VerifyErrorKind::PointerComparison));
+                let dst_range = match dst_ty {
+                    RegType::Scalar(s) => s,
+                    _ => return Err(err(VerifyErrorKind::PointerComparison)),
+                };
+
+                // Branch pruning: each direction gets ranges refined
+                // by the condition; a provably-infeasible direction
+                // is simply not explored.
+                let mut succs = Vec::with_capacity(2);
+                if let Some((d, s)) = refine_branch(cond, true, dst_range, src_range) {
+                    let mut t = st;
+                    t.regs[dst.index()] = RegType::Scalar(d);
+                    if let Operand::Reg(r) = src {
+                        t.regs[r.index()] = RegType::Scalar(s);
+                    }
+                    succs.push((target, t));
                 }
-                Ok(vec![(target, st.clone()), (pc + 1, st)])
+                if let Some((d, s)) = refine_branch(cond, false, dst_range, src_range) {
+                    let mut t = st;
+                    t.regs[dst.index()] = RegType::Scalar(d);
+                    if let Operand::Reg(r) = src {
+                        t.regs[r.index()] = RegType::Scalar(s);
+                    }
+                    succs.push((pc + 1, t));
+                }
+                Ok(succs)
             }
             Insn::Call { helper } => {
                 self.check_helper(&mut st, pc, helper)?;
@@ -581,7 +1021,7 @@ impl<'a> Verifier<'a> {
                     }
                 }
                 clobber_caller_saved(&mut st);
-                st.regs[0] = RegType::Scalar(None);
+                st.regs[0] = RegType::scalar_unknown();
                 Ok(vec![(pc + 1, st)])
             }
             Insn::Exit => {
@@ -593,7 +1033,8 @@ impl<'a> Verifier<'a> {
         }
     }
 
-    /// Validates a memory access through `base + off` of `size`.
+    /// Validates a memory access through `base + off` of `size`,
+    /// over the base pointer's whole offset range.
     fn check_mem(
         &self,
         st: &AbsState,
@@ -601,33 +1042,37 @@ impl<'a> Verifier<'a> {
         base: Reg,
         off: i16,
         size: AccessSize,
-        _write: bool,
     ) -> Result<(), VerifyError> {
-        let err = |kind| VerifyError { at: Some(pc), kind };
+        let err = |kind| VerifyError::new(Some(pc), kind);
+        let sz = size.bytes() as i64;
         match &st.regs[base.index()] {
             RegType::FramePtr | RegType::StackPtr(_) => {
-                let rel = rel_off(&st.regs[base.index()], off);
-                let ok = rel >= -(STACK_SIZE as i64)
-                    && rel + size.bytes() as i64 <= 0
-                    && rel % size.bytes() as i64 == 0;
+                let (lo, hi) = rel_bounds(&st.regs[base.index()], off);
+                let ok = lo >= -(STACK_SIZE as i64) && hi + sz <= 0 && lo % sz == 0 && hi % sz == 0;
                 if !ok {
-                    return Err(err(VerifyErrorKind::BadStackAccess { off: rel }));
+                    let bad = if lo < -(STACK_SIZE as i64) || lo % sz != 0 {
+                        lo
+                    } else {
+                        hi
+                    };
+                    return Err(err(VerifyErrorKind::BadStackAccess { off: bad }));
                 }
                 Ok(())
             }
-            RegType::MapValue(map, ptr_off) => {
+            RegType::MapValue(map, voff) => {
                 let def = self
                     .maps
                     .def(*map)
                     .map_err(|_| err(VerifyErrorKind::UnknownMap(*map)))?;
-                let total = *ptr_off as i64 + off as i64;
-                let ok = total >= 0
-                    && total + size.bytes() as i64 <= def.value_size as i64
-                    && total % size.bytes() as i64 == 0;
+                let lo = voff.min as i64 + off as i64;
+                let hi = voff.max as i64 + off as i64;
+                let ok =
+                    lo >= 0 && hi + sz <= def.value_size as i64 && lo % sz == 0 && hi % sz == 0;
                 if !ok {
+                    let bad = if lo < 0 || lo % sz != 0 { lo } else { hi };
                     return Err(err(VerifyErrorKind::MapValueOutOfBounds {
                         map: *map,
-                        off: total,
+                        off: bad,
                         value_size: def.value_size,
                     }));
                 }
@@ -645,18 +1090,20 @@ impl<'a> Verifier<'a> {
         pc: usize,
         helper: HelperId,
     ) -> Result<(), VerifyError> {
-        let err = |kind| VerifyError { at: Some(pc), kind };
-        let bad = |arg: Reg, expected: &'static str| VerifyError {
-            at: Some(pc),
-            kind: VerifyErrorKind::BadHelperArg {
-                helper,
-                arg,
-                expected,
-            },
+        let err = |kind| VerifyError::new(Some(pc), kind);
+        let bad = |arg: Reg, expected: &'static str| {
+            VerifyError::new(
+                Some(pc),
+                VerifyErrorKind::BadHelperArg {
+                    helper,
+                    arg,
+                    expected,
+                },
+            )
         };
 
         /// Requires `r` to be a stack pointer to `len` initialized
-        /// bytes.
+        /// bytes for every offset in its range.
         fn stack_buf(
             st: &AbsState,
             r: Reg,
@@ -664,13 +1111,15 @@ impl<'a> Verifier<'a> {
             mk: impl Fn(Reg, &'static str) -> VerifyError,
         ) -> Result<(), VerifyError> {
             match &st.regs[r.index()] {
-                RegType::StackPtr(off) => {
-                    let rel = *off as i64;
-                    if rel < -(STACK_SIZE as i64) || rel + len as i64 > 0 {
+                RegType::StackPtr(voff) => {
+                    let lo = voff.min as i64;
+                    let hi = voff.max as i64;
+                    if lo < -(STACK_SIZE as i64) || hi + len as i64 > 0 {
                         return Err(mk(r, "in-bounds stack pointer"));
                     }
-                    let start = (STACK_SIZE as i64 + rel) as usize;
-                    if !st.stack_is_init(start, len as usize) {
+                    let start = (STACK_SIZE as i64 + lo) as usize;
+                    let span = (hi - lo) as usize + len as usize;
+                    if !st.stack_is_init(start, span) {
                         return Err(mk(r, "pointer to initialized stack bytes"));
                     }
                     Ok(())
@@ -712,7 +1161,7 @@ impl<'a> Verifier<'a> {
                 if !matches!(st.regs[Reg::R4.index()], RegType::Scalar(_)) {
                     return Err(bad(Reg::R4, "scalar flags"));
                 }
-                RegType::Scalar(None)
+                RegType::scalar_unknown()
             }
             HelperId::MapDelete => {
                 let map = match st.regs[Reg::R1.index()] {
@@ -727,14 +1176,14 @@ impl<'a> Verifier<'a> {
                     return Err(bad(Reg::R1, "hash map"));
                 }
                 stack_buf(st, Reg::R2, def.key_size, bad)?;
-                RegType::Scalar(None)
+                RegType::scalar_unknown()
             }
-            HelperId::KtimeGetNs | HelperId::GetSmpProcessorId => RegType::Scalar(None),
+            HelperId::KtimeGetNs | HelperId::GetSmpProcessorId => RegType::scalar_unknown(),
             HelperId::TracePrintk => {
                 if !matches!(st.regs[Reg::R1.index()], RegType::Scalar(_)) {
                     return Err(bad(Reg::R1, "scalar format id"));
                 }
-                RegType::Scalar(None)
+                RegType::scalar_unknown()
             }
             HelperId::RingbufOutput => {
                 let map = match st.regs[Reg::R1.index()] {
@@ -749,15 +1198,17 @@ impl<'a> Verifier<'a> {
                     return Err(bad(Reg::R1, "ring buffer map"));
                 }
                 let size = match st.regs[Reg::R3.index()] {
-                    RegType::Scalar(Some(s)) if s > 0 && s <= STACK_SIZE as i64 => s as u32,
-                    RegType::Scalar(_) => return Err(err(VerifyErrorKind::UnknownRingSize)),
+                    RegType::Scalar(s) => match s.const_value() {
+                        Some(v) if v > 0 && v <= STACK_SIZE as i64 => v as u32,
+                        _ => return Err(err(VerifyErrorKind::UnknownRingSize)),
+                    },
                     _ => return Err(bad(Reg::R3, "scalar size")),
                 };
                 stack_buf(st, Reg::R2, size, bad)?;
                 if !matches!(st.regs[Reg::R4.index()], RegType::Scalar(_)) {
                     return Err(bad(Reg::R4, "scalar flags"));
                 }
-                RegType::Scalar(None)
+                RegType::scalar_unknown()
             }
         };
         clobber_caller_saved(st);
@@ -773,25 +1224,430 @@ fn clobber_caller_saved(st: &mut AbsState) {
     }
 }
 
-/// Byte offset of an access relative to the frame pointer, for
-/// stack-based registers.
-fn rel_off(base: &RegType, off: i16) -> i64 {
+/// Inclusive min/max byte offset of an access relative to the frame
+/// pointer, for stack-based registers.
+fn rel_bounds(base: &RegType, off: i16) -> (i64, i64) {
     match base {
-        RegType::FramePtr => off as i64,
-        RegType::StackPtr(p) => *p as i64 + off as i64,
-        _ => off as i64,
+        RegType::FramePtr => (off as i64, off as i64),
+        RegType::StackPtr(v) => (v.min as i64 + off as i64, v.max as i64 + off as i64),
+        _ => (off as i64, off as i64),
     }
 }
 
-/// Index into the stack byte array for a stack access, or `None` for
-/// non-stack bases.
-fn stack_byte_index(base: &RegType, off: i16) -> Option<usize> {
+/// Inclusive min/max index into the stack byte array for a stack
+/// access, or `None` for non-stack bases. Only meaningful after
+/// `check_mem` has validated the access.
+fn stack_byte_span(base: &RegType, off: i16) -> Option<(usize, usize)> {
     match base {
         RegType::FramePtr | RegType::StackPtr(_) => {
-            let rel = rel_off(base, off);
-            Some((STACK_SIZE as i64 + rel) as usize)
+            let (lo, hi) = rel_bounds(base, off);
+            Some((
+                (STACK_SIZE as i64 + lo) as usize,
+                (STACK_SIZE as i64 + hi) as usize,
+            ))
         }
         _ => None,
+    }
+}
+
+/// The full zero-extended 32-bit result range.
+fn range_u32() -> ScalarRange {
+    ScalarRange {
+        smin: 0,
+        smax: u32::MAX as i64,
+        umin: 0,
+        umax: u32::MAX as u64,
+    }
+}
+
+/// Adds (or subtracts) a bounded scalar to a pointer offset range;
+/// `None` when any resulting offset leaves `i32` (unprovable
+/// pointer arithmetic).
+fn voff_add(base: VarOff, k: ScalarRange, sub: bool) -> Option<VarOff> {
+    let (dmin, dmax) = if sub {
+        (k.smax.checked_neg()?, k.smin.checked_neg()?)
+    } else {
+        (k.smin, k.smax)
+    };
+    let lo = (base.min as i64).checked_add(dmin)?;
+    let hi = (base.max as i64).checked_add(dmax)?;
+    Some(VarOff {
+        min: i32::try_from(lo).ok()?,
+        max: i32::try_from(hi).ok()?,
+    })
+}
+
+fn neg_range(r: ScalarRange) -> ScalarRange {
+    match (r.smax.checked_neg(), r.smin.checked_neg()) {
+        (Some(lo), Some(hi)) => ScalarRange {
+            smin: lo,
+            smax: hi,
+            umin: 0,
+            umax: u64::MAX,
+        }
+        .deduce(),
+        _ => ScalarRange::unknown(),
+    }
+}
+
+/// The range transfer function for ALU ops. Constant operands fold
+/// exactly (via the interpreter-mirroring `eval_alu*`); otherwise
+/// each op derives the tightest cheap interval and cross-deduces.
+fn alu_range(op: AluOp, wide: bool, a: ScalarRange, b: ScalarRange) -> ScalarRange {
+    if let (Some(x), Some(y)) = (a.const_value(), b.const_value()) {
+        let v = if wide {
+            eval_alu64(op, x, y)
+        } else {
+            eval_alu32(op, x, y)
+        };
+        if let Some(v) = v {
+            return ScalarRange::exact(v);
+        }
+    }
+    if !wide {
+        // 32-bit results are zero-extended: always within u32.
+        return range_u32();
+    }
+    let full = ScalarRange::unknown();
+    let r = match op {
+        AluOp::Add => {
+            let (smin, smax) = match (a.smin.checked_add(b.smin), a.smax.checked_add(b.smax)) {
+                (Some(lo), Some(hi)) => (lo, hi),
+                _ => (i64::MIN, i64::MAX),
+            };
+            let (umin, umax) = match (a.umin.checked_add(b.umin), a.umax.checked_add(b.umax)) {
+                (Some(lo), Some(hi)) => (lo, hi),
+                _ => (0, u64::MAX),
+            };
+            ScalarRange {
+                smin,
+                smax,
+                umin,
+                umax,
+            }
+        }
+        AluOp::Sub => {
+            let (smin, smax) = match (a.smin.checked_sub(b.smax), a.smax.checked_sub(b.smin)) {
+                (Some(lo), Some(hi)) => (lo, hi),
+                _ => (i64::MIN, i64::MAX),
+            };
+            let (umin, umax) = if a.umin >= b.umax {
+                (a.umin - b.umax, a.umax.saturating_sub(b.umin))
+            } else {
+                (0, u64::MAX)
+            };
+            ScalarRange {
+                smin,
+                smax,
+                umin,
+                umax,
+            }
+        }
+        AluOp::Mul => match a.umax.checked_mul(b.umax) {
+            Some(hi) => ScalarRange {
+                smin: i64::MIN,
+                smax: i64::MAX,
+                umin: a.umin.saturating_mul(b.umin),
+                umax: hi,
+            },
+            None => full,
+        },
+        AluOp::Div => {
+            if let Some(c) = b.const_value() {
+                let cu = c as u64;
+                match (a.umin.checked_div(cu), a.umax.checked_div(cu)) {
+                    (Some(lo), Some(hi)) => ScalarRange {
+                        smin: i64::MIN,
+                        smax: i64::MAX,
+                        umin: lo,
+                        umax: hi,
+                    },
+                    // Division by zero yields 0 by definition.
+                    _ => ScalarRange::exact(0),
+                }
+            } else {
+                // An unsigned quotient never exceeds the dividend.
+                ScalarRange {
+                    smin: i64::MIN,
+                    smax: i64::MAX,
+                    umin: 0,
+                    umax: a.umax,
+                }
+            }
+        }
+        AluOp::Mod => ScalarRange {
+            smin: i64::MIN,
+            smax: i64::MAX,
+            umin: 0,
+            umax: a.umax.min(b.umax.saturating_sub(1)),
+        },
+        AluOp::And => ScalarRange {
+            smin: i64::MIN,
+            smax: i64::MAX,
+            umin: 0,
+            umax: a.umax.min(b.umax),
+        },
+        AluOp::Or => {
+            let hi = a.umax.max(b.umax);
+            let umax = hi
+                .checked_add(1)
+                .and_then(u64::checked_next_power_of_two)
+                .map_or(u64::MAX, |p| p - 1);
+            ScalarRange {
+                smin: i64::MIN,
+                smax: i64::MAX,
+                umin: a.umin.max(b.umin),
+                umax,
+            }
+        }
+        AluOp::Xor => {
+            let hi = a.umax.max(b.umax);
+            let umax = hi
+                .checked_add(1)
+                .and_then(u64::checked_next_power_of_two)
+                .map_or(u64::MAX, |p| p - 1);
+            ScalarRange {
+                smin: i64::MIN,
+                smax: i64::MAX,
+                umin: 0,
+                umax,
+            }
+        }
+        AluOp::Lsh => {
+            if let Some(c) = b.const_value() {
+                let sh = (c as u64 & 63) as u32;
+                if a.umax.leading_zeros() >= sh {
+                    ScalarRange {
+                        smin: i64::MIN,
+                        smax: i64::MAX,
+                        umin: a.umin << sh,
+                        umax: a.umax << sh,
+                    }
+                } else {
+                    full
+                }
+            } else {
+                full
+            }
+        }
+        AluOp::Rsh => {
+            if let Some(c) = b.const_value() {
+                let sh = (c as u64 & 63) as u32;
+                ScalarRange {
+                    smin: i64::MIN,
+                    smax: i64::MAX,
+                    umin: a.umin >> sh,
+                    umax: a.umax >> sh,
+                }
+            } else {
+                // A logical right shift can only shrink the value.
+                ScalarRange {
+                    smin: i64::MIN,
+                    smax: i64::MAX,
+                    umin: 0,
+                    umax: a.umax,
+                }
+            }
+        }
+        AluOp::Arsh => {
+            if let Some(c) = b.const_value() {
+                let sh = (c as u64 & 63) as u32;
+                ScalarRange {
+                    smin: a.smin >> sh,
+                    smax: a.smax >> sh,
+                    umin: 0,
+                    umax: u64::MAX,
+                }
+            } else {
+                full
+            }
+        }
+        AluOp::Mov => b,
+    };
+    let r = r.deduce();
+    if r.is_valid() {
+        r
+    } else {
+        full
+    }
+}
+
+fn intersect(a: ScalarRange, b: ScalarRange) -> ScalarRange {
+    ScalarRange {
+        smin: a.smin.max(b.smin),
+        smax: a.smax.min(b.smax),
+        umin: a.umin.max(b.umin),
+        umax: a.umax.min(b.umax),
+    }
+}
+
+/// Refines `a < b` (unsigned); `None` when provably infeasible.
+fn refine_ult(a: &mut ScalarRange, b: &mut ScalarRange) -> Option<()> {
+    a.umax = a.umax.min(b.umax.checked_sub(1)?);
+    b.umin = b.umin.max(a.umin.checked_add(1)?);
+    Some(())
+}
+
+/// Refines `a <= b` (unsigned).
+fn refine_ule(a: &mut ScalarRange, b: &mut ScalarRange) {
+    a.umax = a.umax.min(b.umax);
+    b.umin = b.umin.max(a.umin);
+}
+
+/// Refines `a < b` (signed); `None` when provably infeasible.
+fn refine_slt(a: &mut ScalarRange, b: &mut ScalarRange) -> Option<()> {
+    a.smax = a.smax.min(b.smax.checked_sub(1)?);
+    b.smin = b.smin.max(a.smin.checked_add(1)?);
+    Some(())
+}
+
+/// Refines `a <= b` (signed).
+fn refine_sle(a: &mut ScalarRange, b: &mut ScalarRange) {
+    a.smax = a.smax.min(b.smax);
+    b.smin = b.smin.max(a.smin);
+}
+
+/// Excludes the single value `c` from `r` when it sits on a bound;
+/// `None` when `r` is exactly `{c}` (the branch is infeasible).
+fn exclude(r: &mut ScalarRange, c: i64) -> Option<()> {
+    if r.const_value() == Some(c) {
+        return None;
+    }
+    let cu = c as u64;
+    if r.umin == cu {
+        r.umin = r.umin.checked_add(1)?;
+    } else if r.umax == cu {
+        r.umax = r.umax.checked_sub(1)?;
+    }
+    if r.smin == c {
+        r.smin = r.smin.checked_add(1)?;
+    } else if r.smax == c {
+        r.smax = r.smax.checked_sub(1)?;
+    }
+    Some(())
+}
+
+/// Branch-condition refinement: the ranges `dst`/`src` take in the
+/// `taken` (or fall-through) direction of `cond`, or `None` when
+/// that direction is provably infeasible.
+fn refine_branch(
+    cond: JmpCond,
+    taken: bool,
+    d0: ScalarRange,
+    s0: ScalarRange,
+) -> Option<(ScalarRange, ScalarRange)> {
+    use JmpCond::*;
+    let mut d = d0;
+    let mut s = s0;
+    match (cond, taken) {
+        (Eq, true) | (Ne, false) => {
+            d = intersect(d, s);
+            s = d;
+        }
+        (Eq, false) | (Ne, true) => {
+            if let Some(c) = s0.const_value() {
+                exclude(&mut d, c)?;
+            } else if let Some(c) = d0.const_value() {
+                exclude(&mut s, c)?;
+            }
+        }
+        (Lt, true) | (Ge, false) => refine_ult(&mut d, &mut s)?,
+        (Ge, true) | (Lt, false) => refine_ule(&mut s, &mut d),
+        (Le, true) | (Gt, false) => refine_ule(&mut d, &mut s),
+        (Gt, true) | (Le, false) => refine_ult(&mut s, &mut d)?,
+        (SLt, true) | (SGe, false) => refine_slt(&mut d, &mut s)?,
+        (SGe, true) | (SLt, false) => refine_sle(&mut s, &mut d),
+        (SLe, true) | (SGt, false) => refine_sle(&mut d, &mut s),
+        (SGt, true) | (SLe, false) => refine_slt(&mut s, &mut d)?,
+        (Set, true) => d.umin = d.umin.max(1),
+        (Set, false) => {}
+    }
+    let d = d.deduce();
+    let s = s.deduce();
+    if d.is_valid() && s.is_valid() {
+        Some((d, s))
+    } else {
+        None
+    }
+}
+
+/// Marks every instruction reachable in the *static* CFG from insn
+/// 0 (conditional jumps contribute both edges regardless of range
+/// feasibility).
+fn static_reachable(insns: &[Insn]) -> Vec<bool> {
+    let target_of = |pc: usize, off: i32| -> Option<usize> {
+        let t = pc as i64 + 1 + off as i64;
+        if t >= 0 && (t as usize) < insns.len() {
+            Some(t as usize)
+        } else {
+            None
+        }
+    };
+    let mut reach = vec![false; insns.len()];
+    let mut work = vec![0usize];
+    while let Some(pc) = work.pop() {
+        if pc >= insns.len() || reach[pc] {
+            continue;
+        }
+        reach[pc] = true;
+        match insns[pc] {
+            Insn::Exit => {}
+            Insn::Jump { off } => {
+                if let Some(t) = target_of(pc, off) {
+                    work.push(t);
+                }
+            }
+            Insn::JumpIf { off, .. } => {
+                if let Some(t) = target_of(pc, off) {
+                    work.push(t);
+                }
+                work.push(pc + 1);
+            }
+            _ => work.push(pc + 1),
+        }
+    }
+    reach
+}
+
+/// Renders the non-uninit registers of a state, log/diagnostic style.
+fn format_regs(st: &AbsState) -> String {
+    let mut parts = Vec::new();
+    for (i, r) in st.regs.iter().enumerate() {
+        if matches!(r, RegType::Uninit) {
+            continue;
+        }
+        parts.push(format!("r{i}={}", format_regtype(r)));
+    }
+    parts.join(" ")
+}
+
+fn format_regtype(r: &RegType) -> String {
+    match r {
+        RegType::Uninit => "uninit".into(),
+        RegType::Scalar(s) => {
+            if let Some(v) = s.const_value() {
+                return format!("{v}");
+            }
+            let mut bounds = Vec::new();
+            if s.smin != i64::MIN || s.smax != i64::MAX {
+                bounds.push(format!("s{}..={}", s.smin, s.smax));
+            }
+            if s.umin != 0 || s.umax != u64::MAX {
+                bounds.push(format!("u{}..={}", s.umin, s.umax));
+            }
+            if bounds.is_empty() {
+                "scalar".into()
+            } else {
+                format!("scalar({})", bounds.join(","))
+            }
+        }
+        RegType::FramePtr => "fp".into(),
+        RegType::StackPtr(v) if v.is_exact() => format!("fp{:+}", v.min),
+        RegType::StackPtr(v) => format!("fp[{:+}..{:+}]", v.min, v.max),
+        RegType::MapRef(m) => format!("{m}"),
+        RegType::MapValueOrNull(m) => format!("{m}_value_or_null"),
+        RegType::MapValue(m, v) if v.is_exact() => format!("{m}_value+{}", v.min),
+        RegType::MapValue(m, v) => format!("{m}_value+[{}..{}]", v.min, v.max),
     }
 }
 
@@ -911,17 +1767,131 @@ mod tests {
     }
 
     #[test]
-    fn back_edge_rejected() {
+    fn non_progressing_loop_rejected() {
+        // The loop body recreates the exact same abstract state every
+        // iteration — a provably non-terminating cycle.
         let maps = MapSet::new();
         let mut b = ProgramBuilder::new("loop");
         let top = b.label();
         b.mov(Reg::R0, 0);
         b.bind(top).unwrap();
-        b.add(Reg::R0, 1).jump(top);
+        b.mov(Reg::R0, 0).jump(top);
         assert!(matches!(
             verify(&b.build().unwrap(), &maps).unwrap_err().kind,
-            VerifyErrorKind::BackEdge { .. }
+            VerifyErrorKind::InfiniteLoop { .. }
         ));
+    }
+
+    #[test]
+    fn runaway_counter_loop_exceeds_complexity_budget() {
+        // Increment-forever makes abstract progress every iteration
+        // (the counter's range keeps moving), so — like the kernel —
+        // the walk burns through the state budget instead of
+        // detecting a repeated state.
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("runaway");
+        let top = b.label();
+        b.mov(Reg::R0, 0);
+        b.bind(top).unwrap();
+        b.add(Reg::R0, 1).jump(top);
+        assert_eq!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::TooComplex
+        );
+    }
+
+    #[test]
+    fn bounded_loop_verifies() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bounded");
+        let top = b.label();
+        let done = b.label();
+        b.mov(Reg::R0, 0).mov(Reg::R6, 0);
+        b.bind(top).unwrap();
+        b.jump_if(JmpCond::Ge, Reg::R6, 5i64, done)
+            .add(Reg::R0, 2)
+            .add(Reg::R6, 1)
+            .jump(top)
+            .bind(done)
+            .unwrap()
+            .exit();
+        let v = verify(&b.build().unwrap(), &maps).unwrap();
+        assert!(v.states_explored() > 0);
+    }
+
+    #[test]
+    fn loop_cost_scales_with_trip_count() {
+        // Like the kernel, bounded loops are walked iteration by
+        // iteration: a 1000-trip loop costs O(1000) states and
+        // verifies well inside the complexity budget.
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("trip1000");
+        let top = b.label();
+        let done = b.label();
+        b.mov(Reg::R0, 0).mov(Reg::R6, 0);
+        b.bind(top).unwrap();
+        b.jump_if(JmpCond::Ge, Reg::R6, 1000i64, done)
+            .add(Reg::R6, 1)
+            .jump(top)
+            .bind(done)
+            .unwrap()
+            .exit();
+        let v = verify(&b.build().unwrap(), &maps).unwrap();
+        assert!(
+            v.states_explored() > 1000 && v.states_explored() < 5000,
+            "expected O(trip count) states, got {}",
+            v.states_explored()
+        );
+    }
+
+    #[test]
+    fn huge_trip_count_loop_exceeds_complexity_budget() {
+        // A trip count big enough to blow the state budget is
+        // rejected as too complex — the backstop that keeps
+        // verification itself bounded.
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("trip60k");
+        let top = b.label();
+        let done = b.label();
+        b.mov(Reg::R0, 0).mov(Reg::R6, 0);
+        b.bind(top).unwrap();
+        b.jump_if(JmpCond::Ge, Reg::R6, 60_000i64, done)
+            .add(Reg::R6, 1)
+            .jump(top)
+            .bind(done)
+            .unwrap()
+            .exit();
+        assert_eq!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::TooComplex
+        );
+    }
+
+    #[test]
+    fn loop_over_unknown_but_bounded_count_verifies() {
+        // The SnapBPF prefetch shape: trip count loaded at runtime,
+        // clamped by a conditional, then used as the loop bound.
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("clamped");
+        let top = b.label();
+        let done = b.label();
+        let out = b.label();
+        b.load_ctx(Reg::R6, 0)
+            .jump_if(JmpCond::Gt, Reg::R6, 32i64, out)
+            .mov(Reg::R7, 0);
+        b.bind(top).unwrap();
+        b.jump_if(JmpCond::Ge, Reg::R7, Reg::R6, done)
+            .add(Reg::R7, 1)
+            .jump(top)
+            .bind(done)
+            .unwrap()
+            .mov(Reg::R0, 0)
+            .exit()
+            .bind(out)
+            .unwrap()
+            .mov(Reg::R0, 1)
+            .exit();
+        assert!(verify(&b.build().unwrap(), &maps).is_ok());
     }
 
     #[test]
@@ -990,6 +1960,42 @@ mod tests {
     }
 
     #[test]
+    fn variable_stack_offset_verifies_when_bounds_checked() {
+        // fp - 16 + (ctx & 8): offset range [-16, -8], 8-aligned at
+        // both ends, writes stay in-bounds — no constant needed.
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("varoff");
+        b.load_ctx(Reg::R2, 0)
+            .alu(AluOp::And, Reg::R2, 8i64)
+            .mov(Reg::R1, Reg::R10)
+            .add(Reg::R1, -16)
+            .add(Reg::R1, Reg::R2)
+            .store_imm(Reg::R1, 0, 7, AccessSize::B8)
+            .mov(Reg::R0, 0)
+            .exit();
+        assert!(verify(&b.build().unwrap(), &maps).is_ok());
+    }
+
+    #[test]
+    fn variable_stack_offset_out_of_bounds_rejected() {
+        // fp - 16 + (ctx & 24): the upper end (+8) escapes the frame.
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("varoff-bad");
+        b.load_ctx(Reg::R2, 0)
+            .alu(AluOp::And, Reg::R2, 24i64)
+            .mov(Reg::R1, Reg::R10)
+            .add(Reg::R1, -16)
+            .add(Reg::R1, Reg::R2)
+            .store_imm(Reg::R1, 0, 7, AccessSize::B8)
+            .mov(Reg::R0, 0)
+            .exit();
+        assert!(matches!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::BadStackAccess { .. }
+        ));
+    }
+
+    #[test]
     fn map_lookup_requires_null_check() {
         let (maps, m) = maps_with_array();
         let mut b = ProgramBuilder::new("bad");
@@ -1040,6 +2046,55 @@ mod tests {
             .call(HelperId::MapLookup)
             .jump_if(JmpCond::Eq, Reg::R0, 0i64, out)
             .load(Reg::R0, Reg::R0, 8, AccessSize::B8) // off 8 out of bounds
+            .bind(out)
+            .unwrap()
+            .mov(Reg::R0, 0)
+            .exit();
+        assert!(matches!(
+            verify(&b.build().unwrap(), &maps).unwrap_err().kind,
+            VerifyErrorKind::MapValueOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn variable_map_value_index_verifies_when_bounds_checked() {
+        let mut maps = MapSet::new();
+        let m = maps.create(MapDef::array(16, 4)).unwrap(); // 16-byte values
+        let mut b = ProgramBuilder::new("varmap");
+        let out = b.label();
+        b.store_imm(Reg::R10, -4, 0, AccessSize::B4)
+            .load_map(Reg::R1, m)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -4)
+            .call(HelperId::MapLookup)
+            .jump_if(JmpCond::Eq, Reg::R0, 0i64, out)
+            .load_ctx(Reg::R2, 0)
+            .alu(AluOp::And, Reg::R2, 8i64) // in {0, 8}: both u64 slots ok
+            .add(Reg::R0, Reg::R2)
+            .load(Reg::R6, Reg::R0, 0, AccessSize::B8)
+            .bind(out)
+            .unwrap()
+            .mov(Reg::R0, 0)
+            .exit();
+        assert!(verify(&b.build().unwrap(), &maps).is_ok());
+    }
+
+    #[test]
+    fn unchecked_variable_map_value_index_rejected() {
+        let mut maps = MapSet::new();
+        let m = maps.create(MapDef::array(16, 4)).unwrap();
+        let mut b = ProgramBuilder::new("varmap-bad");
+        let out = b.label();
+        b.store_imm(Reg::R10, -4, 0, AccessSize::B4)
+            .load_map(Reg::R1, m)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -4)
+            .call(HelperId::MapLookup)
+            .jump_if(JmpCond::Eq, Reg::R0, 0i64, out)
+            .load_ctx(Reg::R2, 0)
+            .alu(AluOp::And, Reg::R2, 24i64) // up to +24: escapes 16 bytes
+            .add(Reg::R0, Reg::R2)
+            .load(Reg::R6, Reg::R0, 0, AccessSize::B8)
             .bind(out)
             .unwrap()
             .mov(Reg::R0, 0)
@@ -1243,5 +2298,120 @@ mod tests {
             verify(&b.build().unwrap(), &maps).unwrap_err().kind,
             VerifyErrorKind::BadReturnValue
         );
+    }
+
+    #[test]
+    fn dead_code_past_exit_rejected() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("dead");
+        b.mov(Reg::R0, 0).exit().mov(Reg::R1, 1).exit();
+        let e = verify(&b.build().unwrap(), &maps).unwrap_err();
+        assert_eq!(e.kind, VerifyErrorKind::DeadCode);
+        assert_eq!(e.at, Some(2));
+    }
+
+    #[test]
+    fn branch_pruned_path_counts_as_dead_insn_stat() {
+        // `jeq r1, 3` with r1 == 3: the fall-through is dynamically
+        // dead. Still statically reachable, so it only shows up in
+        // stats, not as a rejection.
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("pruned");
+        let a = b.label();
+        b.mov(Reg::R1, 3)
+            .jump_if(JmpCond::Eq, Reg::R1, 3i64, a)
+            .mov(Reg::R0, 7) // never explored
+            .bind(a)
+            .unwrap()
+            .mov(Reg::R0, 0)
+            .exit();
+        let v = verify(&b.build().unwrap(), &maps).unwrap();
+        assert_eq!(v.stats().dead_insns, 1);
+    }
+
+    #[test]
+    fn branch_refinement_bounds_a_loaded_scalar() {
+        // ctx value checked `<= 7` indexes the stack: only the
+        // refined range makes this safe.
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("refine");
+        let out = b.label();
+        b.load_ctx(Reg::R1, 0)
+            .jump_if(JmpCond::Gt, Reg::R1, 7i64, out)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -8)
+            .add(Reg::R2, Reg::R1)
+            .store_imm(Reg::R2, 0, 1, AccessSize::B1)
+            .bind(out)
+            .unwrap()
+            .mov(Reg::R0, 0)
+            .exit();
+        assert!(verify(&b.build().unwrap(), &maps).is_ok());
+    }
+
+    #[test]
+    fn verifier_log_captures_transitions_and_stats() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("logged");
+        b.mov(Reg::R0, 3).add(Reg::R0, 4).exit();
+        let (res, log) = Verifier::new(&maps, &[]).verify_logged(&b.build().unwrap());
+        let v = res.unwrap();
+        assert!(log.lines().iter().any(|l| l.contains("add64 r0, 4")));
+        assert_eq!(log.stats().states_explored, 3);
+        assert!(log.render().contains("verification stats:"));
+        assert_eq!(v.log(), Some(log.render().as_str()));
+        // Without logging, no log is retained.
+        assert_eq!(verify(&b.build().unwrap(), &maps).unwrap().log(), None);
+    }
+
+    #[test]
+    fn rejection_log_names_the_reason() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bad");
+        b.mov(Reg::R0, Reg::R3).exit();
+        let (res, log) = Verifier::new(&maps, &[]).verify_logged(&b.build().unwrap());
+        assert!(res.is_err());
+        assert!(log
+            .lines()
+            .iter()
+            .any(|l| l.contains("rejected") && l.contains("uninitialized register r3")));
+    }
+
+    #[test]
+    fn error_display_has_pc_and_register_snapshot() {
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("bad");
+        b.mov(Reg::R6, 1).mov(Reg::R0, Reg::R3).exit();
+        let e = verify(&b.build().unwrap(), &maps).unwrap_err();
+        let rendered = e.to_string();
+        assert!(rendered.contains("at insn 1"), "{rendered}");
+        assert!(rendered.contains("regs:"), "{rendered}");
+        assert!(rendered.contains("r6=1"), "{rendered}");
+        assert!(e.register_snapshot().is_some());
+        // source() chains to the kind, StrategyError::Stage-style.
+        let src = std::error::Error::source(&e).expect("source");
+        assert_eq!(src.to_string(), e.kind.to_string());
+    }
+
+    #[test]
+    fn infeasible_branch_is_not_explored() {
+        // r1 = 5; `jgt r1, 7` can never be taken, so the taken-side
+        // uninitialized read must not be reported.
+        let maps = MapSet::new();
+        let mut b = ProgramBuilder::new("infeasible");
+        let bad = b.label();
+        let done = b.label();
+        b.mov(Reg::R1, 5)
+            .jump_if(JmpCond::Gt, Reg::R1, 7i64, bad)
+            .mov(Reg::R0, 0)
+            .jump(done)
+            .bind(bad)
+            .unwrap()
+            .mov(Reg::R0, Reg::R9) // would be UninitRegister if reached
+            .bind(done)
+            .unwrap()
+            .exit();
+        let v = verify(&b.build().unwrap(), &maps).unwrap();
+        assert!(v.stats().dead_insns >= 1);
     }
 }

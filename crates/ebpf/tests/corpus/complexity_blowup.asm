@@ -1,0 +1,58 @@
+; program complexity_blowup
+; 17 independent two-way branches, each adding a distinct power of
+; two to r6: every path reaches the tail with a different exact r6,
+; so the state count doubles per rung (2^17 > COMPLEXITY_LIMIT).
+mov64 r6, 0
+ldctx r1, arg0
+jeq r1, 0, +1
+add64 r6, 1
+ldctx r1, arg1
+jeq r1, 0, +1
+add64 r6, 2
+ldctx r1, arg2
+jeq r1, 0, +1
+add64 r6, 4
+ldctx r1, arg3
+jeq r1, 0, +1
+add64 r6, 8
+ldctx r1, arg4
+jeq r1, 0, +1
+add64 r6, 16
+ldctx r1, arg5
+jeq r1, 0, +1
+add64 r6, 32
+ldctx r1, arg0
+jeq r1, 0, +1
+add64 r6, 64
+ldctx r1, arg1
+jeq r1, 0, +1
+add64 r6, 128
+ldctx r1, arg2
+jeq r1, 0, +1
+add64 r6, 256
+ldctx r1, arg3
+jeq r1, 0, +1
+add64 r6, 512
+ldctx r1, arg4
+jeq r1, 0, +1
+add64 r6, 1024
+ldctx r1, arg5
+jeq r1, 0, +1
+add64 r6, 2048
+ldctx r1, arg0
+jeq r1, 0, +1
+add64 r6, 4096
+ldctx r1, arg1
+jeq r1, 0, +1
+add64 r6, 8192
+ldctx r1, arg2
+jeq r1, 0, +1
+add64 r6, 16384
+ldctx r1, arg3
+jeq r1, 0, +1
+add64 r6, 32768
+ldctx r1, arg4
+jeq r1, 0, +1
+add64 r6, 65536
+mov64 r0, r6
+exit

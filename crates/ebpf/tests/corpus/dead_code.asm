@@ -1,0 +1,7 @@
+; program dead_code
+; The instructions after the unconditional exit can never execute:
+; static dead code is a load-time rejection.
+mov64 r0, 0
+exit
+mov64 r1, 1
+exit

@@ -1,0 +1,5 @@
+; program oob_stack
+; Stores 8 bytes at fp-520, past the 512-byte stack frame.
+stu64 [r10-520], 1
+mov64 r0, 0
+exit

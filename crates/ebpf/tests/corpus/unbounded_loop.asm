@@ -1,0 +1,6 @@
+; program unbounded_loop
+; r0 == 0 forever, so the back-edge revisits an identical abstract
+; state: a provably non-terminating loop.
+mov64 r0, 0
+jeq r0, 0, -2
+exit

@@ -1,0 +1,10 @@
+; program unchecked_map_value
+; Dereferences the bpf_map_lookup_elem result without the mandatory
+; null check: r0 is still possibly null at the load.
+stu32 [r10-4], 0
+lddw r1, map#0
+mov64 r2, r10
+add64 r2, -4
+call bpf_map_lookup_elem
+ldxu64 r0, [r0+0]
+exit

@@ -1,0 +1,5 @@
+; program uninit_read
+; Reads r3, which no instruction ever wrote: the verifier must
+; reject with UninitRegister before anything executes.
+mov64 r0, r3
+exit

@@ -243,6 +243,36 @@ proptest! {
         prop_assert_eq!(parsed, program);
     }
 
+    /// Loop-shaped programs — an arbitrary body wrapped in a counted
+    /// back-edge — survive both the text and bytecode round-trips:
+    /// the negative jump offsets the disassembly prints for loop
+    /// back-edges stay parseable now that the verifier admits them.
+    #[test]
+    fn loop_programs_roundtrip(
+        insns in prop::collection::vec(arb_insn(), 0..20),
+        trips in 1i64..64,
+    ) {
+        let mut maps = MapSet::new();
+        let map_id = maps.create(MapDef::array(8, 8)).unwrap();
+        let body = build_arbitrary(&insns, &maps, map_id);
+        let mut b = ProgramBuilder::new("loop");
+        let top = b.label();
+        b.mov(Reg::R6, 0).bind(top).unwrap();
+        for insn in body.insns() {
+            b.push(*insn);
+        }
+        b.add(Reg::R6, 1)
+            .jump_if(JmpCond::Lt, Reg::R6, trips, top)
+            .mov(Reg::R0, 0)
+            .exit();
+        let program = b.build().unwrap();
+        let parsed = snapbpf_ebpf::parse_program("x", &program.to_string()).unwrap();
+        prop_assert_eq!(&parsed, &program);
+        let decoded =
+            snapbpf_ebpf::decode_program(&snapbpf_ebpf::encode_program(&program)).unwrap();
+        prop_assert_eq!(&decoded, &program);
+    }
+
     /// The text parser never panics on arbitrary input.
     #[test]
     fn parser_total(text in "\\PC*") {

@@ -1,0 +1,99 @@
+//! The verifier rejection corpus: deliberately-bad programs, stored
+//! as reviewable assembly under `tests/corpus/`, that the verifier
+//! must reject — with the rendered verifier-log diagnostic pinned
+//! byte for byte under `tests/golden/`.
+//!
+//! To bless new diagnostics after an intentional verifier change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p snapbpf-ebpf --test verifier_corpus
+//! ```
+
+use std::path::PathBuf;
+
+use snapbpf_ebpf::{parse_program, MapDef, MapSet, Verifier, VerifyErrorKind};
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\n(bless with UPDATE_GOLDEN=1 cargo test -p snapbpf-ebpf \
+             --test verifier_corpus)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden; if the change is intentional, bless it with \
+         UPDATE_GOLDEN=1 cargo test -p snapbpf-ebpf --test verifier_corpus"
+    );
+}
+
+/// Which rejection a corpus program must produce.
+fn expected_kind(name: &str, kind: &VerifyErrorKind) -> bool {
+    match name {
+        "uninit_read" => matches!(kind, VerifyErrorKind::UninitRegister(_)),
+        "oob_stack" => matches!(kind, VerifyErrorKind::BadStackAccess { off: -520 }),
+        "unchecked_map_value" => matches!(kind, VerifyErrorKind::PossiblyNull(_)),
+        "unbounded_loop" => matches!(kind, VerifyErrorKind::InfiniteLoop { .. }),
+        "complexity_blowup" => matches!(kind, VerifyErrorKind::TooComplex),
+        "dead_code" => matches!(kind, VerifyErrorKind::DeadCode),
+        other => panic!("no expectation registered for corpus program {other}"),
+    }
+}
+
+/// `complexity_blowup` floods the line-limited log with prune-free
+/// exploration; pinning all 4096 retained lines would bloat the
+/// golden without adding diagnostic value, so its golden keeps only
+/// the tail (truncation marker, rejection, stats).
+const TAIL_ONLY: &[&str] = &["complexity_blowup"];
+
+const CORPUS: &[&str] = &[
+    "uninit_read",
+    "oob_stack",
+    "unchecked_map_value",
+    "unbounded_loop",
+    "complexity_blowup",
+    "dead_code",
+];
+
+#[test]
+fn corpus_programs_are_rejected_with_golden_diagnostics() {
+    let mut maps = MapSet::new();
+    maps.create(MapDef::array(8, 8)).unwrap(); // `map#0` in the corpus
+    for name in CORPUS {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/corpus")
+            .join(format!("{name}.asm"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let program =
+            parse_program(name, &text).unwrap_or_else(|e| panic!("{name} must parse: {e}"));
+        let (result, log) = Verifier::new(&maps, &[]).verify_logged(&program);
+        let err = result.expect_err("corpus program must be rejected");
+        assert!(
+            expected_kind(name, &err.kind),
+            "{name}: wrong rejection {:?}",
+            err.kind
+        );
+        assert!(
+            err.register_snapshot().is_some() || matches!(err.kind, VerifyErrorKind::DeadCode),
+            "{name}: rejection should carry a register snapshot"
+        );
+        let rendered = log.render();
+        let diagnostic = if TAIL_ONLY.contains(name) {
+            let tail: Vec<&str> = rendered.lines().rev().take(4).collect();
+            tail.into_iter().rev().collect::<Vec<_>>().join("\n") + "\n"
+        } else {
+            rendered
+        };
+        assert_golden(&format!("{name}.log"), &diagnostic);
+    }
+}

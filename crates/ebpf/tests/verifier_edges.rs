@@ -36,14 +36,13 @@ fn raw_jump_out_of_program_rejected() {
         &maps,
     )
     .unwrap_err();
-    assert!(matches!(
-        err,
-        VerifyErrorKind::JumpOutOfProgram | VerifyErrorKind::BackEdge { .. }
-    ));
+    assert_eq!(err, VerifyErrorKind::JumpOutOfProgram);
 }
 
 #[test]
-fn raw_conditional_back_edge_rejected() {
+fn raw_conditional_back_edge_makes_no_progress_rejected() {
+    // `jeq r0, 0, -2` with r0 == 0 always loops back to the same
+    // abstract state: a provably non-terminating loop.
     let maps = MapSet::new();
     let err = verify(
         |b| {
@@ -59,7 +58,7 @@ fn raw_conditional_back_edge_rejected() {
         &maps,
     )
     .unwrap_err();
-    assert!(matches!(err, VerifyErrorKind::BackEdge { .. }));
+    assert!(matches!(err, VerifyErrorKind::InfiniteLoop { .. }));
 }
 
 #[test]
@@ -72,7 +71,35 @@ fn self_jump_rejected() {
         &maps,
     )
     .unwrap_err();
-    assert!(matches!(err, VerifyErrorKind::BackEdge { .. }));
+    assert!(matches!(err, VerifyErrorKind::InfiniteLoop { .. }));
+}
+
+#[test]
+fn raw_bounded_loop_verifies_and_runs() {
+    // A genuine counted loop through raw back-edges: sum 1..=10.
+    let maps = MapSet::new();
+    let mut b = ProgramBuilder::new("count");
+    b.mov(Reg::R0, 0)
+        .mov(Reg::R6, 0)
+        // loop header: if r6 >= 10 goto +3 (exit)
+        .push(Insn::JumpIf {
+            cond: JmpCond::Ge,
+            dst: Reg::R6,
+            src: Operand::Imm(10),
+            off: 3,
+        })
+        .add(Reg::R6, 1)
+        .alu(snapbpf_ebpf::AluOp::Add, Reg::R0, Reg::R6)
+        .push(Insn::Jump { off: -4 })
+        .exit();
+    let p = Verifier::new(&maps, &[])
+        .verify(&b.build().unwrap())
+        .unwrap();
+    let mut maps = maps;
+    let out = Interpreter::new()
+        .run(&p, &[], &mut maps, &mut NoKfuncs)
+        .unwrap();
+    assert_eq!(out.return_value, 55);
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! under an open-loop request stream (see `EXPERIMENTS.md`).
 
 use snapbpf::{DeviceKind, FigureData, RestoreStage, StrategyError, StrategyKind};
-use snapbpf_sim::{chrome_trace_json, Json, MetricsRegistry, SimDuration, Tracer};
+use snapbpf_sim::{chrome_trace_json, Histogram, Json, MetricsRegistry, SimDuration, Tracer};
 use snapbpf_workloads::Workload;
 
 use crate::{
@@ -284,7 +284,36 @@ pub fn fleet_breakdown(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyEr
     fig.set_meta("disk-read-mibps", r.read_mibps());
     fig.set_meta("page-cache-hit-ratio", cache_hit_ratio(&r.metrics));
     fig.set_meta("dedup-savings-mib", dedup_savings_mib(&r.metrics));
+    set_ebpf_meta(&mut fig, &r.metrics);
     Ok(fig)
+}
+
+/// Records the eBPF verifier/runtime cost of a run as figure meta:
+/// programs verified, verification work done, runtime invocations,
+/// and mean interpreted instructions per invocation (the looped
+/// prefetch program trades many short invocations for one long one).
+fn set_ebpf_meta(fig: &mut FigureData, m: &MetricsRegistry) {
+    fig.set_meta(
+        "ebpf-verifier-programs",
+        m.counter("ebpf.verifier.programs") as f64,
+    );
+    fig.set_meta(
+        "ebpf-verifier-insns-processed",
+        m.counter("ebpf.verifier.insns_processed") as f64,
+    );
+    fig.set_meta(
+        "ebpf-verifier-states-pruned",
+        m.counter("ebpf.verifier.states_pruned") as f64,
+    );
+    fig.set_meta(
+        "ebpf-prog-invocations",
+        m.counter("ebpf.prog.invocations") as f64,
+    );
+    fig.set_meta(
+        "ebpf-prog-insns-per-invocation-mean",
+        m.histogram("ebpf.prog.insns_per_invocation")
+            .map_or(0.0, Histogram::mean),
+    );
 }
 
 /// F1d `fleet-pipeline`: aggregate cold-start p99 (dispatch to
@@ -400,6 +429,8 @@ pub fn fleet_trace(cfg: &FleetFigureConfig) -> Result<(FigureData, Json), Strate
     let mut hit_ratios = Vec::with_capacity(kinds.len());
     let mut dedup_mibs = Vec::with_capacity(kinds.len());
     let mut event_counts = Vec::with_capacity(kinds.len());
+    let mut prog_invocations = Vec::with_capacity(kinds.len());
+    let mut insns_per_invocation = Vec::with_capacity(kinds.len());
     for (i, kind) in kinds.iter().enumerate() {
         let mut run_cfg = FleetConfig::new(*kind, workloads.len(), pl.rate_rps)
             .cold_only()
@@ -417,12 +448,21 @@ pub fn fleet_trace(cfg: &FleetFigureConfig) -> Result<(FigureData, Json), Strate
         cold_p99s.push(r.aggregate.restore_percentile_secs(99.0));
         hit_ratios.push(cache_hit_ratio(&r.metrics));
         dedup_mibs.push(dedup_savings_mib(&r.metrics));
+        prog_invocations.push(r.metrics.counter("ebpf.prog.invocations") as f64);
+        insns_per_invocation.push(
+            r.metrics
+                .histogram("ebpf.prog.insns_per_invocation")
+                .map_or(0.0, Histogram::mean),
+        );
         merged.merge(&r.metrics);
     }
     fig.push_series("cold-p99-s", cold_p99s);
     fig.push_series("page-cache-hit-ratio", hit_ratios);
     fig.push_series("dedup-savings-mib", dedup_mibs);
     fig.push_series("trace-events", event_counts);
+    fig.push_series("ebpf-prog-invocations", prog_invocations);
+    fig.push_series("ebpf-insns-per-invocation-mean", insns_per_invocation);
+    set_ebpf_meta(&mut fig, &merged);
     Ok((fig, chrome_trace_json(&events, Some(&merged))))
 }
 

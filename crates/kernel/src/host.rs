@@ -79,7 +79,19 @@ impl fmt::Display for KernelError {
     }
 }
 
-impl std::error::Error for KernelError {}
+impl std::error::Error for KernelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KernelError::Disk(e) => Some(e),
+            KernelError::Cache(e) => Some(e),
+            KernelError::OutOfMemory => None,
+            KernelError::Alloc(e) => Some(e),
+            KernelError::Map(e) => Some(e),
+            KernelError::Verify(e) => Some(e),
+            KernelError::Probe(e) => Some(e),
+        }
+    }
+}
 
 impl From<DiskError> for KernelError {
     fn from(e: DiskError) -> Self {
@@ -206,6 +218,8 @@ pub struct HostKernel {
     cow_pages: u64,
     ebpf_cpu: SimDuration,
     trace: Tracer,
+    verifier_log_enabled: bool,
+    verifier_logs: Vec<String>,
 }
 
 impl HostKernel {
@@ -229,6 +243,8 @@ impl HostKernel {
             cow_pages: 0,
             ebpf_cpu: SimDuration::ZERO,
             trace: Tracer::disabled(),
+            verifier_log_enabled: false,
+            verifier_logs: Vec::new(),
             config,
         }
     }
@@ -300,8 +316,59 @@ impl HostKernel {
         hook: &str,
         program: &Program,
     ) -> Result<ProbeId, KernelError> {
-        let verified = snapbpf_ebpf::Verifier::new(&self.maps, &self.kfunc_sigs).verify(program)?;
-        Ok(self.probes.attach(hook, verified))
+        let verifier = snapbpf_ebpf::Verifier::new(&self.maps, &self.kfunc_sigs);
+        let (result, stats) = if self.verifier_log_enabled {
+            let (result, log) = verifier.verify_logged(program);
+            let stats = log.stats().clone();
+            self.verifier_logs.push(log.render());
+            (result, stats)
+        } else {
+            let result = verifier.verify(program);
+            let stats = match &result {
+                Ok(v) => v.stats().clone(),
+                Err(_) => snapbpf_ebpf::VerifierStats::default(),
+            };
+            (result, stats)
+        };
+        self.trace
+            .add("ebpf.verifier.insns_processed", stats.insns_processed);
+        self.trace
+            .add("ebpf.verifier.states_pruned", stats.states_pruned);
+        self.trace.add("ebpf.verifier.dead_insns", stats.dead_insns);
+        self.trace.observe(
+            "ebpf.verifier.peak_branch_depth",
+            stats.peak_branch_depth as u64,
+        );
+        match result {
+            Ok(verified) => {
+                self.trace.incr("ebpf.verifier.programs");
+                Ok(self.probes.attach(hook, verified))
+            }
+            Err(e) => {
+                self.trace.incr("ebpf.verifier.rejections");
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Enables or disables verifier-log capture: when enabled, every
+    /// subsequent [`Self::load_and_attach`] retains its rendered
+    /// [`snapbpf_ebpf::VerifierLog`] (accepted *and* rejected loads)
+    /// for [`Self::verifier_logs`].
+    pub fn set_verifier_log(&mut self, enabled: bool) {
+        self.verifier_log_enabled = enabled;
+    }
+
+    /// Rendered verifier logs captured since the last
+    /// [`Self::take_verifier_logs`], in load order. Empty unless
+    /// [`Self::set_verifier_log`] enabled capture.
+    pub fn verifier_logs(&self) -> &[String] {
+        &self.verifier_logs
+    }
+
+    /// Drains the captured verifier logs.
+    pub fn take_verifier_logs(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.verifier_logs)
     }
 
     /// Detaches a program.
