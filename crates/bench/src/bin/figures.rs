@@ -7,6 +7,21 @@
 //! Prints each figure as an aligned table (absolute values plus the
 //! paper's normalized presentation) and writes JSON + text files
 //! under `--out` (default `results/`).
+//!
+//! The binary also hosts the trace workflow as a subcommand group:
+//!
+//! ```text
+//! figures trace record  --out FILE [--strategy K] [--rate R] [--funcs N]
+//!                       [--duration-ms MS] [--scale S] [--seed S] [--weights W1,W2,..]
+//! figures trace analyze --in FILE [--json] [--out FILE]
+//! figures trace replay  --in FILE [--strategy K] [--loops N] [--time-scale T]
+//!                       [--rate-scale R] [--scale S] [--seed S] [--verify]
+//! ```
+//!
+//! `record` captures a fleet run's arrival schedule into a profile
+//! file, `analyze` summarizes one, and `replay` feeds it back through
+//! any strategy (`--verify` runs the replay twice and fails unless
+//! both runs agree byte-for-byte).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -16,17 +31,20 @@ use snapbpf::figures::{
     ext_concurrency_sweep, ext_cost_analysis, ext_input_variants, ext_memory_pressure,
     ext_record_cost, ext_warm_start, fig3a, fig3b, fig3c, fig4, overheads, table1, FigureConfig,
 };
-use snapbpf::{DeviceKind, FigureData};
+use snapbpf::{DeviceKind, FigureData, StrategyKind};
 use snapbpf_bench::write_figure;
 use snapbpf_fleet::figures::{
     fleet_breakdown, fleet_keepalive, fleet_pipeline, fleet_shard, fleet_sweep, fleet_trace,
     FleetFigureConfig,
 };
-use snapbpf_workloads::Workload;
+use snapbpf_fleet::{run_fleet, FleetConfig};
+use snapbpf_sim::{LoopMode, SimDuration};
+use snapbpf_trace::{fleet_azure, record_fleet, AnalyzeReport, AzureFigureConfig, Profile};
+use snapbpf_workloads::{FunctionMix, Workload};
 
 /// Every figure the runner knows, in presentation order — `--only`
 /// is validated against this list.
-const KNOWN_IDS: [&str; 23] = [
+const KNOWN_IDS: [&str; 24] = [
     "table1",
     "fig3a",
     "fig3b",
@@ -49,6 +67,7 @@ const KNOWN_IDS: [&str; 23] = [
     "fleet-pipeline",
     "fleet-trace",
     "fleet-shard",
+    "fleet-azure",
     "ext-memory-pressure",
 ];
 
@@ -115,7 +134,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: figures [--scale S] [--instances N] [--out DIR] [--only ID] \
                      [--device sata-ssd|nvme|hdd] [--trace-out FILE] [--hosts N] \
                      [--verifier-log]\n\
-                     IDs: {}",
+                     IDs: {}\n\
+                     or: figures trace <record|analyze|replay> (see `figures trace --help`)",
                     KNOWN_IDS.join(" ")
                 ))
             }
@@ -347,6 +367,24 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
+    if wants(&args.only, "fleet-azure") {
+        // The Azure replay carries its own workload scale (the paper
+        // run uses 0.05); `--scale` multiplies it so smoke runs can
+        // shrink further.
+        let mut az = AzureFigureConfig::paper();
+        az.scale = (az.scale * args.scale).min(1.0);
+        let fig = fleet_azure(&az)?;
+        emit(&args.out, &fig);
+        for device in &az.devices {
+            if let Some(gain) = fig.meta_value(&format!("gain-{}", device.label())) {
+                println!(
+                    "SnapBPF cold-start p99 gain over Linux-NoRA on {}: {gain:.2}x",
+                    device.label()
+                );
+            }
+        }
+        println!();
+    }
     if wants(&args.only, "ext-memory-pressure") {
         let w = Workload::by_name("bert").expect("suite function");
         // Cap: 2x one working set — fits the shared cache, not 10
@@ -361,7 +399,245 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+const TRACE_USAGE: &str = "usage: figures trace <record|analyze|replay> ...\n\
+    record  --out FILE [--strategy K] [--rate R] [--funcs N] [--duration-ms MS]\n\
+            [--scale S] [--seed S] [--weights W1,W2,..]\n\
+    analyze --in FILE [--json] [--out FILE]\n\
+    replay  --in FILE [--strategy K] [--loops N] [--time-scale T] [--rate-scale R]\n\
+            [--scale S] [--seed S] [--verify]";
+
+fn parse_strategy(name: &str) -> Result<StrategyKind, String> {
+    StrategyKind::parse(name).ok_or_else(|| {
+        format!(
+            "bad --strategy {name}; known: {}",
+            StrategyKind::ALL
+                .iter()
+                .map(|k| k.label())
+                .collect::<Vec<_>>()
+                .join(" ")
+        )
+    })
+}
+
+/// `figures trace record` — capture a fleet run into a profile file.
+fn trace_record(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut out: Option<PathBuf> = None;
+    let mut strategy = StrategyKind::SnapBpf;
+    let mut rate = 60.0f64;
+    let mut funcs = 4usize;
+    let mut duration_ms = 2_000u64;
+    let mut scale = 0.05f64;
+    let mut seed = 42u64;
+    let mut weights: Option<Vec<f64>> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--strategy" => strategy = parse_strategy(&value("--strategy")?)?,
+            "--rate" => rate = value("--rate")?.parse()?,
+            "--funcs" => funcs = value("--funcs")?.parse()?,
+            "--duration-ms" => duration_ms = value("--duration-ms")?.parse()?,
+            "--scale" => scale = value("--scale")?.parse()?,
+            "--seed" => seed = value("--seed")?.parse()?,
+            "--weights" => {
+                weights = Some(
+                    value("--weights")?
+                        .split(',')
+                        .map(|w| w.trim().parse::<f64>())
+                        .collect::<Result<_, _>>()?,
+                )
+            }
+            other => return Err(format!("unknown flag {other}\n{TRACE_USAGE}").into()),
+        }
+    }
+    let out = out.ok_or("trace record needs --out FILE")?;
+
+    let suite = Workload::suite();
+    if funcs == 0 || funcs > suite.len() {
+        return Err(format!("--funcs must be in 1..={}", suite.len()).into());
+    }
+    let workloads: Vec<Workload> = suite.into_iter().take(funcs).collect();
+    let mut cfg = FleetConfig::new(strategy, workloads.len(), rate)
+        .at_scale(scale)
+        .with_seed(seed);
+    cfg.duration = SimDuration::from_millis(duration_ms);
+    if let Some(ws) = weights {
+        if ws.len() != workloads.len() {
+            return Err(format!(
+                "--weights lists {} entries for {} functions",
+                ws.len(),
+                workloads.len()
+            )
+            .into());
+        }
+        // MixError surfaces as a StrategyError::Config, same as any
+        // other bad fleet configuration.
+        cfg.mix = FunctionMix::from_weights(&ws).map_err(snapbpf::StrategyError::from)?;
+    }
+
+    let (result, profile) = record_fleet(&cfg, &workloads)?;
+    std::fs::write(&out, profile.to_bytes())?;
+    println!(
+        "recorded {} arrivals over {} functions ({} {}, {:.0} rps, {} ms) -> {}",
+        profile.len(),
+        profile.funcs().len(),
+        strategy.label(),
+        cfg.device.label(),
+        rate,
+        duration_ms,
+        out.display()
+    );
+    println!(
+        "cold-start p99 {:.4} s, warm hits {}/{} completions",
+        result.aggregate.restore_percentile_secs(99.0),
+        result.aggregate.warm_starts,
+        result.aggregate.completions
+    );
+    Ok(())
+}
+
+/// `figures trace analyze` — mix statistics of a profile file.
+fn trace_analyze(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut input: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--in" => input = Some(PathBuf::from(value("--in")?)),
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--json" => json = true,
+            other => return Err(format!("unknown flag {other}\n{TRACE_USAGE}").into()),
+        }
+    }
+    let input = input.ok_or("trace analyze needs --in FILE")?;
+    let profile = Profile::from_bytes(&std::fs::read(&input)?)?;
+    let report = AnalyzeReport::from_profile(&profile);
+    if json {
+        println!("{}", report.to_json().pretty());
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(out) = out {
+        std::fs::write(&out, report.to_json().pretty())?;
+        println!("report written to {}", out.display());
+    }
+    Ok(())
+}
+
+/// `figures trace replay` — feed a profile back through a strategy.
+fn trace_replay(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut input: Option<PathBuf> = None;
+    let mut strategy = StrategyKind::SnapBpf;
+    let mut loops = 1u32;
+    let mut time_scale = 1.0f64;
+    let mut rate_scale = 1.0f64;
+    let mut scale = 0.05f64;
+    let mut seed = 42u64;
+    let mut verify = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--in" => input = Some(PathBuf::from(value("--in")?)),
+            "--strategy" => strategy = parse_strategy(&value("--strategy")?)?,
+            "--loops" => loops = value("--loops")?.parse()?,
+            "--time-scale" => time_scale = value("--time-scale")?.parse()?,
+            "--rate-scale" => rate_scale = value("--rate-scale")?.parse()?,
+            "--scale" => scale = value("--scale")?.parse()?,
+            "--seed" => seed = value("--seed")?.parse()?,
+            "--verify" => verify = true,
+            other => return Err(format!("unknown flag {other}\n{TRACE_USAGE}").into()),
+        }
+    }
+    let input = input.ok_or("trace replay needs --in FILE")?;
+    let positive = |v: f64| v.is_finite() && v > 0.0;
+    if loops == 0 || !positive(time_scale) || !positive(rate_scale) {
+        return Err("--loops, --time-scale and --rate-scale must be positive".into());
+    }
+
+    let profile = Profile::from_bytes(&std::fs::read(&input)?)?;
+    let mut arrivals = profile.arrivals();
+    if loops > 1 {
+        arrivals = arrivals.looped(LoopMode::Repeat(loops));
+    }
+    if time_scale != 1.0 {
+        arrivals = arrivals.with_time_scale(time_scale);
+    }
+    if rate_scale != 1.0 {
+        arrivals = arrivals.with_rate_scale(rate_scale);
+    }
+    let workloads = profile.resolve_workloads();
+    let mut cfg = FleetConfig::new(strategy, workloads.len(), 1.0)
+        .at_scale(scale)
+        .with_seed(seed)
+        .replaying(arrivals);
+    cfg.max_concurrency = 16;
+    cfg.queue_depth = 256;
+
+    let result = if verify {
+        // Two independent replays must agree byte-for-byte on both
+        // the re-recorded schedule and the measured results.
+        let (a, pa) = record_fleet(&cfg, &workloads)?;
+        let (b, pb) = record_fleet(&cfg, &workloads)?;
+        if pa.to_bytes() != pb.to_bytes() || a != b {
+            return Err("replay is not deterministic: two runs disagree".into());
+        }
+        println!("verify: two replays agree byte-for-byte");
+        a
+    } else {
+        run_fleet(&cfg, &workloads)?
+    };
+    println!(
+        "replayed {} ({} functions) through {}: {} arrivals, {} completions, \
+         cold-start p99 {:.4} s, e2e p99 {:.4} s, warm hits {}",
+        input.display(),
+        workloads.len(),
+        strategy.label(),
+        result.aggregate.arrivals,
+        result.aggregate.completions,
+        result.aggregate.restore_percentile_secs(99.0),
+        result.aggregate.e2e_percentile_secs(99.0),
+        result.aggregate.warm_starts
+    );
+    Ok(())
+}
+
+fn trace_main(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    match argv.first().map(String::as_str) {
+        Some("record") => trace_record(&argv[1..]),
+        Some("analyze") => trace_analyze(&argv[1..]),
+        Some("replay") => trace_replay(&argv[1..]),
+        Some("--help") | Some("-h") | None => Err(TRACE_USAGE.into()),
+        Some(other) => Err(format!("unknown trace subcommand {other}\n{TRACE_USAGE}").into()),
+    }
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("trace") {
+        return match trace_main(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {

@@ -1,0 +1,178 @@
+//! Wall-clock throughput benchmark for the fleet simulator.
+//!
+//! ```text
+//! cargo run --release -p snapbpf-bench --bin fleet_bench            # print
+//! cargo run --release -p snapbpf-bench --bin fleet_bench -- --write BENCH_fleet.json
+//! cargo run --release -p snapbpf-bench --bin fleet_bench -- --check BENCH_fleet.json
+//! ```
+//!
+//! Runs a fixed SnapBPF fleet configuration (the full eight-function
+//! front of the suite under Poisson traffic) a few times and reports
+//! the best invocations-simulated-per-wall-second. `--write` stores
+//! the result as a committed baseline; `--check` re-measures and
+//! fails if throughput fell more than 25 % below the baseline —
+//! the regression gate CI runs on every push.
+//!
+//! Only the wall clock around whole runs is measured; nothing inside
+//! the simulator ever reads host time, so the benchmark cannot
+//! perturb the (virtual-time) results it times.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use snapbpf::StrategyKind;
+use snapbpf_fleet::{run_fleet, FleetConfig};
+use snapbpf_json::Json;
+use snapbpf_sim::SimDuration;
+use snapbpf_workloads::Workload;
+
+/// Timed repetitions (after one untimed warmup); the best rep is
+/// reported, which is the standard way to suppress scheduler noise
+/// on shared CI runners.
+const REPS: usize = 5;
+
+/// Allowed slowdown vs. the baseline before `--check` fails.
+const MAX_REGRESSION: f64 = 0.25;
+
+/// The fixed workload the benchmark times: eight functions, SnapBPF
+/// strategy, a rate high enough that the run is dominated by steady
+/// state rather than setup.
+fn bench_cfg() -> (FleetConfig, Vec<Workload>) {
+    let workloads: Vec<Workload> = Workload::suite().into_iter().take(8).collect();
+    let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, workloads.len(), 400.0)
+        .at_scale(0.05)
+        .with_seed(42);
+    cfg.duration = SimDuration::from_secs(10);
+    cfg.max_concurrency = 32;
+    cfg.queue_depth = 512;
+    (cfg, workloads)
+}
+
+struct Measurement {
+    invocations: u64,
+    best_wall_s: f64,
+    inv_per_s: f64,
+}
+
+fn measure() -> Result<Measurement, Box<dyn std::error::Error>> {
+    let (cfg, workloads) = bench_cfg();
+    // Warmup: populate allocator and page-cache state once, untimed.
+    let warm = run_fleet(&cfg, &workloads)?;
+    let invocations = warm.aggregate.arrivals;
+
+    let mut best_wall_s = f64::INFINITY;
+    for rep in 0..REPS {
+        let t = Instant::now();
+        let r = run_fleet(&cfg, &workloads)?;
+        let wall = t.elapsed().as_secs_f64();
+        if r.aggregate.arrivals != invocations {
+            return Err("benchmark runs disagree on arrival count".into());
+        }
+        println!(
+            "rep {}/{}: {} invocations in {:.3} s ({:.0} inv/s)",
+            rep + 1,
+            REPS,
+            invocations,
+            wall,
+            invocations as f64 / wall
+        );
+        best_wall_s = best_wall_s.min(wall);
+    }
+    Ok(Measurement {
+        invocations,
+        best_wall_s,
+        inv_per_s: invocations as f64 / best_wall_s,
+    })
+}
+
+fn to_json(m: &Measurement) -> Json {
+    let (cfg, workloads) = bench_cfg();
+    Json::object([
+        ("bench".to_owned(), Json::from("fleet")),
+        ("strategy".to_owned(), Json::from(cfg.strategy.label())),
+        ("functions".to_owned(), Json::from(workloads.len() as u64)),
+        ("rate_rps".to_owned(), Json::from(400.0)),
+        (
+            "virtual_duration_s".to_owned(),
+            Json::from(cfg.duration.as_secs_f64()),
+        ),
+        ("reps".to_owned(), Json::from(REPS as u64)),
+        ("invocations".to_owned(), Json::from(m.invocations)),
+        (
+            "best_wall_s".to_owned(),
+            Json::from((m.best_wall_s * 1e6).round() / 1e6),
+        ),
+        ("inv_per_s".to_owned(), Json::from(m.inv_per_s.round())),
+    ])
+}
+
+fn check(baseline_path: &PathBuf, m: &Measurement) -> Result<(), Box<dyn std::error::Error>> {
+    let baseline = Json::parse(&std::fs::read_to_string(baseline_path)?)?;
+    let base_rate = baseline
+        .get("inv_per_s")
+        .and_then(Json::as_f64)
+        .ok_or("baseline is missing inv_per_s")?;
+    let floor = base_rate * (1.0 - MAX_REGRESSION);
+    println!(
+        "baseline {:.0} inv/s (floor {:.0}), measured {:.0} inv/s",
+        base_rate, floor, m.inv_per_s
+    );
+    if m.inv_per_s < floor {
+        return Err(format!(
+            "fleet throughput regressed more than {:.0} %: {:.0} inv/s vs baseline {:.0} inv/s",
+            MAX_REGRESSION * 100.0,
+            m.inv_per_s,
+            base_rate
+        )
+        .into());
+    }
+    println!(
+        "throughput within {:.0} % of baseline: ok",
+        MAX_REGRESSION * 100.0
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut write: Option<PathBuf> = None;
+    let mut check_path: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--write" => write = Some(PathBuf::from(value("--write")?)),
+            "--check" => check_path = Some(PathBuf::from(value("--check")?)),
+            "--help" | "-h" => {
+                return Err("usage: fleet_bench [--write PATH | --check PATH]".into())
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+
+    let m = measure()?;
+    println!(
+        "best: {} invocations in {:.3} s = {:.0} invocations simulated per second",
+        m.invocations, m.best_wall_s, m.inv_per_s
+    );
+    if let Some(path) = write {
+        let mut text = to_json(&m).pretty();
+        text.push('\n');
+        std::fs::write(&path, text)?;
+        println!("baseline written to {}", path.display());
+    }
+    if let Some(path) = check_path {
+        check(&path, &m)?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

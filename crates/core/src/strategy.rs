@@ -120,6 +120,12 @@ impl From<snapbpf_storage::DiskError> for StrategyError {
     }
 }
 
+impl From<snapbpf_workloads::MixError> for StrategyError {
+    fn from(e: snapbpf_workloads::MixError) -> Self {
+        StrategyError::Config(e.to_string())
+    }
+}
+
 /// The comparison dimensions of the paper's Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Capabilities {
@@ -265,6 +271,14 @@ impl StrategyKind {
         }
     }
 
+    /// Parses a figure-legend label back into a kind
+    /// (case-insensitive), for CLI `--strategy` flags.
+    pub fn parse(label: &str) -> Option<StrategyKind> {
+        StrategyKind::ALL
+            .into_iter()
+            .find(|k| k.label().eq_ignore_ascii_case(label))
+    }
+
     /// Builds a fresh strategy instance.
     pub fn build(&self) -> Box<dyn Strategy> {
         use crate::strategies::*;
@@ -330,5 +344,26 @@ mod tests {
     fn error_display() {
         let e = StrategyError::NotRecorded { strategy: "REAP" };
         assert!(e.to_string().contains("REAP"));
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        for k in StrategyKind::ALL {
+            assert_eq!(StrategyKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(StrategyKind::parse("snapbpf"), Some(StrategyKind::SnapBpf));
+        assert_eq!(StrategyKind::parse("reap"), Some(StrategyKind::Reap));
+        assert_eq!(StrategyKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn mix_errors_become_config_errors() {
+        let err = snapbpf_workloads::FunctionMix::from_weights(&[1.0, -3.0]).unwrap_err();
+        let e: StrategyError = err.into();
+        match &e {
+            StrategyError::Config(msg) => assert!(msg.contains("index 1"), "{msg}"),
+            other => panic!("expected Config, got {other:?}"),
+        }
+        assert!(e.to_string().starts_with("config:"));
     }
 }

@@ -132,7 +132,7 @@ fn validate(cfg: &FleetConfig, workloads: &[Workload]) -> Result<(), StrategyErr
             "max_concurrency must be at least 1".to_owned(),
         ));
     }
-    Ok(())
+    crate::validate_trace_funcs(cfg, workloads)
 }
 
 /// Runs one cluster simulation (see the module docs for the model).

@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 
 use snapbpf::{DeviceKind, StrategyKind};
-use snapbpf_sim::{ArrivalProcess, SimDuration};
+use snapbpf_sim::{ArrivalProcess, ArrivalSource, SimDuration, TraceArrival};
 use snapbpf_workloads::FunctionMix;
 
 use crate::placement::PlacementKind;
@@ -93,9 +93,11 @@ pub struct FleetConfig {
     /// Workload size scale in `(0, 1]` (as in
     /// [`snapbpf::RunConfig`]).
     pub scale: f64,
-    /// The arrival process generating invocation request times.
-    pub arrival: ArrivalProcess,
-    /// Which function each arrival invokes.
+    /// The arrival schedule: a synthetic process or a recorded
+    /// trace replay (see [`ArrivalSource`]).
+    pub arrival: ArrivalSource,
+    /// Which function each arrival invokes, for arrivals that do not
+    /// pin one (trace replays carry their own function indices).
     pub mix: FunctionMix,
     /// Arrival horizon: requests arrive in `[0, duration)` of the
     /// invocation phase; in-flight work then drains to completion.
@@ -144,7 +146,7 @@ impl FleetConfig {
             strategy,
             device: DeviceKind::Sata5300,
             scale: 0.05,
-            arrival: ArrivalProcess::Poisson { rate_rps },
+            arrival: ArrivalProcess::Poisson { rate_rps }.into(),
             mix: FunctionMix::azure_like(n_functions),
             duration: SimDuration::from_secs(2),
             seed: 42,
@@ -160,6 +162,24 @@ impl FleetConfig {
             distribution: SnapshotDistribution::default(),
             trace_out: None,
         }
+    }
+
+    /// Same configuration with a different arrival schedule
+    /// (synthetic process or recorded trace).
+    #[must_use]
+    pub fn with_arrivals(mut self, arrival: impl Into<ArrivalSource>) -> FleetConfig {
+        self.arrival = arrival.into();
+        self
+    }
+
+    /// Same configuration replaying a recorded trace, with the run
+    /// horizon set to the trace's full replay duration (loops and
+    /// time scaling included) so every recorded arrival is played.
+    #[must_use]
+    pub fn replaying(mut self, trace: TraceArrival) -> FleetConfig {
+        self.duration = trace.total_duration();
+        self.arrival = trace.into();
+        self
     }
 
     /// Same configuration sharded over `hosts` hosts under
@@ -258,6 +278,25 @@ mod tests {
         assert_eq!(sharded.hosts, 3);
         assert_eq!(sharded.placement, PlacementKind::Locality);
         assert_ne!(sharded.distribution, SnapshotDistribution::Local);
+    }
+
+    #[test]
+    fn replaying_sets_horizon_to_trace_duration() {
+        use snapbpf_sim::{LoopMode, TracePoint};
+        let trace = TraceArrival::new(
+            vec![TracePoint {
+                offset: SimDuration::from_millis(3),
+                func: 0,
+            }],
+            SimDuration::from_millis(100),
+        )
+        .looped(LoopMode::Repeat(4));
+        let cfg = FleetConfig::new(StrategyKind::Reap, 1, 10.0).replaying(trace.clone());
+        assert_eq!(cfg.duration, SimDuration::from_millis(400));
+        assert_eq!(cfg.arrival.trace(), Some(&trace));
+
+        let back = cfg.with_arrivals(ArrivalProcess::Poisson { rate_rps: 5.0 });
+        assert!(back.arrival.trace().is_none());
     }
 
     #[test]

@@ -88,6 +88,10 @@ pub(crate) struct Host<'a> {
     owner_seq: u32,
     pub(crate) mem_hwm_bytes: u64,
     pub(crate) last_completion: SimTime,
+    /// Virtual time the invocation phase starts at; arrival trace
+    /// events carry offsets from here so a recorded schedule replays
+    /// independently of the (strategy-dependent) record-phase length.
+    t0: SimTime,
     trace: Tracer,
     /// Which functions' snapshots already reside on this host's local
     /// disk (all of them under [`SnapshotDistribution::Local`]; none
@@ -163,6 +167,7 @@ pub(crate) fn build_host<'a>(
             owner_seq: 0,
             mem_hwm_bytes: 0,
             last_completion: t0,
+            t0,
             trace: tracer.clone(),
             snapshot_present: vec![present; n],
             snapshot_fetches: 0,
@@ -174,18 +179,23 @@ pub(crate) fn build_host<'a>(
 }
 
 /// Pre-draws the whole arrival schedule: times from the arrival
-/// process, function choices from the popularity mix. Shared by the
-/// fleet and cluster entry points — a cluster draws ONE schedule and
+/// source, function choices from the popularity mix for any arrival
+/// the schedule does not pin one on (trace replays pin every
+/// function, so their runs consume no mix picks at all — a replay
+/// reproduces the recorded schedule exactly). Shared by the fleet
+/// and cluster entry points — a cluster draws ONE schedule and
 /// shards it, it does not draw per host.
 pub(crate) fn draw_arrivals(cfg: &FleetConfig, t0: SimTime) -> Vec<Request> {
     let mut pick_rng = SplitMix64::new(cfg.seed ^ 0xF1EE_7B00_57A7_1C5E);
     cfg.arrival
-        .generator(cfg.seed)
-        .take_until(SimTime::ZERO + cfg.duration)
+        .draw(cfg.seed, cfg.duration)
         .into_iter()
-        .map(|at| Request {
-            at: t0 + at.saturating_since(SimTime::ZERO),
-            func: cfg.mix.pick(&mut pick_rng),
+        .map(|a| Request {
+            at: t0 + a.at.saturating_since(SimTime::ZERO),
+            func: match a.func {
+                Some(f) => f as usize,
+                None => cfg.mix.pick(&mut pick_rng),
+            },
         })
         .collect()
 }
@@ -431,6 +441,23 @@ impl Host<'_> {
         self.placed += 1;
         self.per_func[req.func].arrivals += 1;
         self.trace.incr("fleet.arrivals");
+        if self.trace.events_enabled() {
+            // The (func, offset-from-t0) pair is exactly what a
+            // profile recorder needs to rebuild the schedule.
+            self.trace.instant(
+                "fleet",
+                "arrival",
+                TID_CONTROL,
+                req.at,
+                vec![
+                    ("func", req.func.into()),
+                    (
+                        "offset_ns",
+                        req.at.saturating_since(self.t0).as_nanos().into(),
+                    ),
+                ],
+            );
+        }
         let expired = self.pool.expire(req.at);
         self.trace
             .add("fleet.pool_expirations", expired.len() as u64);

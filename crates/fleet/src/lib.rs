@@ -106,6 +106,25 @@ pub use pool::SandboxPool;
 
 use host::{build_host, draw_arrivals};
 
+/// Rejects a replayed trace whose points name a function index the
+/// workload list does not cover (a recorded schedule only makes
+/// sense against at least as many functions as it was captured
+/// with).
+pub(crate) fn validate_trace_funcs(
+    cfg: &FleetConfig,
+    workloads: &[Workload],
+) -> Result<(), StrategyError> {
+    if let Some(max) = cfg.arrival.trace().and_then(|t| t.max_func()) {
+        if max as usize >= workloads.len() {
+            return Err(StrategyError::Config(format!(
+                "trace names function index {max} but only {} workloads are configured",
+                workloads.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Runs one fleet simulation (see the crate docs for the model).
 ///
 /// `cfg.mix` must cover exactly `workloads.len()` functions. Metrics
@@ -159,6 +178,7 @@ pub fn run_fleet_with(
         "function mix must cover the workload list"
     );
     assert!(cfg.max_concurrency > 0, "need at least one sandbox slot");
+    validate_trace_funcs(cfg, workloads)?;
 
     let (mut fleet, t0) = build_host(cfg, workloads, tracer)?;
     if tracer.events_enabled() {

@@ -16,6 +16,15 @@
 //! * [`ArrivalProcess::Periodic`] — fixed-period arrivals with
 //!   bounded uniform jitter, the dominant pattern of the Azure
 //!   Functions trace (most functions are timers/cron).
+//!
+//! Beyond the synthetic processes, [`TraceArrival`] replays an
+//! explicit recorded schedule — a sorted list of (offset, function)
+//! points — with loop, time-scale, and rate-scale controls. Both
+//! kinds implement [`ArrivalSchedule`], and [`ArrivalSource`] is the
+//! closed enum run configurations store, so experiment code accepts
+//! recorded or trace-derived workloads anywhere synthetic ones work.
+
+use std::sync::Arc;
 
 use crate::rng::SplitMix64;
 use crate::time::{SimDuration, SimTime};
@@ -176,6 +185,322 @@ impl ArrivalGen {
     }
 }
 
+/// One scheduled request: an absolute arrival time plus, for
+/// replayed traces, the function index it targets. Synthetic
+/// processes leave `func` unset and let the run's popularity mix
+/// pick a function per arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Arrival {
+    /// Absolute (virtual) arrival time.
+    pub at: SimTime,
+    /// Function index, if the schedule pins one.
+    pub func: Option<u32>,
+}
+
+/// Anything that can produce a deterministic arrival schedule for a
+/// run: the synthetic [`ArrivalProcess`]es, a recorded
+/// [`TraceArrival`], or the [`ArrivalSource`] enum wrapping either.
+///
+/// `draw` is a pure function of `(self, seed, horizon)`; two calls
+/// with identical arguments return identical schedules.
+pub trait ArrivalSchedule {
+    /// Long-run mean arrival rate in requests per (virtual) second.
+    fn mean_rate_rps(&self) -> f64;
+
+    /// All arrivals strictly before `horizon` (measured from time
+    /// zero), in non-decreasing time order.
+    fn draw(&self, seed: u64, horizon: SimDuration) -> Vec<Arrival>;
+}
+
+impl ArrivalSchedule for ArrivalProcess {
+    fn mean_rate_rps(&self) -> f64 {
+        ArrivalProcess::mean_rate_rps(self)
+    }
+
+    fn draw(&self, seed: u64, horizon: SimDuration) -> Vec<Arrival> {
+        self.generator(seed)
+            .take_until(SimTime::ZERO + horizon)
+            .into_iter()
+            .map(|at| Arrival { at, func: None })
+            .collect()
+    }
+}
+
+/// One point of a recorded schedule: an offset from the start of the
+/// trace plus the function index invoked there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TracePoint {
+    /// Offset from the start of the trace.
+    pub offset: SimDuration,
+    /// Function index invoked at this point.
+    pub func: u32,
+}
+
+/// How many passes a [`TraceArrival`] replay makes over its points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopMode {
+    /// Play the trace once.
+    Once,
+    /// Play the trace back to back the given number of times
+    /// (must be at least 1; `Repeat(1)` equals `Once`).
+    Repeat(u32),
+}
+
+impl LoopMode {
+    /// Number of passes this mode makes.
+    pub fn passes(&self) -> u32 {
+        match *self {
+            LoopMode::Once => 1,
+            LoopMode::Repeat(n) => n,
+        }
+    }
+}
+
+/// A replayable recorded arrival schedule.
+///
+/// Holds a sorted list of [`TracePoint`]s plus the nominal span of
+/// one pass, and replays them deterministically with three controls:
+///
+/// * **loop mode** — play the trace once or `N` times back to back,
+/// * **time scale** — stretch (`> 1`) or compress (`< 1`) every
+///   offset, e.g. to squeeze a day-long production trace into a
+///   seconds-long virtual run while preserving its shape,
+/// * **rate scale** — replicate (`> 1`) or thin (`< 1`) each point.
+///   Fractional factors are resolved by a seeded coin flip per
+///   point, so the scaled schedule is still a pure function of the
+///   seed. At exactly `1.0` no randomness is consumed and the replay
+///   reproduces the recorded sequence verbatim.
+///
+/// The points are behind an [`Arc`], so cloning a `TraceArrival`
+/// (run configurations are cloned freely) never copies the schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArrival {
+    points: Arc<[TracePoint]>,
+    span: SimDuration,
+    loops: LoopMode,
+    time_scale: f64,
+    rate_scale: f64,
+}
+
+impl TraceArrival {
+    /// Builds a trace from recorded points and the nominal span of
+    /// one pass. Points are sorted by (offset, func); the span is
+    /// widened if any point lies at or past it, so a pass always
+    /// strictly contains its points.
+    pub fn new(mut points: Vec<TracePoint>, span: SimDuration) -> TraceArrival {
+        points.sort_unstable();
+        let span = match points.last() {
+            Some(last) => span.max(last.offset + SimDuration::from_nanos(1)),
+            None => span.max(SimDuration::from_nanos(1)),
+        };
+        TraceArrival {
+            points: points.into(),
+            span,
+            loops: LoopMode::Once,
+            time_scale: 1.0,
+            rate_scale: 1.0,
+        }
+    }
+
+    /// Sets the loop mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Repeat(0)` — a replay makes at least one pass.
+    #[must_use]
+    pub fn looped(mut self, loops: LoopMode) -> TraceArrival {
+        assert!(loops.passes() >= 1, "replay must make at least one pass");
+        self.loops = loops;
+        self
+    }
+
+    /// Sets the time-scale factor (`< 1` compresses, `> 1`
+    /// stretches).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    #[must_use]
+    pub fn with_time_scale(mut self, factor: f64) -> TraceArrival {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "time scale must be finite and positive"
+        );
+        self.time_scale = factor;
+        self
+    }
+
+    /// Sets the rate-scale factor (`> 1` replicates points, `< 1`
+    /// thins them, `0` empties the schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and non-negative.
+    #[must_use]
+    pub fn with_rate_scale(mut self, factor: f64) -> TraceArrival {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "rate scale must be finite and non-negative"
+        );
+        self.rate_scale = factor;
+        self
+    }
+
+    /// The sorted points of one pass.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Number of points in one pass.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether one pass holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Nominal (unscaled) span of one pass.
+    pub fn span(&self) -> SimDuration {
+        self.span
+    }
+
+    /// Number of passes the configured loop mode makes.
+    pub fn passes(&self) -> u32 {
+        self.loops.passes()
+    }
+
+    /// The largest function index any point names.
+    pub fn max_func(&self) -> Option<u32> {
+        self.points.iter().map(|p| p.func).max()
+    }
+
+    /// Total replay duration: the time-scaled span times the number
+    /// of passes. The natural run horizon for a full replay.
+    pub fn total_duration(&self) -> SimDuration {
+        self.scaled_span() * u64::from(self.passes())
+    }
+
+    fn scaled_span(&self) -> SimDuration {
+        SimDuration::from_nanos(self.scale_ns(self.span.as_nanos()).max(1))
+    }
+
+    fn scale_ns(&self, ns: u64) -> u64 {
+        if self.time_scale == 1.0 {
+            ns // exact: replay offsets match the recording bit for bit
+        } else {
+            (ns as f64 * self.time_scale).round() as u64
+        }
+    }
+}
+
+impl ArrivalSchedule for TraceArrival {
+    fn mean_rate_rps(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.len() as f64 * self.rate_scale / self.scaled_span().as_secs_f64()
+    }
+
+    fn draw(&self, seed: u64, horizon: SimDuration) -> Vec<Arrival> {
+        let horizon_ns = horizon.as_nanos();
+        let span_ns = self.scaled_span().as_nanos();
+        let whole = self.rate_scale.trunc() as u64;
+        let frac = self.rate_scale.fract();
+        // Per-point replication coin flips; untouched when the rate
+        // scale has no fractional part, so an unscaled replay is
+        // seed-independent and byte-identical to the recording.
+        let mut rng = SplitMix64::new(seed ^ 0x7E61_C3A9_5EED_F00D);
+        let mut out = Vec::new();
+        'passes: for pass in 0..u64::from(self.passes()) {
+            let Some(base) = pass.checked_mul(span_ns).filter(|b| *b < horizon_ns) else {
+                break;
+            };
+            for p in self.points.iter() {
+                let at = base + self.scale_ns(p.offset.as_nanos());
+                if at >= horizon_ns {
+                    // Offsets are sorted and each pass starts past
+                    // the previous one, so nothing later fits either.
+                    break 'passes;
+                }
+                let mut copies = whole;
+                if frac > 0.0 && rng.next_f64() < frac {
+                    copies += 1;
+                }
+                let arrival = Arrival {
+                    at: SimTime::ZERO + SimDuration::from_nanos(at),
+                    func: Some(p.func),
+                };
+                for _ in 0..copies {
+                    out.push(arrival);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The arrival schedule of a run: a synthetic process or a recorded
+/// trace. Run configurations store this, so recorded workloads plug
+/// in anywhere synthetic ones work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalSource {
+    /// A synthetic stochastic process.
+    Process(ArrivalProcess),
+    /// A recorded trace replay.
+    Trace(TraceArrival),
+}
+
+impl ArrivalSource {
+    /// The recorded trace, if this source replays one.
+    pub fn trace(&self) -> Option<&TraceArrival> {
+        match self {
+            ArrivalSource::Process(_) => None,
+            ArrivalSource::Trace(t) => Some(t),
+        }
+    }
+
+    /// Long-run mean arrival rate in requests per second.
+    pub fn mean_rate_rps(&self) -> f64 {
+        ArrivalSchedule::mean_rate_rps(self)
+    }
+
+    /// All arrivals strictly before `horizon`, in order (see
+    /// [`ArrivalSchedule::draw`]).
+    pub fn draw(&self, seed: u64, horizon: SimDuration) -> Vec<Arrival> {
+        ArrivalSchedule::draw(self, seed, horizon)
+    }
+}
+
+impl ArrivalSchedule for ArrivalSource {
+    fn mean_rate_rps(&self) -> f64 {
+        match self {
+            ArrivalSource::Process(p) => ArrivalSchedule::mean_rate_rps(p),
+            ArrivalSource::Trace(t) => ArrivalSchedule::mean_rate_rps(t),
+        }
+    }
+
+    fn draw(&self, seed: u64, horizon: SimDuration) -> Vec<Arrival> {
+        match self {
+            ArrivalSource::Process(p) => p.draw(seed, horizon),
+            ArrivalSource::Trace(t) => t.draw(seed, horizon),
+        }
+    }
+}
+
+impl From<ArrivalProcess> for ArrivalSource {
+    fn from(p: ArrivalProcess) -> ArrivalSource {
+        ArrivalSource::Process(p)
+    }
+}
+
+impl From<TraceArrival> for ArrivalSource {
+    fn from(t: TraceArrival) -> ArrivalSource {
+        ArrivalSource::Trace(t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +601,141 @@ mod tests {
                 "tick {tick} past its jitter window"
             );
         }
+    }
+
+    fn tiny_trace() -> TraceArrival {
+        TraceArrival::new(
+            vec![
+                TracePoint {
+                    offset: SimDuration::from_millis(5),
+                    func: 1,
+                },
+                TracePoint {
+                    offset: SimDuration::from_millis(1),
+                    func: 0,
+                },
+                TracePoint {
+                    offset: SimDuration::from_millis(9),
+                    func: 2,
+                },
+            ],
+            SimDuration::from_millis(10),
+        )
+    }
+
+    #[test]
+    fn trace_points_are_sorted_and_span_contains_them() {
+        let t = tiny_trace();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.points()[0].func, 0);
+        assert_eq!(t.points()[2].func, 2);
+        assert_eq!(t.span(), SimDuration::from_millis(10));
+        assert_eq!(t.max_func(), Some(2));
+        // A point at the span edge widens the span past it.
+        let edge = TraceArrival::new(
+            vec![TracePoint {
+                offset: SimDuration::from_millis(10),
+                func: 0,
+            }],
+            SimDuration::from_millis(10),
+        );
+        assert!(edge.span() > SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn trace_replay_is_verbatim_and_seed_independent() {
+        let t = tiny_trace();
+        let a = t.draw(1, SimDuration::from_millis(10));
+        let b = t.draw(99, SimDuration::from_millis(10));
+        assert_eq!(a, b, "unscaled replay must not consume randomness");
+        assert_eq!(
+            a.iter()
+                .map(|r| (r.at.as_nanos(), r.func))
+                .collect::<Vec<_>>(),
+            vec![
+                (1_000_000, Some(0)),
+                (5_000_000, Some(1)),
+                (9_000_000, Some(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn trace_loop_modes_tile_the_span() {
+        let t = tiny_trace().looped(LoopMode::Repeat(3));
+        assert_eq!(t.passes(), 3);
+        assert_eq!(t.total_duration(), SimDuration::from_millis(30));
+        let arrivals = t.draw(7, t.total_duration());
+        assert_eq!(arrivals.len(), 9);
+        // Second pass is the first shifted by one span.
+        assert_eq!(
+            arrivals[3].at.as_nanos(),
+            arrivals[0].at.as_nanos() + SimDuration::from_millis(10).as_nanos()
+        );
+        assert!(arrivals.windows(2).all(|w| w[0].at <= w[1].at));
+        // A shorter horizon truncates the tail.
+        let cut = t.draw(7, SimDuration::from_millis(15));
+        assert_eq!(cut.len(), 4);
+    }
+
+    #[test]
+    fn trace_time_scale_stretches_offsets() {
+        let t = tiny_trace().with_time_scale(2.0);
+        let arrivals = t.draw(3, t.total_duration());
+        assert_eq!(arrivals[0].at.as_nanos(), 2_000_000);
+        assert_eq!(t.total_duration(), SimDuration::from_millis(20));
+        let compressed = tiny_trace().with_time_scale(0.5);
+        assert_eq!(
+            compressed.draw(3, compressed.total_duration())[2]
+                .at
+                .as_nanos(),
+            4_500_000
+        );
+    }
+
+    #[test]
+    fn trace_rate_scale_replicates_and_thins_deterministically() {
+        let t = tiny_trace().looped(LoopMode::Repeat(40));
+        let doubled = t.clone().with_rate_scale(2.0);
+        assert_eq!(
+            doubled.draw(5, doubled.total_duration()).len(),
+            2 * t.draw(5, t.total_duration()).len()
+        );
+        let halved = t.clone().with_rate_scale(0.5);
+        let a = halved.draw(5, halved.total_duration());
+        let b = halved.draw(5, halved.total_duration());
+        assert_eq!(a, b, "fractional thinning must be deterministic");
+        let n = a.len();
+        assert!((30..=90).contains(&n), "half rate kept {n} of 120");
+        assert!(halved.draw(6, halved.total_duration()).len() != n || n == 60);
+        assert!(t
+            .clone()
+            .with_rate_scale(0.0)
+            .draw(5, t.total_duration())
+            .is_empty());
+    }
+
+    #[test]
+    fn schedule_trait_covers_processes() {
+        let p = ArrivalProcess::Poisson { rate_rps: 40.0 };
+        let via_trait = ArrivalSchedule::draw(&p, 11, SEC * 5);
+        let direct = p.generator(11).take_until(SimTime::ZERO + SEC * 5);
+        assert_eq!(via_trait.len(), direct.len());
+        assert!(via_trait.iter().all(|a| a.func.is_none()));
+        assert_eq!(via_trait.iter().map(|a| a.at).collect::<Vec<_>>(), direct);
+        assert_eq!(ArrivalSchedule::mean_rate_rps(&p), 40.0);
+    }
+
+    #[test]
+    fn arrival_source_delegates() {
+        let src: ArrivalSource = ArrivalProcess::Poisson { rate_rps: 25.0 }.into();
+        assert_eq!(src.mean_rate_rps(), 25.0);
+        assert!(src.trace().is_none());
+        let trace: ArrivalSource = tiny_trace().into();
+        assert!(trace.trace().is_some());
+        assert_eq!(trace.draw(1, SimDuration::from_millis(10)).len(), 3);
+        // 3 points in 10 ms = 300 rps.
+        assert!((trace.mean_rate_rps() - 300.0).abs() < 1e-9);
     }
 
     #[test]

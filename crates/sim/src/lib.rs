@@ -40,7 +40,10 @@ mod stats;
 mod time;
 pub mod trace;
 
-pub use arrival::{ArrivalGen, ArrivalProcess};
+pub use arrival::{
+    Arrival, ArrivalGen, ArrivalProcess, ArrivalSchedule, ArrivalSource, LoopMode, TraceArrival,
+    TracePoint,
+};
 pub use queue::{Clock, EventQueue, Scheduled};
 pub use rng::SplitMix64;
 pub use snapbpf_json::Json;

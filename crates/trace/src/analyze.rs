@@ -1,0 +1,286 @@
+//! Mix statistics over a recorded profile.
+//!
+//! The `analyze` path answers the questions a scenario designer asks
+//! of a trace before replaying it: how hard does it drive the fleet
+//! (rate over time, peak-to-mean burstiness), who dominates it
+//! (per-function rank and share), and how regular is each function's
+//! arrival pattern (interarrival coefficient of variation — ~1 for
+//! Poisson-like traffic, below for timer-driven, above for bursty).
+
+use snapbpf_json::Json;
+
+use crate::profile::Profile;
+
+/// Number of rate bins the report divides the span into.
+const RATE_BINS: usize = 60;
+
+/// Per-function statistics, ranked by invocation volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncReport {
+    /// The profile's anonymized function id.
+    pub id: String,
+    /// Invocations in the profile.
+    pub invocations: u64,
+    /// Share of all invocations, in `[0, 1]`.
+    pub share: f64,
+    /// Coefficient of variation of this function's interarrival
+    /// gaps (0 when it has fewer than two gaps).
+    pub interarrival_cv: f64,
+}
+
+/// Everything the `analyze` path reports about one profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeReport {
+    /// Total arrival events.
+    pub events: u64,
+    /// Nominal span, seconds.
+    pub span_s: f64,
+    /// Mean arrival rate over the span, requests per second.
+    pub mean_rate_rps: f64,
+    /// The busiest bin's rate, requests per second.
+    pub peak_rate_rps: f64,
+    /// Peak-to-mean rate ratio (1 for perfectly flat traffic).
+    pub burstiness: f64,
+    /// Coefficient of variation of the per-bin rates.
+    pub rate_cv: f64,
+    /// Coefficient of variation of the aggregate interarrival gaps.
+    pub interarrival_cv: f64,
+    /// Arrival rate per bin (the span split into 60 equal bins),
+    /// requests per second.
+    pub rate_over_time: Vec<f64>,
+    /// Per-function reports, ranked by volume (ties by id).
+    pub functions: Vec<FuncReport>,
+}
+
+/// Mean and coefficient of variation of a sample.
+fn mean_cv(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    if samples.len() < 2 || mean == 0.0 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+    (mean, var.sqrt() / mean)
+}
+
+/// CV of the gaps between consecutive sorted offsets (seconds).
+fn interarrival_cv(offsets_s: &[f64]) -> f64 {
+    if offsets_s.len() < 2 {
+        return 0.0;
+    }
+    let gaps: Vec<f64> = offsets_s.windows(2).map(|w| w[1] - w[0]).collect();
+    mean_cv(&gaps).1
+}
+
+impl AnalyzeReport {
+    /// Computes the report for one profile.
+    pub fn from_profile(profile: &Profile) -> AnalyzeReport {
+        let span_s = profile.span().as_secs_f64().max(f64::MIN_POSITIVE);
+        let offsets: Vec<f64> = profile
+            .events()
+            .iter()
+            .map(|e| e.offset.as_secs_f64())
+            .collect();
+        let events = offsets.len() as u64;
+        let mean_rate_rps = events as f64 / span_s;
+
+        let bin_s = span_s / RATE_BINS as f64;
+        let mut counts = vec![0u64; RATE_BINS];
+        for &o in &offsets {
+            let b = ((o / bin_s) as usize).min(RATE_BINS - 1);
+            counts[b] += 1;
+        }
+        let rate_over_time: Vec<f64> = counts.iter().map(|&c| c as f64 / bin_s).collect();
+        let peak_rate_rps = rate_over_time.iter().copied().fold(0.0, f64::max);
+        let (_, rate_cv) = mean_cv(&rate_over_time);
+
+        let mut functions: Vec<FuncReport> = profile
+            .funcs()
+            .iter()
+            .enumerate()
+            .map(|(fi, m)| {
+                let own: Vec<f64> = profile
+                    .events()
+                    .iter()
+                    .filter(|e| e.func as usize == fi)
+                    .map(|e| e.offset.as_secs_f64())
+                    .collect();
+                FuncReport {
+                    id: m.id.clone(),
+                    invocations: m.invocations,
+                    share: if events == 0 {
+                        0.0
+                    } else {
+                        m.invocations as f64 / events as f64
+                    },
+                    interarrival_cv: interarrival_cv(&own),
+                }
+            })
+            .collect();
+        functions.sort_by(|a, b| {
+            b.invocations
+                .cmp(&a.invocations)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+
+        AnalyzeReport {
+            events,
+            span_s,
+            mean_rate_rps,
+            peak_rate_rps,
+            burstiness: if mean_rate_rps > 0.0 {
+                peak_rate_rps / mean_rate_rps
+            } else {
+                0.0
+            },
+            rate_cv,
+            interarrival_cv: interarrival_cv(&offsets),
+            rate_over_time,
+            functions,
+        }
+    }
+
+    /// The report as JSON (values rounded to 4 decimals — enough for
+    /// any mix question, and stable for golden pinning).
+    pub fn to_json(&self) -> Json {
+        let r4 = |v: f64| Json::from((v * 1e4).round() / 1e4);
+        Json::object([
+            ("events".to_owned(), Json::from(self.events)),
+            ("span_s".to_owned(), r4(self.span_s)),
+            ("mean_rate_rps".to_owned(), r4(self.mean_rate_rps)),
+            ("peak_rate_rps".to_owned(), r4(self.peak_rate_rps)),
+            ("burstiness".to_owned(), r4(self.burstiness)),
+            ("rate_cv".to_owned(), r4(self.rate_cv)),
+            ("interarrival_cv".to_owned(), r4(self.interarrival_cv)),
+            (
+                "rate_over_time".to_owned(),
+                Json::array(self.rate_over_time.iter().map(|&v| r4(v))),
+            ),
+            (
+                "functions".to_owned(),
+                Json::array(self.functions.iter().map(|f| {
+                    Json::object([
+                        ("id".to_owned(), Json::from(f.id.as_str())),
+                        ("invocations".to_owned(), Json::from(f.invocations)),
+                        ("share".to_owned(), r4(f.share)),
+                        ("interarrival_cv".to_owned(), r4(f.interarrival_cv)),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// The report as a human-readable text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "profile: {} events over {:.1} s  (mean {:.1} rps, peak {:.1} rps, burstiness {:.2})\n",
+            self.events, self.span_s, self.mean_rate_rps, self.peak_rate_rps, self.burstiness
+        ));
+        out.push_str(&format!(
+            "rate CV {:.3}, interarrival CV {:.3}\n",
+            self.rate_cv, self.interarrival_cv
+        ));
+        out.push_str("rank  id    invocations   share  interarrival-cv\n");
+        for (rank, f) in self.functions.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>4}  {:<5} {:>11}  {:>5.1}%  {:>15.3}\n",
+                rank + 1,
+                f.id,
+                f.invocations,
+                f.share * 100.0,
+                f.interarrival_cv
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::azure::AzureDataset;
+    use crate::profile::{FuncMeta, Profile};
+    use snapbpf_sim::{SimDuration, TracePoint};
+
+    fn even_profile() -> Profile {
+        // One arrival per 100 ms, alternating two functions.
+        let events = (0..100)
+            .map(|i| TracePoint {
+                offset: SimDuration::from_millis(100 * i + 50),
+                func: (i % 2) as u32,
+            })
+            .collect();
+        let meta = |id: &str| FuncMeta {
+            id: id.to_owned(),
+            snapshot_mib: 128,
+            ws_pages: 3072,
+            compute_us: 8_000,
+            invocations: 0,
+        };
+        Profile::new(
+            vec![meta("f00"), meta("f01")],
+            events,
+            SimDuration::from_secs(10),
+        )
+    }
+
+    #[test]
+    fn flat_traffic_reads_as_flat() {
+        let r = AnalyzeReport::from_profile(&even_profile());
+        assert_eq!(r.events, 100);
+        assert!((r.mean_rate_rps - 10.0).abs() < 1e-9);
+        assert!((r.burstiness - 1.2).abs() < 0.21, "got {}", r.burstiness);
+        assert!(
+            r.interarrival_cv < 0.05,
+            "periodic gaps: {}",
+            r.interarrival_cv
+        );
+        assert_eq!(r.functions.len(), 2);
+        assert!((r.functions[0].share - 0.5).abs() < 1e-9);
+        assert_eq!(r.rate_over_time.len(), 60);
+    }
+
+    #[test]
+    fn skewed_bursty_traffic_reads_as_such() {
+        let p = AzureDataset::synthetic(6, 30, 80.0, 5).to_profile(6, 5);
+        let r = AnalyzeReport::from_profile(&p);
+        assert!(r.burstiness > 1.4, "diurnal peak: {}", r.burstiness);
+        assert!(
+            r.functions[0].share > 2.0 * r.functions[2].share,
+            "Zipf ranking: {:?}",
+            r.functions.iter().map(|f| f.share).collect::<Vec<_>>()
+        );
+        // Ranked by volume.
+        assert!(r
+            .functions
+            .windows(2)
+            .all(|w| w[0].invocations >= w[1].invocations));
+    }
+
+    #[test]
+    fn json_and_text_renderings_agree() {
+        let r = AnalyzeReport::from_profile(&even_profile());
+        let json = r.to_json();
+        assert_eq!(json.get("events").and_then(Json::as_u64), Some(100));
+        let funcs = json.get("functions").and_then(Json::as_array).unwrap();
+        assert_eq!(funcs.len(), 2);
+        let text = r.render();
+        assert!(text.contains("100 events"));
+        assert!(text.contains("f00"));
+        // Rounded JSON parses back.
+        assert!(Json::parse(&json.pretty()).is_ok());
+    }
+
+    #[test]
+    fn empty_profile_reports_zeroes() {
+        let p = Profile::new(Vec::new(), Vec::new(), SimDuration::from_secs(1));
+        let r = AnalyzeReport::from_profile(&p);
+        assert_eq!(r.events, 0);
+        assert_eq!(r.mean_rate_rps, 0.0);
+        assert_eq!(r.burstiness, 0.0);
+        assert!(r.functions.is_empty());
+    }
+}

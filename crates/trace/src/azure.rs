@@ -1,0 +1,433 @@
+//! The Azure Functions 2019 trace format.
+//!
+//! The public dataset (Shahrad et al., ATC '20 — the trace REAP's
+//! evaluation and most serverless schedulers build on) ships as
+//! three CSV families:
+//!
+//! * **invocations** — one row per (owner, app, function, trigger)
+//!   with 1440 per-minute invocation-count columns covering one day,
+//! * **durations** — per-function execution-time distribution rows
+//!   (we use the `Average` column, milliseconds),
+//! * **memory** — per-*app* allocated-memory distribution rows
+//!   (`AverageAllocatedMb`).
+//!
+//! [`AzureDataset`] loads those (header-driven, so column order does
+//! not matter), joins memory through the app hash, and converts the
+//! per-minute bins into a deterministic [`Profile`]: the top-N
+//! functions by invocation volume keep their binned counts, each
+//! count is placed at a seeded uniform offset inside its minute, and
+//! every function's memory/duration metadata is mapped onto the
+//! closest evaluation-suite workload. [`AzureDataset::synthetic`]
+//! fabricates a dataset with the trace's hallmark shape (Zipf
+//! popularity × diurnal rate) for offline experiments — the public
+//! CSVs are hundreds of MB and are not vendored here.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use snapbpf_sim::{SimDuration, SplitMix64, TracePoint};
+use snapbpf_workloads::Workload;
+
+use crate::profile::{FuncMeta, Profile};
+
+/// Why an Azure CSV failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AzureError {
+    /// A required header column is missing.
+    MissingColumn(String),
+    /// A row could not be parsed.
+    BadRow {
+        /// 1-based line number in the CSV.
+        line: usize,
+        /// What was wrong.
+        what: String,
+    },
+    /// The invocation file holds no usable rows.
+    Empty,
+}
+
+impl fmt::Display for AzureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AzureError::MissingColumn(c) => write!(f, "missing column {c:?} in Azure CSV"),
+            AzureError::BadRow { line, what } => {
+                write!(f, "bad Azure CSV row at line {line}: {what}")
+            }
+            AzureError::Empty => write!(f, "Azure invocation CSV holds no function rows"),
+        }
+    }
+}
+
+impl std::error::Error for AzureError {}
+
+/// One function of the dataset: identity hashes, per-minute counts,
+/// and (after joining) duration/memory averages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AzureFunc {
+    /// Function hash (anonymized in the public trace).
+    pub id: String,
+    /// Owning app hash (memory rows join on this).
+    pub app: String,
+    /// Invocations per minute-of-day bin.
+    pub per_minute: Vec<u64>,
+    /// Average execution time, ms (from the durations file).
+    pub avg_ms: Option<f64>,
+    /// Average allocated memory, MB (from the memory file, per app).
+    pub avg_mb: Option<f64>,
+}
+
+impl AzureFunc {
+    /// Total invocations across all bins.
+    pub fn total(&self) -> u64 {
+        self.per_minute.iter().sum()
+    }
+}
+
+/// A loaded (or synthesized) Azure Functions trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AzureDataset {
+    funcs: Vec<AzureFunc>,
+    minutes: usize,
+}
+
+fn split_csv_line(line: &str) -> Vec<&str> {
+    line.trim_end_matches('\r')
+        .split(',')
+        .map(str::trim)
+        .collect()
+}
+
+fn column(header: &[&str], name: &str) -> Result<usize, AzureError> {
+    header
+        .iter()
+        .position(|h| h.eq_ignore_ascii_case(name))
+        .ok_or_else(|| AzureError::MissingColumn(name.to_owned()))
+}
+
+impl AzureDataset {
+    /// Parses the invocation CSV and, when given, joins the duration
+    /// and memory CSVs (all header-driven; the per-minute columns
+    /// are the numerically named ones, `1..=1440` in the published
+    /// files).
+    ///
+    /// # Errors
+    ///
+    /// [`AzureError`] on a missing column, an unparsable row, or an
+    /// empty invocation table.
+    pub fn from_csv(
+        invocations: &str,
+        durations: Option<&str>,
+        memory: Option<&str>,
+    ) -> Result<AzureDataset, AzureError> {
+        let mut lines = invocations.lines().enumerate();
+        let (_, header) = lines.next().ok_or(AzureError::Empty)?;
+        let header = split_csv_line(header);
+        let owner_col = column(&header, "HashOwner")?;
+        let app_col = column(&header, "HashApp")?;
+        let func_col = column(&header, "HashFunction")?;
+        // Minute bins: every column whose header is a plain number.
+        let minute_cols: Vec<usize> = header
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.parse::<u32>().is_ok())
+            .map(|(i, _)| i)
+            .collect();
+        if minute_cols.is_empty() {
+            return Err(AzureError::MissingColumn("1 (minute bins)".to_owned()));
+        }
+
+        let mut funcs = Vec::new();
+        for (idx, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = split_csv_line(line);
+            let field = |col: usize| {
+                fields.get(col).copied().ok_or(AzureError::BadRow {
+                    line: idx + 1,
+                    what: format!("missing column {col}"),
+                })
+            };
+            let mut per_minute = Vec::with_capacity(minute_cols.len());
+            for &c in &minute_cols {
+                let raw = field(c)?;
+                per_minute.push(raw.parse::<u64>().map_err(|_| AzureError::BadRow {
+                    line: idx + 1,
+                    what: format!("invocation count {raw:?} is not an integer"),
+                })?);
+            }
+            let _ = field(owner_col)?; // present but unused (anonymity joins go through the app)
+            funcs.push(AzureFunc {
+                id: field(func_col)?.to_owned(),
+                app: field(app_col)?.to_owned(),
+                per_minute,
+                avg_ms: None,
+                avg_mb: None,
+            });
+        }
+        if funcs.is_empty() {
+            return Err(AzureError::Empty);
+        }
+
+        if let Some(csv) = durations {
+            let avg = parse_average(csv, "HashFunction", "Average")?;
+            for f in &mut funcs {
+                f.avg_ms = avg.get(f.id.as_str()).copied();
+            }
+        }
+        if let Some(csv) = memory {
+            let avg = parse_average(csv, "HashApp", "AverageAllocatedMb")?;
+            for f in &mut funcs {
+                f.avg_mb = avg.get(f.app.as_str()).copied();
+            }
+        }
+        let minutes = minute_cols.len();
+        Ok(AzureDataset { funcs, minutes })
+    }
+
+    /// Fabricates an Azure-shaped dataset: function `r` (by rank)
+    /// draws a `1 / r^1.5` Zipf share of a diurnal (sin²-shaped,
+    /// quiet at the edges and busy mid-window) fleet-wide rate
+    /// averaging `mean_rpm` invocations per minute, with seeded
+    /// fractional rounding. Memory/duration metadata cycles through
+    /// the evaluation suite so the profile mapping exercises every
+    /// workload class. Deterministic in `seed`.
+    pub fn synthetic(functions: usize, minutes: usize, mean_rpm: f64, seed: u64) -> AzureDataset {
+        assert!(functions > 0 && minutes > 0, "need functions and minutes");
+        let suite = Workload::suite();
+        let zipf_total: f64 = (1..=functions).map(|r| 1.0 / (r as f64).powf(1.5)).sum();
+        let mut rng = SplitMix64::new(seed ^ 0xA2_0B5E_55ED);
+        let funcs = (0..functions)
+            .map(|rank| {
+                let share = (1.0 / ((rank + 1) as f64).powf(1.5)) / zipf_total;
+                let per_minute = (0..minutes)
+                    .map(|m| {
+                        // Diurnal shape over the modeled window:
+                        // 2·sin²(π·m/minutes) averages 1, so mean_rpm
+                        // is the fleet-wide per-minute mean.
+                        let phase = m as f64 / minutes as f64 * std::f64::consts::PI;
+                        let shape = 2.0 * phase.sin().powi(2);
+                        let expected = mean_rpm * shape * share;
+                        let whole = expected.trunc() as u64;
+                        whole + u64::from(rng.next_f64() < expected.fract())
+                    })
+                    .collect();
+                let spec = suite[rank % suite.len()].spec();
+                AzureFunc {
+                    id: format!("func{rank:04}"),
+                    app: format!("app{:03}", rank / 2),
+                    per_minute,
+                    avg_ms: Some(spec.compute_ms),
+                    avg_mb: Some(spec.snapshot_mib as f64),
+                }
+            })
+            .collect();
+        AzureDataset { funcs, minutes }
+    }
+
+    /// The dataset's functions.
+    pub fn funcs(&self) -> &[AzureFunc] {
+        &self.funcs
+    }
+
+    /// Number of per-minute bins per function.
+    pub fn minutes(&self) -> usize {
+        self.minutes
+    }
+
+    /// Converts the dataset into a replayable [`Profile`]: the
+    /// `top_n` functions by total invocation volume keep their
+    /// binned counts, each invocation lands at a seeded uniform
+    /// offset inside its minute (per-(function, minute) substreams,
+    /// so the placement of one bin never shifts another), and each
+    /// function's (memory, duration) metadata is mapped onto the
+    /// closest evaluation-suite workload's dimensions.
+    pub fn to_profile(&self, top_n: usize, seed: u64) -> Profile {
+        let mut ranked: Vec<&AzureFunc> = self.funcs.iter().collect();
+        ranked.sort_by(|a, b| b.total().cmp(&a.total()).then(a.id.cmp(&b.id)));
+        ranked.truncate(top_n.max(1));
+
+        let suite = Workload::suite();
+        let minute = SimDuration::from_secs(60);
+        let mut metas = Vec::with_capacity(ranked.len());
+        let mut events = Vec::new();
+        for (fi, f) in ranked.iter().enumerate() {
+            let w = closest_suite(&suite, f.avg_mb, f.avg_ms);
+            let s = w.spec();
+            metas.push(FuncMeta {
+                id: format!("f{fi:02}"),
+                snapshot_mib: s.snapshot_mib,
+                ws_pages: s.ws_pages(),
+                compute_us: (s.compute_ms * 1000.0).round() as u64,
+                invocations: 0,
+            });
+            for (m, &count) in f.per_minute.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let mut rng = SplitMix64::new(
+                    seed ^ (fi as u64).rotate_left(32)
+                        ^ (m as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                for _ in 0..count {
+                    let within = minute.mul_f64(rng.next_f64());
+                    events.push(TracePoint {
+                        offset: minute * m as u64 + within,
+                        func: fi as u32,
+                    });
+                }
+            }
+        }
+        Profile::new(metas, events, minute * self.minutes as u64)
+    }
+}
+
+/// Parses a two-column (key, average) view of a distribution CSV.
+fn parse_average(
+    csv: &str,
+    key_col: &str,
+    avg_col: &str,
+) -> Result<HashMap<String, f64>, AzureError> {
+    let mut lines = csv.lines().enumerate();
+    let Some((_, header)) = lines.next() else {
+        return Ok(HashMap::new());
+    };
+    let header = split_csv_line(header);
+    let key = column(&header, key_col)?;
+    let avg = column(&header, avg_col)?;
+    let mut out = HashMap::new();
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv_line(line);
+        let (Some(k), Some(raw)) = (fields.get(key), fields.get(avg)) else {
+            return Err(AzureError::BadRow {
+                line: idx + 1,
+                what: "short row".to_owned(),
+            });
+        };
+        let v = raw.parse::<f64>().map_err(|_| AzureError::BadRow {
+            line: idx + 1,
+            what: format!("average {raw:?} is not a number"),
+        })?;
+        out.insert((*k).to_owned(), v);
+    }
+    Ok(out)
+}
+
+/// The suite workload closest to (memory MB, duration ms) in
+/// log-scale distance; unknown dimensions contribute nothing.
+fn closest_suite(suite: &[Workload], avg_mb: Option<f64>, avg_ms: Option<f64>) -> Workload {
+    let dist = |w: &Workload| {
+        let s = w.spec();
+        let d = |v: Option<f64>, r: f64| match v {
+            Some(v) if v > 0.0 && r > 0.0 => (v.ln() - r.ln()).abs(),
+            _ => 0.0,
+        };
+        d(avg_mb, s.snapshot_mib as f64) + d(avg_ms, s.compute_ms)
+    };
+    *suite
+        .iter()
+        .min_by(|a, b| dist(a).partial_cmp(&dist(b)).expect("finite distances"))
+        .expect("the workload suite is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INVOCATIONS: &str = "\
+HashOwner,HashApp,HashFunction,Trigger,1,2,3
+o1,a1,fA,http,3,0,1
+o1,a1,fB,timer,0,2,0
+o2,a2,fC,queue,9,9,9
+";
+
+    const DURATIONS: &str = "\
+HashFunction,Average,Count
+fA,8.0,100
+fC,60.5,12
+";
+
+    const MEMORY: &str = "\
+HashApp,AverageAllocatedMb
+a1,128
+a2,512
+";
+
+    #[test]
+    fn parses_and_joins_the_three_csvs() {
+        let d = AzureDataset::from_csv(INVOCATIONS, Some(DURATIONS), Some(MEMORY)).unwrap();
+        assert_eq!(d.funcs().len(), 3);
+        assert_eq!(d.minutes(), 3);
+        let fa = &d.funcs()[0];
+        assert_eq!(fa.id, "fA");
+        assert_eq!(fa.per_minute, vec![3, 0, 1]);
+        assert_eq!(fa.avg_ms, Some(8.0));
+        assert_eq!(fa.avg_mb, Some(128.0));
+        let fb = &d.funcs()[1];
+        assert_eq!(fb.avg_ms, None, "fB has no duration row");
+        assert_eq!(fb.avg_mb, Some(128.0), "memory joins through the app");
+        assert_eq!(d.funcs()[2].total(), 27);
+    }
+
+    #[test]
+    fn header_and_row_errors_are_diagnosable() {
+        let no_bins = "HashOwner,HashApp,HashFunction,Trigger\no,a,f,http\n";
+        assert!(matches!(
+            AzureDataset::from_csv(no_bins, None, None),
+            Err(AzureError::MissingColumn(_)),
+        ));
+        let bad_count = "HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,many\n";
+        let err = AzureDataset::from_csv(bad_count, None, None).unwrap_err();
+        assert!(matches!(err, AzureError::BadRow { line: 2, .. }), "{err}");
+        assert!(matches!(
+            AzureDataset::from_csv("HashOwner,HashApp,HashFunction,1\n", None, None),
+            Err(AzureError::Empty),
+        ));
+    }
+
+    #[test]
+    fn real_format_profile_conversion() {
+        let d = AzureDataset::from_csv(INVOCATIONS, Some(DURATIONS), Some(MEMORY)).unwrap();
+        let p = d.to_profile(2, 7);
+        // Top 2 by volume: fC (27) then fA (4).
+        assert_eq!(p.funcs().len(), 2);
+        assert_eq!(p.len(), 31);
+        assert_eq!(p.span(), SimDuration::from_secs(180));
+        // fC maps to a 512 MiB / ~60 ms suite function.
+        assert_eq!(p.funcs()[0].snapshot_mib, 512);
+        // Offsets stay inside their minute bins.
+        for e in p.events() {
+            assert!(e.offset < p.span());
+        }
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_and_skewed() {
+        let a = AzureDataset::synthetic(6, 30, 50.0, 11);
+        let b = AzureDataset::synthetic(6, 30, 50.0, 11);
+        assert_eq!(a, b);
+        let c = AzureDataset::synthetic(6, 30, 50.0, 12);
+        assert_ne!(a, c, "seed must matter");
+        let totals: Vec<u64> = a.funcs().iter().map(AzureFunc::total).collect();
+        assert!(totals[0] > 2 * totals[5], "Zipf head dominates: {totals:?}");
+        // Diurnal shape: the window's edges are quiet, its middle
+        // busy.
+        let head = &a.funcs()[0].per_minute;
+        let early: u64 = head[..5].iter().sum();
+        let mid: u64 = head[12..18].iter().sum();
+        assert!(mid > early, "rate peaks mid-window: {head:?}");
+    }
+
+    #[test]
+    fn synthetic_profile_replays_full_span() {
+        let p = AzureDataset::synthetic(5, 10, 40.0, 3).to_profile(3, 3);
+        assert_eq!(p.funcs().len(), 3);
+        assert!(p.len() > 50, "10 busy-ish minutes of arrivals");
+        assert_eq!(p.span(), SimDuration::from_secs(600));
+        let same = AzureDataset::synthetic(5, 10, 40.0, 3).to_profile(3, 3);
+        assert_eq!(p.to_bytes(), same.to_bytes(), "conversion is deterministic");
+    }
+}

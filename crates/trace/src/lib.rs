@@ -1,0 +1,69 @@
+//! # snapbpf-trace — production-trace record / analyze / replay
+//!
+//! The scenario substrate for the fleet experiments: instead of
+//! synthetic `ArrivalProcess` × `FunctionMix` traffic, this crate
+//! captures *recorded* workloads and replays them deterministically.
+//!
+//! Three paths, mirroring the membench-style loop:
+//!
+//! * **record** — [`record_fleet`] / [`record_cluster`] run any
+//!   fleet or cluster configuration under an arrival-capturing
+//!   [`snapbpf_sim::TraceSink`] and produce a [`Profile`]: a
+//!   compact, versioned, checksummed binary file holding anonymized
+//!   function metadata plus the full (offset, function) arrival
+//!   topology.
+//! * **analyze** — [`AnalyzeReport`] summarizes a profile's mix:
+//!   rate over time, burstiness, per-function rank/share, and
+//!   interarrival CVs, as JSON or a text table.
+//! * **replay** — [`Profile::arrivals`] turns a profile back into a
+//!   [`snapbpf_sim::TraceArrival`], which plugs into
+//!   [`snapbpf_fleet::FleetConfig::replaying`] with loop, time-scale
+//!   and rate-scale controls. Same seed ⇒ byte-identical schedule
+//!   and field-identical results.
+//!
+//! [`AzureDataset`] loads the public Azure Functions 2019 trace
+//! format (per-minute invocation bins plus duration/memory
+//! distribution files) — or fabricates an Azure-shaped dataset —
+//! and converts it into a profile, feeding the F3 `fleet-azure`
+//! figure ([`fleet_azure`]).
+//!
+//! ## Example: record, then replay elsewhere
+//!
+//! ```
+//! use snapbpf::StrategyKind;
+//! use snapbpf_fleet::FleetConfig;
+//! use snapbpf_sim::SimDuration;
+//! use snapbpf_trace::{record_fleet, Profile};
+//! use snapbpf_workloads::Workload;
+//!
+//! let workloads: Vec<Workload> = Workload::suite().into_iter().take(3).collect();
+//! let mut cfg = FleetConfig::new(StrategyKind::Reap, 3, 40.0).at_scale(0.02);
+//! cfg.duration = SimDuration::from_millis(500);
+//!
+//! let (result, profile) = record_fleet(&cfg, &workloads).unwrap();
+//! assert_eq!(profile.len() as u64, result.aggregate.arrivals);
+//!
+//! // The profile round-trips through its binary form ...
+//! let loaded = Profile::from_bytes(&profile.to_bytes()).unwrap();
+//! // ... and replays the exact schedule through any strategy.
+//! let replay_cfg = cfg
+//!     .with_arrivals(loaded.arrivals())
+//!     .with_seed(7); // seed does not matter for an unscaled replay
+//! let replayed = snapbpf_fleet::run_fleet(&replay_cfg, &workloads).unwrap();
+//! assert_eq!(replayed.aggregate.arrivals, result.aggregate.arrivals);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod azure;
+mod figures;
+mod profile;
+mod record;
+
+pub use analyze::{AnalyzeReport, FuncReport};
+pub use azure::{AzureDataset, AzureError, AzureFunc};
+pub use figures::{fleet_azure, AzureFigureConfig, F3_KINDS};
+pub use profile::{FuncMeta, Profile, ProfileError};
+pub use record::{record_cluster, record_fleet, ArrivalCapture};

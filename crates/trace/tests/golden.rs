@@ -1,0 +1,72 @@
+//! Golden outputs for the trace subsystem.
+//!
+//! Pins the analyze report (JSON and text renderings) of a synthetic
+//! Azure-shaped profile and the full F3 `fleet-azure` figure JSON.
+//! Any drift in the dataset synthesis, the profile format's derived
+//! statistics, or the replay path shows up as a diff here. Bless
+//! intentional changes with `UPDATE_GOLDEN=1 cargo test -p
+//! snapbpf-trace --test golden` — and inspect the diff: goldens must
+//! match in both debug and release builds.
+
+use std::fs;
+use std::path::PathBuf;
+
+use snapbpf_trace::{fleet_azure, AnalyzeReport, AzureDataset, AzureFigureConfig};
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "golden file {} missing; bless with UPDATE_GOLDEN=1 cargo test -p snapbpf-trace --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected,
+        actual,
+        "golden mismatch for {name}; if intentional, bless with UPDATE_GOLDEN=1 cargo test -p snapbpf-trace --test golden"
+    );
+}
+
+/// The profile every golden here derives from: a synthetic
+/// Azure-shaped half-hour, six functions, Zipf mix, diurnal rate.
+fn golden_profile() -> snapbpf_trace::Profile {
+    AzureDataset::synthetic(6, 30, 80.0, 5).to_profile(6, 5)
+}
+
+#[test]
+fn golden_analyze_json() {
+    let report = AnalyzeReport::from_profile(&golden_profile());
+    let mut json = report.to_json().pretty();
+    json.push('\n');
+    assert_golden("analyze-report.json", &json);
+}
+
+#[test]
+fn golden_analyze_text() {
+    let report = AnalyzeReport::from_profile(&golden_profile());
+    assert_golden("analyze-report.txt", &report.render());
+}
+
+#[test]
+fn golden_fleet_azure_figure() {
+    // A smaller window than `quick` keeps this tractable in debug
+    // builds while still replaying all five strategies on both
+    // devices.
+    let mut cfg = AzureFigureConfig::quick(0.02);
+    cfg.minutes = 4;
+    cfg.mean_rpm = 15.0;
+    cfg.top_n = 3;
+    let mut json = fleet_azure(&cfg).unwrap().to_json().unwrap();
+    if !json.ends_with('\n') {
+        json.push('\n');
+    }
+    assert_golden("fleet-azure.json", &json);
+}

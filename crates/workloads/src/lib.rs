@@ -31,7 +31,7 @@ mod mix;
 mod spec;
 mod trace;
 
-pub use mix::FunctionMix;
+pub use mix::{FunctionMix, MixError};
 pub use spec::{FunctionSpec, FAASMEM, FUNCTIONBENCH};
 pub use trace::{InvocationTrace, Step, WsCluster};
 

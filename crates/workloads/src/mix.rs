@@ -11,7 +11,36 @@
 //! [`FunctionMix`] captures that as a normalized weight per function
 //! and deterministically maps a random draw to a function index.
 
+use std::fmt;
+
 use snapbpf_sim::SplitMix64;
+
+/// A rejected [`FunctionMix`] weight: the offending index and value.
+///
+/// Raised by [`FunctionMix::from_weights`] for non-positive or
+/// non-finite entries — the same clean-configuration-error
+/// philosophy the empty-mix handling follows, so callers building
+/// mixes from user input (CLI weights, loaded profiles) report a
+/// diagnosable error instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixError {
+    /// Index of the rejected weight.
+    pub index: usize,
+    /// The rejected value.
+    pub value: f64,
+}
+
+impl fmt::Display for MixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mix weight {} at index {} is invalid; weights must be positive and finite",
+            self.value, self.index
+        )
+    }
+}
+
+impl std::error::Error for MixError {}
 
 /// A normalized popularity distribution over the functions of a
 /// fleet (weights sum to 1, indexed like the workload slice the mix
@@ -28,17 +57,16 @@ impl FunctionMix {
     /// empty slice yields an empty mix — constructible so run entry
     /// points can reject it with a clean configuration error instead
     /// of a constructor panic, but [`FunctionMix::pick`] cannot draw
-    /// from it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `weights` contains a non-positive or non-finite
-    /// entry.
-    pub fn from_weights(weights: &[f64]) -> FunctionMix {
-        assert!(
-            weights.iter().all(|w| w.is_finite() && *w > 0.0),
-            "weights must be positive and finite"
-        );
+    /// from it. A non-positive or non-finite weight is reported as a
+    /// [`MixError`] naming the offending entry.
+    pub fn from_weights(weights: &[f64]) -> Result<FunctionMix, MixError> {
+        if let Some((index, &value)) = weights
+            .iter()
+            .enumerate()
+            .find(|(_, w)| !w.is_finite() || **w <= 0.0)
+        {
+            return Err(MixError { index, value });
+        }
         let total: f64 = weights.iter().sum();
         let weights: Vec<f64> = weights.iter().map(|w| w / total).collect();
         let mut acc = 0.0;
@@ -49,12 +77,12 @@ impl FunctionMix {
                 acc
             })
             .collect();
-        FunctionMix { weights, cdf }
+        Ok(FunctionMix { weights, cdf })
     }
 
     /// Every function equally popular.
     pub fn uniform(n: usize) -> FunctionMix {
-        FunctionMix::from_weights(&vec![1.0; n])
+        FunctionMix::from_weights(&vec![1.0; n]).expect("unit weights are valid")
     }
 
     /// An Azure-Functions-style long-tailed mix: weight of the
@@ -64,7 +92,7 @@ impl FunctionMix {
     /// Function index 0 is the most popular.
     pub fn azure_like(n: usize) -> FunctionMix {
         let weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(1.5)).collect();
-        FunctionMix::from_weights(&weights)
+        FunctionMix::from_weights(&weights).expect("Zipf weights are valid")
     }
 
     /// Number of functions in the mix.
@@ -108,7 +136,7 @@ mod tests {
 
     #[test]
     fn weights_normalize() {
-        let m = FunctionMix::from_weights(&[3.0, 1.0]);
+        let m = FunctionMix::from_weights(&[3.0, 1.0]).unwrap();
         assert!((m.weights()[0] - 0.75).abs() < 1e-12);
         assert!((m.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert_eq!(m.len(), 2);
@@ -136,7 +164,7 @@ mod tests {
 
     #[test]
     fn picks_follow_weights_deterministically() {
-        let m = FunctionMix::from_weights(&[8.0, 1.0, 1.0]);
+        let m = FunctionMix::from_weights(&[8.0, 1.0, 1.0]).unwrap();
         let draw = |seed| {
             let mut rng = SplitMix64::new(seed);
             let mut counts = [0u32; 3];
@@ -161,14 +189,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_weight_rejected() {
-        let _ = FunctionMix::from_weights(&[1.0, 0.0]);
+    fn bad_weights_rejected_with_location() {
+        let err = FunctionMix::from_weights(&[1.0, 0.0]).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.value, 0.0);
+        assert!(err.to_string().contains("index 1"));
+        assert!(FunctionMix::from_weights(&[-2.0]).is_err());
+        assert!(FunctionMix::from_weights(&[1.0, f64::NAN]).is_err());
+        assert!(FunctionMix::from_weights(&[f64::INFINITY]).is_err());
     }
 
     #[test]
     fn empty_mix_is_constructible_but_unpickable() {
-        let m = FunctionMix::from_weights(&[]);
+        let m = FunctionMix::from_weights(&[]).unwrap();
         assert!(m.is_empty());
         assert_eq!(m.len(), 0);
         assert!(FunctionMix::azure_like(0).is_empty());
@@ -178,7 +211,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty mix")]
     fn empty_mix_pick_panics() {
-        let m = FunctionMix::from_weights(&[]);
+        let m = FunctionMix::from_weights(&[]).unwrap();
         let mut rng = SplitMix64::new(1);
         let _ = m.pick(&mut rng);
     }
