@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use snapbpf::StrategyKind;
 use snapbpf_fleet::figures::{fleet_breakdown, fleet_keepalive, fleet_sweep, FleetFigureConfig};
-use snapbpf_fleet::{run_fleet, FleetConfig};
+use snapbpf_fleet::{FleetConfig, Runner};
 use snapbpf_sim::SimDuration;
 use snapbpf_workloads::Workload;
 use std::hint::black_box;
@@ -36,7 +36,12 @@ fn bench(c: &mut Criterion) {
         cfg.scale = 0.05;
         cfg.duration = SimDuration::from_millis(500);
         g.bench_function(&format!("run/{}/60rps", kind.label()), |b| {
-            b.iter(|| run_fleet(black_box(&cfg), &workloads).expect("fleet run"))
+            b.iter(|| {
+                Runner::new(black_box(&cfg))
+                    .workloads(&workloads)
+                    .run()
+                    .expect("fleet run")
+            })
         });
     }
     g.finish();

@@ -37,7 +37,7 @@ use snapbpf_fleet::figures::{
     fleet_breakdown, fleet_keepalive, fleet_pipeline, fleet_shard, fleet_sweep, fleet_trace,
     FleetFigureConfig,
 };
-use snapbpf_fleet::{run_fleet, FleetConfig};
+use snapbpf_fleet::{FleetConfig, Runner};
 use snapbpf_sim::{LoopMode, SimDuration};
 use snapbpf_trace::{fleet_azure, record_fleet, AnalyzeReport, AzureFigureConfig, Profile};
 use snapbpf_workloads::{FunctionMix, Workload};
@@ -79,6 +79,7 @@ struct Args {
     device: DeviceKind,
     trace_out: Option<PathBuf>,
     hosts: Option<usize>,
+    threads: usize,
     verifier_log: bool,
 }
 
@@ -91,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         device: DeviceKind::Sata5300,
         trace_out: None,
         hosts: None,
+        threads: 1,
         verifier_log: false,
     };
     let mut it = std::env::args().skip(1);
@@ -124,6 +126,11 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("bad --hosts: {e}"))?,
                 )
             }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
             "--device" => {
                 let name = value("--device")?;
                 args.device = DeviceKind::parse(&name)
@@ -133,7 +140,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err(format!(
                     "usage: figures [--scale S] [--instances N] [--out DIR] [--only ID] \
                      [--device sata-ssd|nvme|hdd] [--trace-out FILE] [--hosts N] \
-                     [--verifier-log]\n\
+                     [--threads N] [--verifier-log]\n\
                      IDs: {}\n\
                      or: figures trace <record|analyze|replay> (see `figures trace --help`)",
                     KNOWN_IDS.join(" ")
@@ -315,6 +322,7 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         if let Some(hosts) = args.hosts {
             f.shard.hosts = hosts;
         }
+        f.shard.threads = args.threads;
         f
     };
     if wants(&args.only, "fleet-sweep") {
@@ -600,7 +608,11 @@ fn trace_replay(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         println!("verify: two replays agree byte-for-byte");
         a
     } else {
-        run_fleet(&cfg, &workloads)?
+        Runner::new(&cfg)
+            .workloads(&workloads)
+            .run()?
+            .into_fleet()
+            .expect("replays are single-host")
     };
     println!(
         "replayed {} ({} functions) through {}: {} arrivals, {} completions, \

@@ -6,12 +6,22 @@
 //! cargo run --release -p snapbpf-bench --bin fleet_bench -- --check BENCH_fleet.json
 //! ```
 //!
-//! Runs a fixed SnapBPF fleet configuration (the full eight-function
-//! front of the suite under Poisson traffic) a few times and reports
-//! the best invocations-simulated-per-wall-second. `--write` stores
-//! the result as a committed baseline; `--check` re-measures and
-//! fails if throughput fell more than 25 % below the baseline —
-//! the regression gate CI runs on every push.
+//! Two timed configurations, both SnapBPF under Poisson traffic over
+//! the eight-function front of the suite:
+//!
+//! * a single-host fleet run (`inv_per_s`), and
+//! * an eight-host cluster run driven twice through the epoch/barrier
+//!   engine (DESIGN.md §11) — once serially
+//!   (`cluster_serial_inv_per_s`, threads = 1) and once on all
+//!   available cores (`cluster_parallel_inv_per_s`, threads = 0);
+//!   the baseline records the effective worker count as `threads`.
+//!
+//! The best rep of each is reported. `--write` stores the result as a
+//! committed baseline; `--check` re-measures and fails if any
+//! throughput fell more than 25 % below its baseline — the
+//! regression gate CI runs on every push. The gate never *requires* a
+//! parallel speedup (CI cores vary); it only catches regressions
+//! against the machine-matched baseline.
 //!
 //! Only the wall clock around whole runs is measured; nothing inside
 //! the simulator ever reads host time, so the benchmark cannot
@@ -22,7 +32,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use snapbpf::StrategyKind;
-use snapbpf_fleet::{run_fleet, FleetConfig};
+use snapbpf_fleet::{FleetConfig, PlacementKind, Runner};
 use snapbpf_json::Json;
 use snapbpf_sim::SimDuration;
 use snapbpf_workloads::Workload;
@@ -32,12 +42,16 @@ use snapbpf_workloads::Workload;
 /// on shared CI runners.
 const REPS: usize = 5;
 
+/// Cluster reps: each run covers eight hosts, so fewer reps already
+/// average plenty of work.
+const CLUSTER_REPS: usize = 3;
+
 /// Allowed slowdown vs. the baseline before `--check` fails.
 const MAX_REGRESSION: f64 = 0.25;
 
-/// The fixed workload the benchmark times: eight functions, SnapBPF
-/// strategy, a rate high enough that the run is dominated by steady
-/// state rather than setup.
+/// The fixed single-host workload the benchmark times: eight
+/// functions, SnapBPF strategy, a rate high enough that the run is
+/// dominated by steady state rather than setup.
 fn bench_cfg() -> (FleetConfig, Vec<Workload>) {
     let workloads: Vec<Workload> = Workload::suite().into_iter().take(8).collect();
     let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, workloads.len(), 400.0)
@@ -49,28 +63,55 @@ fn bench_cfg() -> (FleetConfig, Vec<Workload>) {
     (cfg, workloads)
 }
 
+/// The cluster configuration: the same suite front spread over eight
+/// hosts under locality placement at a proportionally scaled rate.
+fn cluster_cfg() -> (FleetConfig, Vec<Workload>) {
+    let workloads: Vec<Workload> = Workload::suite().into_iter().take(8).collect();
+    let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, workloads.len(), 3200.0)
+        .at_scale(0.05)
+        .with_seed(42)
+        .sharded(8, PlacementKind::Locality);
+    cfg.duration = SimDuration::from_secs(2);
+    cfg.max_concurrency = 32;
+    cfg.queue_depth = 512;
+    (cfg, workloads)
+}
+
 struct Measurement {
     invocations: u64,
     best_wall_s: f64,
     inv_per_s: f64,
+    cluster_invocations: u64,
+    /// Effective worker count of the parallel cluster measurement.
+    threads: usize,
+    cluster_serial_inv_per_s: f64,
+    cluster_parallel_inv_per_s: f64,
 }
 
-fn measure() -> Result<Measurement, Box<dyn std::error::Error>> {
+/// Times `REPS` single-host runs and returns (arrivals, best wall
+/// seconds).
+fn time_fleet() -> Result<(u64, f64), Box<dyn std::error::Error>> {
     let (cfg, workloads) = bench_cfg();
+    let run = || -> Result<u64, Box<dyn std::error::Error>> {
+        let r = Runner::new(&cfg)
+            .workloads(&workloads)
+            .run()?
+            .into_fleet()
+            .expect("bench_cfg is single-host");
+        Ok(r.aggregate.arrivals)
+    };
     // Warmup: populate allocator and page-cache state once, untimed.
-    let warm = run_fleet(&cfg, &workloads)?;
-    let invocations = warm.aggregate.arrivals;
-
+    let invocations = run()?;
     let mut best_wall_s = f64::INFINITY;
     for rep in 0..REPS {
         let t = Instant::now();
-        let r = run_fleet(&cfg, &workloads)?;
+        let arrivals = run()?;
         let wall = t.elapsed().as_secs_f64();
-        if r.aggregate.arrivals != invocations {
+        if arrivals != invocations {
             return Err("benchmark runs disagree on arrival count".into());
         }
         println!(
-            "rep {}/{}: {} invocations in {:.3} s ({:.0} inv/s)",
+            "fleet rep {}/{}: {} invocations in {:.3} s ({:.0} inv/s)",
             rep + 1,
             REPS,
             invocations,
@@ -79,10 +120,60 @@ fn measure() -> Result<Measurement, Box<dyn std::error::Error>> {
         );
         best_wall_s = best_wall_s.min(wall);
     }
+    Ok((invocations, best_wall_s))
+}
+
+/// Times `CLUSTER_REPS` cluster runs at the given worker-thread
+/// count and returns (arrivals, best wall seconds).
+fn time_cluster(threads: usize, label: &str) -> Result<(u64, f64), Box<dyn std::error::Error>> {
+    let (cfg, workloads) = cluster_cfg();
+    let run = || -> Result<u64, Box<dyn std::error::Error>> {
+        let r = Runner::new(&cfg)
+            .workloads(&workloads)
+            .threads(threads)
+            .run()?
+            .into_cluster()
+            .expect("cluster_cfg is multi-host");
+        Ok(r.aggregate.arrivals)
+    };
+    let invocations = run()?;
+    let mut best_wall_s = f64::INFINITY;
+    for rep in 0..CLUSTER_REPS {
+        let t = Instant::now();
+        let arrivals = run()?;
+        let wall = t.elapsed().as_secs_f64();
+        if arrivals != invocations {
+            return Err("benchmark runs disagree on arrival count".into());
+        }
+        println!(
+            "cluster({label}) rep {}/{}: {} invocations in {:.3} s ({:.0} inv/s)",
+            rep + 1,
+            CLUSTER_REPS,
+            invocations,
+            wall,
+            invocations as f64 / wall
+        );
+        best_wall_s = best_wall_s.min(wall);
+    }
+    Ok((invocations, best_wall_s))
+}
+
+fn measure() -> Result<Measurement, Box<dyn std::error::Error>> {
+    let (invocations, best_wall_s) = time_fleet()?;
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let (cluster_invocations, serial_wall) = time_cluster(1, "serial")?;
+    let (parallel_invocations, parallel_wall) = time_cluster(0, "parallel")?;
+    if parallel_invocations != cluster_invocations {
+        return Err("serial and parallel cluster runs disagree on arrival count".into());
+    }
     Ok(Measurement {
         invocations,
         best_wall_s,
         inv_per_s: invocations as f64 / best_wall_s,
+        cluster_invocations,
+        threads: threads.min(8),
+        cluster_serial_inv_per_s: cluster_invocations as f64 / serial_wall,
+        cluster_parallel_inv_per_s: cluster_invocations as f64 / parallel_wall,
     })
 }
 
@@ -104,31 +195,58 @@ fn to_json(m: &Measurement) -> Json {
             Json::from((m.best_wall_s * 1e6).round() / 1e6),
         ),
         ("inv_per_s".to_owned(), Json::from(m.inv_per_s.round())),
+        ("cluster_hosts".to_owned(), Json::from(8u64)),
+        (
+            "cluster_invocations".to_owned(),
+            Json::from(m.cluster_invocations),
+        ),
+        ("threads".to_owned(), Json::from(m.threads as u64)),
+        (
+            "cluster_serial_inv_per_s".to_owned(),
+            Json::from(m.cluster_serial_inv_per_s.round()),
+        ),
+        (
+            "cluster_parallel_inv_per_s".to_owned(),
+            Json::from(m.cluster_parallel_inv_per_s.round()),
+        ),
     ])
+}
+
+/// Gates one measured rate against its baseline counterpart.
+fn gate(baseline: &Json, key: &str, measured: f64) -> Result<(), Box<dyn std::error::Error>> {
+    let base_rate = baseline
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("baseline is missing {key}"))?;
+    let floor = base_rate * (1.0 - MAX_REGRESSION);
+    println!(
+        "{key}: baseline {base_rate:.0} inv/s (floor {floor:.0}), measured {measured:.0} inv/s"
+    );
+    if measured < floor {
+        return Err(format!(
+            "{key} regressed more than {:.0} %: {measured:.0} inv/s vs baseline {base_rate:.0} inv/s",
+            MAX_REGRESSION * 100.0,
+        )
+        .into());
+    }
+    Ok(())
 }
 
 fn check(baseline_path: &PathBuf, m: &Measurement) -> Result<(), Box<dyn std::error::Error>> {
     let baseline = Json::parse(&std::fs::read_to_string(baseline_path)?)?;
-    let base_rate = baseline
-        .get("inv_per_s")
-        .and_then(Json::as_f64)
-        .ok_or("baseline is missing inv_per_s")?;
-    let floor = base_rate * (1.0 - MAX_REGRESSION);
+    gate(&baseline, "inv_per_s", m.inv_per_s)?;
+    gate(
+        &baseline,
+        "cluster_serial_inv_per_s",
+        m.cluster_serial_inv_per_s,
+    )?;
+    gate(
+        &baseline,
+        "cluster_parallel_inv_per_s",
+        m.cluster_parallel_inv_per_s,
+    )?;
     println!(
-        "baseline {:.0} inv/s (floor {:.0}), measured {:.0} inv/s",
-        base_rate, floor, m.inv_per_s
-    );
-    if m.inv_per_s < floor {
-        return Err(format!(
-            "fleet throughput regressed more than {:.0} %: {:.0} inv/s vs baseline {:.0} inv/s",
-            MAX_REGRESSION * 100.0,
-            m.inv_per_s,
-            base_rate
-        )
-        .into());
-    }
-    println!(
-        "throughput within {:.0} % of baseline: ok",
+        "all throughputs within {:.0} % of baseline: ok",
         MAX_REGRESSION * 100.0
     );
     Ok(())
@@ -152,8 +270,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     let m = measure()?;
     println!(
-        "best: {} invocations in {:.3} s = {:.0} invocations simulated per second",
+        "best fleet: {} invocations in {:.3} s = {:.0} invocations simulated per second",
         m.invocations, m.best_wall_s, m.inv_per_s
+    );
+    println!(
+        "best cluster (8 hosts): serial {:.0} inv/s, parallel {:.0} inv/s ({} threads)",
+        m.cluster_serial_inv_per_s, m.cluster_parallel_inv_per_s, m.threads
     );
     if let Some(path) = write {
         let mut text = to_json(&m).pretty();

@@ -156,21 +156,23 @@ impl RestoreOps for UffdRestoreOps {
                 let install_cost = host.config().page_copy + host.config().anon_zero_fill;
                 let mut installer = now;
                 let mut available = self.available.borrow_mut();
+                // All chunks are issued at `now`; batching the
+                // submissions delivers the completions in one call.
+                let mut chunks = Vec::new();
                 let mut page = 0;
                 while page < total {
                     let n = PREFETCH_CHUNK_PAGES.min(total - page);
-                    let done = host.disk_mut().read_file_pages(
-                        now,
-                        self.ws_file,
-                        page,
-                        n,
-                        IoPath::Direct,
-                    )?;
-                    for i in page..page + n {
+                    chunks.push((page, n));
+                    page += n;
+                }
+                let completions =
+                    host.disk_mut()
+                        .read_file_runs(now, self.ws_file, &chunks, IoPath::Direct)?;
+                for (&(first, n), done) in chunks.iter().zip(&completions) {
+                    for i in first..first + n {
                         installer = installer.max(done.done_at) + install_cost;
                         available.insert(self.ws_order[i as usize], installer);
                     }
-                    page += n;
                 }
                 // The stage's work completes when the last install
                 // lands; the critical path never waits for it.

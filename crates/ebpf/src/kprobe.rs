@@ -232,6 +232,12 @@ impl KprobeRegistry {
     /// Runtime errors are captured per program in the results rather
     /// than propagated — one misbehaving program does not prevent
     /// others from running, matching kprobe semantics.
+    ///
+    /// This is the per-page hot path of a restore (the page-cache
+    /// hook fires once per inserted page), so dispatch works off the
+    /// already-verified, already-decoded program in place: no clone
+    /// of the instruction stream, no per-fire id-list allocation —
+    /// the program slots are walked in attach order directly.
     pub fn fire(
         &mut self,
         hook: &str,
@@ -241,22 +247,19 @@ impl KprobeRegistry {
         kfuncs: &mut dyn KfuncHost,
     ) -> Vec<FireResult> {
         self.fires += 1;
-        let ids = self.probes_on(hook);
         let mut results = Vec::new();
-        for id in ids {
-            let Ok(attached) = self.attached(id) else {
-                continue;
-            };
-            if !attached.enabled {
+        // Slot order is attach order, which matches the per-hook
+        // id lists `probes_on` maintains.
+        for (idx, slot) in self.programs.iter_mut().enumerate() {
+            let Some(attached) = slot else { continue };
+            if !attached.enabled || attached.hook != hook {
                 continue;
             }
-            let program = attached.program.clone();
-            let outcome = interp.run(&program, ctx, maps, kfuncs);
+            let outcome = interp.run(&attached.program, ctx, maps, kfuncs);
             match outcome {
                 Ok(ref o) => {
-                    let a = self.attached_mut(id).expect("probe vanished mid-fire");
-                    a.runs += 1;
-                    a.insns += o.insns_executed;
+                    attached.runs += 1;
+                    attached.insns += o.insns_executed;
                     self.trace.incr("ebpf.prog.invocations");
                     self.trace.add("ebpf.prog.insns", o.insns_executed);
                     self.trace
@@ -264,7 +267,10 @@ impl KprobeRegistry {
                 }
                 Err(_) => self.trace.incr("ebpf.prog.errors"),
             }
-            results.push(FireResult { probe: id, outcome });
+            results.push(FireResult {
+                probe: ProbeId(idx as u32),
+                outcome,
+            });
         }
         results
     }

@@ -6,10 +6,31 @@ use snapbpf::{DeviceKind, FigureData, RestoreStage, StrategyError, StrategyKind}
 use snapbpf_sim::{chrome_trace_json, Histogram, Json, MetricsRegistry, SimDuration, Tracer};
 use snapbpf_workloads::Workload;
 
-use crate::{
-    run_cluster, run_fleet, run_fleet_with, FleetConfig, FleetResult, PlacementKind, RestoreMode,
-    SnapshotDistribution,
-};
+use crate::{FleetConfig, FleetResult, PlacementKind, RestoreMode, Runner, SnapshotDistribution};
+
+/// One single-host [`Runner`] point (every figure host count is 1
+/// unless it goes through [`fleet_shard`]).
+fn fleet_run(cfg: &FleetConfig, workloads: &[Workload]) -> Result<FleetResult, StrategyError> {
+    Ok(Runner::new(cfg)
+        .workloads(workloads)
+        .run()?
+        .into_fleet()
+        .expect("figure configs are single-host"))
+}
+
+/// Like [`fleet_run`], with a caller-owned tracer.
+fn fleet_run_with(
+    cfg: &FleetConfig,
+    workloads: &[Workload],
+    tracer: &Tracer,
+) -> Result<FleetResult, StrategyError> {
+    Ok(Runner::new(cfg)
+        .workloads(workloads)
+        .tracer(tracer)
+        .run()?
+        .into_fleet()
+        .expect("figure configs are single-host"))
+}
 
 /// Configuration shared by the fleet figure generators.
 #[derive(Debug, Clone)]
@@ -80,6 +101,10 @@ pub struct ShardFigureConfig {
     pub seeds: Vec<u64>,
     /// Cross-host snapshot-distribution cost model.
     pub distribution: SnapshotDistribution,
+    /// Worker threads for the cluster's epoch/barrier engine
+    /// (`0` = all cores). Any value yields identical figures;
+    /// threads only change wall-clock time.
+    pub threads: usize,
 }
 
 impl FleetFigureConfig {
@@ -115,6 +140,7 @@ impl FleetFigureConfig {
                 duration: SimDuration::from_millis(1500),
                 seeds: vec![1, 7, 42],
                 distribution: SnapshotDistribution::remote_10g(),
+                threads: 1,
             },
         }
     }
@@ -146,6 +172,7 @@ impl FleetFigureConfig {
                 duration: SimDuration::from_millis(800),
                 seeds: vec![1],
                 distribution: SnapshotDistribution::remote_10g(),
+                threads: 1,
             },
         }
     }
@@ -211,7 +238,7 @@ pub fn fleet_sweep(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyError>
         let mut cold_ratios = Vec::with_capacity(cfg.rates_rps.len());
         let mut queue_waits = Vec::with_capacity(cfg.rates_rps.len());
         for &rate in &cfg.rates_rps {
-            let r = run_fleet(&cfg.base(kind, rate).cold_only(), &cfg.workloads)?;
+            let r = fleet_run(&cfg.base(kind, rate).cold_only(), &cfg.workloads)?;
             p99s.push(r.aggregate.e2e_percentile_secs(99.0));
             cold_ratios.push(r.aggregate.cold_start_ratio());
             queue_waits.push(r.aggregate.queue_wait_mean_secs());
@@ -238,7 +265,7 @@ pub fn fleet_sweep(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyError>
 /// Strategy errors propagate.
 pub fn fleet_breakdown(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyError> {
     let rate = cfg.rates_rps.last().copied().unwrap_or(80.0);
-    let r = run_fleet(&cfg.base(StrategyKind::SnapBpf, rate), &cfg.workloads)?;
+    let r = fleet_run(&cfg.base(StrategyKind::SnapBpf, rate), &cfg.workloads)?;
     let mut fig = FigureData::new(
         "fleet-breakdown",
         "Per-function cold-start ratio and latency breakdown (SnapBPF)",
@@ -370,11 +397,11 @@ pub fn fleet_pipeline(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyErr
                     .with_seed(seed);
                 base.scale = pl.scale;
                 base.duration = pl.duration;
-                let s = run_fleet(
+                let s = fleet_run(
                     &base.clone().restore_mode(RestoreMode::Serialized),
                     &workloads,
                 )?;
-                let p = run_fleet(&base.restore_mode(RestoreMode::Pipelined), &workloads)?;
+                let p = fleet_run(&base.restore_mode(RestoreMode::Pipelined), &workloads)?;
                 s99 += s.aggregate.restore_percentile_secs(99.0);
                 p99 += p.aggregate.restore_percentile_secs(99.0);
             }
@@ -441,7 +468,7 @@ pub fn fleet_trace(cfg: &FleetFigureConfig) -> Result<(FigureData, Json), Strate
         let tracer = Tracer::recording();
         tracer.set_pid(i as u32 + 1);
         tracer.name_process(kind.label());
-        let r = run_fleet_with(&run_cfg, &workloads, &tracer)?;
+        let r = fleet_run_with(&run_cfg, &workloads, &tracer)?;
         let evs = tracer.take_events();
         event_counts.push(evs.len() as f64);
         events.extend(evs);
@@ -470,7 +497,8 @@ pub fn fleet_trace(cfg: &FleetFigureConfig) -> Result<(FigureData, Json), Strate
 /// completion — queueing included) per placement policy per strategy
 /// per device — the multi-host experiment (DESIGN.md §8).
 ///
-/// Each point is a [`run_cluster`] over [`ShardFigureConfig::hosts`]
+/// Each point is a [`Runner`] cluster run over
+/// [`ShardFigureConfig::hosts`]
 /// hosts in the pure cold-start regime under a remote snapshot
 /// distribution and tight per-host concurrency, averaged over the
 /// configured seeds. Consistent hashing gives perfect snapshot
@@ -531,7 +559,12 @@ pub fn fleet_shard(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyError>
                     base.scale = sh.scale;
                     base.duration = sh.duration;
                     base.max_concurrency = sh.max_concurrency;
-                    let r = run_cluster(&base, &workloads)?;
+                    let r = Runner::new(&base)
+                        .workloads(&workloads)
+                        .threads(sh.threads)
+                        .run()?
+                        .into_cluster()
+                        .expect("shard figure configs are multi-host");
                     acc += r.aggregate.e2e_percentile_secs(99.0);
                 }
                 p99s.push(acc / sh.seeds.len() as f64);
@@ -590,7 +623,7 @@ pub fn fleet_keepalive(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyEr
         let mut p95s = Vec::with_capacity(cfg.ttls.len());
         let mut hwm = 0u64;
         for &ttl in &cfg.ttls {
-            let r: FleetResult = run_fleet(
+            let r: FleetResult = fleet_run(
                 &cfg.base(StrategyKind::SnapBpf, rate)
                     .with_pool(capacity, ttl),
                 &cfg.workloads,

@@ -567,6 +567,23 @@ impl Host<'_> {
     /// signal.
     pub(crate) fn cached_snapshot_pages(&self, func: usize) -> u64 {
         let file = self.funcs[func].snapshot.memory_file();
-        self.kernel.cache().pages_of_file(file).count() as u64
+        self.kernel.cache().file_page_count(file)
+    }
+
+    /// Drains every in-flight event with a clock at or before `until`
+    /// (all of them when `until` is `None`) — the per-host event loop
+    /// shared by the fleet driver and the cluster epoch engine.
+    ///
+    /// The `<=` bound matches the historical arrival tie-break: an
+    /// event scheduled exactly at an arrival instant executes before
+    /// the arrival is handled.
+    pub(crate) fn advance_until(&mut self, until: Option<SimTime>) -> Result<(), StrategyError> {
+        while let Some((i, tc)) = self.next_event() {
+            if until.is_some_and(|ta| tc > ta) {
+                break;
+            }
+            self.step_event(i)?;
+        }
+        Ok(())
     }
 }

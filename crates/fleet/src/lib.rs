@@ -44,11 +44,18 @@
 //! full drain inside its dispatch event and the guest only resumes
 //! after the last stage completes.
 //!
+//! Every run goes through one entry point, the builder-style
+//! [`Runner`]; the [`RunOutput`] is a [`FleetResult`] for
+//! single-host configurations and a [`ClusterResult`] otherwise.
+//! Cluster runs execute on the epoch/barrier engine (DESIGN.md §11):
+//! [`Runner::threads`] picks the worker count, and any count
+//! produces byte-identical traces and field-identical results.
+//!
 //! ## Examples
 //!
 //! ```
 //! use snapbpf::StrategyKind;
-//! use snapbpf_fleet::{run_fleet, FleetConfig};
+//! use snapbpf_fleet::{FleetConfig, Runner};
 //! use snapbpf_sim::SimDuration;
 //! use snapbpf_workloads::Workload;
 //!
@@ -56,17 +63,18 @@
 //! let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, workloads.len(), 30.0);
 //! cfg.scale = 0.02;
 //! cfg.duration = SimDuration::from_millis(300);
-//! let result = run_fleet(&cfg, &workloads).unwrap();
+//! let result = Runner::new(&cfg).workloads(&workloads).run().unwrap()
+//!     .into_fleet().unwrap();
 //! assert_eq!(result.aggregate.completions,
 //!            result.per_function.iter().map(|f| f.completions).sum::<u64>());
 //! ```
 //!
 //! Sharding the same run over three hosts under locality-aware
-//! placement:
+//! placement, with two worker threads:
 //!
 //! ```
 //! use snapbpf::StrategyKind;
-//! use snapbpf_fleet::{run_cluster, FleetConfig, PlacementKind};
+//! use snapbpf_fleet::{FleetConfig, PlacementKind, Runner};
 //! use snapbpf_sim::SimDuration;
 //! use snapbpf_workloads::Workload;
 //!
@@ -75,7 +83,8 @@
 //!     .sharded(3, PlacementKind::Locality);
 //! cfg.scale = 0.02;
 //! cfg.duration = SimDuration::from_millis(300);
-//! let result = run_cluster(&cfg, &workloads).unwrap();
+//! let result = Runner::new(&cfg).workloads(&workloads).threads(2).run().unwrap()
+//!     .into_cluster().unwrap();
 //! assert_eq!(result.hosts.len(), 3);
 //! assert_eq!(result.placed(), result.aggregate.arrivals);
 //! ```
@@ -94,8 +103,11 @@ mod host;
 mod metrics;
 mod placement;
 mod pool;
+mod runner;
 
-pub use cluster::{run_cluster, run_cluster_with, ClusterResult, HostResult};
+#[allow(deprecated)]
+pub use cluster::{run_cluster, run_cluster_with};
+pub use cluster::{ClusterResult, HostResult};
 pub use config::{FleetConfig, RestoreMode, ShedPolicy, SnapshotDistribution};
 pub use metrics::{FleetResult, FuncStats};
 pub use placement::{
@@ -103,6 +115,7 @@ pub use placement::{
     PlacementPolicy,
 };
 pub use pool::SandboxPool;
+pub use runner::{RunOutput, Runner};
 
 use host::{build_host, draw_arrivals};
 
@@ -141,7 +154,9 @@ pub(crate) fn validate_trace_funcs(
 ///
 /// Panics if the mix size does not match the workload count or
 /// `max_concurrency` is zero.
+#[deprecated(since = "0.2.0", note = "use snapbpf_fleet::Runner")]
 pub fn run_fleet(cfg: &FleetConfig, workloads: &[Workload]) -> Result<FleetResult, StrategyError> {
+    #[allow(deprecated)]
     run_fleet_with(cfg, workloads, &Tracer::noop())
 }
 
@@ -167,6 +182,7 @@ pub fn run_fleet(cfg: &FleetConfig, workloads: &[Workload]) -> Result<FleetResul
 ///
 /// Panics if the mix size does not match the workload count or
 /// `max_concurrency` is zero.
+#[deprecated(since = "0.2.0", note = "use snapbpf_fleet::Runner")]
 pub fn run_fleet_with(
     cfg: &FleetConfig,
     workloads: &[Workload],
@@ -179,7 +195,16 @@ pub fn run_fleet_with(
     );
     assert!(cfg.max_concurrency > 0, "need at least one sandbox slot");
     validate_trace_funcs(cfg, workloads)?;
+    fleet_impl(cfg, workloads, tracer)
+}
 
+/// The single-host execution path behind [`Runner`] and the
+/// deprecated free functions. Assumes a validated configuration.
+pub(crate) fn fleet_impl(
+    cfg: &FleetConfig,
+    workloads: &[Workload],
+    tracer: &Tracer,
+) -> Result<FleetResult, StrategyError> {
     let (mut fleet, t0) = build_host(cfg, workloads, tracer)?;
     if tracer.events_enabled() {
         tracer.name_thread(TID_CONTROL, "scheduler");
@@ -187,28 +212,18 @@ pub fn run_fleet_with(
         tracer.name_thread(TID_KERNEL, "kernel");
     }
 
+    // Main loop: drain every in-flight sandbox event up to each
+    // arrival (events scheduled exactly at the arrival instant
+    // execute first), admit the arrival, and finally run the tail to
+    // quiescence — the single-host degenerate case of the cluster
+    // engine's epochs.
     let arrivals = draw_arrivals(cfg, t0);
     let first_arrival = arrivals.first().map(|r| r.at).unwrap_or(t0);
-
-    // Main loop: always execute the globally earliest event — the
-    // next arrival or the earliest in-flight sandbox event (a
-    // restore stage, a vCPU step, or completion bookkeeping at the
-    // finished invocation's clock).
-    let mut arrival_iter = arrivals.into_iter().peekable();
-    loop {
-        let next_active = fleet.next_event();
-        let next_arrival = arrival_iter.peek().map(|r| r.at);
-        match (next_active, next_arrival) {
-            (None, None) => break,
-            (Some((i, tc)), ta) if ta.is_none_or(|ta| tc <= ta) => {
-                fleet.step_event(i)?;
-            }
-            _ => {
-                let req = arrival_iter.next().expect("peeked arrival");
-                fleet.handle_arrival(req)?;
-            }
-        }
+    for req in arrivals {
+        fleet.advance_until(Some(req.at))?;
+        fleet.handle_arrival(req)?;
     }
+    fleet.advance_until(None)?;
 
     // End of run: tear every parked sandbox down and verify the
     // host's memory accounting closed.
@@ -255,6 +270,25 @@ mod tests {
         cfg.scale = 0.02;
         cfg.duration = SimDuration::from_millis(500);
         cfg
+    }
+
+    fn run_fleet(cfg: &FleetConfig, w: &[Workload]) -> Result<FleetResult, StrategyError> {
+        Runner::new(cfg)
+            .workloads(w)
+            .run()
+            .map(|out| out.into_fleet().expect("hosts == 1"))
+    }
+
+    fn run_fleet_with(
+        cfg: &FleetConfig,
+        w: &[Workload],
+        tracer: &Tracer,
+    ) -> Result<FleetResult, StrategyError> {
+        Runner::new(cfg)
+            .workloads(w)
+            .tracer(tracer)
+            .run()
+            .map(|out| out.into_fleet().expect("hosts == 1"))
     }
 
     #[test]
@@ -331,9 +365,21 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "mix must cover")]
-    fn mismatched_mix_panics() {
+    fn deprecated_entry_point_still_panics_on_mismatched_mix() {
         let cfg = FleetConfig::new(StrategyKind::SnapBpf, 2, 10.0);
-        let _ = run_fleet(&cfg, &small_suite());
+        #[allow(deprecated)]
+        let _ = super::run_fleet(&cfg, &small_suite());
+    }
+
+    #[test]
+    fn runner_reports_mismatched_mix_as_a_config_error() {
+        let cfg = FleetConfig::new(StrategyKind::SnapBpf, 2, 10.0);
+        let err = Runner::new(&cfg)
+            .workloads(&small_suite())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, StrategyError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("covers 2 functions"), "{err}");
     }
 
     #[test]

@@ -4,16 +4,25 @@
 //! invocation-conservation bookkeeping the figures rely on.
 
 use snapbpf::{StrategyError, StrategyKind};
-use snapbpf_fleet::{
-    run_cluster, run_cluster_with, run_fleet_with, PlacementKind, SnapshotDistribution,
-};
+use snapbpf_fleet::{ClusterResult, FleetConfig, PlacementKind, Runner, SnapshotDistribution};
 use snapbpf_sim::{chrome_trace_json, Tracer};
 use snapbpf_testkit::{small_cluster_cfg, small_fleet_cfg, small_suite};
+use snapbpf_workloads::Workload;
+
+fn run_cluster(cfg: &FleetConfig, workloads: &[Workload]) -> Result<ClusterResult, StrategyError> {
+    Runner::new(cfg)
+        .workloads(workloads)
+        .run()
+        .map(|out| out.into_cluster().expect("cluster configs are multi-host"))
+}
 
 /// A one-host cluster under local snapshot distribution runs the
-/// exact same per-host scheduling code as `run_fleet_with`, so every
+/// exact same per-host scheduling code as the fleet path, so every
 /// measured quantity must agree field for field — not approximately,
-/// exactly.
+/// exactly. [`Runner`] routes `hosts == 1` to the fleet path
+/// directly; the deprecated `run_cluster` wrapper still drives the
+/// cluster engine over one host, which is precisely the degenerate
+/// case this test pins.
 #[test]
 fn single_host_cluster_reproduces_the_fleet_exactly() {
     let workloads = small_suite();
@@ -21,8 +30,14 @@ fn single_host_cluster_reproduces_the_fleet_exactly() {
         for placement in PlacementKind::ALL {
             let mut cfg = small_cluster_cfg(kind, 1, 80.0);
             cfg.placement = placement;
-            let fleet = run_fleet_with(&cfg, &workloads, &Tracer::noop()).unwrap();
-            let cluster = run_cluster(&cfg, &workloads).unwrap();
+            let fleet = Runner::new(&cfg)
+                .workloads(&workloads)
+                .run()
+                .unwrap()
+                .into_fleet()
+                .expect("hosts == 1 is a fleet run");
+            #[allow(deprecated)]
+            let cluster = snapbpf_fleet::run_cluster(&cfg, &workloads).unwrap();
 
             assert_eq!(cluster.hosts.len(), 1);
             let host = &cluster.hosts[0];
@@ -62,7 +77,13 @@ fn same_seed_cluster_runs_are_byte_identical_for_every_policy() {
 
         let run = || {
             let tracer = Tracer::recording();
-            let r = run_cluster_with(&cfg, &workloads, &tracer).unwrap();
+            let r = Runner::new(&cfg)
+                .workloads(&workloads)
+                .tracer(&tracer)
+                .run()
+                .unwrap()
+                .into_cluster()
+                .unwrap();
             let json = chrome_trace_json(&tracer.take_events(), Some(&r.metrics));
             (r, json.pretty())
         };
@@ -93,7 +114,13 @@ fn traced_cluster_run_has_one_process_row_per_host() {
     let mut cfg = small_cluster_cfg(StrategyKind::SnapBpf, 3, 120.0);
     cfg.placement = PlacementKind::Locality;
     let tracer = Tracer::recording();
-    let r = run_cluster_with(&cfg, &workloads, &tracer).unwrap();
+    let r = Runner::new(&cfg)
+        .workloads(&workloads)
+        .tracer(&tracer)
+        .run()
+        .unwrap()
+        .into_cluster()
+        .unwrap();
     let json = chrome_trace_json(&tracer.take_events(), Some(&r.metrics));
     let parsed = snapbpf_sim::Json::parse(&json.pretty()).expect("trace reparses");
     let events = parsed
@@ -146,11 +173,14 @@ fn degenerate_cluster_configs_error_cleanly() {
     let workloads = small_suite();
     let mut zero_hosts = small_cluster_cfg(StrategyKind::SnapBpf, 0, 40.0);
     zero_hosts.distribution = SnapshotDistribution::remote_10g();
-    let err = run_cluster(&zero_hosts, &workloads).unwrap_err();
+    let err = Runner::new(&zero_hosts)
+        .workloads(&workloads)
+        .run()
+        .unwrap_err();
     assert!(matches!(err, StrategyError::Config(_)), "got {err}");
     assert!(err.to_string().contains("at least one host"), "{err}");
 
     let empty = small_fleet_cfg(StrategyKind::SnapBpf, 40.0);
-    let err = run_cluster(&empty, &[]).unwrap_err();
+    let err = Runner::new(&empty).run().unwrap_err();
     assert!(matches!(err, StrategyError::Config(_)), "got {err}");
 }

@@ -1,0 +1,124 @@
+//! Determinism tests for the parallel epoch/barrier cluster engine
+//! (DESIGN.md §11): any worker-thread count must reproduce the
+//! single-threaded run exactly — field-identical [`ClusterResult`]s
+//! and byte-identical Chrome traces — because threads only change
+//! which OS core advances a host, never the virtual-time order the
+//! merged outputs are assembled in.
+
+use snapbpf::{StrategyError, StrategyKind};
+use snapbpf_fleet::{
+    ClusterResult, FleetConfig, HostView, PlacementKind, PlacementPolicy, Runner,
+    SnapshotDistribution,
+};
+use snapbpf_sim::{chrome_trace_json, Tracer};
+use snapbpf_testkit::{small_cluster_cfg, small_suite};
+use snapbpf_workloads::Workload;
+
+/// One traced cluster run at the given worker-thread count, returning
+/// the full result and the serialized Chrome trace.
+fn traced_run(
+    cfg: &FleetConfig,
+    workloads: &[Workload],
+    threads: usize,
+) -> (ClusterResult, String) {
+    let tracer = Tracer::recording();
+    let r = Runner::new(cfg)
+        .workloads(workloads)
+        .tracer(&tracer)
+        .threads(threads)
+        .run()
+        .unwrap()
+        .into_cluster()
+        .unwrap();
+    let json = chrome_trace_json(&tracer.take_events(), Some(&r.metrics));
+    (r, json.pretty())
+}
+
+/// The acceptance property: for every placement policy and both
+/// snapshot-distribution modes, threads = 2, 3, and 0 ("all cores")
+/// reproduce the threads = 1 run field for field and the trace byte
+/// for byte.
+#[test]
+fn any_thread_count_matches_the_serial_run_exactly() {
+    let workloads = small_suite();
+    for placement in PlacementKind::ALL {
+        for distribution in [
+            SnapshotDistribution::Local,
+            SnapshotDistribution::remote_10g(),
+        ] {
+            let mut cfg = small_cluster_cfg(StrategyKind::SnapBpf, 4, 160.0);
+            cfg.placement = placement;
+            cfg.distribution = distribution;
+            let (serial, serial_trace) = traced_run(&cfg, &workloads, 1);
+            for threads in [2usize, 3, 0] {
+                let (parallel, parallel_trace) = traced_run(&cfg, &workloads, threads);
+                assert_eq!(
+                    serial,
+                    parallel,
+                    "{} + {:?}: threads={threads} must reproduce the serial result",
+                    placement.label(),
+                    cfg.distribution
+                );
+                assert_eq!(
+                    serial_trace,
+                    parallel_trace,
+                    "{} + {:?}: threads={threads} must serialize a byte-identical trace",
+                    placement.label(),
+                    cfg.distribution
+                );
+            }
+        }
+    }
+}
+
+/// Epoch-merge interleaving stress: odd host and thread counts (so
+/// hosts wrap unevenly onto workers) across several arrival seeds.
+/// If the barrier merge consulted arrival order per worker instead of
+/// host order, some seed here would interleave two hosts' events
+/// differently and break byte equality.
+#[test]
+fn epoch_merge_is_seed_stable_under_odd_sharding() {
+    let workloads = small_suite();
+    for seed in [3u64, 11, 1234] {
+        let mut cfg = small_cluster_cfg(StrategyKind::SnapBpf, 5, 200.0).with_seed(seed);
+        cfg.placement = PlacementKind::LeastLoaded;
+        cfg.distribution = SnapshotDistribution::remote_10g();
+        let (serial, serial_trace) = traced_run(&cfg, &workloads, 1);
+        let (parallel, parallel_trace) = traced_run(&cfg, &workloads, 3);
+        assert_eq!(serial, parallel, "seed {seed}: results diverged");
+        assert_eq!(serial_trace, parallel_trace, "seed {seed}: traces diverged");
+    }
+}
+
+/// A custom policy that always places one past the end of the host
+/// range.
+struct RoguePlacement;
+
+impl PlacementPolicy for RoguePlacement {
+    fn label(&self) -> &'static str {
+        "rogue"
+    }
+
+    fn place(&mut self, _func_name: &str, hosts: &[HostView]) -> usize {
+        hosts.len()
+    }
+}
+
+/// Regression: an out-of-range placement decision from a
+/// caller-supplied policy is a clean [`StrategyError::Config`], not a
+/// panic (the driver used to `assert!` here).
+#[test]
+fn out_of_range_placement_is_a_config_error_not_a_panic() {
+    let workloads = small_suite();
+    let cfg = small_cluster_cfg(StrategyKind::SnapBpf, 3, 120.0);
+    for threads in [1usize, 2] {
+        let err = Runner::new(&cfg)
+            .workloads(&workloads)
+            .placement(Box::new(RoguePlacement))
+            .threads(threads)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, StrategyError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("host"), "{err}");
+    }
+}

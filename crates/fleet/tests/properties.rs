@@ -6,8 +6,7 @@
 use proptest::prelude::*;
 use snapbpf::StrategyKind;
 use snapbpf_fleet::{
-    run_cluster, run_fleet, FleetConfig, HashPlacement, HostView, PlacementKind, PlacementPolicy,
-    SandboxPool,
+    FleetConfig, HashPlacement, HostView, PlacementKind, PlacementPolicy, Runner, SandboxPool,
 };
 use snapbpf_sim::{SimDuration, SimTime};
 use snapbpf_testkit::workload_pair;
@@ -39,9 +38,15 @@ proptest! {
         cfg.duration = SimDuration::from_millis(200);
         cfg.pool_capacity = pool_capacity;
         cfg.max_concurrency = max_concurrency;
-        let a = run_fleet(&cfg, &workloads).expect("fleet run");
-        let b = run_fleet(&cfg, &workloads).expect("fleet run");
-        prop_assert_eq!(a, b);
+        let run = || {
+            Runner::new(&cfg)
+                .workloads(&workloads)
+                .run()
+                .expect("fleet run")
+                .into_fleet()
+                .expect("hosts == 1 is a fleet run")
+        };
+        prop_assert_eq!(run(), run());
     }
 }
 
@@ -94,17 +99,19 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Conservation + capacity: whatever the placement policy, host
-    /// count, rate, and pool sizing, every admitted invocation lands
-    /// on exactly one host (per-host placements and per-function
-    /// records sum to the cluster totals), and no host's keep-alive
-    /// pool ever held more than its configured capacity.
+    /// count, rate, pool sizing, and worker-thread count, every
+    /// admitted invocation lands on exactly one host (per-host
+    /// placements and per-function records sum to the cluster
+    /// totals), and no host's keep-alive pool ever held more than
+    /// its configured capacity.
     #[test]
     fn cluster_conserves_invocations_and_bounds_pools(
-        hosts in 1usize..5,
+        hosts in 2usize..5,
         rate in 20.0f64..200.0,
         seed in 0u64..1_000,
         pool_capacity in 0usize..4,
         policy_idx in 0usize..3,
+        threads in 1usize..4,
     ) {
         let workloads = pair();
         let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, workloads.len(), rate)
@@ -113,7 +120,13 @@ proptest! {
         cfg.scale = 0.02;
         cfg.duration = SimDuration::from_millis(200);
         cfg.pool_capacity = pool_capacity;
-        let r = run_cluster(&cfg, &workloads).expect("cluster run");
+        let r = Runner::new(&cfg)
+            .workloads(&workloads)
+            .threads(threads)
+            .run()
+            .expect("cluster run")
+            .into_cluster()
+            .expect("hosts > 1 is a cluster run");
         prop_assert_eq!(r.hosts.len(), hosts);
         prop_assert_eq!(r.placed(), r.aggregate.arrivals,
             "placements must cover every admitted arrival exactly once");

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use snapbpf_sim::{SimTime, Tracer, PAGE_SIZE, TID_KERNEL};
 use snapbpf_storage::FileId;
@@ -99,6 +100,42 @@ impl std::error::Error for CacheError {}
 
 const NIL: usize = usize::MAX;
 
+/// FNV-1a, the page-cache index hash.
+///
+/// Page keys are tiny fixed-size integers hashed on every fault,
+/// insert and placement probe, so the default SipHash (keyed, DoS
+/// resistant) pays for robustness the simulator does not need. FNV
+/// is a handful of multiplies — and, being seed-free, it also makes
+/// map iteration order a pure function of the insert/remove history,
+/// which keeps bulk paths like [`PageCache::drain_unmapped`]
+/// deterministic across runs.
+#[derive(Debug, Clone, Copy)]
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        // FNV-1a 64-bit offset basis.
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvBuild = BuildHasherDefault<FnvHasher>;
+
 #[derive(Debug, Clone)]
 struct Node {
     key: PageKey,
@@ -133,7 +170,10 @@ struct Node {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PageCache {
-    index: HashMap<PageKey, usize>,
+    index: HashMap<PageKey, usize, FnvBuild>,
+    /// Cached pages per file, maintained on insert/remove so
+    /// placement probes never scan the whole index.
+    per_file: HashMap<FileId, u64, FnvBuild>,
     nodes: Vec<Node>,
     free: Vec<usize>,
     /// Most-recently-used node.
@@ -298,6 +338,7 @@ impl PageCache {
         };
         self.push_front(idx);
         self.index.insert(key, idx);
+        *self.per_file.entry(key.file).or_insert(0) += 1;
         match state {
             PageState::Resident => self.resident += 1,
             PageState::InFlight { .. } => self.in_flight += 1,
@@ -361,6 +402,12 @@ impl PageCache {
     /// Returns [`CacheError::NotCached`] for an unknown key.
     pub fn remove(&mut self, key: PageKey) -> Result<FrameId, CacheError> {
         let idx = self.index.remove(&key).ok_or(CacheError::NotCached(key))?;
+        match self.per_file.get_mut(&key.file) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                self.per_file.remove(&key.file);
+            }
+        }
         self.detach(idx);
         match self.nodes[idx].state {
             PageState::Resident => self.resident -= 1,
@@ -409,6 +456,16 @@ impl PageCache {
     /// Iterates over all cached keys of a file (unordered).
     pub fn pages_of_file(&self, file: FileId) -> impl Iterator<Item = PageKey> + '_ {
         self.index.keys().copied().filter(move |k| k.file == file)
+    }
+
+    /// Number of cached pages (resident + in-flight) belonging to
+    /// `file`, in O(1).
+    ///
+    /// Placement policies probe this per arrival per host, so it is
+    /// maintained incrementally rather than derived by scanning the
+    /// index like [`PageCache::pages_of_file`].
+    pub fn file_page_count(&self, file: FileId) -> u64 {
+        self.per_file.get(&file).copied().unwrap_or(0)
     }
 
     /// Removes every entry whose mapcount is zero (regardless of
@@ -594,6 +651,29 @@ mod tests {
         assert_eq!(c.len(), 5);
         assert_eq!(c.pages_of_file(fb).count(), 5);
         assert_eq!(c.pages_of_file(fa).count(), 0);
+    }
+
+    #[test]
+    fn per_file_counts_track_inserts_and_removals() {
+        let fa = file(0);
+        let fb = file(1);
+        let mut c = PageCache::new();
+        assert_eq!(c.file_page_count(fa), 0);
+        for p in 0..7 {
+            c.insert(key(fa, p), FrameId::new(p), PageState::Resident)
+                .unwrap();
+        }
+        c.insert(key(fb, 0), FrameId::new(99), PageState::Resident)
+            .unwrap();
+        assert_eq!(c.file_page_count(fa), 7);
+        assert_eq!(c.file_page_count(fb), 1);
+        assert_eq!(c.file_page_count(fa), c.pages_of_file(fa).count() as u64);
+        c.remove(key(fa, 3)).unwrap();
+        assert_eq!(c.file_page_count(fa), 6);
+        let evicted = c.evict_lru(100);
+        assert_eq!(evicted.len(), 7);
+        assert_eq!(c.file_page_count(fa), 0);
+        assert_eq!(c.file_page_count(fb), 0);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use stats::{Counters, Histogram, Quantile, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
     chrome_trace_json, sandbox_tid, MetricsRegistry, NoopSink, RecordingSink, TraceEvent,
-    TracePhase, TraceSink, TraceValue, Tracer, TID_CONTROL, TID_DISK, TID_KERNEL,
+    TracePhase, TraceSink, TraceValue, Tracer, TracerClass, TID_CONTROL, TID_DISK, TID_KERNEL,
 };
 
 /// Size of a page in bytes, fixed at 4 KiB exactly as on the paper's

@@ -429,6 +429,24 @@ impl MetricsRegistry {
     }
 }
 
+/// The capability class of a [`Tracer`] handle: what it collects,
+/// independent of which concrete sink backs it.
+///
+/// A parallel cluster run cannot share one `Tracer` (the handle is
+/// deliberately single-threaded); instead each host runs under a
+/// fresh tracer **of the same class** ([`Tracer::of_class`]) and the
+/// driver merges the buffered events back into the caller's tracer
+/// in host order ([`Tracer::record_all`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracerClass {
+    /// Collects nothing ([`Tracer::disabled`]).
+    Disabled,
+    /// Collects metrics, discards events ([`Tracer::noop`]).
+    Metrics,
+    /// Collects metrics and retains events ([`Tracer::recording`]).
+    Recording,
+}
+
 #[derive(Debug)]
 struct TracerInner {
     sink: Box<dyn TraceSink>,
@@ -497,6 +515,26 @@ impl Tracer {
                 process_names: BTreeMap::new(),
                 thread_names: BTreeMap::new(),
             }))),
+        }
+    }
+
+    /// The capability class of this handle (see [`TracerClass`]).
+    /// Custom sinks classify by whether they retain events.
+    pub fn class(&self) -> TracerClass {
+        match &self.inner {
+            None => TracerClass::Disabled,
+            Some(inner) if inner.borrow().events => TracerClass::Recording,
+            Some(_) => TracerClass::Metrics,
+        }
+    }
+
+    /// A fresh, independent tracer of the given capability class —
+    /// the per-host tracer a cluster run forks for each host world.
+    pub fn of_class(class: TracerClass) -> Tracer {
+        match class {
+            TracerClass::Disabled => Tracer::disabled(),
+            TracerClass::Metrics => Tracer::noop(),
+            TracerClass::Recording => Tracer::recording(),
         }
     }
 
@@ -670,6 +708,69 @@ impl Tracer {
         self.inner
             .as_ref()
             .map_or_else(MetricsRegistry::new, |i| i.borrow().metrics.clone())
+    }
+
+    /// Records pre-stamped events through the sink verbatim (pids,
+    /// tids, and timestamps untouched) — how a cluster driver feeds
+    /// per-host buffers back into the caller's tracer in canonical
+    /// host order. Dropped unless events are retained.
+    pub fn record_all(&self, events: Vec<TraceEvent>) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.borrow_mut();
+            if !inner.events {
+                return;
+            }
+            for event in events {
+                inner.sink.record(event);
+            }
+        }
+    }
+
+    /// Drains the sink's buffered events only — no metadata rows,
+    /// unlike [`Tracer::take_events`]. Empty for disabled and no-op
+    /// handles.
+    pub fn drain_events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.borrow_mut().sink.drain())
+    }
+
+    /// Removes and returns the process / thread name maps.
+    #[allow(clippy::type_complexity)]
+    pub fn take_names(&self) -> (BTreeMap<u32, String>, BTreeMap<(u32, u64), String>) {
+        match &self.inner {
+            None => (BTreeMap::new(), BTreeMap::new()),
+            Some(inner) => {
+                let mut inner = inner.borrow_mut();
+                (
+                    std::mem::take(&mut inner.process_names),
+                    std::mem::take(&mut inner.thread_names),
+                )
+            }
+        }
+    }
+
+    /// Folds explicit process / thread name maps into this tracer's
+    /// (later inserts win on key collisions, which cannot happen when
+    /// each source used a distinct pid).
+    pub fn merge_names(
+        &self,
+        processes: BTreeMap<u32, String>,
+        threads: BTreeMap<(u32, u64), String>,
+    ) {
+        if let Some(inner) = &self.inner {
+            let mut inner = inner.borrow_mut();
+            inner.process_names.extend(processes);
+            inner.thread_names.extend(threads);
+        }
+    }
+
+    /// Folds a metrics registry into this tracer's: counters add,
+    /// histograms merge (see [`MetricsRegistry::merge`]).
+    pub fn merge_metrics(&self, other: &MetricsRegistry) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().metrics.merge(other);
+        }
     }
 
     /// Drains recorded events: metadata (process / thread names)
@@ -850,6 +951,62 @@ mod tests {
             back["metrics"]["counters"]["fleet.cold_starts"].as_f64(),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn class_round_trips_through_of_class() {
+        for class in [
+            TracerClass::Disabled,
+            TracerClass::Metrics,
+            TracerClass::Recording,
+        ] {
+            assert_eq!(Tracer::of_class(class).class(), class);
+        }
+        // A custom retaining sink classifies as recording.
+        let tr = Tracer::with_sink(Box::new(RecordingSink::new()));
+        assert_eq!(tr.class(), TracerClass::Recording);
+    }
+
+    #[test]
+    fn record_all_feeds_pre_stamped_events_through_the_sink() {
+        let host = Tracer::recording();
+        host.set_pid(7);
+        host.instant("c", "e", 3, t(10), Vec::new());
+        let caller = Tracer::recording();
+        caller.record_all(host.drain_events());
+        let merged = caller.take_events();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].pid, 7, "pids pass through verbatim");
+        assert_eq!(merged[0].ts, t(10));
+        // A non-retaining caller drops them.
+        let noop = Tracer::noop();
+        host.instant("c", "e", 3, t(11), Vec::new());
+        noop.record_all(host.drain_events());
+        assert!(noop.take_events().is_empty());
+    }
+
+    #[test]
+    fn names_and_metrics_merge_across_tracers() {
+        let host = Tracer::recording();
+        host.set_pid(2);
+        host.name_process("host 1");
+        host.name_thread(5, "track");
+        host.incr("a.b");
+        host.observe("h", 7);
+        let caller = Tracer::recording();
+        let (procs, threads) = host.take_names();
+        caller.merge_names(procs, threads);
+        caller.merge_metrics(&host.metrics_snapshot());
+        caller.incr("a.b");
+        assert_eq!(caller.counter("a.b"), 2);
+        assert_eq!(caller.metrics_snapshot().histogram("h").unwrap().count(), 1);
+        let events = caller.take_events();
+        assert_eq!(events.len(), 2, "both name rows surface as metadata");
+        assert!(events.iter().all(|e| e.phase == TracePhase::Metadata));
+        assert_eq!(events[0].pid, 2);
+        // Source maps were drained.
+        let (procs, threads) = host.take_names();
+        assert!(procs.is_empty() && threads.is_empty());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! absorbs under the skewed mix).
 
 use snapbpf::{DeviceKind, FigureData, StrategyError, StrategyKind};
-use snapbpf_fleet::{run_fleet, FleetConfig};
+use snapbpf_fleet::{FleetConfig, Runner};
 use snapbpf_sim::TraceArrival;
 
 use crate::analyze::AnalyzeReport;
@@ -134,7 +134,11 @@ pub fn fleet_azure(cfg: &AzureFigureConfig) -> Result<FigureData, StrategyError>
                 .replaying(arrivals.clone());
             run_cfg.max_concurrency = 16;
             run_cfg.queue_depth = 256;
-            let r = run_fleet(&run_cfg, &workloads)?;
+            let r = Runner::new(&run_cfg)
+                .workloads(&workloads)
+                .run()?
+                .into_fleet()
+                .expect("F3 replays are single-host");
             // End-to-end p99, the F2 cold-start idiom: with cold
             // fractions of ~10 % the 99th percentile sits deep in
             // the cold-start (queue + restore) tail, which is where

@@ -49,7 +49,12 @@
 //! let replay_cfg = cfg
 //!     .with_arrivals(loaded.arrivals())
 //!     .with_seed(7); // seed does not matter for an unscaled replay
-//! let replayed = snapbpf_fleet::run_fleet(&replay_cfg, &workloads).unwrap();
+//! let replayed = snapbpf_fleet::Runner::new(&replay_cfg)
+//!     .workloads(&workloads)
+//!     .run()
+//!     .unwrap()
+//!     .into_fleet()
+//!     .unwrap();
 //! assert_eq!(replayed.aggregate.arrivals, result.aggregate.arrivals);
 //! ```
 

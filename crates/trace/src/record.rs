@@ -13,7 +13,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use snapbpf::StrategyError;
-use snapbpf_fleet::{run_cluster_with, run_fleet_with, ClusterResult, FleetConfig, FleetResult};
+use snapbpf_fleet::{ClusterResult, FleetConfig, FleetResult, Runner};
 use snapbpf_sim::{SimDuration, TraceEvent, TracePoint, TraceSink, TraceValue, Tracer};
 use snapbpf_workloads::Workload;
 
@@ -97,13 +97,22 @@ fn func_metas(workloads: &[Workload]) -> Vec<FuncMeta> {
 ///
 /// # Errors
 ///
-/// As [`snapbpf_fleet::run_fleet`].
+/// As [`Runner::run`].
+///
+/// # Panics
+///
+/// If `cfg.hosts > 1` — use [`record_cluster`] for cluster runs.
 pub fn record_fleet(
     cfg: &FleetConfig,
     workloads: &[Workload],
 ) -> Result<(FleetResult, Profile), StrategyError> {
     let (capture, tracer) = ArrivalCapture::tracer();
-    let result = run_fleet_with(cfg, workloads, &tracer)?;
+    let result = Runner::new(cfg)
+        .workloads(workloads)
+        .tracer(&tracer)
+        .run()?
+        .into_fleet()
+        .expect("record_fleet is single-host");
     let profile = Profile::new(func_metas(workloads), capture.take(), cfg.duration);
     Ok((result, profile))
 }
@@ -115,13 +124,23 @@ pub fn record_fleet(
 ///
 /// # Errors
 ///
-/// As [`snapbpf_fleet::run_cluster`].
+/// As [`Runner::run`].
+///
+/// # Panics
+///
+/// If `cfg.hosts == 1` — a single-host run is a fleet run; use
+/// [`record_fleet`].
 pub fn record_cluster(
     cfg: &FleetConfig,
     workloads: &[Workload],
 ) -> Result<(ClusterResult, Profile), StrategyError> {
     let (capture, tracer) = ArrivalCapture::tracer();
-    let result = run_cluster_with(cfg, workloads, &tracer)?;
+    let result = Runner::new(cfg)
+        .workloads(workloads)
+        .tracer(&tracer)
+        .run()?
+        .into_cluster()
+        .expect("record_cluster configs are multi-host");
     let profile = Profile::new(func_metas(workloads), capture.take(), cfg.duration);
     Ok((result, profile))
 }

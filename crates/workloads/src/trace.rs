@@ -49,8 +49,18 @@ pub struct WsCluster {
 }
 
 /// The generated trace of one invocation.
+///
+/// Traces are immutable after generation and shared by reference
+/// counting: every dispatch of a function clones its trace into the
+/// invocation cursor, so `Clone` must be an `Arc` bump, not a copy
+/// of the (potentially tens-of-thousands-of-steps) step vector.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InvocationTrace {
+    body: std::sync::Arc<TraceBody>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct TraceBody {
     steps: Vec<Step>,
     clusters: Vec<WsCluster>,
     ws_pages: Vec<u64>,
@@ -163,44 +173,47 @@ impl InvocationTrace {
         ws_pages_list.dedup();
 
         InvocationTrace {
-            steps,
-            clusters,
-            ws_pages: ws_pages_list,
-            ephemeral_pages,
-            total_compute,
+            body: std::sync::Arc::new(TraceBody {
+                steps,
+                clusters,
+                ws_pages: ws_pages_list,
+                ephemeral_pages,
+                total_compute,
+            }),
         }
     }
 
     /// The ordered steps.
     pub fn steps(&self) -> &[Step] {
-        &self.steps
+        &self.body.steps
     }
 
     /// Working-set clusters in file order (access order is in
     /// [`WsCluster::access_rank`]).
     pub fn clusters(&self) -> &[WsCluster] {
-        &self.clusters
+        &self.body.clusters
     }
 
     /// Sorted, deduplicated snapshot pages the invocation reads
     /// (excluding ephemeral allocations).
     pub fn ws_page_list(&self) -> &[u64] {
-        &self.ws_pages
+        &self.body.ws_pages
     }
 
     /// Guest pages allocated during the invocation.
     pub fn ephemeral_page_list(&self) -> &[u64] {
-        &self.ephemeral_pages
+        &self.body.ephemeral_pages
     }
 
     /// Total compute time across the trace.
     pub fn total_compute(&self) -> SimDuration {
-        self.total_compute
+        self.body.total_compute
     }
 
     /// Number of memory steps (accesses + allocations).
     pub fn memory_steps(&self) -> usize {
-        self.steps
+        self.body
+            .steps
             .iter()
             .filter(|s| !matches!(s, Step::Compute(_)))
             .count()
