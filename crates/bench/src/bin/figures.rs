@@ -39,12 +39,14 @@ use snapbpf_fleet::figures::{
 };
 use snapbpf_fleet::{FleetConfig, Runner};
 use snapbpf_sim::{LoopMode, SimDuration};
-use snapbpf_trace::{fleet_azure, record_fleet, AnalyzeReport, AzureFigureConfig, Profile};
+use snapbpf_trace::{
+    fleet_azure, fleet_telemetry, record_fleet, AnalyzeReport, AzureFigureConfig, Profile, F4_KINDS,
+};
 use snapbpf_workloads::{FunctionMix, Workload};
 
 /// Every figure the runner knows, in presentation order — `--only`
 /// is validated against this list.
-const KNOWN_IDS: [&str; 24] = [
+const KNOWN_IDS: [&str; 25] = [
     "table1",
     "fig3a",
     "fig3b",
@@ -68,6 +70,7 @@ const KNOWN_IDS: [&str; 24] = [
     "fleet-trace",
     "fleet-shard",
     "fleet-azure",
+    "fleet-telemetry",
     "ext-memory-pressure",
 ];
 
@@ -78,6 +81,7 @@ struct Args {
     only: Option<String>,
     device: DeviceKind,
     trace_out: Option<PathBuf>,
+    telemetry_out: Option<PathBuf>,
     hosts: Option<usize>,
     threads: usize,
     verifier_log: bool,
@@ -91,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         only: None,
         device: DeviceKind::Sata5300,
         trace_out: None,
+        telemetry_out: None,
         hosts: None,
         threads: 1,
         verifier_log: false,
@@ -116,6 +121,9 @@ fn parse_args() -> Result<Args, String> {
             "--verifier-log" => args.verifier_log = true,
             "--only" => args.only = Some(value("--only")?),
             "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--telemetry-out" => {
+                args.telemetry_out = Some(PathBuf::from(value("--telemetry-out")?))
+            }
             // The cluster size for fleet-shard. 0 is accepted here so
             // the cluster's own validation surfaces its clean config
             // error instead of the CLI inventing a second one.
@@ -139,8 +147,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(format!(
                     "usage: figures [--scale S] [--instances N] [--out DIR] [--only ID] \
-                     [--device sata-ssd|nvme|hdd] [--trace-out FILE] [--hosts N] \
-                     [--threads N] [--verifier-log]\n\
+                     [--device sata-ssd|nvme|hdd] [--trace-out FILE] [--telemetry-out FILE] \
+                     [--hosts N] [--threads N] [--verifier-log]\n\
                      IDs: {}\n\
                      or: figures trace <record|analyze|replay> (see `figures trace --help`)",
                     KNOWN_IDS.join(" ")
@@ -157,21 +165,20 @@ fn parse_args() -> Result<Args, String> {
             ));
         }
     }
-    if let Some(trace_out) = &args.trace_out {
-        let parent = match trace_out.parent() {
+    for (flag, path) in [
+        ("--trace-out", &args.trace_out),
+        ("--telemetry-out", &args.telemetry_out),
+    ] {
+        let Some(path) = path else { continue };
+        let parent = match path.parent() {
             Some(p) if p.as_os_str().is_empty() => Path::new("."),
             Some(p) => p,
-            None => {
-                return Err(format!(
-                    "--trace-out {}: not a file path",
-                    trace_out.display()
-                ))
-            }
+            None => return Err(format!("{flag} {}: not a file path", path.display())),
         };
         if !parent.is_dir() {
             return Err(format!(
-                "--trace-out {}: parent directory {} does not exist",
-                trace_out.display(),
+                "{flag} {}: parent directory {} does not exist",
+                path.display(),
                 parent.display()
             ));
         }
@@ -389,6 +396,22 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                     "SnapBPF cold-start p99 gain over Linux-NoRA on {}: {gain:.2}x",
                     device.label()
                 );
+            }
+        }
+        println!();
+    }
+    if wants(&args.only, "fleet-telemetry") {
+        let mut az = AzureFigureConfig::paper();
+        az.scale = (az.scale * args.scale).min(1.0);
+        let fig = fleet_telemetry(&az)?;
+        emit(&args.out, &fig);
+        if let Some(path) = &args.telemetry_out {
+            std::fs::write(path, fig.to_json()?)?;
+            println!("windowed telemetry series written to {}", path.display());
+        }
+        for kind in F4_KINDS {
+            if let Some(drops) = fig.meta_value(&format!("ring-drops-{}", kind.label())) {
+                println!("{} telemetry ring drops: {drops}", kind.label());
             }
         }
         println!();

@@ -5,8 +5,9 @@
 //! cargo run --release -p snapbpf-bench --bin verifier_check
 //! ```
 //!
-//! Runs the capture program, the looped prefetch program, and the
-//! re-trigger cascade baseline through the host kernel's load path
+//! Runs the capture program, the looped prefetch program, its
+//! telemetry-instrumented variant, and the re-trigger cascade
+//! baseline through the host kernel's load path
 //! with log capture on, then sanity-checks the rendered logs: one
 //! per program, each ending in a stats footer with a non-zero
 //! `insns_processed`. The rejection corpus itself runs as
@@ -23,9 +24,9 @@ fn check() -> Result<String, String> {
         .split("verifying program ")
         .filter(|s| !s.trim().is_empty())
         .collect();
-    if logs.len() != 3 {
+    if logs.len() != 4 {
         return Err(format!(
-            "expected 3 program logs (capture, looped prefetch, cascade), found {}",
+            "expected 4 program logs (capture, looped prefetch, telemetry prefetch, cascade), found {}",
             logs.len()
         ));
     }

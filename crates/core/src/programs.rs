@@ -181,6 +181,150 @@ pub fn build_prefetch_program(snapshot: FileId, groups: MapId, max_groups: u32) 
     b.build().expect("looped prefetch program assembles")
 }
 
+/// Emits `*stats[slot] += delta` against a per-CPU stats map: the
+/// lookup resolves to the current CPU's slot, so parallel shards
+/// never contend. `delta` is either an immediate 1 or a `u64` staged
+/// on the stack at `from_fp`.
+fn emit_stat_bump(
+    b: &mut ProgramBuilder,
+    stats: MapId,
+    slot: u32,
+    from_fp: Option<i16>,
+    on_null: snapbpf_ebpf::Label,
+) {
+    emit_array_lookup(b, stats, None, slot as i64, on_null);
+    b.load(Reg::R1, Reg::R0, 0, AccessSize::B8);
+    match from_fp {
+        Some(off) => {
+            b.load(Reg::R2, Reg::R10, off, AccessSize::B8)
+                .add(Reg::R1, Reg::R2);
+        }
+        None => {
+            b.add(Reg::R1, 1);
+        }
+    }
+    b.store(Reg::R0, 0, Reg::R1, AccessSize::B8);
+}
+
+/// Stack frame of the telemetry record staged for `RingbufOutput`:
+/// five `u64` words at `fp-72 .. fp-32` (kind, now_ns, then three
+/// kind-specific fields), below the `fp-24`/`fp-32` range stashes
+/// the base prefetch loop already uses.
+const TEL_RECORD_FP: i16 = -72;
+
+/// Emits `ringbuf_output(ring, fp-72, 40, 0)`; on `-ENOSPC` (or any
+/// nonzero return) bumps the per-CPU `STAT_SLOT_ENOSPC` counter so
+/// drops are accounted instead of vanishing.
+fn emit_ring_emit(b: &mut ProgramBuilder, ring: MapId, stats: MapId, out: snapbpf_ebpf::Label) {
+    let sent = b.label();
+    b.load_map(Reg::R1, ring)
+        .mov(Reg::R2, Reg::R10)
+        .add(Reg::R2, TEL_RECORD_FP as i64)
+        .mov(Reg::R3, snapbpf_ebpf::TELEMETRY_RECORD_BYTES as i64)
+        .mov(Reg::R4, 0)
+        .call(HelperId::RingbufOutput)
+        .jump_if(JmpCond::Eq, Reg::R0, 0i64, sent);
+    emit_stat_bump(b, stats, snapbpf_ebpf::STAT_SLOT_ENOSPC, None, out);
+    b.bind(sent).expect("label bound once");
+}
+
+/// Builds the telemetry-instrumented looped prefetch program: the
+/// exact range-issuing behaviour of [`build_prefetch_program`], plus
+/// the kernel→user reporting channel of DESIGN.md §12 — one
+/// `PrefetchIssued` record per group and a final `PrefetchCompleted`
+/// record over `ring`, with per-CPU counters (issued / pages /
+/// enospc) bumped in `stats` (shaped by
+/// [`snapbpf_ebpf::telemetry_stats_def`]).
+///
+/// Register roles match the base program (`r6` ngroups, `r7` cursor,
+/// `r9` slot scratch); the 40-byte record is staged at
+/// `fp-72..fp-32` and the running page total at `fp-80`.
+pub fn build_prefetch_program_telemetry(
+    snapshot: FileId,
+    groups: MapId,
+    max_groups: u32,
+    ring: MapId,
+    stats: MapId,
+) -> Program {
+    let mut b = ProgramBuilder::new("snapbpf_prefetch_tel");
+    let out = b.label();
+    let top = b.label();
+    let done = b.label();
+
+    // r6 = ngroups, clamped so the verifier sees a loop bound; the
+    // page total accumulator starts at zero.
+    emit_array_lookup(&mut b, groups, None, GROUPS_COUNT_SLOT as i64, out);
+    b.load(Reg::R6, Reg::R0, 0, AccessSize::B8)
+        .jump_if(JmpCond::Gt, Reg::R6, max_groups as i64, out)
+        .store_imm(Reg::R10, -80, 0, AccessSize::B8)
+        .mov(Reg::R7, 0);
+
+    b.bind(top)
+        .expect("label bound once")
+        .jump_if(JmpCond::Ge, Reg::R7, Reg::R6, done);
+
+    // start = groups[2 + 2*cursor]  -> stash at fp-24.
+    b.mov(Reg::R9, Reg::R7).mul(Reg::R9, 2).add(Reg::R9, 2);
+    emit_array_lookup(&mut b, groups, Some(Reg::R9), 0, out);
+    b.load(Reg::R2, Reg::R0, 0, AccessSize::B8)
+        .store(Reg::R10, -24, Reg::R2, AccessSize::B8);
+
+    // len = groups[3 + 2*cursor]    -> stash at fp-32.
+    b.mov(Reg::R9, Reg::R7).mul(Reg::R9, 2).add(Reg::R9, 3);
+    emit_array_lookup(&mut b, groups, Some(Reg::R9), 0, out);
+    b.load(Reg::R2, Reg::R0, 0, AccessSize::B8)
+        .store(Reg::R10, -32, Reg::R2, AccessSize::B8);
+
+    // snapbpf_prefetch(snapshot, start, len); r6/r7 survive the call.
+    b.mov(Reg::R1, snapshot.as_u32() as i64)
+        .load(Reg::R2, Reg::R10, -24, AccessSize::B8)
+        .load(Reg::R3, Reg::R10, -32, AccessSize::B8)
+        .call_kfunc(KFUNC_SNAPBPF_PREFETCH);
+
+    // Stage the PrefetchIssued record: [1, now, file, start, pages].
+    b.store_imm(Reg::R10, TEL_RECORD_FP, 1, AccessSize::B8)
+        .call(HelperId::KtimeGetNs)
+        .store(Reg::R10, -64, Reg::R0, AccessSize::B8)
+        .store_imm(Reg::R10, -56, snapshot.as_u32() as i64, AccessSize::B8)
+        .load(Reg::R1, Reg::R10, -24, AccessSize::B8)
+        .store(Reg::R10, -48, Reg::R1, AccessSize::B8)
+        .load(Reg::R1, Reg::R10, -32, AccessSize::B8)
+        .store(Reg::R10, -40, Reg::R1, AccessSize::B8);
+    emit_ring_emit(&mut b, ring, stats, out);
+
+    // Accumulate the page total and bump the per-CPU counters.
+    b.load(Reg::R1, Reg::R10, -80, AccessSize::B8)
+        .load(Reg::R2, Reg::R10, -32, AccessSize::B8)
+        .add(Reg::R1, Reg::R2)
+        .store(Reg::R10, -80, Reg::R1, AccessSize::B8);
+    emit_stat_bump(&mut b, stats, snapbpf_ebpf::STAT_SLOT_ISSUED, None, out);
+    emit_stat_bump(&mut b, stats, snapbpf_ebpf::STAT_SLOT_PAGES, Some(-32), out);
+
+    b.add(Reg::R7, 1).jump(top);
+
+    // done: emit PrefetchCompleted [2, now, groups, pages, 0], then
+    // publish the cursor and self-disable.
+    b.bind(done).expect("label bound once");
+    b.store_imm(Reg::R10, TEL_RECORD_FP, 2, AccessSize::B8)
+        .call(HelperId::KtimeGetNs)
+        .store(Reg::R10, -64, Reg::R0, AccessSize::B8)
+        .store(Reg::R10, -56, Reg::R7, AccessSize::B8)
+        .load(Reg::R1, Reg::R10, -80, AccessSize::B8)
+        .store(Reg::R10, -48, Reg::R1, AccessSize::B8)
+        .store_imm(Reg::R10, -40, 0, AccessSize::B8);
+    emit_ring_emit(&mut b, ring, stats, out);
+    emit_array_lookup(&mut b, groups, None, GROUPS_CURSOR_SLOT as i64, out);
+    b.store(Reg::R0, 0, Reg::R7, AccessSize::B8)
+        .mov(Reg::R0, PROG_RET_DISABLE as i64)
+        .exit();
+
+    b.bind(out)
+        .expect("label bound once")
+        .mov(Reg::R0, 0)
+        .exit();
+    b.build().expect("telemetry prefetch program assembles")
+}
+
 /// Builds the pre-5.3 "re-trigger" prefetch program for `snapshot`
 /// reading ranges from `groups` (an array map shaped by
 /// [`groups_map_def`]).
@@ -244,7 +388,8 @@ pub fn build_prefetch_program_cascade(snapshot: FileId, groups: MapId) -> Progra
 }
 
 /// Verifies every shipped program — capture, the looped prefetch
-/// program, and the re-trigger cascade baseline — against a fresh
+/// program, its telemetry-instrumented variant, and the re-trigger
+/// cascade baseline — against a fresh
 /// host kernel with the verifier log enabled, returning the
 /// concatenated rendered logs. This backs the `figures` CLI's
 /// `--verifier-log` flag and the CI `verifier-corpus` smoke step.
@@ -264,9 +409,12 @@ pub fn verifier_log_report() -> Result<String, snapbpf_kernel::KernelError> {
     let snap = k.disk_mut().create_file("snap", 8192)?;
     let wset = k.create_map(wset_map_def(4096))?;
     let groups = k.create_map(groups_map_def(256))?;
+    let ring = k.create_map(snapbpf_ebpf::telemetry_ring_def())?;
+    let stats = k.create_map(snapbpf_ebpf::telemetry_stats_def())?;
     for prog in [
         build_capture_program(snap, wset, 4096),
         build_prefetch_program(snap, groups, 256),
+        build_prefetch_program_telemetry(snap, groups, 256, ring, stats),
         build_prefetch_program_cascade(snap, groups),
     ] {
         let probe = k.load_and_attach(PAGE_CACHE_ADD_HOOK, &prog)?;
@@ -518,10 +666,80 @@ mod tests {
         let report = verifier_log_report().unwrap();
         assert_eq!(
             report.matches("verification OK").count(),
-            3,
-            "capture, looped prefetch, and cascade must all verify:\n{report}"
+            4,
+            "capture, looped prefetch, telemetry prefetch, and cascade must all verify:\n{report}"
         );
-        assert_eq!(report.matches("verifying program ").count(), 3);
+        assert_eq!(report.matches("verifying program ").count(), 4);
+    }
+
+    #[test]
+    fn telemetry_prefetch_issues_the_same_ranges_and_reports_them() {
+        use snapbpf_ebpf::TelemetryRecord;
+
+        let groups = test_groups();
+        let mut k = kernel();
+        k.set_readahead(false);
+        let snap = k.disk_mut().create_file("snap", 8192).unwrap();
+        let map = k.create_map(groups_map_def(groups.len() as u32)).unwrap();
+        k.load_map_from_user(map, 0, &groups_map_image(&groups))
+            .unwrap();
+        let ring = k.create_map(snapbpf_ebpf::telemetry_ring_def()).unwrap();
+        let stats = k.create_map(snapbpf_ebpf::telemetry_stats_def()).unwrap();
+        let prog = build_prefetch_program_telemetry(snap, map, groups.len() as u32, ring, stats);
+        let probe = k.load_and_attach(PAGE_CACHE_ADD_HOOK, &prog).unwrap();
+
+        k.trigger_access(SimTime::ZERO, snap, 0).unwrap();
+        assert!(!k.probe_enabled(probe), "program must disable itself");
+
+        // The ring carries one PrefetchIssued per group, in group
+        // order, then the PrefetchCompleted marker.
+        let mut records = Vec::new();
+        while let Some(raw) = k.maps_mut().ring_pop(ring).unwrap() {
+            records.push(TelemetryRecord::decode(&raw).unwrap());
+        }
+        assert_eq!(records.len(), groups.len() + 1);
+        for (rec, g) in records.iter().zip(&groups) {
+            assert_eq!(
+                *rec,
+                TelemetryRecord::PrefetchIssued {
+                    now_ns: 0,
+                    file: snap.as_u32() as u64,
+                    start_page: g.start,
+                    pages: g.len,
+                }
+            );
+        }
+        let total: u64 = groups.iter().map(|g| g.len).sum();
+        assert_eq!(
+            records[groups.len()],
+            TelemetryRecord::PrefetchCompleted {
+                now_ns: 0,
+                groups: groups.len() as u64,
+                pages: total,
+            }
+        );
+
+        // Per-CPU stats agree, and nothing was dropped.
+        let stat = |slot| k.maps().percpu_load_merged_u64(stats, slot).unwrap();
+        assert_eq!(stat(snapbpf_ebpf::STAT_SLOT_ISSUED), groups.len() as u64);
+        assert_eq!(stat(snapbpf_ebpf::STAT_SLOT_PAGES), total);
+        assert_eq!(stat(snapbpf_ebpf::STAT_SLOT_ENOSPC), 0);
+        assert_eq!(k.maps().ring_dropped(ring).unwrap(), 0);
+    }
+
+    #[test]
+    fn telemetry_prefetch_round_trips_through_asm_text() {
+        // Satellite of the telemetry PR: the shipped telemetry
+        // program survives the disassemble → parse round trip.
+        let mut k = kernel();
+        let snap = k.disk_mut().create_file("snap", 8192).unwrap();
+        let map = k.create_map(groups_map_def(8)).unwrap();
+        let ring = k.create_map(snapbpf_ebpf::telemetry_ring_def()).unwrap();
+        let stats = k.create_map(snapbpf_ebpf::telemetry_stats_def()).unwrap();
+        let prog = build_prefetch_program_telemetry(snap, map, 8, ring, stats);
+        let parsed =
+            snapbpf_ebpf::parse_program("snapbpf_prefetch_tel", &prog.to_string()).unwrap();
+        assert_eq!(parsed, prog);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use snapbpf_storage::{FileId, IoPath};
 use snapbpf_vmm::{run_invocation, MicroVm, NoUffd, Snapshot};
 
 use crate::programs::{
-    build_capture_program, build_prefetch_program, groups_map_def, groups_map_image,
+    build_capture_program, build_prefetch_program_telemetry, groups_map_def, groups_map_image,
     read_captured_samples, wset_map_def,
 };
 use crate::restore::{RestoreCursor, RestoreOps, RestoreStage, StepOutcome};
@@ -224,6 +224,7 @@ impl Strategy for SnapBpf {
             Box::new(SnapBpfRestore {
                 offsets_file,
                 groups: self.groups.clone(),
+                function: func.workload.name().to_owned(),
                 snapshot: func.snapshot.clone(),
                 cow_policy: self.cow_policy,
                 pv_pte: self.pv_pte,
@@ -246,6 +247,8 @@ struct SnapBpfRestore {
     /// as recorded).
     offsets_file: Option<FileId>,
     groups: Vec<WsGroup>,
+    /// Function name telemetry series are attributed to.
+    function: String,
     snapshot: Snapshot,
     cow_policy: CowPolicy,
     pv_pte: bool,
@@ -291,8 +294,20 @@ impl RestoreOps for SnapBpfRestore {
                 };
                 // Attach the looped prefetch program and trigger it
                 // by touching the first page of the snapshot; one
-                // in-kernel invocation issues every group.
-                let prefetch = build_prefetch_program(snap_file, map, self.groups.len() as u32);
+                // in-kernel invocation issues every group, reporting
+                // each range over the telemetry ring and per-CPU
+                // stats map, which the kernel drains at the end of
+                // the cascade.
+                let ring = host.create_map(snapbpf_ebpf::telemetry_ring_def())?;
+                let stats = host.create_map(snapbpf_ebpf::telemetry_stats_def())?;
+                let prefetch = build_prefetch_program_telemetry(
+                    snap_file,
+                    map,
+                    self.groups.len() as u32,
+                    ring,
+                    stats,
+                );
+                host.register_telemetry(ring, stats, &self.function);
                 host.load_and_attach(PAGE_CACHE_ADD_HOOK, &prefetch)?;
                 host.trigger_access(now, snap_file, 0)?;
                 StepOutcome::done(now)
@@ -383,6 +398,31 @@ mod tests {
             .disk()
             .file_by_name(&format!("{}.snapbpf.ws", func.workload.name()))
             .is_none());
+    }
+
+    #[test]
+    fn restore_reports_telemetry_through_the_kernel_ring() {
+        let (mut host, func) = test_env("json", 0.05);
+        let tracer = snapbpf_sim::Tracer::noop();
+        host.install_tracer(&tracer);
+        let mut sb = SnapBpf::full();
+        let t0 = sb.record(SimTime::ZERO, &mut host, &func).unwrap();
+        host.drop_all_caches().unwrap();
+        sb.restore(t0, &mut host, &func, OwnerId::new(0)).unwrap();
+
+        // The prefetch program reported every group over the ring /
+        // stats pair, and the drain folded them into the tracer.
+        assert_eq!(
+            tracer.counter("ebpf.telemetry.issued"),
+            sb.groups().len() as u64
+        );
+        assert_eq!(tracer.counter("ebpf.telemetry.pages"), sb.ws_pages());
+        assert_eq!(tracer.counter("ebpf.telemetry.completions"), 1);
+        assert_eq!(tracer.counter("ebpf.ring.drops"), 0, "default ring sizing");
+        let series = tracer.series_snapshot();
+        let bins = series.get("ebpf.prefetch.pages", "json").unwrap();
+        let total: f64 = bins.values().map(|b| b.sum()).sum();
+        assert_eq!(total, sb.ws_pages() as f64);
     }
 
     #[test]

@@ -68,8 +68,19 @@ enum Value {
 /// Where a map-value pointer points.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum MapLoc {
-    Array { index: u32 },
-    Hash { key: Vec<u8> },
+    Array {
+        index: u32,
+    },
+    Hash {
+        key: Vec<u8>,
+    },
+    /// One CPU's slot of a per-CPU array; `cpu` is captured at
+    /// lookup time so the pointer stays valid even if the
+    /// interpreter migrates between invocations.
+    PerCpu {
+        index: u32,
+        cpu: u32,
+    },
 }
 
 impl Value {
@@ -168,6 +179,9 @@ pub struct Interpreter {
     trace_events: u64,
     /// Per-invocation instruction ceiling.
     insn_budget: u64,
+    /// CPU reported by `bpf_get_smp_processor_id` and used to pick
+    /// the slot of per-CPU maps; always `< NCPUS`.
+    current_cpu: u32,
 }
 
 impl Default for Interpreter {
@@ -176,6 +190,7 @@ impl Default for Interpreter {
             now_ns: 0,
             trace_events: 0,
             insn_budget: INSN_BUDGET,
+            current_cpu: 0,
         }
     }
 }
@@ -202,6 +217,18 @@ impl Interpreter {
     /// The per-invocation instruction budget in effect.
     pub fn insn_budget(&self) -> u64 {
         self.insn_budget
+    }
+
+    /// Sets the CPU this interpreter "runs on": the value returned
+    /// by `bpf_get_smp_processor_id` and the slot per-CPU map
+    /// lookups resolve to. Stored modulo [`crate::NCPUS`].
+    pub fn set_current_cpu(&mut self, cpu: u32) {
+        self.current_cpu = cpu % crate::map::NCPUS;
+    }
+
+    /// The CPU this interpreter reports to programs.
+    pub fn current_cpu(&self) -> u32 {
+        self.current_cpu
     }
 
     /// Total `bpf_trace_printk` events across runs.
@@ -531,6 +558,21 @@ impl Interpreter {
                             Value::Scalar(0)
                         }
                     }
+                    MapKind::PerCpuArray => {
+                        let index = u32::from_le_bytes(key[..4].try_into().expect("4-byte key"));
+                        if index < def.max_entries {
+                            Value::MapValue {
+                                map,
+                                loc: MapLoc::PerCpu {
+                                    index,
+                                    cpu: self.current_cpu,
+                                },
+                                off: 0,
+                            }
+                        } else {
+                            Value::Scalar(0)
+                        }
+                    }
                     MapKind::RingBuf => return Err(internal("lookup on ringbuf")),
                 }
             }
@@ -564,7 +606,7 @@ impl Interpreter {
                 Value::Scalar(if found { 0 } else { (-2i64) as u64 }) // -ENOENT
             }
             HelperId::KtimeGetNs => Value::Scalar(self.now_ns),
-            HelperId::GetSmpProcessorId => Value::Scalar(0),
+            HelperId::GetSmpProcessorId => Value::Scalar(self.current_cpu as u64),
             HelperId::TracePrintk => {
                 self.trace_events += 1;
                 Value::Scalar(0)
@@ -581,7 +623,10 @@ impl Interpreter {
                     .ok_or_else(|| internal("bad data pointer"))?;
                 match maps.ring_push(map, &data) {
                     Ok(()) => Value::Scalar(0),
-                    Err(MapError::RingFull(_)) => Value::Scalar((-28i64) as u64), // -ENOSPC
+                    Err(MapError::RingFull { .. }) => Value::Scalar((-28i64) as u64), // -ENOSPC
+                    Err(MapError::RingRecordTooLarge { .. }) => {
+                        Value::Scalar((-7i64) as u64) // -E2BIG
+                    }
                     Err(e) => return Err(e.into()),
                 }
             }
@@ -642,6 +687,12 @@ fn map_value_bytes<'m>(maps: &'m MapSet, map: MapId, loc: &MapLoc) -> Result<&'m
         MapLoc::Hash { key } => maps
             .hash_raw(map, key)?
             .ok_or(RunError::Map(MapError::NoSuchMap(map))),
+        MapLoc::PerCpu { index, cpu } => {
+            let (values, def) = maps.percpu_raw(map, *cpu)?;
+            let vs = def.value_size as usize;
+            let start = *index as usize * vs;
+            Ok(&values[start..start + vs])
+        }
     }
 }
 
@@ -660,6 +711,12 @@ fn map_value_bytes_mut<'m>(
         MapLoc::Hash { key } => maps
             .hash_raw_mut(map, key)?
             .ok_or(RunError::Map(MapError::NoSuchMap(map))),
+        MapLoc::PerCpu { index, cpu } => {
+            let (values, def) = maps.percpu_raw_mut(map, *cpu)?;
+            let vs = def.value_size as usize;
+            let start = *index as usize * vs;
+            Ok(&mut values[start..start + vs])
+        }
     }
 }
 
@@ -1108,6 +1165,125 @@ mod tests {
         assert_eq!(interp.insn_budget(), 100);
         let err = interp.run(&p, &[], &mut maps, &mut NoKfuncs).unwrap_err();
         assert_eq!(err, RunError::BudgetExhausted);
+    }
+
+    #[test]
+    fn percpu_array_increments_land_in_the_current_cpu_slot() {
+        let mut maps = MapSet::new();
+        let m = maps.create(MapDef::percpu_array(8, 2)).unwrap();
+        // Program: v = lookup(m, &0); if v { *v += ctx[0] }; r0 = smp_id.
+        let mut b = ProgramBuilder::new("percpu");
+        let out = b.label();
+        b.store_imm(Reg::R10, -4, 0, AccessSize::B4)
+            .load_map(Reg::R1, m)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -4)
+            .call(HelperId::MapLookup)
+            .mov(Reg::R6, Reg::R0)
+            .jump_if(JmpCond::Eq, Reg::R6, 0i64, out)
+            .load(Reg::R7, Reg::R6, 0, AccessSize::B8)
+            .load_ctx(Reg::R8, 0)
+            .alu(AluOp::Add, Reg::R7, Reg::R8)
+            .store(Reg::R6, 0, Reg::R7, AccessSize::B8)
+            .bind(out)
+            .unwrap()
+            .call(HelperId::GetSmpProcessorId)
+            .exit();
+        let p = Verifier::new(&maps, &[])
+            .verify(&b.build().unwrap())
+            .unwrap();
+
+        let mut interp = Interpreter::new();
+        for (cpu, add) in [(0u32, 5u64), (2, 7), (2, 1), (3, 100)] {
+            interp.set_current_cpu(cpu);
+            assert_eq!(interp.current_cpu(), cpu);
+            let out = interp.run(&p, &[add], &mut maps, &mut NoKfuncs).unwrap();
+            assert_eq!(out.return_value, cpu as u64);
+        }
+        // Userspace reads the lane-merged sum across all CPU slots.
+        assert_eq!(maps.percpu_load_merged_u64(m, 0).unwrap(), 113);
+    }
+
+    #[test]
+    fn current_cpu_wraps_at_ncpus() {
+        let mut interp = Interpreter::new();
+        interp.set_current_cpu(crate::map::NCPUS + 1);
+        assert_eq!(interp.current_cpu(), 1);
+    }
+
+    #[test]
+    fn percpu_lookup_out_of_bounds_returns_null() {
+        let mut maps = MapSet::new();
+        let m = maps.create(MapDef::percpu_array(8, 2)).unwrap();
+        let mut b = ProgramBuilder::new("oob");
+        let out = b.label();
+        b.store_imm(Reg::R10, -4, 9, AccessSize::B4)
+            .load_map(Reg::R1, m)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -4)
+            .call(HelperId::MapLookup)
+            .jump_if(JmpCond::Ne, Reg::R0, 0i64, out)
+            .mov(Reg::R0, 7)
+            .exit()
+            .bind(out)
+            .unwrap()
+            .mov(Reg::R0, 8)
+            .exit();
+        let p = Verifier::new(&maps, &[])
+            .verify(&b.build().unwrap())
+            .unwrap();
+        let out = Interpreter::new()
+            .run(&p, &[], &mut maps, &mut NoKfuncs)
+            .unwrap();
+        assert_eq!(out.return_value, 7);
+    }
+
+    #[test]
+    fn ringbuf_full_and_oversized_records_return_errno_to_the_program() {
+        let mut maps = MapSet::new();
+        let r = maps.create(MapDef::ringbuf(32)).unwrap();
+        let push = |maps: &mut MapSet, size: i64| {
+            let mut b = ProgramBuilder::new("push");
+            b.store_imm(Reg::R10, -8, 1, AccessSize::B8)
+                .load_map(Reg::R1, r)
+                .mov(Reg::R2, Reg::R10)
+                .add(Reg::R2, -8)
+                .mov(Reg::R3, size)
+                .mov(Reg::R4, 0)
+                .call(HelperId::RingbufOutput)
+                .exit();
+            let p = Verifier::new(maps, &[])
+                .verify(&b.build().unwrap())
+                .unwrap();
+            Interpreter::new()
+                .run(&p, &[], maps, &mut NoKfuncs)
+                .unwrap()
+                .return_value as i64
+        };
+        assert_eq!(push(&mut maps, 8), 0); // 16 of 32 bytes used
+        assert_eq!(push(&mut maps, 8), 0); // full
+        assert_eq!(push(&mut maps, 8), -28); // -ENOSPC, drop counted
+        assert_eq!(maps.ring_dropped(r).unwrap(), 1);
+        // A record that can never fit is -E2BIG and not a drop.
+        let mut b = ProgramBuilder::new("big");
+        for slot in 0..8 {
+            b.store_imm(Reg::R10, -64 + 8 * slot, 1, AccessSize::B8);
+        }
+        b.load_map(Reg::R1, r)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -64)
+            .mov(Reg::R3, 64)
+            .mov(Reg::R4, 0)
+            .call(HelperId::RingbufOutput)
+            .exit();
+        let p = Verifier::new(&maps, &[])
+            .verify(&b.build().unwrap())
+            .unwrap();
+        let out = Interpreter::new()
+            .run(&p, &[], &mut maps, &mut NoKfuncs)
+            .unwrap();
+        assert_eq!(out.return_value as i64, -7);
+        assert_eq!(maps.ring_dropped(r).unwrap(), 1);
     }
 
     #[test]

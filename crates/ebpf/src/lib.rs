@@ -16,8 +16,10 @@
 //! * [`Interpreter`] — executes verified programs with eBPF
 //!   semantics (helper calling convention, div-by-zero-is-zero,
 //!   32-bit zero extension),
-//! * [`MapSet`] — array / hash / ring-buffer maps shared between
-//!   programs and their userspace loaders,
+//! * [`MapSet`] — array / per-CPU array / hash / ring-buffer maps
+//!   shared between programs and their userspace loaders,
+//! * [`TelemetryRecord`] — the typed record schema programs emit
+//!   over ring buffers for the kernel→user telemetry channel,
 //! * [`KprobeRegistry`] — named hook points (e.g.
 //!   `add_to_page_cache_lru`) that kernel code fires,
 //! * [`KfuncHost`] — the host side of kfunc calls, through which the
@@ -79,6 +81,7 @@ mod interp;
 mod kprobe;
 mod map;
 mod program;
+mod telemetry;
 mod verify;
 
 pub use asm_text::{parse_program, ParseError};
@@ -88,9 +91,14 @@ pub use insn::{
 };
 pub use interp::{Interpreter, KfuncHost, NoKfuncs, RunError, RunOutcome, INSN_BUDGET};
 pub use kprobe::{FireResult, KprobeRegistry, ProbeError, ProbeId};
-pub use map::{MapDef, MapError, MapId, MapKind, MapSet};
+pub use map::{MapDef, MapError, MapId, MapKind, MapSet, NCPUS};
 pub use program::{AsmError, Label, Program, ProgramBuilder};
+pub use telemetry::{
+    telemetry_ring_def, telemetry_stats_def, TelemetryDecodeError, TelemetryRecord,
+    DEFAULT_TELEMETRY_RING_BYTES, STAT_SLOTS, STAT_SLOT_ENOSPC, STAT_SLOT_ISSUED, STAT_SLOT_PAGES,
+    TELEMETRY_RECORD_BYTES,
+};
 pub use verify::{
-    KfuncSig, VerifiedProgram, Verifier, VerifierLog, VerifierStats, VerifyError, VerifyErrorKind,
-    COMPLEXITY_LIMIT,
+    KfuncSig, VerifiedProgram, Verifier, VerifierLog, VerifierStats, VerifyCache, VerifyError,
+    VerifyErrorKind, COMPLEXITY_LIMIT,
 };

@@ -1,7 +1,7 @@
 ; program complexity_blowup
-; 17 independent two-way branches, each adding a distinct power of
+; 20 independent two-way branches, each adding a distinct power of
 ; two to r6: every path reaches the tail with a different exact r6,
-; so the state count doubles per rung (2^17 > COMPLEXITY_LIMIT).
+; so the state count doubles per rung (2^20 > COMPLEXITY_LIMIT).
 mov64 r6, 0
 ldctx r1, arg0
 jeq r1, 0, +1
@@ -54,5 +54,14 @@ add64 r6, 32768
 ldctx r1, arg4
 jeq r1, 0, +1
 add64 r6, 65536
+ldctx r1, arg5
+jeq r1, 0, +1
+add64 r6, 131072
+ldctx r1, arg0
+jeq r1, 0, +1
+add64 r6, 262144
+ldctx r1, arg1
+jeq r1, 0, +1
+add64 r6, 524288
 mov64 r0, r6
 exit

@@ -289,6 +289,53 @@ proptest! {
         let _ = snapbpf_ebpf::decode_program(&v);
     }
 
+    /// Programs referencing a per-CPU array map def survive the text
+    /// round-trip exactly like array-backed ones (the `lddw rX,
+    /// map#N` form is kind-agnostic, but the parse must still
+    /// resolve against a map set holding a `PerCpuArray`).
+    #[test]
+    fn text_roundtrip_with_percpu_map(insns in prop::collection::vec(arb_insn(), 0..60)) {
+        let mut maps = MapSet::new();
+        let map_id = maps.create(MapDef::percpu_array(8, 8)).unwrap();
+        let program = build_arbitrary(&insns, &maps, map_id);
+        let parsed = snapbpf_ebpf::parse_program("x", &program.to_string()).unwrap();
+        prop_assert_eq!(&parsed, &program);
+        let decoded =
+            snapbpf_ebpf::decode_program(&snapbpf_ebpf::encode_program(&program)).unwrap();
+        prop_assert_eq!(&decoded, &program);
+    }
+
+    /// Per-CPU map writes round-trip: a program increments its CPU's
+    /// slot; userspace reads the lane-merged sum across all CPUs.
+    #[test]
+    fn percpu_map_roundtrip(
+        index in 0u32..8,
+        value in any::<u32>(),
+        cpu in 0u32..snapbpf_ebpf::NCPUS,
+    ) {
+        let mut maps = MapSet::new();
+        let m = maps.create(MapDef::percpu_array(8, 8)).unwrap();
+        let mut b = ProgramBuilder::new("percpu-store");
+        let out = b.label();
+        b.store_imm(Reg::R10, -4, index as i64, AccessSize::B4)
+            .load_map(Reg::R1, m)
+            .mov(Reg::R2, Reg::R10)
+            .add(Reg::R2, -4)
+            .call(HelperId::MapLookup)
+            .jump_if(JmpCond::Eq, Reg::R0, 0i64, out)
+            .load_imm64(Reg::R1, value as i64)
+            .store(Reg::R0, 0, Reg::R1, AccessSize::B8)
+            .bind(out)
+            .unwrap()
+            .mov(Reg::R0, 0)
+            .exit();
+        let p = Verifier::new(&maps, &[]).verify(&b.build().unwrap()).unwrap();
+        let mut interp = Interpreter::new();
+        interp.set_current_cpu(cpu);
+        interp.run(&p, &[], &mut maps, &mut NoKfuncs).unwrap();
+        prop_assert_eq!(maps.percpu_load_merged_u64(m, index).unwrap(), value as u64);
+    }
+
     /// Map round trips through program-side update + userspace read.
     #[test]
     fn map_roundtrip(index in 0u32..16, value in any::<u64>()) {

@@ -44,8 +44,8 @@ use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 use snapbpf_sim::{
-    chrome_trace_json, MetricsRegistry, SimDuration, SimTime, TraceEvent, Tracer, TracerClass,
-    TID_CONTROL, TID_DISK, TID_KERNEL,
+    chrome_trace_json, MetricsRegistry, SeriesRegistry, SimDuration, SimTime, TraceEvent, Tracer,
+    TracerClass, TID_CONTROL, TID_DISK, TID_KERNEL,
 };
 use snapbpf_workloads::Workload;
 
@@ -109,6 +109,9 @@ pub struct ClusterResult {
     /// Snapshot of the run's metrics registry, merged across hosts
     /// in host index order.
     pub metrics: MetricsRegistry,
+    /// Windowed per-function time series, merged across hosts in
+    /// host index order (byte-identical at any thread count).
+    pub series: SeriesRegistry,
 }
 
 impl ClusterResult {
@@ -190,6 +193,7 @@ struct HostOutcome {
     process_names: BTreeMap<u32, String>,
     thread_names: BTreeMap<(u32, u64), String>,
     metrics: MetricsRegistry,
+    series: SeriesRegistry,
 }
 
 /// The executor behind a cluster run: advances hosts through epochs
@@ -231,7 +235,11 @@ fn build_shard_host<'a>(
 ) -> Result<(Tracer, Host<'a>, SimTime), StrategyError> {
     let tracer = Tracer::of_class(class);
     tracer.set_pid(h as u32 + 1);
-    let (host, t0) = build_host(cfg, workloads, &tracer)?;
+    let (mut host, t0) = build_host(cfg, workloads, &tracer)?;
+    // Pin each host world to its own simulated CPU (wrapping at
+    // NCPUS) so per-CPU map bumps from parallel shards land in
+    // distinct lanes, exactly as distinct cores would.
+    host.kernel.set_smp_processor_id(h as u32);
     if tracer.events_enabled() {
         tracer.name_process(&format!("host {h}"));
         tracer.name_thread(TID_CONTROL, "scheduler");
@@ -283,6 +291,7 @@ fn finish_host(mut host: Host<'_>, tracer: &Tracer) -> Result<HostOutcome, Strat
         process_names,
         thread_names,
         metrics: tracer.metrics_snapshot(),
+        series: tracer.series_snapshot(),
     })
 }
 
@@ -654,6 +663,7 @@ fn drive(
         tracer.record_all(outcome.events);
         tracer.merge_names(outcome.process_names, outcome.thread_names);
         tracer.merge_metrics(&outcome.metrics);
+        tracer.merge_series(&outcome.series);
         for (merged, f) in per_function.iter_mut().zip(&outcome.per_func) {
             merged.merge(f);
         }
@@ -695,6 +705,7 @@ fn drive(
         aggregate,
         span: last_completion.saturating_since(first_arrival),
         metrics,
+        series: tracer.series_snapshot(),
     })
 }
 
@@ -719,56 +730,6 @@ pub(crate) fn cluster_impl(
             drive(cfg, workloads, tracer, policy, &mut shard)
         })
     }
-}
-
-/// Runs one cluster simulation (see the module docs for the model).
-///
-/// Metrics are collected through a metrics-only tracer; use
-/// [`run_cluster_with`] to also retain trace events.
-///
-/// # Errors
-///
-/// [`StrategyError::Config`] on a zero-host cluster, an empty
-/// function mix, a mix/workload count mismatch, or zero
-/// `max_concurrency`; strategy and kernel errors propagate.
-#[deprecated(since = "0.2.0", note = "use snapbpf_fleet::Runner")]
-pub fn run_cluster(
-    cfg: &FleetConfig,
-    workloads: &[Workload],
-) -> Result<ClusterResult, StrategyError> {
-    cluster_impl(
-        cfg,
-        workloads,
-        &Tracer::noop(),
-        1,
-        cfg.placement.build().as_mut(),
-    )
-}
-
-/// Runs one cluster simulation against a caller-supplied [`Tracer`].
-///
-/// Each host appears as its own Chrome trace process (`pid = host
-/// index + 1`, named `host N`) with the familiar per-host tracks —
-/// scheduler, disk, kernel, and one track per sandbox — nested under
-/// it; placement decisions appear as `cluster`-category instants on
-/// the serving host's scheduler track. When `cfg.trace_out` is set,
-/// the retained events plus a metrics snapshot are written there as
-/// Chrome trace-event JSON.
-///
-/// Tracing never perturbs the simulation (virtual time never
-/// consults the tracer).
-///
-/// # Errors
-///
-/// As [`run_cluster`]; additionally [`StrategyError::TraceIo`] for a
-/// failed `trace_out` write.
-#[deprecated(since = "0.2.0", note = "use snapbpf_fleet::Runner")]
-pub fn run_cluster_with(
-    cfg: &FleetConfig,
-    workloads: &[Workload],
-    tracer: &Tracer,
-) -> Result<ClusterResult, StrategyError> {
-    cluster_impl(cfg, workloads, tracer, 1, cfg.placement.build().as_mut())
 }
 
 // Unit tests live in `tests/cluster.rs` (integration surface),

@@ -120,19 +120,18 @@ pub struct FleetConfig {
     pub memory_pages: Option<u64>,
     /// How cold-start restores interleave with other host events.
     pub restore_mode: RestoreMode,
-    /// Number of hosts in a cluster run ([`crate::run_cluster`]);
-    /// each host gets its own kernel, disk, page cache, and sandbox
-    /// pool with this configuration. Single-host entry points
-    /// ([`crate::run_fleet`]) ignore it; [`crate::run_cluster`]
-    /// rejects 0 with a configuration error.
+    /// Number of hosts in a cluster run; each host gets its own
+    /// kernel, disk, page cache, and sandbox pool with this
+    /// configuration. [`crate::Runner`] takes the single-host path
+    /// at 1 and rejects 0 with a configuration error.
     pub hosts: usize,
     /// Which host each arrival is routed to in a cluster run.
     pub placement: PlacementKind,
     /// How snapshots reach hosts that have never run a function
     /// (cluster runs only).
     pub distribution: SnapshotDistribution,
-    /// When set, [`crate::run_fleet_with`] writes the run's Chrome
-    /// trace-event JSON here (requires an event-retaining tracer).
+    /// When set, the run's Chrome trace-event JSON is written here
+    /// (requires an event-retaining tracer on the [`crate::Runner`]).
     pub trace_out: Option<PathBuf>,
 }
 

@@ -1,10 +1,10 @@
 //! One simulated FaaS host: kernel + disk + page cache + admission
 //! queue + keep-alive pool + restore scheduling.
 //!
-//! This is the per-host world behind both entry points: a
-//! single-host fleet run ([`crate::run_fleet_with`]) drives exactly
-//! one `Host`; a cluster run ([`crate::run_cluster_with`]) owns `N`
-//! of them and routes each arrival through a placement policy. The
+//! This is the per-host world behind both [`crate::Runner`] paths: a
+//! single-host fleet run drives exactly one `Host`; a cluster run
+//! owns `N` of them and routes each arrival through a placement
+//! policy. The
 //! scheduling logic is identical in both cases — a cluster of one
 //! host reproduces a fleet run result-for-result (asserted in the
 //! cluster tests).
@@ -509,14 +509,29 @@ impl Host<'_> {
         let exec_start = run.start();
         let (vm, resolver, _result) = run.finish();
         let t_ev = end.max(done.restore_end);
+        let restore = exec_start.saturating_since(done.dispatch);
         self.per_func[done.func].record(
             done.cold,
             end.saturating_since(done.arrival),
             done.dispatch.saturating_since(done.arrival),
-            exec_start.saturating_since(done.dispatch),
+            restore,
             end.saturating_since(exec_start),
             done.stages.as_ref(),
         );
+        // Windowed per-function series: a 0/1 warm-hit sample per
+        // completion (bin mean = warm hit ratio) and, for cold
+        // starts, the restore latency (bin p99 = cold-start p99).
+        let fname = &self.per_func[done.func].name;
+        self.trace.series_record(
+            "fleet.warm_hit",
+            fname,
+            end,
+            if done.cold { 0.0 } else { 1.0 },
+        );
+        if done.cold {
+            self.trace
+                .series_record("fleet.cold_start_ns", fname, end, restore.as_nanos() as f64);
+        }
         self.last_completion = self.last_completion.max(end);
         self.sample_memory();
 

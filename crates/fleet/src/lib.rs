@@ -4,8 +4,8 @@
 //! batches; this crate closes the loop to what a FaaS deployment
 //! actually experiences: an open-loop stream of invocation requests
 //! over many functions, contending for disks, page caches, and a
-//! bounded sandbox budget — on one host ([`run_fleet`]) or sharded
-//! across a cluster of hosts ([`run_cluster`]).
+//! bounded sandbox budget — on one host or sharded across a cluster
+//! of hosts, both behind the builder-style [`Runner`].
 //!
 //! A fleet run wires together:
 //!
@@ -22,7 +22,7 @@
 //!   p50/p95/p99, cold-start ratio, queueing/restore/compute latency
 //!   breakdown, host-memory high-water mark, and disk throughput.
 //!
-//! A **cluster run** ([`run_cluster`], DESIGN.md §8) owns N such host
+//! A **cluster run** (DESIGN.md §8) owns N such host
 //! worlds — each with its own kernel, disk, page cache, and sandbox
 //! pool — and routes every arrival through a [`PlacementPolicy`]
 //! (consistent-hash, least-loaded, or snapshot-locality-aware),
@@ -105,8 +105,6 @@ mod placement;
 mod pool;
 mod runner;
 
-#[allow(deprecated)]
-pub use cluster::{run_cluster, run_cluster_with};
 pub use cluster::{ClusterResult, HostResult};
 pub use config::{FleetConfig, RestoreMode, ShedPolicy, SnapshotDistribution};
 pub use metrics::{FleetResult, FuncStats};
@@ -138,68 +136,15 @@ pub(crate) fn validate_trace_funcs(
     Ok(())
 }
 
-/// Runs one fleet simulation (see the crate docs for the model).
-///
-/// `cfg.mix` must cover exactly `workloads.len()` functions. Metrics
-/// are collected through a metrics-only tracer
-/// ([`snapbpf_sim::Tracer::noop`]); use [`run_fleet_with`] to also
-/// retain trace events.
-///
-/// # Errors
-///
-/// Strategy and kernel errors propagate (including memory exhaustion
-/// under a configured host-memory cap).
-///
-/// # Panics
-///
-/// Panics if the mix size does not match the workload count or
-/// `max_concurrency` is zero.
-#[deprecated(since = "0.2.0", note = "use snapbpf_fleet::Runner")]
-pub fn run_fleet(cfg: &FleetConfig, workloads: &[Workload]) -> Result<FleetResult, StrategyError> {
-    #[allow(deprecated)]
-    run_fleet_with(cfg, workloads, &Tracer::noop())
-}
-
-/// Runs one fleet simulation against a caller-supplied [`Tracer`].
+/// The single-host execution path behind [`Runner`]. Assumes a
+/// validated configuration.
 ///
 /// The tracer is installed on the host kernel for the invocation
 /// phase only (setup — snapshot creation and strategy recording —
 /// stays untraced, matching the cache-cold measurement boundary).
-/// Pass [`Tracer::recording`] to retain Chrome trace events; when
-/// `cfg.trace_out` is set, the retained events plus a metrics
-/// snapshot are written there as Chrome trace-event JSON.
-///
 /// Tracing never perturbs the simulation: a run with a recording
 /// tracer produces a [`FleetResult`] equal to one with
 /// [`Tracer::noop`] (virtual time never consults the tracer).
-///
-/// # Errors
-///
-/// Strategy and kernel errors propagate;
-/// [`StrategyError::TraceIo`] reports a failed `trace_out` write.
-///
-/// # Panics
-///
-/// Panics if the mix size does not match the workload count or
-/// `max_concurrency` is zero.
-#[deprecated(since = "0.2.0", note = "use snapbpf_fleet::Runner")]
-pub fn run_fleet_with(
-    cfg: &FleetConfig,
-    workloads: &[Workload],
-    tracer: &Tracer,
-) -> Result<FleetResult, StrategyError> {
-    assert_eq!(
-        cfg.mix.len(),
-        workloads.len(),
-        "function mix must cover the workload list"
-    );
-    assert!(cfg.max_concurrency > 0, "need at least one sandbox slot");
-    validate_trace_funcs(cfg, workloads)?;
-    fleet_impl(cfg, workloads, tracer)
-}
-
-/// The single-host execution path behind [`Runner`] and the
-/// deprecated free functions. Assumes a validated configuration.
 pub(crate) fn fleet_impl(
     cfg: &FleetConfig,
     workloads: &[Workload],
@@ -250,6 +195,7 @@ pub(crate) fn fleet_impl(
         pool_evictions: fleet.pool.evictions(),
         pool_expirations: fleet.pool.expirations(),
         metrics,
+        series: tracer.series_snapshot(),
     })
 }
 
@@ -361,14 +307,6 @@ mod tests {
             r.aggregate.arrivals, r_old.aggregate.arrivals,
             "same arrival schedule"
         );
-    }
-
-    #[test]
-    #[should_panic(expected = "mix must cover")]
-    fn deprecated_entry_point_still_panics_on_mismatched_mix() {
-        let cfg = FleetConfig::new(StrategyKind::SnapBpf, 2, 10.0);
-        #[allow(deprecated)]
-        let _ = super::run_fleet(&cfg, &small_suite());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! high-water marks.
 
 use snapbpf::{RestoreStage, StageTimings};
-use snapbpf_sim::{Histogram, MetricsRegistry, SimDuration};
+use snapbpf_sim::{Histogram, MetricsRegistry, SeriesRegistry, SimDuration};
 
 /// Latency and volume statistics for one function (or the
 /// fleet-wide aggregate).
@@ -158,6 +158,11 @@ pub struct FleetResult {
     /// (page-cache hits, dedup savings, eBPF invocations, scheduler
     /// decisions, …), gauges, and histograms.
     pub metrics: MetricsRegistry,
+    /// Windowed per-function time series (virtual-time-binned): the
+    /// scheduler's hit-ratio and cold-start-latency samples plus the
+    /// in-kernel telemetry the eBPF prefetch programs report through
+    /// their ring/stats maps.
+    pub series: SeriesRegistry,
 }
 
 impl FleetResult {
@@ -243,6 +248,7 @@ mod tests {
             pool_evictions: 0,
             pool_expirations: 0,
             metrics: MetricsRegistry::default(),
+            series: SeriesRegistry::new(),
         };
         assert_eq!(r.read_mibps(), 0.0);
         let r2 = FleetResult {

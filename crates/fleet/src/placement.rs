@@ -1,6 +1,6 @@
 //! Cluster placement policies: which host serves an arrival.
 //!
-//! A [`crate::run_cluster`] run consults a [`PlacementPolicy`] once
+//! A cluster run consults a [`PlacementPolicy`] once
 //! per arrival, handing it a snapshot of every host's scheduling
 //! state as plain-data [`HostView`]s (no borrows of live host
 //! structures, so policies are unit- and property-testable in

@@ -1,13 +1,11 @@
 //! The unified entry point for fleet and cluster simulations.
 //!
-//! [`Runner`] replaces the four historical free functions
-//! (`run_fleet`, `run_fleet_with`, `run_cluster`,
-//! `run_cluster_with`) with one builder: configuration that used to
-//! be encoded in *which function you called* — tracing or not,
-//! single host or cluster — is now plain state on the builder, and
-//! the execution backend (inline or the epoch/barrier thread pool,
-//! DESIGN.md §11) is a [`Runner::threads`] knob instead of a
-//! different API.
+//! [`Runner`] is one builder for every run shape: configuration that
+//! historically was encoded in *which free function you called* —
+//! tracing or not, single host or cluster — is plain state on the
+//! builder, and the execution backend (inline or the epoch/barrier
+//! thread pool, DESIGN.md §11) is a [`Runner::threads`] knob instead
+//! of a different API.
 //!
 //! ```
 //! use snapbpf::StrategyKind;
@@ -81,6 +79,17 @@ impl RunOutput {
         match self {
             RunOutput::Fleet(r) => &r.metrics,
             RunOutput::Cluster(r) => &r.metrics,
+        }
+    }
+
+    /// The run's windowed per-function time series (scheduler samples
+    /// plus in-kernel eBPF telemetry), whichever shape ran. Cluster
+    /// runs merge per-host series in host index order, so the
+    /// snapshot is byte-identical at any thread count.
+    pub fn series(&self) -> &snapbpf_sim::SeriesRegistry {
+        match self {
+            RunOutput::Fleet(r) => &r.series,
+            RunOutput::Cluster(r) => &r.series,
         }
     }
 }
@@ -217,28 +226,19 @@ mod tests {
     }
 
     #[test]
-    fn runner_matches_the_deprecated_entry_points() {
+    fn series_surface_through_run_output_for_both_shapes() {
         let w = small_suite();
-        let cfg = small_cfg(40.0);
-        let new = Runner::new(&cfg)
-            .workloads(&w)
-            .run()
-            .unwrap()
-            .into_fleet()
-            .unwrap();
-        #[allow(deprecated)]
-        let old = crate::run_fleet(&cfg, &w).unwrap();
-        assert_eq!(new, old);
+        let fleet = Runner::new(&small_cfg(40.0)).workloads(&w).run().unwrap();
+        assert!(
+            !fleet.series().is_empty(),
+            "a single-host run records windowed series"
+        );
 
         let cfg = small_cfg(40.0).sharded(3, crate::PlacementKind::Locality);
-        let new = Runner::new(&cfg)
-            .workloads(&w)
-            .run()
-            .unwrap()
-            .into_cluster()
-            .unwrap();
-        #[allow(deprecated)]
-        let old = crate::run_cluster(&cfg, &w).unwrap();
-        assert_eq!(new, old);
+        let cluster = Runner::new(&cfg).workloads(&w).run().unwrap();
+        assert!(
+            !cluster.series().is_empty(),
+            "a cluster run merges per-host series"
+        );
     }
 }

@@ -16,51 +16,74 @@ fn run_cluster(cfg: &FleetConfig, workloads: &[Workload]) -> Result<ClusterResul
         .map(|out| out.into_cluster().expect("cluster configs are multi-host"))
 }
 
-/// A one-host cluster under local snapshot distribution runs the
-/// exact same per-host scheduling code as the fleet path, so every
-/// measured quantity must agree field for field — not approximately,
-/// exactly. [`Runner`] routes `hosts == 1` to the fleet path
-/// directly; the deprecated `run_cluster` wrapper still drives the
-/// cluster engine over one host, which is precisely the degenerate
-/// case this test pins.
+/// A placement policy that routes every arrival to host 0 — the
+/// degenerate cluster whose serving host runs exactly the fleet
+/// path's schedule.
+struct PinToZero;
+
+impl snapbpf_fleet::PlacementPolicy for PinToZero {
+    fn label(&self) -> &'static str {
+        "pin0"
+    }
+    fn place(&mut self, _func_name: &str, _hosts: &[snapbpf_fleet::HostView]) -> usize {
+        0
+    }
+}
+
+/// A cluster host that serves every arrival under local snapshot
+/// distribution runs the exact same per-host scheduling code as the
+/// single-host fleet path, so every measured quantity must agree
+/// field for field — not approximately, exactly. [`Runner`] routes
+/// `hosts == 1` to the fleet path directly, so the test drives the
+/// real cluster engine over two hosts with a pin-to-host-0 policy:
+/// host 1 exists, builds its world, and serves nothing.
 #[test]
-fn single_host_cluster_reproduces_the_fleet_exactly() {
+fn pinned_cluster_host_reproduces_the_fleet_exactly() {
     let workloads = small_suite();
     for kind in [StrategyKind::Reap, StrategyKind::SnapBpf] {
-        for placement in PlacementKind::ALL {
-            let mut cfg = small_cluster_cfg(kind, 1, 80.0);
-            cfg.placement = placement;
-            let fleet = Runner::new(&cfg)
-                .workloads(&workloads)
-                .run()
-                .unwrap()
-                .into_fleet()
-                .expect("hosts == 1 is a fleet run");
-            #[allow(deprecated)]
-            let cluster = snapbpf_fleet::run_cluster(&cfg, &workloads).unwrap();
+        let cfg1 = small_cluster_cfg(kind, 1, 80.0);
+        let fleet = Runner::new(&cfg1)
+            .workloads(&workloads)
+            .run()
+            .unwrap()
+            .into_fleet()
+            .expect("hosts == 1 is a fleet run");
+        let cfg2 = small_cluster_cfg(kind, 2, 80.0);
+        let cluster = Runner::new(&cfg2)
+            .workloads(&workloads)
+            .placement(Box::new(PinToZero))
+            .run()
+            .unwrap()
+            .into_cluster()
+            .expect("hosts == 2 is a cluster run");
 
-            assert_eq!(cluster.hosts.len(), 1);
-            let host = &cluster.hosts[0];
-            assert_eq!(cluster.strategy, fleet.strategy);
-            assert_eq!(cluster.per_function, fleet.per_function);
-            assert_eq!(cluster.aggregate, fleet.aggregate);
-            assert_eq!(host.per_function, fleet.per_function);
-            assert_eq!(host.mem_hwm_bytes, fleet.mem_hwm_bytes);
-            assert_eq!(host.read_bytes, fleet.read_bytes);
-            assert_eq!(host.write_bytes, fleet.write_bytes);
-            assert_eq!(host.pool_evictions, fleet.pool_evictions);
-            assert_eq!(host.pool_expirations, fleet.pool_expirations);
-            assert_eq!(host.placed, fleet.aggregate.arrivals);
-            assert_eq!(host.snapshot_fetches, 0, "local distribution is free");
-            assert_eq!(cluster.span, fleet.span);
-            assert_eq!(
-                cluster.metrics,
-                fleet.metrics,
-                "{} + {}: one-host cluster metrics must equal the fleet's",
-                kind.label(),
-                placement.label()
-            );
-        }
+        assert_eq!(cluster.hosts.len(), 2);
+        let host = &cluster.hosts[0];
+        assert_eq!(cluster.strategy, fleet.strategy);
+        assert_eq!(cluster.per_function, fleet.per_function);
+        assert_eq!(cluster.aggregate, fleet.aggregate);
+        assert_eq!(host.per_function, fleet.per_function);
+        assert_eq!(host.mem_hwm_bytes, fleet.mem_hwm_bytes);
+        assert_eq!(host.read_bytes, fleet.read_bytes);
+        assert_eq!(host.write_bytes, fleet.write_bytes);
+        assert_eq!(host.pool_evictions, fleet.pool_evictions);
+        assert_eq!(host.pool_expirations, fleet.pool_expirations);
+        assert_eq!(host.placed, fleet.aggregate.arrivals);
+        assert_eq!(host.snapshot_fetches, 0, "local distribution is free");
+        assert_eq!(cluster.hosts[1].aggregate.completions, 0);
+        assert_eq!(cluster.span, fleet.span);
+        assert_eq!(
+            cluster.metrics,
+            fleet.metrics,
+            "{}: pinned cluster metrics must equal the fleet's",
+            kind.label()
+        );
+        assert_eq!(
+            cluster.series,
+            fleet.series,
+            "{}: pinned cluster series must equal the fleet's",
+            kind.label()
+        );
     }
 }
 

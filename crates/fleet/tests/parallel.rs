@@ -90,6 +90,40 @@ fn epoch_merge_is_seed_stable_under_odd_sharding() {
     }
 }
 
+/// The telemetry acceptance property: the windowed per-function
+/// series — scheduler samples plus the in-kernel eBPF telemetry
+/// drained from ring/stats maps — serialize to byte-identical JSON
+/// at any thread count, across placement policies and seeds. The
+/// series carry f64 sums, so this only holds because per-host
+/// registries merge in ascending host order at the epoch barrier,
+/// never in thread-completion order.
+#[test]
+fn windowed_series_json_is_byte_identical_at_any_thread_count() {
+    let workloads = small_suite();
+    for placement in [PlacementKind::Hash, PlacementKind::Locality] {
+        for seed in [7u64, 42] {
+            let mut cfg = small_cluster_cfg(StrategyKind::SnapBpf, 4, 160.0).with_seed(seed);
+            cfg.placement = placement;
+            let (serial, _) = traced_run(&cfg, &workloads, 1);
+            let serial_json = serial.series.to_json().compact();
+            assert!(
+                !serial.series.is_empty(),
+                "{} seed {seed}: a SnapBPF cluster run records series",
+                placement.label()
+            );
+            for threads in [2usize, 3, 0] {
+                let (parallel, _) = traced_run(&cfg, &workloads, threads);
+                assert_eq!(
+                    serial_json,
+                    parallel.series.to_json().compact(),
+                    "{} seed {seed}: threads={threads} series JSON diverged",
+                    placement.label()
+                );
+            }
+        }
+    }
+}
+
 /// A custom policy that always places one past the end of the host
 /// range.
 struct RoguePlacement;

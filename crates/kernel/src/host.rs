@@ -36,6 +36,7 @@ use snapbpf_sim::{Counters, SimDuration, SimTime, Tracer, TID_KERNEL};
 use snapbpf_storage::{Disk, DiskError, FileId, IoPath};
 
 use crate::config::KernelConfig;
+use crate::telemetry::{DrainSummary, TelemetryDrain};
 
 /// The hook name SnapBPF programs attach to.
 pub const PAGE_CACHE_ADD_HOOK: &str = "add_to_page_cache_lru";
@@ -217,9 +218,11 @@ pub struct HostKernel {
     counters: Counters,
     cow_pages: u64,
     ebpf_cpu: SimDuration,
+    telemetry: Option<TelemetryDrain>,
     trace: Tracer,
     verifier_log_enabled: bool,
     verifier_logs: Vec<String>,
+    verify_cache: snapbpf_ebpf::VerifyCache,
 }
 
 impl HostKernel {
@@ -242,9 +245,11 @@ impl HostKernel {
             counters: Counters::new(),
             cow_pages: 0,
             ebpf_cpu: SimDuration::ZERO,
+            telemetry: None,
             trace: Tracer::disabled(),
             verifier_log_enabled: false,
             verifier_logs: Vec::new(),
+            verify_cache: snapbpf_ebpf::VerifyCache::new(),
             config,
         }
     }
@@ -308,6 +313,15 @@ impl HostKernel {
     /// Verifies `program` against the current maps and kfuncs and
     /// attaches it to `hook` — the `bpf()` load + attach path.
     ///
+    /// Verification verdicts are memoized per program *shape*
+    /// ([`snapbpf_ebpf::VerifyCache`]): reloading an
+    /// identically-shaped program against identically-defined maps —
+    /// what every SnapBPF cold restore after the first does — skips
+    /// the abstract-interpretation walk and counts as
+    /// `ebpf.verifier.cache_hits` instead of processed instructions.
+    /// The cache is bypassed while verifier-log capture is on, so
+    /// captured logs always reflect a full walk.
+    ///
     /// # Errors
     ///
     /// Returns [`KernelError::Verify`] when the program is rejected.
@@ -323,7 +337,11 @@ impl HostKernel {
             self.verifier_logs.push(log.render());
             (result, stats)
         } else {
-            let result = verifier.verify(program);
+            let hits_before = self.verify_cache.hits();
+            let result = verifier.verify_cached(program, &mut self.verify_cache);
+            if self.verify_cache.hits() > hits_before {
+                self.trace.incr("ebpf.verifier.cache_hits");
+            }
             let stats = match &result {
                 Ok(v) => v.stats().clone(),
                 Err(_) => snapbpf_ebpf::VerifierStats::default(),
@@ -568,9 +586,53 @@ impl HostKernel {
         self.ebpf_cpu += cpu;
     }
 
+    /// Registers a telemetry map pair for draining: after every
+    /// prefetch-cascade drain the kernel pops the ring's records and
+    /// reads the per-CPU stats deltas into the tracer, attributing
+    /// series samples to `function`. Replaces any previous
+    /// registration (last-seen stat values reset with it).
+    pub fn register_telemetry(&mut self, ring: MapId, stats: MapId, function: &str) {
+        self.telemetry = Some(TelemetryDrain::new(ring, stats, function));
+    }
+
+    /// Drops the telemetry registration without a final drain.
+    pub fn unregister_telemetry(&mut self) {
+        self.telemetry = None;
+    }
+
+    /// Runs the registered telemetry drain now (also invoked
+    /// automatically at event-loop boundaries). No-op returning an
+    /// empty summary when nothing is registered.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Map`] when the registered maps are gone — a
+    /// wiring bug, not a runtime condition.
+    pub fn drain_telemetry(&mut self) -> Result<DrainSummary, KernelError> {
+        match &mut self.telemetry {
+            None => Ok(DrainSummary::default()),
+            Some(drain) => Ok(drain.drain(&mut self.maps, &self.trace)?),
+        }
+    }
+
+    /// Pins the simulated CPU subsequent program invocations observe
+    /// (`bpf_get_smp_processor_id`, per-CPU map slot selection).
+    /// Parallel cluster shards pin distinct CPUs so their per-CPU
+    /// bumps never contend; wraps at [`snapbpf_ebpf::NCPUS`].
+    pub fn set_smp_processor_id(&mut self, cpu: u32) {
+        self.interp.set_current_cpu(cpu);
+    }
+
+    /// The simulated CPU programs currently observe.
+    pub fn smp_processor_id(&self) -> u32 {
+        self.interp.current_cpu()
+    }
+
     /// Drains queued `snapbpf_prefetch` requests; each issued range
     /// fires more hook events, so draining continues until the
-    /// cascade is quiet.
+    /// cascade is quiet. Ends with a telemetry drain when a ring /
+    /// stats pair is registered — the event-loop boundary where
+    /// kernel-side records become userspace metrics.
     fn drain_prefetch_queue(&mut self, now: SimTime) -> Result<(), KernelError> {
         let mut safety = 1_000_000u32;
         while let Some(req) = self.prefetch_queue.pop_front() {
@@ -594,6 +656,7 @@ impl HostKernel {
             self.insert_and_read(now, req.file, req.start_page, req.count)?;
         }
         let _ = safety;
+        self.drain_telemetry()?;
         Ok(())
     }
 
@@ -1044,6 +1107,46 @@ mod tests {
             .map(|i| k.maps().array_load_u64(wset, i).unwrap())
             .collect();
         assert_eq!(captured, vec![100, 7, 2048]);
+    }
+
+    #[test]
+    fn telemetry_drains_at_event_loop_boundaries() {
+        let mut k = kernel();
+        let tracer = Tracer::noop();
+        k.install_tracer(&tracer);
+        let f = k.disk_mut().create_file("snap", 64).unwrap();
+        let ring = k.create_map(snapbpf_ebpf::telemetry_ring_def()).unwrap();
+        let stats = k.create_map(snapbpf_ebpf::telemetry_stats_def()).unwrap();
+        k.register_telemetry(ring, stats, "image");
+        k.set_smp_processor_id(2);
+        assert_eq!(k.smp_processor_id(), 2);
+
+        // Pretend a program reported: 5 issues, one completion record.
+        k.maps_mut().array_store_u64(stats, 0, 5).unwrap();
+        let rec = snapbpf_ebpf::TelemetryRecord::PrefetchCompleted {
+            now_ns: 10,
+            groups: 5,
+            pages: 40,
+        };
+        k.maps_mut().ring_push(ring, &rec.encode()).unwrap();
+
+        // A demand read ends with a prefetch-queue drain — the
+        // event-loop boundary where telemetry reaches the tracer.
+        k.read_file_page(SimTime::ZERO, f, 0).unwrap();
+        assert_eq!(tracer.counter("ebpf.telemetry.issued"), 5);
+        assert_eq!(tracer.counter("ebpf.telemetry.completions"), 1);
+        assert_eq!(tracer.counter("ebpf.ring.drops"), 0);
+        let series = tracer.series_snapshot();
+        assert_eq!(
+            series.get("ebpf.prefetch.groups", "image").unwrap()[&0].sum(),
+            5.0
+        );
+
+        // Unregistered: later boundaries stop reporting.
+        k.unregister_telemetry();
+        k.maps_mut().array_store_u64(stats, 0, 9).unwrap();
+        k.read_file_page(SimTime::from_millis(5), f, 32).unwrap();
+        assert_eq!(tracer.counter("ebpf.telemetry.issued"), 5);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!   kprobe hook, the `snapbpf_prefetch` kfunc (wrapping
 //!   `page_cache_ra_unbounded()`), `mincore`, anonymous memory, and
 //!   system-wide memory accounting,
+//! * [`TelemetryDrain`] — the userspace consumer of the kernel→user
+//!   telemetry channel (ring-buffer records plus per-CPU stats),
+//!   which the host kernel runs at event-loop boundaries,
 //! * [`KvmVm`] — nested paging for one microVM: demand faults
 //!   through the page cache with CoW semantics, PV PTE marking
 //!   ([`PV_MIRROR_BIT`]), userfaultfd ranges, FaaSnap-style file
@@ -45,6 +48,7 @@
 mod config;
 mod host;
 mod kvm;
+mod telemetry;
 
 pub use config::KernelConfig;
 pub use host::{
@@ -52,3 +56,4 @@ pub use host::{
     PROG_RET_DISABLE,
 };
 pub use kvm::{AccessKind, AccessOutcome, CowPolicy, KvmVm, VmMemStats, PV_MIRROR_BIT};
+pub use telemetry::{DrainSummary, TelemetryDrain};

@@ -36,6 +36,7 @@
 mod arrival;
 mod queue;
 mod rng;
+mod series;
 mod stats;
 mod time;
 pub mod trace;
@@ -46,6 +47,7 @@ pub use arrival::{
 };
 pub use queue::{Clock, EventQueue, Scheduled};
 pub use rng::SplitMix64;
+pub use series::{SeriesBin, SeriesRegistry, SERIES_WINDOW_NS};
 pub use snapbpf_json::Json;
 pub use stats::{Counters, Histogram, Quantile, Summary};
 pub use time::{SimDuration, SimTime};

@@ -47,6 +47,7 @@ use std::rc::Rc;
 
 use snapbpf_json::Json;
 
+use crate::series::SeriesRegistry;
 use crate::stats::{Histogram, Quantile};
 use crate::time::{SimDuration, SimTime};
 
@@ -452,6 +453,7 @@ struct TracerInner {
     sink: Box<dyn TraceSink>,
     events: bool,
     metrics: MetricsRegistry,
+    series: SeriesRegistry,
     pid: u32,
     now: SimTime,
     process_names: BTreeMap<u32, String>,
@@ -510,6 +512,7 @@ impl Tracer {
                 sink,
                 events,
                 metrics: MetricsRegistry::new(),
+                series: SeriesRegistry::new(),
                 pid: 1,
                 now: SimTime::ZERO,
                 process_names: BTreeMap::new(),
@@ -708,6 +711,35 @@ impl Tracer {
         self.inner
             .as_ref()
             .map_or_else(MetricsRegistry::new, |i| i.borrow().metrics.clone())
+    }
+
+    /// Records one windowed time-series sample at virtual time `at`
+    /// (see [`SeriesRegistry::record`]). Dropped when disabled;
+    /// collected for metrics-only handles too, like counters.
+    pub fn series_record(&self, metric: &str, function: &str, at: SimTime, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .borrow_mut()
+                .series
+                .record(metric, function, at, value);
+        }
+    }
+
+    /// A snapshot of the windowed time series (empty when disabled).
+    pub fn series_snapshot(&self) -> SeriesRegistry {
+        self.inner
+            .as_ref()
+            .map_or_else(SeriesRegistry::new, |i| i.borrow().series.clone())
+    }
+
+    /// Folds a series registry into this tracer's (see
+    /// [`SeriesRegistry::merge`]) — the cluster driver calls this in
+    /// ascending host-index order at each epoch barrier so merged
+    /// series are byte-identical at any worker-thread count.
+    pub fn merge_series(&self, other: &SeriesRegistry) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().series.merge(other);
+        }
     }
 
     /// Records pre-stamped events through the sink verbatim (pids,
@@ -1007,6 +1039,27 @@ mod tests {
         // Source maps were drained.
         let (procs, threads) = host.take_names();
         assert!(procs.is_empty() && threads.is_empty());
+    }
+
+    #[test]
+    fn series_flow_through_tracers_like_metrics() {
+        // Disabled handles drop series samples silently.
+        let off = Tracer::disabled();
+        off.series_record("cold_ns", "image", t(1), 5.0);
+        assert!(off.series_snapshot().is_empty());
+
+        // Metrics-only handles collect them, and a caller merges
+        // per-host snapshots exactly like metrics registries.
+        let host = Tracer::noop();
+        host.series_record("cold_ns", "image", t(1), 5.0);
+        host.series_record("cold_ns", "image", t(2), 7.0);
+        let caller = Tracer::recording();
+        caller.series_record("cold_ns", "json", t(3), 11.0);
+        caller.merge_series(&host.series_snapshot());
+        let merged = caller.series_snapshot();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.get("cold_ns", "image").unwrap()[&0].count(), 2);
+        assert_eq!(merged.get("cold_ns", "json").unwrap()[&0].sum(), 11.0);
     }
 
     #[test]

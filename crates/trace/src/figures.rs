@@ -1,5 +1,5 @@
-//! F3 `fleet-azure`: every strategy replaying an Azure-shaped
-//! day-scale trace.
+//! F3 `fleet-azure` and F4 `fleet-telemetry`: strategies replaying an
+//! Azure-shaped day-scale trace.
 //!
 //! The figure answers the question the synthetic fleet figures
 //! cannot: how do the strategies rank under *production-shaped*
@@ -16,7 +16,7 @@
 
 use snapbpf::{DeviceKind, FigureData, StrategyError, StrategyKind};
 use snapbpf_fleet::{FleetConfig, Runner};
-use snapbpf_sim::TraceArrival;
+use snapbpf_sim::{Quantile, SeriesRegistry, TraceArrival, SERIES_WINDOW_NS};
 
 use crate::analyze::AnalyzeReport;
 use crate::azure::AzureDataset;
@@ -160,6 +160,142 @@ pub fn fleet_azure(cfg: &AzureFigureConfig) -> Result<FigureData, StrategyError>
     Ok(fig)
 }
 
+/// The strategies the F4 telemetry comparison replays: the paper's
+/// mechanism against its strongest record-and-prefetch baseline.
+pub const F4_KINDS: [StrategyKind; 2] = [StrategyKind::Reap, StrategyKind::SnapBpf];
+
+/// F4: windowed per-function observability series over one diurnal
+/// Azure replay, SnapBPF vs REAP on the first configured device.
+///
+/// The x-axis is the virtual-time window index (`w0`, `w1`, …, one
+/// per [`SERIES_WINDOW_NS`] bin, rebased to each run's first window
+/// so the strategy-dependent setup phase does not shift the axis).
+/// Per strategy and function there are two series:
+///
+/// * `hit-{strategy}-{function}` — warm-hit ratio per window (bin
+///   mean of the scheduler's 0/1 per-completion samples);
+/// * `coldp99-{strategy}-{function}` — cold-start p99 per window in
+///   seconds (bin p99 of the restore-latency samples; 0 in windows
+///   with no cold start).
+///
+/// The meta block carries `window-ns` plus, per strategy, the
+/// in-kernel telemetry totals drained from the eBPF ring/stats maps:
+/// `ring-drops-*` (0 at the default ring sizing — overflow is
+/// explicit, never silent), `telemetry-pages-*`, and
+/// `telemetry-issued-*` (all 0 for REAP, which runs no program).
+///
+/// # Errors
+///
+/// Strategy and kernel errors propagate.
+pub fn fleet_telemetry(cfg: &AzureFigureConfig) -> Result<FigureData, StrategyError> {
+    let profile = cfg.profile();
+    let workloads = profile.resolve_workloads();
+    let arrivals = profile.arrivals().with_time_scale(cfg.time_scale);
+    let device = cfg.devices.first().copied().unwrap_or(DeviceKind::Sata5300);
+
+    struct RunCapture {
+        kind: StrategyKind,
+        series: SeriesRegistry,
+        first_bin: u64,
+        windows: u64,
+        ring_drops: u64,
+        telemetry_pages: u64,
+        telemetry_issued: u64,
+    }
+
+    let mut captures = Vec::with_capacity(F4_KINDS.len());
+    for kind in F4_KINDS {
+        let mut run_cfg = FleetConfig::new(kind, workloads.len(), 1.0)
+            .at_scale(cfg.scale)
+            .on(device)
+            .with_seed(cfg.seed)
+            .replaying(arrivals.clone());
+        run_cfg.max_concurrency = 16;
+        run_cfg.queue_depth = 256;
+        let r = Runner::new(&run_cfg)
+            .workloads(&workloads)
+            .run()?
+            .into_fleet()
+            .expect("F4 replays are single-host");
+        // Rebase to the run's first occupied window: virtual time 0
+        // is the start of the (strategy-dependent) setup phase, not
+        // of the replay.
+        let first_bin = r
+            .series
+            .iter()
+            .flat_map(|(_, _, bins)| bins.keys().next().copied())
+            .min()
+            .unwrap_or(0);
+        let last_bin = r
+            .series
+            .iter()
+            .flat_map(|(_, _, bins)| bins.keys().next_back().copied())
+            .max()
+            .unwrap_or(0);
+        captures.push(RunCapture {
+            kind,
+            first_bin,
+            windows: last_bin - first_bin + 1,
+            ring_drops: r.metrics.counter("ebpf.ring.drops"),
+            telemetry_pages: r.metrics.counter("ebpf.telemetry.pages"),
+            telemetry_issued: r.metrics.counter("ebpf.telemetry.issued"),
+            series: r.series,
+        });
+    }
+    let windows = captures.iter().map(|c| c.windows).max().unwrap_or(1) as usize;
+
+    let mut fig = FigureData::new(
+        "fleet-telemetry",
+        "Windowed per-function telemetry over a diurnal Azure replay",
+        "ratio / s",
+        (0..windows).map(|w| format!("w{w}")).collect(),
+    );
+    fig.set_meta("window-ns", SERIES_WINDOW_NS as f64);
+    fig.set_meta(
+        "device-is-nvme",
+        matches!(device, DeviceKind::Nvme) as u8 as f64,
+    );
+    fig.set_meta("trace-functions", workloads.len() as f64);
+    for c in &captures {
+        fig.set_meta(
+            &format!("ring-drops-{}", c.kind.label()),
+            c.ring_drops as f64,
+        );
+        fig.set_meta(
+            &format!("telemetry-pages-{}", c.kind.label()),
+            c.telemetry_pages as f64,
+        );
+        fig.set_meta(
+            &format!("telemetry-issued-{}", c.kind.label()),
+            c.telemetry_issued as f64,
+        );
+    }
+    for c in &captures {
+        for w in &workloads {
+            let hit: Vec<f64> = (0..windows as u64)
+                .map(|i| {
+                    c.series
+                        .get("fleet.warm_hit", w.name())
+                        .and_then(|bins| bins.get(&(c.first_bin + i)))
+                        .map_or(0.0, |bin| bin.mean())
+                })
+                .collect();
+            fig.push_series(&format!("hit-{}-{}", c.kind.label(), w.name()), hit);
+            let coldp99: Vec<f64> = (0..windows as u64)
+                .map(|i| {
+                    c.series
+                        .get("fleet.cold_start_ns", w.name())
+                        .and_then(|bins| bins.get(&(c.first_bin + i)))
+                        .and_then(|bin| bin.quantile(Quantile::P99))
+                        .map_or(0.0, |ns| ns as f64 / 1e9)
+                })
+                .collect();
+            fig.push_series(&format!("coldp99-{}-{}", c.kind.label(), w.name()), coldp99);
+        }
+    }
+    Ok(fig)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +328,37 @@ mod tests {
         let a = fleet_azure(&cfg).unwrap().to_json().unwrap();
         let b = fleet_azure(&cfg).unwrap().to_json().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn telemetry_figure_reports_windowed_series_and_ring_drops() {
+        let cfg = AzureFigureConfig::quick(0.02);
+        let fig = fleet_telemetry(&cfg).unwrap();
+        assert_eq!(fig.id, "fleet-telemetry");
+        assert!(!fig.functions.is_empty(), "at least one window");
+        // 2 strategies × top_n functions × (hit + coldp99).
+        assert_eq!(fig.series.len(), 2 * cfg.top_n * 2);
+
+        // The scheduler served something warm somewhere: at least one
+        // SnapBPF hit-ratio sample is positive.
+        let snap_hit: f64 = fig
+            .series
+            .iter()
+            .filter(|s| s.label.starts_with("hit-SnapBPF-"))
+            .flat_map(|s| s.values.iter())
+            .sum();
+        assert!(snap_hit > 0.0, "no warm hits in any window");
+
+        // In-kernel telemetry flowed: SnapBPF prefetched pages, REAP
+        // ran no program, and the default ring sizing never dropped.
+        assert!(fig.meta_value("telemetry-pages-SnapBPF").unwrap() > 0.0);
+        assert_eq!(fig.meta_value("telemetry-pages-REAP"), Some(0.0));
+        assert_eq!(fig.meta_value("ring-drops-SnapBPF"), Some(0.0));
+        assert_eq!(fig.meta_value("ring-drops-REAP"), Some(0.0));
+        assert_eq!(fig.meta_value("window-ns"), Some(SERIES_WINDOW_NS as f64));
+
+        // Deterministic across repeat runs.
+        let again = fleet_telemetry(&cfg).unwrap();
+        assert_eq!(fig, again);
     }
 }

@@ -69,6 +69,6 @@ mod record;
 
 pub use analyze::{AnalyzeReport, FuncReport};
 pub use azure::{AzureDataset, AzureError, AzureFunc};
-pub use figures::{fleet_azure, AzureFigureConfig, F3_KINDS};
+pub use figures::{fleet_azure, fleet_telemetry, AzureFigureConfig, F3_KINDS, F4_KINDS};
 pub use profile::{FuncMeta, Profile, ProfileError};
 pub use record::{record_cluster, record_fleet, ArrivalCapture};

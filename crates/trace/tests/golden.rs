@@ -11,7 +11,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use snapbpf_trace::{fleet_azure, AnalyzeReport, AzureDataset, AzureFigureConfig};
+use snapbpf_trace::{fleet_azure, fleet_telemetry, AnalyzeReport, AzureDataset, AzureFigureConfig};
 
 fn assert_golden(name: &str, actual: &str) {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -69,4 +69,20 @@ fn golden_fleet_azure_figure() {
         json.push('\n');
     }
     assert_golden("fleet-azure.json", &json);
+}
+
+#[test]
+fn golden_fleet_telemetry_figure() {
+    // Same reduced replay as the F3 golden: SnapBPF vs REAP over one
+    // diurnal window, pinning the per-function hit-ratio and
+    // cold-p99 series and the ring-drop accounting in meta.
+    let mut cfg = AzureFigureConfig::quick(0.02);
+    cfg.minutes = 4;
+    cfg.mean_rpm = 15.0;
+    cfg.top_n = 3;
+    let mut json = fleet_telemetry(&cfg).unwrap().to_json().unwrap();
+    if !json.ends_with('\n') {
+        json.push('\n');
+    }
+    assert_golden("fleet-telemetry.json", &json);
 }
