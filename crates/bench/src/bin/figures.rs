@@ -34,10 +34,10 @@ use snapbpf::figures::{
 use snapbpf::{DeviceKind, FigureData, StrategyKind};
 use snapbpf_bench::write_figure;
 use snapbpf_fleet::figures::{
-    fleet_breakdown, fleet_keepalive, fleet_pipeline, fleet_shard, fleet_sweep, fleet_trace,
-    FleetFigureConfig,
+    fleet_breakdown, fleet_keepalive, fleet_pipeline, fleet_scenario, fleet_shard, fleet_sweep,
+    fleet_trace, FleetFigureConfig, SCENARIO_STRATEGIES,
 };
-use snapbpf_fleet::{FleetConfig, Runner};
+use snapbpf_fleet::{FleetConfig, PlacementKind, Runner, Scenario};
 use snapbpf_sim::{LoopMode, SimDuration};
 use snapbpf_trace::{
     fleet_azure, fleet_telemetry, record_fleet, AnalyzeReport, AzureFigureConfig, Profile, F4_KINDS,
@@ -46,7 +46,7 @@ use snapbpf_workloads::{FunctionMix, Workload};
 
 /// Every figure the runner knows, in presentation order — `--only`
 /// is validated against this list.
-const KNOWN_IDS: [&str; 25] = [
+const KNOWN_IDS: [&str; 31] = [
     "table1",
     "fig3a",
     "fig3b",
@@ -71,6 +71,12 @@ const KNOWN_IDS: [&str; 25] = [
     "fleet-shard",
     "fleet-azure",
     "fleet-telemetry",
+    "fleet-scenarios",
+    "fleet-scenario-crash",
+    "fleet-scenario-drain",
+    "fleet-scenario-flash-crowd",
+    "fleet-scenario-hot-storm",
+    "fleet-scenario-noisy-neighbor",
     "ext-memory-pressure",
 ];
 
@@ -415,6 +421,29 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         println!();
+    }
+    // The F5 scenario battery: `--only fleet-scenarios` runs all
+    // five, `--only fleet-scenario-<name>` runs one.
+    for scenario in Scenario::ALL {
+        let id = scenario.figure_id();
+        if !(wants(&args.only, id) || args.only.as_deref() == Some("fleet-scenarios")) {
+            continue;
+        }
+        let fig = fleet_scenario(scenario, &fleet_cfg)?;
+        emit(&args.out, &fig);
+        if let (Some(ks), Some(ps)) = (
+            fig.meta_value("survivor-strategy"),
+            fig.meta_value("survivor-placement"),
+        ) {
+            println!(
+                "{}: survivor {} under {} placement (completed ratio {:.3}, e2e p99 {:.4} s)\n",
+                scenario.label(),
+                SCENARIO_STRATEGIES[ks as usize].label(),
+                PlacementKind::ALL[ps as usize].label(),
+                fig.meta_value("survivor-completed-ratio").unwrap_or(0.0),
+                fig.meta_value("survivor-e2e-p99-s").unwrap_or(0.0),
+            );
+        }
     }
     if wants(&args.only, "ext-memory-pressure") {
         let w = Workload::by_name("bert").expect("suite function");

@@ -1,0 +1,127 @@
+//! Scenario-battery smoke check (CI).
+//!
+//! ```text
+//! cargo run --release -p snapbpf-bench --bin scenario_check
+//! ```
+//!
+//! Runs every named F5 scenario (host crash, drain, flash crowd,
+//! hot-function storm, noisy neighbor) at reduced scale and asserts
+//! the battery's invariants end to end: every figure reports the
+//! invocation-conservation identity intact, the crash actually
+//! converts kills into retries, the drain loses nothing, the
+//! noisy-neighbor run reports both tenants' restore latency, and
+//! SnapBPF survives every shape at least as well as REAP. Exits
+//! non-zero with a diagnostic on the first problem.
+
+use std::process::ExitCode;
+
+use snapbpf_fleet::figures::{fleet_scenario, FleetFigureConfig, SCENARIO_STRATEGIES};
+use snapbpf_fleet::{PlacementKind, Scenario};
+
+fn check() -> Result<String, String> {
+    let cfg = FleetFigureConfig::quick(0.02);
+    let snapbpf = SCENARIO_STRATEGIES
+        .iter()
+        .position(|k| k.label() == "SnapBPF")
+        .expect("SnapBPF is in the scenario battery");
+    let mut lines = Vec::new();
+    for scenario in Scenario::ALL {
+        let fig = fleet_scenario(scenario, &cfg)
+            .map_err(|e| format!("{}: figure generation failed: {e}", scenario.label()))?;
+        if fig.meta_value("conserved") != Some(1.0) {
+            return Err(format!(
+                "{}: invocation conservation violated",
+                scenario.label()
+            ));
+        }
+        let series = |label: &str| {
+            fig.series_values(label)
+                .map(<[f64]>::to_vec)
+                .ok_or_else(|| format!("{}: missing series {label}", scenario.label()))
+        };
+        match scenario {
+            Scenario::HostCrash => {
+                // Retry is on, and the crash lands mid-surge: every
+                // strategy × placement cell must retry something.
+                for kind in SCENARIO_STRATEGIES {
+                    let retried = series(&format!("{}-retried", kind.label()))?;
+                    if retried.iter().any(|r| *r <= 0.0) {
+                        return Err(format!(
+                            "{}: crash retried nothing under some placement ({}: {retried:?})",
+                            scenario.label(),
+                            kind.label()
+                        ));
+                    }
+                }
+            }
+            Scenario::Drain => {
+                // A drain lets in-flight work finish; nothing fails.
+                for kind in SCENARIO_STRATEGIES {
+                    let failed = series(&format!("{}-failed", kind.label()))?;
+                    if failed.iter().any(|f| *f != 0.0) {
+                        return Err(format!(
+                            "{}: drain failed invocations ({}: {failed:?})",
+                            scenario.label(),
+                            kind.label()
+                        ));
+                    }
+                }
+            }
+            Scenario::NoisyNeighbor => {
+                for kind in SCENARIO_STRATEGIES {
+                    for tenant in ["victim", "aggressor"] {
+                        let p99s = series(&format!("{}-{tenant}-restore-p99-s", kind.label()))?;
+                        if p99s.iter().any(|v| *v <= 0.0) {
+                            return Err(format!(
+                                "{}: {tenant} tenant reports no restore latency \
+                                 ({}: {p99s:?})",
+                                scenario.label(),
+                                kind.label()
+                            ));
+                        }
+                    }
+                }
+            }
+            Scenario::FlashCrowd | Scenario::HotStorm => {}
+        }
+        // Survivor ordering: the surviving strategy of every shape is
+        // SnapBPF — faster restores mean fewer queue overflows under
+        // bursts and a faster rebuild after faults.
+        let ks = fig
+            .meta_value("survivor-strategy")
+            .ok_or_else(|| format!("{}: missing survivor-strategy meta", scenario.label()))?
+            as usize;
+        if ks != snapbpf {
+            return Err(format!(
+                "{}: survivor is {}, expected SnapBPF",
+                scenario.label(),
+                SCENARIO_STRATEGIES[ks].label()
+            ));
+        }
+        let ps = fig
+            .meta_value("survivor-placement")
+            .ok_or_else(|| format!("{}: missing survivor-placement meta", scenario.label()))?
+            as usize;
+        lines.push(format!(
+            "{}: SnapBPF/{} survives (ratio {:.3}, p99 {:.4}s)",
+            scenario.label(),
+            PlacementKind::ALL[ps].label(),
+            fig.meta_value("survivor-completed-ratio").unwrap_or(0.0),
+            fig.meta_value("survivor-e2e-p99-s").unwrap_or(0.0),
+        ));
+    }
+    Ok(format!("scenario battery ok — {}", lines.join("; ")))
+}
+
+fn main() -> ExitCode {
+    match check() {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("scenario_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

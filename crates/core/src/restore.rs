@@ -490,6 +490,17 @@ impl RestoreCursor {
             stages: self.timings,
         }
     }
+
+    /// Abandons the restore mid-flight (host crash in a fleet
+    /// simulation). Returns the sandbox when the Resume stage had
+    /// already produced one and nobody claimed it with
+    /// [`RestoreCursor::take_resumed`]; `None` otherwise. Any
+    /// anonymous memory the restore charged before the sandbox
+    /// existed stays attributed to its owner — the caller releases
+    /// it with `HostKernel::release_owner`.
+    pub fn abort(self) -> Option<(MicroVm, Box<dyn UffdResolver>)> {
+        self.resumed
+    }
 }
 
 #[cfg(test)]

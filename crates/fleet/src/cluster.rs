@@ -40,7 +40,7 @@
 //! and the metrics registry are all equal to the fleet path's. The
 //! cluster tests assert this field for field.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 use snapbpf_sim::{
@@ -49,7 +49,7 @@ use snapbpf_sim::{
 };
 use snapbpf_workloads::Workload;
 
-use crate::config::FleetConfig;
+use crate::config::{FaultKind, FleetConfig, RetryPolicy};
 use crate::host::{build_host, draw_arrivals, Host, Request};
 use crate::metrics::FuncStats;
 use crate::placement::{HostView, PlacementPolicy};
@@ -158,6 +158,63 @@ pub(crate) fn validate(cfg: &FleetConfig, workloads: &[Workload]) -> Result<(), 
             "max_concurrency must be at least 1".to_owned(),
         ));
     }
+    if !cfg.faults.is_empty() {
+        if cfg.hosts < 2 {
+            return Err(StrategyError::Config(
+                "a fault schedule needs at least two hosts: crashing or draining the \
+                 only host leaves nowhere to place arrivals"
+                    .to_owned(),
+            ));
+        }
+        for ev in &cfg.faults.events {
+            if ev.host >= cfg.hosts {
+                return Err(StrategyError::Config(format!(
+                    "fault at offset {} ns targets host {} of a {}-host cluster",
+                    ev.at.as_nanos(),
+                    ev.host,
+                    cfg.hosts
+                )));
+            }
+        }
+        let drained: std::collections::BTreeSet<usize> = cfg
+            .faults
+            .events
+            .iter()
+            .filter(|e| e.kind == FaultKind::Drain)
+            .map(|e| e.host)
+            .collect();
+        if drained.len() == cfg.hosts {
+            return Err(StrategyError::Config(
+                "the fault schedule drains every host: at least one must keep taking \
+                 placements"
+                    .to_owned(),
+            ));
+        }
+    }
+    if let Some(tenants) = &cfg.tenants {
+        if tenants.labels.is_empty() {
+            return Err(StrategyError::Config(
+                "the tenancy config names no tenants".to_owned(),
+            ));
+        }
+        if tenants.assignment.len() != workloads.len() {
+            return Err(StrategyError::Config(format!(
+                "the tenant assignment covers {} functions but {} workloads were given",
+                tenants.assignment.len(),
+                workloads.len()
+            )));
+        }
+        if let Some(&bad) = tenants
+            .assignment
+            .iter()
+            .find(|&&t| t >= tenants.labels.len())
+        {
+            return Err(StrategyError::Config(format!(
+                "the tenant assignment references tenant {bad} but only {} are named",
+                tenants.labels.len()
+            )));
+        }
+    }
     crate::validate_trace_funcs(cfg, workloads)
 }
 
@@ -220,6 +277,17 @@ trait Shard {
     /// Hands an arrival to its target host. Fire-and-forget: errors
     /// surface at the next [`Shard::epoch`] or [`Shard::finish`].
     fn dispatch(&mut self, target: usize, req: Request) -> Result<(), StrategyError>;
+
+    /// Injects a fault into `host` at `at` (a synchronous round-trip:
+    /// the driver needs the outcome before the next barrier). Returns
+    /// the function indices of crash-killed requests the retry policy
+    /// converts into fresh arrivals (always empty for a drain).
+    fn fault(
+        &mut self,
+        host: usize,
+        kind: FaultKind,
+        at: SimTime,
+    ) -> Result<Vec<usize>, StrategyError>;
 
     /// Tears every host down and returns the outcomes in ascending
     /// host order.
@@ -341,6 +409,19 @@ impl Shard for InlineShard<'_> {
         self.hosts[target].1.handle_arrival(req)
     }
 
+    fn fault(
+        &mut self,
+        host: usize,
+        kind: FaultKind,
+        at: SimTime,
+    ) -> Result<Vec<usize>, StrategyError> {
+        let h = &mut self.hosts[host].1;
+        match kind {
+            FaultKind::Crash => h.crash(at),
+            FaultKind::Drain => h.drain(at).map(|()| Vec::new()),
+        }
+    }
+
     fn finish(&mut self) -> Result<Vec<HostOutcome>, StrategyError> {
         std::mem::take(&mut self.hosts)
             .into_iter()
@@ -361,6 +442,11 @@ enum Cmd {
         host: usize,
         req: Request,
     },
+    Fault {
+        host: usize,
+        kind: FaultKind,
+        at: SimTime,
+    },
     Finish,
 }
 
@@ -372,6 +458,8 @@ enum Reply {
     /// One slot per owned host, in ascending host order. A stored
     /// dispatch error surfaces here.
     Epoch(Result<Vec<EpochSlot>, StrategyError>),
+    /// Outcome of a fault round-trip: the functions to retry.
+    Fault(Result<Vec<usize>, StrategyError>),
     /// One outcome per owned host, in ascending host order.
     Finished(Result<Vec<HostOutcome>, StrategyError>),
 }
@@ -438,6 +526,24 @@ fn worker_main(
                     .expect("dispatch routed to the owning worker");
                 if let Err(e) = owned.2.handle_arrival(req) {
                     pending_err = Some(e);
+                }
+            }
+            Cmd::Fault { host, kind, at } => {
+                let reply = match pending_err.take() {
+                    Some(e) => Err(e),
+                    None => {
+                        let owned = hosts
+                            .iter_mut()
+                            .find(|(h, _, _)| *h == host)
+                            .expect("fault routed to the owning worker");
+                        match kind {
+                            FaultKind::Crash => owned.2.crash(at),
+                            FaultKind::Drain => owned.2.drain(at).map(|()| Vec::new()),
+                        }
+                    }
+                };
+                if tx.send(Reply::Fault(reply)).is_err() {
+                    return;
                 }
             }
             Cmd::Finish => {
@@ -553,6 +659,25 @@ impl Shard for ThreadedShard {
         Ok(())
     }
 
+    fn fault(
+        &mut self,
+        host: usize,
+        kind: FaultKind,
+        at: SimTime,
+    ) -> Result<Vec<usize>, StrategyError> {
+        let w = host % self.cmds.len();
+        self.cmds[w]
+            .send(Cmd::Fault { host, kind, at })
+            .expect("worker alive for the whole run");
+        match self.replies[w]
+            .recv()
+            .expect("worker alive for the whole run")
+        {
+            Reply::Fault(r) => r,
+            _ => unreachable!("worker answered a fault out of protocol"),
+        }
+    }
+
     fn finish(&mut self) -> Result<Vec<HostOutcome>, StrategyError> {
         for tx in &self.cmds {
             tx.send(Cmd::Finish)
@@ -609,10 +734,67 @@ fn drive(
     shard: &mut dyn Shard,
 ) -> Result<ClusterResult, StrategyError> {
     let t0 = shard.t0();
-    let arrivals = draw_arrivals(cfg, t0);
-    let first_arrival = arrivals.first().map(|r| r.at).unwrap_or(t0);
+    let mut arrivals: VecDeque<Request> = draw_arrivals(cfg, t0).into();
+    let first_arrival = arrivals.front().map(|r| r.at).unwrap_or(t0);
 
-    for req in arrivals {
+    // Fault events in (time, host) order; each fires as its own epoch
+    // barrier ahead of any arrival at the same instant.
+    let mut faults: VecDeque<(SimTime, usize, FaultKind)> = {
+        let mut evs: Vec<(SimTime, usize, FaultKind)> = cfg
+            .faults
+            .events
+            .iter()
+            .map(|e| (t0 + e.at, e.host, e.kind))
+            .collect();
+        evs.sort_by_key(|&(at, host, _)| (at, host));
+        evs.into()
+    };
+    let retry_delay = match cfg.faults.retry {
+        RetryPolicy::Fail => SimDuration::ZERO,
+        RetryPolicy::Retry { delay } => delay,
+    };
+    // Crash retries, appended in crash order. Crash instants are
+    // non-decreasing and the back-off is fixed, so the queue stays
+    // sorted by re-arrival time.
+    let mut retries: VecDeque<Request> = VecDeque::new();
+    let mut draining = vec![false; cfg.hosts];
+
+    loop {
+        // The next barrier: the earliest of the pending fault, base
+        // arrival, and retry streams. Ties fire the fault first (an
+        // arrival at the crash instant sees the post-crash cluster),
+        // then the base arrival, then the retry.
+        let tf = faults.front().map(|f| f.0);
+        let ta = arrivals.front().map(|r| r.at);
+        let tr = retries.front().map(|r| r.at);
+        let Some(next) = [tf, ta, tr].into_iter().flatten().min() else {
+            break;
+        };
+        if tf == Some(next) {
+            let (at, host, kind) = faults.pop_front().expect("checked front");
+            // Barrier: events with clocks at or before the fault
+            // instant complete first — an invocation finishing
+            // exactly then counts as completed, the usual tie-break.
+            for slot in shard.epoch(Some(at), None)? {
+                tracer.record_all(slot.events);
+            }
+            if kind == FaultKind::Drain {
+                draining[host] = true;
+            }
+            for func in shard.fault(host, kind, at)? {
+                retries.push_back(Request {
+                    at: at + retry_delay,
+                    func,
+                    retry: true,
+                });
+            }
+            continue;
+        }
+        let req = if ta == Some(next) {
+            arrivals.pop_front().expect("checked front")
+        } else {
+            retries.pop_front().expect("checked front")
+        };
         // Barrier: every host catches up to the arrival instant
         // (events scheduled exactly at it execute first — the same
         // tie-break as the single-host loop) and reports its view.
@@ -620,13 +802,17 @@ fn drive(
         let mut views = Vec::with_capacity(slots.len());
         for slot in slots {
             tracer.record_all(slot.events);
-            views.push(slot.view.expect("arrival epochs carry a probe"));
+            let view = slot.view.expect("arrival epochs carry a probe");
+            // Draining hosts take no new placements.
+            if !draining[view.host] {
+                views.push(view);
+            }
         }
         let name = workloads[req.func].name();
         let target = policy.place(name, &views);
-        if target >= views.len() {
+        if !views.iter().any(|v| v.host == target) {
             return Err(StrategyError::Config(format!(
-                "placement policy {} returned host {target} of {}",
+                "placement policy {} returned host {target}, not one of the {} placeable hosts",
                 policy.label(),
                 views.len()
             )));
@@ -785,6 +971,67 @@ mod tests {
         cfg.max_concurrency = 0;
         let err = run(&cfg, &w).unwrap_err();
         assert!(matches!(err, StrategyError::Config(_)), "got {err}");
+    }
+
+    #[test]
+    fn faults_on_a_single_host_are_a_config_error() {
+        use crate::config::FaultSchedule;
+        let w: Vec<Workload> = vec![Workload::by_name("json").unwrap()];
+        // Crash at t = 0 of the only host: a clean error, not a panic.
+        let cfg = FleetConfig::new(StrategyKind::SnapBpf, 1, 10.0)
+            .with_faults(FaultSchedule::none().crash(0, snapbpf_sim::SimDuration::ZERO));
+        let err = run(&cfg, &w).unwrap_err();
+        assert!(matches!(err, StrategyError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("at least two hosts"), "{err}");
+    }
+
+    #[test]
+    fn draining_every_host_is_a_config_error() {
+        use crate::config::FaultSchedule;
+        let w: Vec<Workload> = vec![Workload::by_name("json").unwrap()];
+        let ms = SimDuration::from_millis(1);
+        let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, 1, 10.0)
+            .with_faults(FaultSchedule::none().drain(0, ms).drain(1, ms));
+        cfg.hosts = 2;
+        let err = run(&cfg, &w).unwrap_err();
+        assert!(matches!(err, StrategyError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("drains every host"), "{err}");
+    }
+
+    #[test]
+    fn fault_host_out_of_range_is_a_config_error() {
+        use crate::config::FaultSchedule;
+        let w: Vec<Workload> = vec![Workload::by_name("json").unwrap()];
+        let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, 1, 10.0)
+            .with_faults(FaultSchedule::none().crash(5, SimDuration::from_millis(1)));
+        cfg.hosts = 2;
+        let err = run(&cfg, &w).unwrap_err();
+        assert!(matches!(err, StrategyError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("targets host 5"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_tenancy_is_a_config_error() {
+        use crate::config::TenancyConfig;
+        let w: Vec<Workload> = vec![Workload::by_name("json").unwrap()];
+        let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, 1, 10.0)
+            .with_tenants(TenancyConfig::round_robin(&["a", "b"], 3));
+        cfg.hosts = 2;
+        let err = run(&cfg, &w).unwrap_err();
+        assert!(matches!(err, StrategyError::Config(_)), "got {err}");
+        assert!(
+            err.to_string().contains("tenant assignment covers 3"),
+            "{err}"
+        );
+
+        let mut cfg =
+            FleetConfig::new(StrategyKind::SnapBpf, 1, 10.0).with_tenants(TenancyConfig {
+                labels: vec!["a".to_owned()],
+                assignment: vec![7],
+            });
+        cfg.hosts = 2;
+        let err = run(&cfg, &w).unwrap_err();
+        assert!(err.to_string().contains("references tenant 7"), "{err}");
     }
 
     #[test]

@@ -83,6 +83,128 @@ impl SnapshotDistribution {
     }
 }
 
+/// What happens to a host at a scheduled fault instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The host dies instantly and reboots with cold state: in-flight
+    /// invocations fail (or retry, per [`RetryPolicy`]), queued
+    /// requests likewise, the warm pool and page cache are lost, and
+    /// locally cached snapshots are gone — the next cold start of each
+    /// function re-pays the [`SnapshotDistribution`] transfer.
+    Crash,
+    /// The host stops accepting placements but lets in-flight and
+    /// queued work finish; its warm pool is evicted at the drain
+    /// instant and completed sandboxes tear down instead of parking.
+    Drain,
+}
+
+/// One scheduled fault against one host, at an offset from the run
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires, as an offset from the first simulated
+    /// instant of the run.
+    pub at: SimDuration,
+    /// Which host (index into the cluster) the fault hits.
+    pub host: usize,
+    /// Crash or drain.
+    pub kind: FaultKind,
+}
+
+/// What a crash does to the invocations it kills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetryPolicy {
+    /// Killed invocations count as failed and are never re-issued.
+    #[default]
+    Fail,
+    /// Each killed invocation is re-submitted exactly once as a fresh
+    /// arrival `delay` after the crash, re-placed across the surviving
+    /// hosts. A retry killed by a second crash fails for good.
+    Retry {
+        /// Client back-off between the crash and the re-submission.
+        delay: SimDuration,
+    },
+}
+
+/// A schedule of host faults injected into a cluster run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSchedule {
+    /// The faults, in any order; the cluster engine sorts them by
+    /// `(at, host)` and fires each as its own epoch barrier.
+    pub events: Vec<FaultEvent>,
+    /// What crashes do to the invocations they kill.
+    pub retry: RetryPolicy,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults) — the default.
+    pub fn none() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// True when no fault ever fires.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds a crash of `host` at offset `at`.
+    #[must_use]
+    pub fn crash(mut self, host: usize, at: SimDuration) -> FaultSchedule {
+        self.events.push(FaultEvent {
+            at,
+            host,
+            kind: FaultKind::Crash,
+        });
+        self
+    }
+
+    /// Adds a drain of `host` starting at offset `at`.
+    #[must_use]
+    pub fn drain(mut self, host: usize, at: SimDuration) -> FaultSchedule {
+        self.events.push(FaultEvent {
+            at,
+            host,
+            kind: FaultKind::Drain,
+        });
+        self
+    }
+
+    /// Same schedule retrying crash-killed invocations after `delay`.
+    #[must_use]
+    pub fn retrying(mut self, delay: SimDuration) -> FaultSchedule {
+        self.retry = RetryPolicy::Retry { delay };
+        self
+    }
+}
+
+/// Assignment of functions to co-located tenants for interference
+/// experiments. Tenants share each host's page-cache budget and disk
+/// queue, so one tenant's burst degrades another's restore latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenancyConfig {
+    /// Tenant display names, indexed by tenant id.
+    pub labels: Vec<String>,
+    /// `assignment[func] = tenant id` for every function in the mix.
+    pub assignment: Vec<usize>,
+}
+
+impl TenancyConfig {
+    /// Splits `n_functions` functions across `labels.len()` tenants
+    /// round-robin: function `f` belongs to tenant `f % tenants`.
+    pub fn round_robin(labels: &[&str], n_functions: usize) -> TenancyConfig {
+        assert!(!labels.is_empty(), "tenancy needs at least one tenant");
+        TenancyConfig {
+            labels: labels.iter().map(|l| l.to_string()).collect(),
+            assignment: (0..n_functions).map(|f| f % labels.len()).collect(),
+        }
+    }
+
+    /// The tenant id of `func`, if assigned.
+    pub fn tenant_of(&self, func: usize) -> Option<usize> {
+        self.assignment.get(func).copied()
+    }
+}
+
 /// Configuration of one trace-driven fleet run on a single host.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -130,6 +252,16 @@ pub struct FleetConfig {
     /// How snapshots reach hosts that have never run a function
     /// (cluster runs only).
     pub distribution: SnapshotDistribution,
+    /// Host faults injected during the run (cluster runs only; the
+    /// single-host fleet path rejects a non-empty schedule).
+    pub faults: FaultSchedule,
+    /// Per-host page-cache budget in pages (`None` = unbounded).
+    /// Plumbed into [`snapbpf_kernel::KernelConfig`] so co-located
+    /// tenants contend for cache capacity through LRU pressure
+    /// eviction.
+    pub cache_budget_pages: Option<u64>,
+    /// Optional tenant assignment for interference experiments.
+    pub tenants: Option<TenancyConfig>,
     /// When set, the run's Chrome trace-event JSON is written here
     /// (requires an event-retaining tracer on the [`crate::Runner`]).
     pub trace_out: Option<PathBuf>,
@@ -159,8 +291,32 @@ impl FleetConfig {
             hosts: 1,
             placement: PlacementKind::default(),
             distribution: SnapshotDistribution::default(),
+            faults: FaultSchedule::default(),
+            cache_budget_pages: None,
+            tenants: None,
             trace_out: None,
         }
+    }
+
+    /// Same configuration with a fault schedule injected.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSchedule) -> FleetConfig {
+        self.faults = faults;
+        self
+    }
+
+    /// Same configuration with a per-host page-cache budget.
+    #[must_use]
+    pub fn with_cache_budget(mut self, pages: u64) -> FleetConfig {
+        self.cache_budget_pages = Some(pages);
+        self
+    }
+
+    /// Same configuration with a tenant assignment.
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: TenancyConfig) -> FleetConfig {
+        self.tenants = Some(tenants);
+        self
     }
 
     /// Same configuration with a different arrival schedule
@@ -296,6 +452,37 @@ mod tests {
 
         let back = cfg.with_arrivals(ArrivalProcess::Poisson { rate_rps: 5.0 });
         assert!(back.arrival.trace().is_none());
+    }
+
+    #[test]
+    fn fault_schedule_builders_compose() {
+        let faults = FaultSchedule::none()
+            .crash(1, SimDuration::from_millis(50))
+            .drain(0, SimDuration::from_millis(120))
+            .retrying(SimDuration::from_millis(5));
+        assert_eq!(faults.events.len(), 2);
+        assert_eq!(faults.events[0].kind, FaultKind::Crash);
+        assert_eq!(faults.events[1].kind, FaultKind::Drain);
+        assert_eq!(
+            faults.retry,
+            RetryPolicy::Retry {
+                delay: SimDuration::from_millis(5)
+            }
+        );
+        assert!(!faults.is_empty());
+
+        let tenants = TenancyConfig::round_robin(&["victim", "aggressor"], 5);
+        assert_eq!(tenants.assignment, vec![0, 1, 0, 1, 0]);
+        assert_eq!(tenants.tenant_of(3), Some(1));
+        assert_eq!(tenants.tenant_of(9), None);
+
+        let cfg = FleetConfig::new(StrategyKind::SnapBpf, 5, 20.0)
+            .with_faults(faults.clone())
+            .with_cache_budget(4096)
+            .with_tenants(tenants.clone());
+        assert_eq!(cfg.faults, faults);
+        assert_eq!(cfg.cache_budget_pages, Some(4096));
+        assert_eq!(cfg.tenants, Some(tenants));
     }
 
     #[test]

@@ -6,7 +6,11 @@ use snapbpf::{DeviceKind, FigureData, RestoreStage, StrategyError, StrategyKind}
 use snapbpf_sim::{chrome_trace_json, Histogram, Json, MetricsRegistry, SimDuration, Tracer};
 use snapbpf_workloads::Workload;
 
-use crate::{FleetConfig, FleetResult, PlacementKind, RestoreMode, Runner, SnapshotDistribution};
+use crate::scenario::{conserves_invocations, Scenario, ScenarioParams};
+use crate::{
+    tenant_aggregates, FleetConfig, FleetResult, PlacementKind, RestoreMode, Runner,
+    SnapshotDistribution,
+};
 
 /// One single-host [`Runner`] point (every figure host count is 1
 /// unless it goes through [`fleet_shard`]).
@@ -51,6 +55,8 @@ pub struct FleetFigureConfig {
     pub pipeline: PipelineFigureConfig,
     /// Sizing of the [`fleet_shard`] comparison.
     pub shard: ShardFigureConfig,
+    /// Sizing of the F5 [`fleet_scenario`] battery.
+    pub scenarios: ScenarioParams,
 }
 
 /// Sizing of the [`fleet_pipeline`] figure. The serialized-vs-
@@ -142,6 +148,7 @@ impl FleetFigureConfig {
                 distribution: SnapshotDistribution::remote_10g(),
                 threads: 1,
             },
+            scenarios: ScenarioParams::paper(),
         }
     }
 
@@ -174,6 +181,7 @@ impl FleetFigureConfig {
                 distribution: SnapshotDistribution::remote_10g(),
                 threads: 1,
             },
+            scenarios: ScenarioParams::quick(),
         }
     }
 
@@ -642,6 +650,134 @@ pub fn fleet_keepalive(cfg: &FleetFigureConfig) -> Result<FigureData, StrategyEr
     Ok(fig)
 }
 
+/// The strategies every F5 scenario cell is run under, in series
+/// order (`survivor-strategy` meta indexes into this).
+pub const SCENARIO_STRATEGIES: [StrategyKind; 2] = [StrategyKind::Reap, StrategyKind::SnapBpf];
+
+/// F5 `fleet-scenario-*`: one scenario of the million-user battery
+/// (DESIGN.md §13), run for every strategy × placement cell.
+/// Categories follow [`PlacementKind::ALL`]; each strategy
+/// contributes completed-ratio, end-to-end p99, failed, retried, and
+/// shed series (plus per-tenant restore p99s for the noisy-neighbor
+/// scenario). Meta pins which cell survives the shape best:
+/// `survivor-strategy` indexes [`SCENARIO_STRATEGIES`] and
+/// `survivor-placement` indexes [`PlacementKind::ALL`], picked by
+/// highest completed ratio with end-to-end p99 as the tie-break.
+/// Every run is checked against the invocation-conservation identity
+/// ([`conserves_invocations`]); `conserved` is 1 when all cells pass.
+///
+/// # Errors
+///
+/// Strategy errors propagate.
+///
+/// # Panics
+///
+/// Panics if any cell violates invocation conservation — a scenario
+/// figure must never be emitted from a run that lost arrivals.
+pub fn fleet_scenario(
+    scenario: Scenario,
+    cfg: &FleetFigureConfig,
+) -> Result<FigureData, StrategyError> {
+    let p = &cfg.scenarios;
+    let workloads: Vec<Workload> = Workload::suite().into_iter().take(p.functions).collect();
+    let mut fig = FigureData::new(
+        scenario.figure_id(),
+        scenario.title(),
+        "mixed",
+        PlacementKind::ALL
+            .iter()
+            .map(|pl| pl.label().to_owned())
+            .collect(),
+    );
+    fig.set_meta("hosts", p.hosts as f64);
+    fig.set_meta("arrival-rps", p.rate_rps);
+    // (completed ratio, e2e p99, strategy index, placement index).
+    let mut survivor: Option<(f64, f64, usize, usize)> = None;
+    for (ki, &kind) in SCENARIO_STRATEGIES.iter().enumerate() {
+        let n = PlacementKind::ALL.len();
+        let mut ratios = Vec::with_capacity(n);
+        let mut p99s = Vec::with_capacity(n);
+        let mut failed = Vec::with_capacity(n);
+        let mut retried = Vec::with_capacity(n);
+        let mut shed = Vec::with_capacity(n);
+        let mut victim_p99s = Vec::with_capacity(n);
+        let mut aggressor_p99s = Vec::with_capacity(n);
+        for (pi, &placement) in PlacementKind::ALL.iter().enumerate() {
+            let run_cfg = scenario.config(kind, placement, p);
+            let r = Runner::new(&run_cfg)
+                .workloads(&workloads)
+                .run()?
+                .into_cluster()
+                .expect("scenario configs are multi-host");
+            let a = &r.aggregate;
+            assert!(
+                conserves_invocations(a),
+                "{}/{}/{}: completed {} + shed {} + failed {} + retried {} != arrivals {}",
+                scenario.label(),
+                kind.label(),
+                placement.label(),
+                a.completions,
+                a.shed,
+                a.failed,
+                a.retried,
+                a.arrivals
+            );
+            let ratio = a.completions as f64 / a.arrivals.max(1) as f64;
+            let p99 = a.e2e_percentile_secs(99.0);
+            ratios.push(ratio);
+            p99s.push(p99);
+            failed.push(a.failed as f64);
+            retried.push(a.retried as f64);
+            shed.push(a.shed as f64);
+            if let Some(tenants) = run_cfg.tenants.as_ref() {
+                let by_tenant = tenant_aggregates(&r.per_function, tenants);
+                victim_p99s.push(by_tenant[0].restore_percentile_secs(99.0));
+                aggressor_p99s.push(by_tenant[1].restore_percentile_secs(99.0));
+            }
+            let better = match survivor {
+                None => true,
+                Some((best_ratio, best_p99, ..)) => {
+                    ratio > best_ratio + 1e-9
+                        || ((ratio - best_ratio).abs() <= 1e-9 && p99 < best_p99)
+                }
+            };
+            if better {
+                survivor = Some((ratio, p99, ki, pi));
+            }
+        }
+        let label = kind.label();
+        fig.push_series(&format!("{label}-completed-ratio"), ratios);
+        fig.push_series(&format!("{label}-e2e-p99-s"), p99s);
+        fig.push_series(&format!("{label}-failed"), failed);
+        fig.push_series(&format!("{label}-retried"), retried);
+        fig.push_series(&format!("{label}-shed"), shed);
+        if !victim_p99s.is_empty() {
+            fig.push_series(&format!("{label}-victim-restore-p99-s"), victim_p99s);
+            fig.push_series(&format!("{label}-aggressor-restore-p99-s"), aggressor_p99s);
+        }
+    }
+    let (ratio, p99, ki, pi) = survivor.expect("at least one cell ran");
+    fig.set_meta("survivor-strategy", ki as f64);
+    fig.set_meta("survivor-placement", pi as f64);
+    fig.set_meta("survivor-completed-ratio", ratio);
+    fig.set_meta("survivor-e2e-p99-s", p99);
+    fig.set_meta("conserved", 1.0);
+    Ok(fig)
+}
+
+/// The whole F5 battery: [`fleet_scenario`] for every
+/// [`Scenario::ALL`] member, in that order.
+///
+/// # Errors
+///
+/// Strategy errors propagate.
+pub fn fleet_scenarios(cfg: &FleetFigureConfig) -> Result<Vec<FigureData>, StrategyError> {
+    Scenario::ALL
+        .into_iter()
+        .map(|s| fleet_scenario(s, cfg))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -804,6 +940,58 @@ mod tests {
                 "locality must widen SnapBPF's lead over REAP on {} \
                  (least-loaded {lead_ll}, locality {lead_locality})",
                 device.label()
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_crash_figure_pins_survivor_and_conservation() {
+        let cfg = FleetFigureConfig::quick(0.02);
+        let fig = fleet_scenario(Scenario::HostCrash, &cfg).unwrap();
+        assert_eq!(fig.id, "fleet-scenario-crash");
+        assert_eq!(fig.meta_value("conserved"), Some(1.0));
+        let ks = fig.meta_value("survivor-strategy").unwrap();
+        let ps = fig.meta_value("survivor-placement").unwrap();
+        assert!((0.0..SCENARIO_STRATEGIES.len() as f64).contains(&ks));
+        assert!((0.0..PlacementKind::ALL.len() as f64).contains(&ps));
+        for kind in SCENARIO_STRATEGIES {
+            let label = kind.label();
+            let ratios = fig
+                .series_values(&format!("{label}-completed-ratio"))
+                .unwrap();
+            assert_eq!(ratios.len(), PlacementKind::ALL.len());
+            assert!(ratios.iter().all(|r| (0.0..=1.0).contains(r)));
+            // With retry enabled the crash converts kills into
+            // retries under every placement.
+            let retried = fig.series_values(&format!("{label}-retried")).unwrap();
+            assert!(
+                retried.iter().all(|r| *r > 0.0),
+                "the crash must retry something under every placement ({label}: {retried:?})"
+            );
+        }
+        // Determinism: the same config reproduces the figure exactly.
+        let again = fleet_scenario(Scenario::HostCrash, &cfg).unwrap();
+        assert_eq!(fig.to_json().unwrap(), again.to_json().unwrap());
+    }
+
+    #[test]
+    fn scenario_noisy_neighbor_reports_tenant_interference() {
+        let cfg = FleetFigureConfig::quick(0.02);
+        let fig = fleet_scenario(Scenario::NoisyNeighbor, &cfg).unwrap();
+        assert_eq!(fig.meta_value("conserved"), Some(1.0));
+        for kind in SCENARIO_STRATEGIES {
+            let label = kind.label();
+            let victim = fig
+                .series_values(&format!("{label}-victim-restore-p99-s"))
+                .unwrap();
+            let aggressor = fig
+                .series_values(&format!("{label}-aggressor-restore-p99-s"))
+                .unwrap();
+            assert_eq!(victim.len(), PlacementKind::ALL.len());
+            assert!(
+                victim.iter().chain(aggressor).all(|v| *v > 0.0),
+                "both tenants must cold-start under cache pressure \
+                 ({label}: victim {victim:?}, aggressor {aggressor:?})"
             );
         }
     }

@@ -19,7 +19,7 @@ use snapbpf_storage::{Disk, IoTracer};
 use snapbpf_vmm::{InvocationCursor, MicroVm, Snapshot, UffdResolver};
 use snapbpf_workloads::{InvocationTrace, Workload};
 
-use crate::config::{FleetConfig, RestoreMode, ShedPolicy, SnapshotDistribution};
+use crate::config::{FleetConfig, RestoreMode, RetryPolicy, ShedPolicy, SnapshotDistribution};
 use crate::metrics::FuncStats;
 use crate::pool::SandboxPool;
 
@@ -28,6 +28,9 @@ use crate::pool::SandboxPool;
 pub(crate) struct Request {
     pub(crate) at: SimTime,
     pub(crate) func: usize,
+    /// Whether this request is a crash retry. A retry killed by a
+    /// second crash fails for good — nothing retries twice.
+    pub(crate) retry: bool,
 }
 
 /// A parked warm sandbox: the microVM plus its fault resolver.
@@ -46,6 +49,12 @@ pub(crate) struct Active {
     arrival: SimTime,
     dispatch: SimTime,
     cold: bool,
+    /// Whether this invocation is itself a crash retry (never retried
+    /// again).
+    retry: bool,
+    /// Memory owner of the sandbox — the handle a crash needs to
+    /// release restore-phase charges made before any VM exists.
+    owner: OwnerId,
     /// The drained restore's per-stage breakdown (cold starts only).
     stages: Option<StageTimings>,
     /// When the restore's last event — including background prefetch
@@ -104,6 +113,9 @@ pub(crate) struct Host<'a> {
     pub(crate) placed: u64,
     /// High-water mark of parked sandboxes (capacity-bound witness).
     pub(crate) pool_hwm: u64,
+    /// Set by [`Host::drain`]: the host finishes in-flight and queued
+    /// work but completed sandboxes tear down instead of parking.
+    draining: bool,
 }
 
 /// Builds one host world: a fresh kernel over the configured device,
@@ -124,6 +136,7 @@ pub(crate) fn build_host<'a>(
     if let Some(pages) = cfg.memory_pages {
         kernel_config.total_memory_pages = pages;
     }
+    kernel_config.page_cache_budget_pages = cfg.cache_budget_pages;
     let mut kernel = HostKernel::new(Disk::new(cfg.device.build()), kernel_config);
 
     let mut t = SimTime::ZERO;
@@ -173,6 +186,7 @@ pub(crate) fn build_host<'a>(
             snapshot_fetches: 0,
             placed: 0,
             pool_hwm: 0,
+            draining: false,
         },
         t0,
     ))
@@ -196,6 +210,7 @@ pub(crate) fn draw_arrivals(cfg: &FleetConfig, t0: SimTime) -> Vec<Request> {
                 Some(f) => f as usize,
                 None => cfg.mix.pick(&mut pick_rng),
             },
+            retry: false,
         })
         .collect()
 }
@@ -282,6 +297,7 @@ impl Host<'_> {
                         vec![("func", req.func.into())],
                     );
                 }
+                let owner = vm.owner();
                 Active {
                     restore: None,
                     run: Some(
@@ -294,6 +310,8 @@ impl Host<'_> {
                     arrival: req.at,
                     dispatch: now,
                     cold: false,
+                    retry: req.retry,
+                    owner,
                     stages: None,
                     restore_end: now,
                 }
@@ -337,6 +355,8 @@ impl Host<'_> {
                             arrival: req.at,
                             dispatch: now,
                             cold: true,
+                            retry: req.retry,
+                            owner,
                             stages: None,
                             restore_end: now,
                         }
@@ -374,6 +394,8 @@ impl Host<'_> {
                             arrival: req.at,
                             dispatch: now,
                             cold: true,
+                            retry: req.retry,
+                            owner,
                             stages: Some(restored.stages),
                             restore_end: drained,
                         }
@@ -539,24 +561,121 @@ impl Host<'_> {
         self.trace
             .add("fleet.pool_expirations", expired.len() as u64);
         self.teardown_parked(expired)?;
-        let evicted = self.pool.checkin(done.func, (vm, resolver), t_ev);
-        self.pool_hwm = self.pool_hwm.max(self.pool.len() as u64);
-        self.trace.add("fleet.pool_evictions", evicted.len() as u64);
-        if !evicted.is_empty() && self.trace.events_enabled() {
-            self.trace.instant(
-                "fleet",
-                "pool-evict",
-                TID_CONTROL,
-                t_ev,
-                vec![("count", evicted.len().into())],
-            );
+        if self.draining {
+            // A draining host never parks: the sandbox tears down the
+            // moment its invocation completes.
+            self.teardown_parked(vec![(vm, resolver)])?;
+        } else {
+            let evicted = self.pool.checkin(done.func, (vm, resolver), t_ev);
+            self.pool_hwm = self.pool_hwm.max(self.pool.len() as u64);
+            self.trace.add("fleet.pool_evictions", evicted.len() as u64);
+            if !evicted.is_empty() && self.trace.events_enabled() {
+                self.trace.instant(
+                    "fleet",
+                    "pool-evict",
+                    TID_CONTROL,
+                    t_ev,
+                    vec![("count", evicted.len().into())],
+                );
+            }
+            self.teardown_parked(evicted)?;
         }
-        self.teardown_parked(evicted)?;
 
         if let Some(req) = self.pending.pop_front() {
             self.dispatch(req, t_ev)?;
         }
         Ok(())
+    }
+
+    /// Kills the host at `at`: every in-flight invocation aborts (its
+    /// sandbox torn down, its memory released), queued requests drop,
+    /// the warm pool and page cache are lost, and remotely fetched
+    /// snapshots are forgotten — the next cold start per function
+    /// re-pays the distribution transfer. Each killed request counts
+    /// as failed, or — under [`RetryPolicy::Retry`], for requests that
+    /// are not already retries — as retried; the returned function
+    /// indices (actives in slot order, then the queue front-to-back)
+    /// are the retries the cluster driver re-places on surviving
+    /// hosts. The host itself reboots instantly and keeps taking
+    /// placements with cold state.
+    pub(crate) fn crash(&mut self, at: SimTime) -> Result<Vec<usize>, StrategyError> {
+        let wants_retry = matches!(self.cfg.faults.retry, RetryPolicy::Retry { .. });
+        let mut retries = Vec::new();
+        let mut failed = 0u64;
+        for a in std::mem::take(&mut self.active) {
+            if let Some(r) = a.restore {
+                if let Some((mut vm, _resolver)) = r.abort() {
+                    vm.kvm_mut().teardown(&mut self.kernel)?;
+                }
+            }
+            if let Some(c) = a.run {
+                let (mut vm, _resolver) = c.abort();
+                vm.kvm_mut().teardown(&mut self.kernel)?;
+            }
+            // Restore-phase memory charged before any VM existed stays
+            // attributed to the owner; release it (a no-op when the
+            // teardown above already freed everything).
+            self.kernel.release_owner(a.owner)?;
+            if wants_retry && !a.retry {
+                self.per_func[a.func].retried += 1;
+                retries.push(a.func);
+            } else {
+                self.per_func[a.func].failed += 1;
+                failed += 1;
+            }
+        }
+        for req in std::mem::take(&mut self.pending) {
+            if wants_retry && !req.retry {
+                self.per_func[req.func].retried += 1;
+                retries.push(req.func);
+            } else {
+                self.per_func[req.func].failed += 1;
+                failed += 1;
+            }
+        }
+        self.trace.add("fleet.failed", failed);
+        self.trace.add("fleet.retried", retries.len() as u64);
+        let parked = self.pool.evict_all();
+        self.trace.add("fleet.pool_evictions", parked.len() as u64);
+        self.teardown_parked(parked)?;
+        self.kernel.drop_all_caches()?;
+        let present = matches!(self.cfg.distribution, SnapshotDistribution::Local);
+        self.snapshot_present = vec![present; self.funcs.len()];
+        debug_assert_eq!(
+            self.kernel.accounting_discrepancy(),
+            0,
+            "a crash must close the host's memory accounting"
+        );
+        if self.trace.events_enabled() {
+            self.trace.instant(
+                "fleet",
+                "host-crash",
+                TID_CONTROL,
+                at,
+                vec![("failed", failed.into()), ("retried", retries.len().into())],
+            );
+        }
+        Ok(retries)
+    }
+
+    /// Starts draining the host at `at`: the cluster driver stops
+    /// placing arrivals here, in-flight and queued work runs to
+    /// completion, the warm pool is evicted now, and completed
+    /// sandboxes tear down instead of parking.
+    pub(crate) fn drain(&mut self, at: SimTime) -> Result<(), StrategyError> {
+        self.draining = true;
+        let parked = self.pool.evict_all();
+        self.trace.add("fleet.pool_evictions", parked.len() as u64);
+        if self.trace.events_enabled() {
+            self.trace.instant(
+                "fleet",
+                "host-drain",
+                TID_CONTROL,
+                at,
+                vec![("evicted", parked.len().into())],
+            );
+        }
+        self.teardown_parked(parked)
     }
 
     /// End-of-run teardown: every parked sandbox torn down and memory

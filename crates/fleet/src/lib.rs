@@ -104,16 +104,21 @@ mod metrics;
 mod placement;
 mod pool;
 mod runner;
+pub mod scenario;
 
 pub use cluster::{ClusterResult, HostResult};
-pub use config::{FleetConfig, RestoreMode, ShedPolicy, SnapshotDistribution};
-pub use metrics::{FleetResult, FuncStats};
+pub use config::{
+    FaultEvent, FaultKind, FaultSchedule, FleetConfig, RestoreMode, RetryPolicy, ShedPolicy,
+    SnapshotDistribution, TenancyConfig,
+};
+pub use metrics::{tenant_aggregates, FleetResult, FuncStats};
 pub use placement::{
     HashPlacement, HostView, LeastLoadedPlacement, LocalityPlacement, PlacementKind,
     PlacementPolicy,
 };
 pub use pool::SandboxPool;
 pub use runner::{RunOutput, Runner};
+pub use scenario::{conserves_invocations, Scenario, ScenarioParams};
 
 use host::{build_host, draw_arrivals};
 

@@ -5,6 +5,8 @@
 use snapbpf::{RestoreStage, StageTimings};
 use snapbpf_sim::{Histogram, MetricsRegistry, SeriesRegistry, SimDuration};
 
+use crate::config::TenancyConfig;
+
 /// Latency and volume statistics for one function (or the
 /// fleet-wide aggregate).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -21,6 +23,13 @@ pub struct FuncStats {
     pub warm_starts: u64,
     /// Requests shed at admission.
     pub shed: u64,
+    /// Invocations lost to a host crash (in-flight or queued) and
+    /// never completed.
+    pub failed: u64,
+    /// Invocations a crash converted into a retry arrival (each
+    /// retried arrival is re-placed exactly once; its outcome is
+    /// counted against the new arrival).
+    pub retried: u64,
     /// End-to-end latency (arrival to completion), ns.
     pub e2e: Histogram,
     /// Admission-queue wait (arrival to dispatch), ns.
@@ -122,6 +131,8 @@ impl FuncStats {
         self.cold_starts += other.cold_starts;
         self.warm_starts += other.warm_starts;
         self.shed += other.shed;
+        self.failed += other.failed;
+        self.retried += other.retried;
         self.e2e.merge(&other.e2e);
         self.queue_wait.merge(&other.queue_wait);
         self.restore.merge(&other.restore);
@@ -130,6 +141,20 @@ impl FuncStats {
             mine.merge(theirs);
         }
     }
+}
+
+/// Merges per-function statistics into per-tenant aggregates under
+/// `tenants`, one record per tenant in tenant-id order (named after
+/// the tenant's label). Functions with no tenant assignment are
+/// skipped — the interference figures compare assigned groups only.
+pub fn tenant_aggregates(per_function: &[FuncStats], tenants: &TenancyConfig) -> Vec<FuncStats> {
+    let mut out: Vec<FuncStats> = tenants.labels.iter().map(|l| FuncStats::new(l)).collect();
+    for (func, stats) in per_function.iter().enumerate() {
+        if let Some(t) = tenants.tenant_of(func) {
+            out[t].merge(stats);
+        }
+    }
+    out
 }
 
 /// Everything a fleet run measured.
@@ -222,6 +247,8 @@ mod tests {
         let mut b = FuncStats::new("b");
         b.arrivals = 3;
         b.shed = 1;
+        b.failed = 2;
+        b.retried = 1;
         b.record(false, ms(6), ms(0), ms(0), ms(6), None);
         let mut all = FuncStats::new("all");
         all.merge(&a);
@@ -231,8 +258,31 @@ mod tests {
         assert_eq!(all.cold_starts, 1);
         assert_eq!(all.warm_starts, 1);
         assert_eq!(all.shed, 1);
+        assert_eq!(all.failed, 2);
+        assert_eq!(all.retried, 1);
         assert_eq!(all.e2e.count(), 2);
         assert_eq!(all.stage_breakdown[0].count(), 1);
+    }
+
+    #[test]
+    fn tenant_aggregates_merge_by_assignment() {
+        let tenants = TenancyConfig::round_robin(&["victim", "aggressor"], 3);
+        let mut per_function = vec![
+            FuncStats::new("a"),
+            FuncStats::new("b"),
+            FuncStats::new("c"),
+        ];
+        per_function[0].arrivals = 2;
+        per_function[1].arrivals = 5;
+        per_function[2].arrivals = 1;
+        per_function[2].failed = 1;
+        let by_tenant = tenant_aggregates(&per_function, &tenants);
+        assert_eq!(by_tenant.len(), 2);
+        assert_eq!(by_tenant[0].name, "victim");
+        assert_eq!(by_tenant[0].arrivals, 3, "functions 0 and 2");
+        assert_eq!(by_tenant[0].failed, 1);
+        assert_eq!(by_tenant[1].name, "aggressor");
+        assert_eq!(by_tenant[1].arrivals, 5, "function 1");
     }
 
     #[test]

@@ -145,6 +145,18 @@ impl<T> SandboxPool<T> {
     pub fn drain(&mut self) -> Vec<T> {
         self.entries.drain(..).map(|e| e.payload).collect()
     }
+
+    /// Force-evicts every parked sandbox (host crash or drain). Each
+    /// entry counts as an eviction, and — unlike an earlier buggy
+    /// drain path that left per-function live counts stale — the pool
+    /// comes back fully empty: [`SandboxPool::count_live`] reads 0
+    /// for every function and later check-ins honor the capacity
+    /// bound from a clean slate.
+    pub fn evict_all(&mut self) -> Vec<T> {
+        let evicted: Vec<T> = self.entries.drain(..).map(|e| e.payload).collect();
+        self.evictions += evicted.len() as u64;
+        evicted
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +228,33 @@ mod tests {
         assert_eq!(p.checkout(0, at(1801)), None);
         assert_eq!(p.len(), 1, "expired entry stays until expire()");
         assert_eq!(p.expire(at(1801)), vec![2]);
+    }
+
+    #[test]
+    fn forced_eviction_releases_warm_counts_and_capacity() {
+        let mut p: SandboxPool<u32> = SandboxPool::new(2, TTL);
+        p.checkin(0, 1, at(0));
+        p.checkin(1, 2, at(10));
+        assert_eq!(p.count_live(0, at(20)), 1);
+
+        let mut evicted = p.evict_all();
+        evicted.sort_unstable();
+        assert_eq!(evicted, vec![1, 2]);
+        assert_eq!(p.evictions(), 2, "forced eviction counts as eviction");
+        assert!(p.is_empty());
+        // The regression: per-function warm counts must drop to zero
+        // with the entries, and nothing stale may be checked out.
+        assert_eq!(p.count_live(0, at(20)), 0);
+        assert_eq!(p.count_live(1, at(20)), 0);
+        assert_eq!(p.checkout(0, at(20)), None);
+
+        // Capacity accounting starts from a clean slate: the pool
+        // accepts a full complement again and the LRU bound holds.
+        assert!(p.checkin(0, 3, at(30)).is_empty());
+        assert!(p.checkin(1, 4, at(40)).is_empty());
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.checkin(2, 5, at(50)), vec![3]);
+        assert_eq!(p.len(), 2, "capacity bound holds after forced eviction");
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Named million-user scenario shapes (DESIGN.md §13).
+//!
+//! Each [`Scenario`] is a pinned cluster configuration exercising one
+//! failure or load shape a production fleet actually sees: a host
+//! crash mid-run, a rolling drain, a flash crowd on top of a diurnal
+//! day, a hot-function storm, and a noisy co-tenant saturating the
+//! shared page-cache budget. The scenarios back the F5 figure family
+//! ([`crate::figures::fleet_scenario`]), the `scenario_check` CI
+//! smoke test, and the fault-schedule property tests — all three
+//! consume the exact same [`FleetConfig`]s built here, so a scenario
+//! regression shows up identically in figures, CI, and tests.
+
+use snapbpf::{DeviceKind, StrategyKind};
+use snapbpf_sim::{ArrivalProcess, ComposedArrivals, SimDuration};
+use snapbpf_workloads::Workload;
+
+use crate::config::{FaultSchedule, FleetConfig, SnapshotDistribution, TenancyConfig};
+use crate::metrics::FuncStats;
+use crate::placement::PlacementKind;
+
+/// The five pinned fleet scenarios (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// A host dies mid-run and reboots cold: in-flight and queued
+    /// invocations on it are retried once (client back-off), its warm
+    /// pool and page cache are lost, and the first cold start of each
+    /// function there re-pays the snapshot transfer.
+    HostCrash,
+    /// A host is drained for maintenance: it stops taking placements,
+    /// finishes in-flight work, and evicts its warm pool; the rest of
+    /// the cluster absorbs its share of the load.
+    Drain,
+    /// A flash crowd: mixed extra traffic at several times the base
+    /// rate lands on top of a diurnal day curve.
+    FlashCrowd,
+    /// A hot-function storm: the burst pins a single function, so one
+    /// snapshot's restore path takes the entire surge.
+    HotStorm,
+    /// Two co-located tenants share each host's page-cache budget and
+    /// disk queue; the aggressor's pinned storm evicts the victim's
+    /// cached snapshot pages and degrades its restore latency.
+    NoisyNeighbor,
+}
+
+impl Scenario {
+    /// Every scenario, in figure order.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::HostCrash,
+        Scenario::Drain,
+        Scenario::FlashCrowd,
+        Scenario::HotStorm,
+        Scenario::NoisyNeighbor,
+    ];
+
+    /// Short kebab-case name (CLI spelling).
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::HostCrash => "host-crash",
+            Scenario::Drain => "host-drain",
+            Scenario::FlashCrowd => "flash-crowd",
+            Scenario::HotStorm => "hot-storm",
+            Scenario::NoisyNeighbor => "noisy-neighbor",
+        }
+    }
+
+    /// The id of the F5 figure this scenario produces.
+    pub fn figure_id(self) -> &'static str {
+        match self {
+            Scenario::HostCrash => "fleet-scenario-crash",
+            Scenario::Drain => "fleet-scenario-drain",
+            Scenario::FlashCrowd => "fleet-scenario-flash-crowd",
+            Scenario::HotStorm => "fleet-scenario-hot-storm",
+            Scenario::NoisyNeighbor => "fleet-scenario-noisy-neighbor",
+        }
+    }
+
+    /// Figure title.
+    pub fn title(self) -> &'static str {
+        match self {
+            Scenario::HostCrash => "Host crash with retry: survival by strategy and placement",
+            Scenario::Drain => "Host drain: survival by strategy and placement",
+            Scenario::FlashCrowd => {
+                "Flash crowd over a diurnal day: survival by strategy and placement"
+            }
+            Scenario::HotStorm => "Hot-function storm: survival by strategy and placement",
+            Scenario::NoisyNeighbor => {
+                "Noisy neighbor under a shared cache budget: victim restore latency"
+            }
+        }
+    }
+
+    /// Parses a [`Scenario::label`] spelling.
+    pub fn parse(s: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|sc| sc.label() == s)
+    }
+
+    /// The pinned [`FleetConfig`] of this scenario for one strategy ×
+    /// placement cell, sized by `p`.
+    ///
+    /// Every scenario runs the same multi-host base — the pure
+    /// cold-start regime (the paper's focus: every start pays the
+    /// restore path, so the shapes separate the strategies) with a
+    /// remote snapshot distribution (losing a host's local snapshots
+    /// costs something) — and differs only in its fault schedule,
+    /// arrival composition, or tenancy. Warm-pool eviction on crash
+    /// and drain is pinned separately by the pooled property tests.
+    pub fn config(
+        self,
+        strategy: StrategyKind,
+        placement: PlacementKind,
+        p: &ScenarioParams,
+    ) -> FleetConfig {
+        let mut cfg = FleetConfig::new(strategy, p.functions, p.rate_rps)
+            .cold_only()
+            .at_scale(p.scale)
+            .on(p.device)
+            .with_seed(p.seed)
+            .sharded(p.hosts, placement)
+            .with_distribution(p.distribution);
+        cfg.duration = p.duration;
+        cfg.max_concurrency = p.max_concurrency;
+        let base = ArrivalProcess::Poisson {
+            rate_rps: p.rate_rps,
+        };
+        match self {
+            Scenario::HostCrash => cfg
+                // Host 0 is the loaded host under every policy
+                // (least-loaded and locality break ties toward the
+                // lowest index; rendezvous hashing can leave higher
+                // indices empty at small fleet sizes), so crashing it
+                // is guaranteed to kill work.
+                .with_faults(
+                    FaultSchedule::none()
+                        .crash(0, frac(p.duration, 0.4))
+                        .retrying(p.retry_delay),
+                )
+                // The crash lands mid-surge, and the surge outpaces
+                // even the fastest strategy's restore throughput, so
+                // the dead host is guaranteed to hold in-flight and
+                // queued work.
+                .with_arrivals(ComposedArrivals::over(base).with_flash_crowd(
+                    frac(p.duration, 0.3),
+                    frac(p.duration, 0.2),
+                    p.rate_rps * 8.0,
+                )),
+            Scenario::Drain => cfg
+                .with_faults(FaultSchedule::none().drain(p.hosts - 1, frac(p.duration, 0.3)))
+                // The drain fires during the diurnal morning ramp
+                // (the day curve peaks at 9/24 ≈ 0.375 of the
+                // horizon), so the surviving hosts absorb the drained
+                // host's share right as the daily peak arrives.
+                .with_arrivals(
+                    ComposedArrivals::over(base)
+                        .with_diurnal(p.rate_rps * 4.0, ComposedArrivals::day_curve()),
+                ),
+            Scenario::FlashCrowd => cfg.with_arrivals(
+                // The crowd outpaces the cluster's aggregate restore
+                // throughput for a fifth of the day, on top of the
+                // diurnal baseline.
+                ComposedArrivals::over(base)
+                    .with_diurnal(p.rate_rps * 0.5, ComposedArrivals::day_curve())
+                    .with_flash_crowd(
+                        frac(p.duration, 0.35),
+                        frac(p.duration, 0.2),
+                        p.rate_rps * 8.0,
+                    ),
+            ),
+            Scenario::HotStorm => cfg.with_arrivals(ComposedArrivals::over(base).with_hot_storm(
+                frac(p.duration, 0.35),
+                frac(p.duration, 0.2),
+                p.rate_rps * 8.0,
+                // The storm hits the fleet's largest working set, so
+                // restore I/O — not just queueing — takes the surge.
+                storm_func(p.functions, |_| true),
+            )),
+            Scenario::NoisyNeighbor => cfg
+                .with_tenants(TenancyConfig::round_robin(
+                    &["victim", "aggressor"],
+                    p.functions,
+                ))
+                .with_cache_budget(p.cache_budget_pages)
+                .with_arrivals(
+                    // Odd indices belong to the aggressor under the
+                    // round-robin split; storming its largest working
+                    // set floods the shared cache budget, evicting
+                    // the victim tenant's snapshot pages.
+                    ComposedArrivals::over(base).with_hot_storm(
+                        frac(p.duration, 0.25),
+                        frac(p.duration, 0.4),
+                        p.rate_rps * 4.0,
+                        storm_func(p.functions, |f| f % 2 == 1),
+                    ),
+                ),
+        }
+    }
+}
+
+/// `f` of the way through `d`.
+fn frac(d: SimDuration, f: f64) -> SimDuration {
+    SimDuration::from_nanos((d.as_nanos() as f64 * f) as u64)
+}
+
+/// The largest-working-set function among the first `functions` suite
+/// workloads whose index passes `eligible` (ties to the lowest
+/// index) — the storm target that makes restore I/O carry the surge.
+fn storm_func(functions: usize, eligible: impl Fn(usize) -> bool) -> u32 {
+    Workload::suite()
+        .iter()
+        .take(functions)
+        .enumerate()
+        .filter(|(f, _)| eligible(*f))
+        .max_by_key(|(f, w)| (w.spec().ws_pages(), std::cmp::Reverse(*f)))
+        .map(|(f, _)| f as u32)
+        .expect("a scenario fleet has at least one eligible function")
+}
+
+/// Sizing knobs shared by every scenario (the shapes themselves are
+/// pinned by [`Scenario::config`]).
+#[derive(Debug, Clone)]
+pub struct ScenarioParams {
+    /// Workload size scale in `(0, 1]`.
+    pub scale: f64,
+    /// Fleet size: the first `functions` suite workloads (at least 2,
+    /// so the noisy-neighbor split has both tenants).
+    pub functions: usize,
+    /// Hosts in the cluster (at least 2, so a fault leaves
+    /// survivors).
+    pub hosts: usize,
+    /// Arrival horizon per run.
+    pub duration: SimDuration,
+    /// Base arrival rate, in requests/s; burst overlays are sized as
+    /// multiples of it.
+    pub rate_rps: f64,
+    /// Per-host concurrent-restore slots. Kept tight (as in the F2
+    /// shard figure) so a surge or fault saturates hosts — queueing
+    /// and shedding, not just disk time, separate the strategies.
+    pub max_concurrency: usize,
+    /// Arrival-process seed.
+    pub seed: u64,
+    /// Storage device of every host.
+    pub device: DeviceKind,
+    /// Cross-host snapshot-distribution cost model.
+    pub distribution: SnapshotDistribution,
+    /// Per-host page-cache budget (pages) for the noisy-neighbor
+    /// scenario.
+    pub cache_budget_pages: u64,
+    /// Client back-off before re-submitting crash-killed invocations.
+    pub retry_delay: SimDuration,
+}
+
+impl ScenarioParams {
+    /// Full sizing for offline figure generation.
+    pub fn paper() -> ScenarioParams {
+        ScenarioParams {
+            scale: 0.05,
+            functions: 8,
+            hosts: 3,
+            duration: SimDuration::from_millis(1500),
+            rate_rps: 400.0,
+            max_concurrency: 2,
+            seed: 42,
+            device: DeviceKind::Sata5300,
+            distribution: SnapshotDistribution::remote_10g(),
+            cache_budget_pages: 4096,
+            retry_delay: SimDuration::from_millis(5),
+        }
+    }
+
+    /// Reduced sizing for tests and the CI smoke run.
+    pub fn quick() -> ScenarioParams {
+        ScenarioParams {
+            scale: 0.05,
+            functions: 8,
+            hosts: 3,
+            duration: SimDuration::from_millis(500),
+            rate_rps: 400.0,
+            max_concurrency: 2,
+            seed: 42,
+            device: DeviceKind::Sata5300,
+            distribution: SnapshotDistribution::remote_10g(),
+            cache_budget_pages: 2048,
+            retry_delay: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// The invocation-conservation identity every faulted run must
+/// satisfy: each arrival ends exactly one way — completed, shed at
+/// admission, failed in a crash, or converted into a retry arrival
+/// (whose own outcome is counted against the new arrival).
+pub fn conserves_invocations(stats: &FuncStats) -> bool {
+    stats.completions + stats.shed + stats.failed + stats.retried == stats.arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+    use snapbpf_workloads::Workload;
+
+    #[test]
+    fn labels_figure_ids_and_parse_round_trip() {
+        let mut ids = std::collections::BTreeSet::new();
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::parse(s.label()), Some(s));
+            assert!(s.figure_id().starts_with("fleet-scenario-"));
+            assert!(ids.insert(s.figure_id()), "figure ids must be unique");
+            assert!(!s.title().is_empty());
+        }
+        assert_eq!(Scenario::parse("no-such-scenario"), None);
+    }
+
+    #[test]
+    fn configs_carry_each_scenarios_shape() {
+        let p = ScenarioParams::quick();
+        for s in Scenario::ALL {
+            let cfg = s.config(StrategyKind::SnapBpf, PlacementKind::Locality, &p);
+            assert_eq!(cfg.hosts, p.hosts);
+            assert_eq!(cfg.duration, p.duration);
+            match s {
+                Scenario::HostCrash => {
+                    assert_eq!(cfg.faults.events.len(), 1);
+                    assert!(matches!(
+                        cfg.faults.retry,
+                        crate::config::RetryPolicy::Retry { .. }
+                    ));
+                }
+                Scenario::Drain => {
+                    assert_eq!(cfg.faults.events.len(), 1);
+                    assert_eq!(cfg.faults.events[0].host, p.hosts - 1);
+                }
+                Scenario::FlashCrowd => {
+                    let c = cfg.arrival.composed().expect("composed arrivals");
+                    assert_eq!(c.overlays().len(), 1);
+                    assert_eq!(c.max_pinned_func(), None, "flash crowds hit the mix");
+                }
+                Scenario::HotStorm => {
+                    let c = cfg.arrival.composed().expect("composed arrivals");
+                    // The storm hits the fleet's largest working set.
+                    let storm = c.max_pinned_func().expect("pinned storm") as usize;
+                    let suite = Workload::suite();
+                    let max_ws = suite[..p.functions]
+                        .iter()
+                        .map(|w| w.spec().ws_pages())
+                        .max()
+                        .unwrap();
+                    assert_eq!(suite[storm].spec().ws_pages(), max_ws);
+                }
+                Scenario::NoisyNeighbor => {
+                    let tenants = cfg.tenants.as_ref().expect("tenancy set");
+                    assert_eq!(tenants.labels, ["victim", "aggressor"]);
+                    assert_eq!(cfg.cache_budget_pages, Some(p.cache_budget_pages));
+                    let c = cfg.arrival.composed().expect("composed arrivals");
+                    // The storm must land on an aggressor function.
+                    let storm = c.max_pinned_func().expect("pinned storm") as usize;
+                    assert_eq!(tenants.tenant_of(storm), Some(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_crash_scenario_conserves_invocations() {
+        let p = ScenarioParams::quick();
+        let cfg = Scenario::HostCrash.config(StrategyKind::SnapBpf, PlacementKind::Hash, &p);
+        let workloads: Vec<Workload> = Workload::suite().into_iter().take(p.functions).collect();
+        let r = Runner::new(&cfg)
+            .workloads(&workloads)
+            .run()
+            .unwrap()
+            .into_cluster()
+            .unwrap();
+        assert!(
+            conserves_invocations(&r.aggregate),
+            "completed {} + shed {} + failed {} + retried {} != arrivals {}",
+            r.aggregate.completions,
+            r.aggregate.shed,
+            r.aggregate.failed,
+            r.aggregate.retried,
+            r.aggregate.arrivals
+        );
+        assert!(r.aggregate.retried > 0, "the crash must kill something");
+        for f in &r.per_function {
+            assert!(
+                conserves_invocations(f),
+                "per-function identity: {}",
+                f.name
+            );
+        }
+    }
+}

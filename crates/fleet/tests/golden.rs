@@ -18,8 +18,10 @@
 use std::path::PathBuf;
 
 use snapbpf_fleet::figures::{
-    fleet_breakdown, fleet_pipeline, fleet_shard, fleet_sweep, fleet_trace, FleetFigureConfig,
+    fleet_breakdown, fleet_pipeline, fleet_scenario, fleet_shard, fleet_sweep, fleet_trace,
+    FleetFigureConfig,
 };
+use snapbpf_fleet::Scenario;
 use snapbpf_sim::SimDuration;
 
 /// The shared figure config, shrunk until a debug-mode run of all
@@ -85,4 +87,22 @@ fn golden_fleet_trace() {
 fn golden_fleet_shard() {
     let fig = fleet_shard(&golden_cfg()).unwrap();
     assert_golden("fleet-shard.json", &fig.to_json().unwrap());
+}
+
+/// Every F5 scenario figure is pinned byte for byte: one golden per
+/// named scenario, at the smallest sizing whose runs still exercise
+/// the fault/overlay/tenancy machinery (shrunk from the scenario
+/// battery's quick params — survivor orderings have their own
+/// assertions in `scenario_check` and the figure unit tests, so
+/// speed wins here).
+#[test]
+fn golden_fleet_scenarios() {
+    let mut cfg = golden_cfg();
+    cfg.scenarios.scale = 0.02;
+    cfg.scenarios.functions = 4;
+    cfg.scenarios.duration = SimDuration::from_millis(250);
+    for scenario in Scenario::ALL {
+        let fig = fleet_scenario(scenario, &cfg).unwrap();
+        assert_golden(&format!("{}.json", fig.id), &fig.to_json().unwrap());
+    }
 }

@@ -7,10 +7,10 @@
 
 use snapbpf::{StrategyError, StrategyKind};
 use snapbpf_fleet::{
-    ClusterResult, FleetConfig, HostView, PlacementKind, PlacementPolicy, Runner,
+    ClusterResult, FaultSchedule, FleetConfig, HostView, PlacementKind, PlacementPolicy, Runner,
     SnapshotDistribution,
 };
-use snapbpf_sim::{chrome_trace_json, Tracer};
+use snapbpf_sim::{chrome_trace_json, SimDuration, Tracer};
 use snapbpf_testkit::{small_cluster_cfg, small_suite};
 use snapbpf_workloads::Workload;
 
@@ -120,6 +120,52 @@ fn windowed_series_json_is_byte_identical_at_any_thread_count() {
                     placement.label()
                 );
             }
+        }
+    }
+}
+
+/// The scenario battery's determinism pin: a crash epoch (host 0
+/// dies mid-run with retry on, host 2 drains later) still yields
+/// byte-identical traces and field-identical results at any
+/// worker-thread count. Fault epochs insert a barrier mid-stream; if
+/// any worker raced past it, the abort/evict/re-place cascade would
+/// interleave differently and some placement here would diverge.
+#[test]
+fn crash_epochs_match_the_serial_run_exactly() {
+    let workloads = small_suite();
+    for placement in PlacementKind::ALL {
+        let mut cfg = small_cluster_cfg(StrategyKind::SnapBpf, 4, 200.0).with_faults(
+            FaultSchedule::none()
+                .crash(0, SimDuration::from_millis(150))
+                .drain(2, SimDuration::from_millis(300))
+                .retrying(SimDuration::from_millis(2)),
+        );
+        cfg.placement = placement;
+        cfg.distribution = SnapshotDistribution::remote_10g();
+        let (serial, serial_trace) = traced_run(&cfg, &workloads, 1);
+        assert_eq!(
+            serial.aggregate.arrivals,
+            serial.aggregate.completions
+                + serial.aggregate.shed
+                + serial.aggregate.failed
+                + serial.aggregate.retried,
+            "{}: faulted run must conserve invocations",
+            placement.label()
+        );
+        for threads in [2usize, 3, 0] {
+            let (parallel, parallel_trace) = traced_run(&cfg, &workloads, threads);
+            assert_eq!(
+                serial,
+                parallel,
+                "{}: threads={threads} must reproduce the serial crash run",
+                placement.label()
+            );
+            assert_eq!(
+                serial_trace,
+                parallel_trace,
+                "{}: threads={threads} must serialize a byte-identical crash trace",
+                placement.label()
+            );
         }
     }
 }

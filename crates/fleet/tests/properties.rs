@@ -6,7 +6,8 @@
 use proptest::prelude::*;
 use snapbpf::StrategyKind;
 use snapbpf_fleet::{
-    FleetConfig, HashPlacement, HostView, PlacementKind, PlacementPolicy, Runner, SandboxPool,
+    conserves_invocations, FaultSchedule, FleetConfig, HashPlacement, HostView, PlacementKind,
+    PlacementPolicy, Runner, SandboxPool,
 };
 use snapbpf_sim::{SimDuration, SimTime};
 use snapbpf_testkit::workload_pair;
@@ -133,6 +134,74 @@ proptest! {
         for (i, merged) in r.per_function.iter().enumerate() {
             let host_sum: u64 = r.hosts.iter().map(|h| h.per_function[i].arrivals).sum();
             prop_assert_eq!(merged.arrivals, host_sum, "function {} leaked", i);
+        }
+        for h in &r.hosts {
+            prop_assert!(
+                h.pool_hwm <= pool_capacity as u64,
+                "host {} pool peaked at {} > capacity {}",
+                h.host, h.pool_hwm, pool_capacity
+            );
+        }
+    }
+
+    /// The scenario battery's conservation identity under arbitrary
+    /// fault schedules: whatever combination of a host crash (with or
+    /// without a retry policy) and a host drain lands on the cluster,
+    /// and whatever the placement policy, keep-alive pool sizing, and
+    /// worker-thread count, every admitted arrival is accounted for
+    /// exactly once — completed, shed, failed, or retried — both in
+    /// the aggregate and per function, the per-host records still sum
+    /// to the merged totals, and no pool ever exceeds its capacity
+    /// (crash/drain evictions included).
+    #[test]
+    fn faults_conserve_invocations_and_bound_pools(
+        hosts in 2usize..4,
+        rate in 100.0f64..300.0,
+        seed in 0u64..1_000,
+        policy_idx in 0usize..3,
+        threads in 1usize..3,
+        pool_capacity in 0usize..3,
+        crash_frac in 0.2f64..0.8,
+        drain_frac in 0.2f64..0.8,
+        drain in any::<bool>(),
+        retry in any::<bool>(),
+    ) {
+        let workloads = pair();
+        let mut faults = FaultSchedule::none()
+            .crash(0, SimDuration::from_nanos((200e6 * crash_frac) as u64));
+        if drain {
+            faults = faults.drain(hosts - 1, SimDuration::from_nanos((200e6 * drain_frac) as u64));
+        }
+        if retry {
+            faults = faults.retrying(SimDuration::from_millis(2));
+        }
+        let mut cfg = FleetConfig::new(StrategyKind::SnapBpf, workloads.len(), rate)
+            .with_seed(seed)
+            .sharded(hosts, PlacementKind::ALL[policy_idx])
+            .with_faults(faults);
+        cfg.scale = 0.02;
+        cfg.duration = SimDuration::from_millis(200);
+        cfg.pool_capacity = pool_capacity;
+        let r = Runner::new(&cfg)
+            .workloads(&workloads)
+            .threads(threads)
+            .run()
+            .expect("faulted cluster run")
+            .into_cluster()
+            .expect("hosts > 1 is a cluster run");
+        prop_assert!(
+            conserves_invocations(&r.aggregate),
+            "aggregate leaked: {} arrivals vs {} completed + {} shed + {} failed + {} retried",
+            r.aggregate.arrivals, r.aggregate.completions, r.aggregate.shed,
+            r.aggregate.failed, r.aggregate.retried
+        );
+        if !retry {
+            prop_assert_eq!(r.aggregate.retried, 0, "no retry policy, nothing may retry");
+        }
+        for (i, merged) in r.per_function.iter().enumerate() {
+            prop_assert!(conserves_invocations(merged), "function {} leaked", i);
+            let host_sum: u64 = r.hosts.iter().map(|h| h.per_function[i].arrivals).sum();
+            prop_assert_eq!(merged.arrivals, host_sum, "function {} placements leaked", i);
         }
         for h in &r.hosts {
             prop_assert!(

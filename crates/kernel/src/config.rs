@@ -13,6 +13,12 @@ use snapbpf_sim::SimDuration;
 pub struct KernelConfig {
     /// Total host memory managed by the buddy allocator, in pages.
     pub total_memory_pages: u64,
+    /// Page-cache budget in pages, `None` for unbounded. When the
+    /// cache grows past the budget the kernel reclaims LRU pages
+    /// immediately (pressure eviction) instead of waiting for
+    /// allocator exhaustion — the mechanism co-located tenants
+    /// contend through in the multi-tenant interference scenarios.
+    pub page_cache_budget_pages: Option<u64>,
     /// Whether demand reads trigger the readahead window.
     pub readahead_enabled: bool,
     /// Maximum readahead window in pages (Linux default: 128 KiB =
@@ -51,6 +57,7 @@ impl KernelConfig {
     pub fn server_defaults() -> Self {
         KernelConfig {
             total_memory_pages: 8 << 20, // 32 GiB
+            page_cache_budget_pages: None,
             readahead_enabled: true,
             readahead_pages: 32,
             readahead_initial: 8,

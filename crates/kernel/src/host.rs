@@ -534,7 +534,36 @@ impl HostKernel {
             }
             page += 1;
         }
+        self.enforce_cache_budget()?;
         Ok(max_ready)
+    }
+
+    /// Enforces [`KernelConfig::page_cache_budget_pages`]: reclaims
+    /// LRU pages until the cache fits the budget again, counting
+    /// them as *pressure* evictions (distinct from the
+    /// allocator-exhaustion reclaim in `alloc_cache_frame`). Mapped
+    /// and in-flight pages are never reclaimed, so a read burst can
+    /// exceed the budget transiently — exactly the window one
+    /// tenant's burst steals another tenant's cached snapshot pages
+    /// in.
+    fn enforce_cache_budget(&mut self) -> Result<(), KernelError> {
+        let Some(budget) = self.config.page_cache_budget_pages else {
+            return Ok(());
+        };
+        let len = self.cache.len();
+        if len <= budget {
+            return Ok(());
+        }
+        let victims = self.cache.evict_lru(len - budget);
+        let evicted = victims.len() as u64;
+        for (_, frame) in victims {
+            self.buddy.dealloc_pages(frame, 1)?;
+        }
+        if evicted > 0 {
+            self.counters.add("cache_pressure_evictions", evicted);
+            self.trace.add("mem.cache.pressure_evictions", evicted);
+        }
+        Ok(())
     }
 
     /// Fires the `add_to_page_cache_lru` kprobe for one insertion.
@@ -947,6 +976,34 @@ mod tests {
         k.read_file_page(SimTime::from_millis(4), f, 500).unwrap();
         assert!(k.page_state(f, 507).is_some());
         assert!(k.page_state(f, 508).is_none());
+    }
+
+    #[test]
+    fn cache_budget_reclaims_lru_as_pressure_evictions() {
+        let disk = Disk::new(Box::new(SsdModel::micron_5300()));
+        let config = KernelConfig {
+            page_cache_budget_pages: Some(16),
+            ..KernelConfig::default()
+        };
+        let mut k = HostKernel::new(disk, config);
+        let f = k.disk_mut().create_file("snap", 1024).unwrap();
+        let mut t = SimTime::ZERO;
+        for page in 0..512 {
+            // Sequential stream with each read landing before the
+            // next: touched pages go resident and become
+            // reclaimable, so the budget bites on later inserts.
+            t = k.read_file_page(t, f, page).unwrap().ready_at;
+        }
+        assert!(
+            k.counters().get("cache_pressure_evictions") > 0,
+            "a 16-page budget must reclaim under a multi-window read stream"
+        );
+        assert!(
+            k.cache().len() < 64,
+            "cache stayed near the budget, got {} pages",
+            k.cache().len()
+        );
+        assert_eq!(k.accounting_discrepancy(), 0);
     }
 
     #[test]

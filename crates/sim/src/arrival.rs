@@ -441,23 +441,261 @@ impl ArrivalSchedule for TraceArrival {
     }
 }
 
-/// The arrival schedule of a run: a synthetic process or a recorded
-/// trace. Run configurations store this, so recorded workloads plug
-/// in anywhere synthetic ones work.
+/// One burst layer of a [`ComposedArrivals`] schedule: extra Poisson
+/// arrivals at `rate_rps` over `[start, start + duration)`,
+/// optionally pinned to a single function.
+///
+/// With `func: None` the burst is a *flash crowd* — extra mixed
+/// traffic the run's popularity mix spreads over every function.
+/// With `func: Some(i)` it is a *hot-function storm* — the
+/// DDoS-like shape where one function suddenly dominates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstOverlay {
+    /// Offset of the burst's start from the run's start.
+    pub start: SimDuration,
+    /// How long the burst lasts.
+    pub duration: SimDuration,
+    /// Extra arrival rate during the burst, requests per second.
+    pub rate_rps: f64,
+    /// Function index every burst arrival targets, or `None` to let
+    /// the run's function mix pick per arrival.
+    pub func: Option<u32>,
+}
+
+/// Seed salt for the diurnal-layer slices of a composed schedule.
+const DIURNAL_SALT: u64 = 0xD1A1_0C4E_5EED_0001;
+/// Seed salt for the burst overlays of a composed schedule.
+const BURST_SALT: u64 = 0xB0B5_7F1A_5EED_0002;
+/// Per-index seed spreading (the SplitMix64 increment).
+const SLICE_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A day-scale composition over any base schedule: the base arrivals
+/// drawn verbatim, plus a piecewise-constant *diurnal* Poisson layer
+/// (one rate multiplier per equal slice of the horizon) and any
+/// number of [`BurstOverlay`]s.
+///
+/// The layers are additive, so composition works identically over a
+/// synthetic process and a recorded trace replay — the base sequence
+/// is preserved bit for bit and every layer draws from its own
+/// salted seed. The merged schedule is a pure function of
+/// `(self, seed, horizon)` like every other [`ArrivalSchedule`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComposedArrivals {
+    base: Box<ArrivalSource>,
+    /// Per-slice rate multipliers of the diurnal layer (empty: no
+    /// diurnal layer). Slice `i` of the horizon gets extra Poisson
+    /// arrivals at `curve_rate_rps * curve[i]`.
+    curve: Vec<f64>,
+    curve_rate_rps: f64,
+    overlays: Vec<BurstOverlay>,
+}
+
+impl ComposedArrivals {
+    /// Starts a composition over `base` with no extra layers.
+    pub fn over(base: impl Into<ArrivalSource>) -> ComposedArrivals {
+        ComposedArrivals {
+            base: Box::new(base.into()),
+            curve: Vec::new(),
+            curve_rate_rps: 0.0,
+            overlays: Vec::new(),
+        }
+    }
+
+    /// A named 24-slice diurnal shape: night trough, morning ramp,
+    /// midday peak, and a smaller evening peak — the canonical
+    /// production day the Azure trace analyses report. Values are
+    /// rate multipliers with peak 1.0.
+    pub fn day_curve() -> Vec<f64> {
+        vec![
+            0.15, 0.10, 0.08, 0.08, 0.10, 0.18, // 00-06: night trough
+            0.35, 0.60, 0.85, 1.00, 0.95, 0.90, // 06-12: ramp to peak
+            0.85, 0.80, 0.75, 0.70, 0.72, 0.78, // 12-18: afternoon
+            0.85, 0.80, 0.65, 0.45, 0.30, 0.20, // 18-24: evening decay
+        ]
+    }
+
+    /// Adds the diurnal layer: slice `i` of the horizon (there are
+    /// `curve.len()` equal slices) gets extra Poisson arrivals at
+    /// `rate_rps * curve[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty curve, a negative multiplier, or a
+    /// non-finite or negative rate.
+    #[must_use]
+    pub fn with_diurnal(mut self, rate_rps: f64, curve: Vec<f64>) -> ComposedArrivals {
+        assert!(
+            !curve.is_empty(),
+            "a diurnal curve needs at least one slice"
+        );
+        assert!(
+            curve.iter().all(|m| m.is_finite() && *m >= 0.0),
+            "diurnal multipliers must be finite and non-negative"
+        );
+        assert!(
+            rate_rps.is_finite() && rate_rps >= 0.0,
+            "diurnal rate must be finite and non-negative"
+        );
+        self.curve = curve;
+        self.curve_rate_rps = rate_rps;
+        self
+    }
+
+    /// Adds a flash-crowd burst: extra mixed traffic at `rate_rps`
+    /// over `[start, start + duration)`.
+    #[must_use]
+    pub fn with_flash_crowd(
+        self,
+        start: SimDuration,
+        duration: SimDuration,
+        rate_rps: f64,
+    ) -> ComposedArrivals {
+        self.with_overlay(BurstOverlay {
+            start,
+            duration,
+            rate_rps,
+            func: None,
+        })
+    }
+
+    /// Adds a hot-function storm: burst traffic pinned to `func`.
+    #[must_use]
+    pub fn with_hot_storm(
+        self,
+        start: SimDuration,
+        duration: SimDuration,
+        rate_rps: f64,
+        func: u32,
+    ) -> ComposedArrivals {
+        self.with_overlay(BurstOverlay {
+            start,
+            duration,
+            rate_rps,
+            func: Some(func),
+        })
+    }
+
+    /// Adds an arbitrary burst overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or negative burst rate.
+    #[must_use]
+    pub fn with_overlay(mut self, overlay: BurstOverlay) -> ComposedArrivals {
+        assert!(
+            overlay.rate_rps.is_finite() && overlay.rate_rps >= 0.0,
+            "burst rate must be finite and non-negative"
+        );
+        self.overlays.push(overlay);
+        self
+    }
+
+    /// The schedule the composition layers on top of.
+    pub fn base(&self) -> &ArrivalSource {
+        &self.base
+    }
+
+    /// The burst overlays, in the order they were added.
+    pub fn overlays(&self) -> &[BurstOverlay] {
+        &self.overlays
+    }
+
+    /// The largest function index any burst overlay pins (`None`
+    /// when every layer leaves the function to the run's mix). Run
+    /// validation checks this against the workload count.
+    pub fn max_pinned_func(&self) -> Option<u32> {
+        self.overlays.iter().filter_map(|o| o.func).max()
+    }
+
+    /// Draws one additive Poisson layer over `[start, start + len)`.
+    fn draw_layer(seed: u64, rate_rps: f64, start: SimDuration, len: SimDuration) -> Vec<SimTime> {
+        if rate_rps <= 0.0 || len.is_zero() {
+            return Vec::new();
+        }
+        ArrivalProcess::Poisson { rate_rps }
+            .generator(seed)
+            .take_until(SimTime::ZERO + len)
+            .into_iter()
+            .map(|t| t + start)
+            .collect()
+    }
+}
+
+impl ArrivalSchedule for ComposedArrivals {
+    /// Long-run mean rate: the base's mean plus the diurnal layer's
+    /// average. Burst overlays are transient (their windows are
+    /// fixed offsets, not horizon fractions), so they are excluded
+    /// from the long-run figure.
+    fn mean_rate_rps(&self) -> f64 {
+        let curve_mean = if self.curve.is_empty() {
+            0.0
+        } else {
+            self.curve_rate_rps * self.curve.iter().sum::<f64>() / self.curve.len() as f64
+        };
+        self.base.mean_rate_rps() + curve_mean
+    }
+
+    fn draw(&self, seed: u64, horizon: SimDuration) -> Vec<Arrival> {
+        let mut out = self.base.draw(seed, horizon);
+        let slices = self.curve.len() as u64;
+        for (i, &mult) in self.curve.iter().enumerate() {
+            let slice_len = SimDuration::from_nanos(horizon.as_nanos() / slices.max(1));
+            let start = SimDuration::from_nanos(slice_len.as_nanos() * i as u64);
+            let slice_seed = seed ^ DIURNAL_SALT ^ (i as u64).wrapping_mul(SLICE_GAMMA);
+            for at in Self::draw_layer(slice_seed, self.curve_rate_rps * mult, start, slice_len) {
+                out.push(Arrival { at, func: None });
+            }
+        }
+        for (j, overlay) in self.overlays.iter().enumerate() {
+            if overlay.start >= horizon {
+                continue;
+            }
+            let len = overlay.duration.min(horizon.saturating_sub(overlay.start));
+            let burst_seed = seed ^ BURST_SALT ^ (j as u64).wrapping_mul(SLICE_GAMMA);
+            for at in Self::draw_layer(burst_seed, overlay.rate_rps, overlay.start, len) {
+                out.push(Arrival {
+                    at,
+                    func: overlay.func,
+                });
+            }
+        }
+        // Stable by time: layers interleave deterministically (base
+        // first, then diurnal slices, then overlays, in order).
+        out.sort_by_key(|a| a.at);
+        out
+    }
+}
+
+/// The arrival schedule of a run: a synthetic process, a recorded
+/// trace, or a day-scale composition over either. Run configurations
+/// store this, so recorded workloads plug in anywhere synthetic ones
+/// work.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalSource {
     /// A synthetic stochastic process.
     Process(ArrivalProcess),
     /// A recorded trace replay.
     Trace(TraceArrival),
+    /// A diurnal/burst composition over another source.
+    Composed(ComposedArrivals),
 }
 
 impl ArrivalSource {
-    /// The recorded trace, if this source replays one.
+    /// The recorded trace, if this source replays one (composed
+    /// sources answer for their base).
     pub fn trace(&self) -> Option<&TraceArrival> {
         match self {
             ArrivalSource::Process(_) => None,
             ArrivalSource::Trace(t) => Some(t),
+            ArrivalSource::Composed(c) => c.base().trace(),
+        }
+    }
+
+    /// The composition, if this source is one.
+    pub fn composed(&self) -> Option<&ComposedArrivals> {
+        match self {
+            ArrivalSource::Composed(c) => Some(c),
+            _ => None,
         }
     }
 
@@ -478,6 +716,7 @@ impl ArrivalSchedule for ArrivalSource {
         match self {
             ArrivalSource::Process(p) => ArrivalSchedule::mean_rate_rps(p),
             ArrivalSource::Trace(t) => ArrivalSchedule::mean_rate_rps(t),
+            ArrivalSource::Composed(c) => ArrivalSchedule::mean_rate_rps(c),
         }
     }
 
@@ -485,6 +724,7 @@ impl ArrivalSchedule for ArrivalSource {
         match self {
             ArrivalSource::Process(p) => p.draw(seed, horizon),
             ArrivalSource::Trace(t) => t.draw(seed, horizon),
+            ArrivalSource::Composed(c) => c.draw(seed, horizon),
         }
     }
 }
@@ -498,6 +738,12 @@ impl From<ArrivalProcess> for ArrivalSource {
 impl From<TraceArrival> for ArrivalSource {
     fn from(t: TraceArrival) -> ArrivalSource {
         ArrivalSource::Trace(t)
+    }
+}
+
+impl From<ComposedArrivals> for ArrivalSource {
+    fn from(c: ComposedArrivals) -> ArrivalSource {
+        ArrivalSource::Composed(c)
     }
 }
 
@@ -736,6 +982,111 @@ mod tests {
         assert_eq!(trace.draw(1, SimDuration::from_millis(10)).len(), 3);
         // 3 points in 10 ms = 300 rps.
         assert!((trace.mean_rate_rps() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composed_schedule_is_deterministic_and_ordered() {
+        let c = ComposedArrivals::over(ArrivalProcess::Poisson { rate_rps: 20.0 })
+            .with_diurnal(40.0, ComposedArrivals::day_curve())
+            .with_flash_crowd(SEC * 2, SEC, 300.0)
+            .with_hot_storm(SEC * 4, SEC, 200.0, 1);
+        let a = c.draw(42, SEC * 8);
+        let b = c.draw(42, SEC * 8);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+        assert_ne!(a, c.draw(43, SEC * 8), "seed changes the layers");
+        assert_eq!(c.max_pinned_func(), Some(1));
+    }
+
+    #[test]
+    fn composed_layers_are_additive_over_the_base() {
+        let base = ArrivalProcess::Poisson { rate_rps: 10.0 };
+        let plain: Vec<SimTime> = base.draw(7, SEC * 4).iter().map(|a| a.at).collect();
+        let c = ComposedArrivals::over(base).with_flash_crowd(SEC, SEC, 150.0);
+        let composed = c.draw(7, SEC * 4);
+        // Every base arrival survives composition verbatim.
+        let times: Vec<SimTime> = composed.iter().map(|a| a.at).collect();
+        for t in &plain {
+            assert!(times.contains(t), "base arrival at {t:?} dropped");
+        }
+        // The burst window carries visibly more traffic than an
+        // equal-length window outside it.
+        let in_window = |lo: SimDuration, hi: SimDuration| {
+            composed
+                .iter()
+                .filter(|a| a.at >= SimTime::ZERO + lo && a.at < SimTime::ZERO + hi)
+                .count()
+        };
+        assert!(
+            in_window(SEC, SEC * 2) > 3 * in_window(SEC * 3, SEC * 4),
+            "flash crowd must dominate its window"
+        );
+    }
+
+    #[test]
+    fn hot_storm_pins_its_function_and_flash_crowd_does_not() {
+        let c = ComposedArrivals::over(ArrivalProcess::Poisson { rate_rps: 5.0 })
+            .with_flash_crowd(SimDuration::ZERO, SEC, 100.0)
+            .with_hot_storm(SimDuration::ZERO, SEC, 100.0, 3);
+        let arrivals = c.draw(11, SEC);
+        let pinned = arrivals.iter().filter(|a| a.func == Some(3)).count();
+        let mixed = arrivals.iter().filter(|a| a.func.is_none()).count();
+        assert!(pinned > 50, "storm arrivals pin func 3, got {pinned}");
+        assert!(mixed > 50, "base + crowd stay mix-driven, got {mixed}");
+        assert!(arrivals
+            .iter()
+            .all(|a| a.func.is_none() || a.func == Some(3)));
+    }
+
+    #[test]
+    fn diurnal_curve_shapes_the_day() {
+        let c = ComposedArrivals::over(ArrivalProcess::Poisson { rate_rps: 1.0 })
+            .with_diurnal(600.0, ComposedArrivals::day_curve());
+        let horizon = SEC * 24; // one "hour" per second
+        let arrivals = c.draw(9, horizon);
+        let hour = |h: u64| {
+            arrivals
+                .iter()
+                .filter(|a| a.at >= SimTime::ZERO + SEC * h && a.at < SimTime::ZERO + SEC * (h + 1))
+                .count()
+        };
+        // Midday peak (slice 9, mult 1.0) over the 03:00 trough
+        // (slice 3, mult 0.08).
+        assert!(
+            hour(9) > 4 * hour(3),
+            "peak {} vs trough {}",
+            hour(9),
+            hour(3)
+        );
+    }
+
+    #[test]
+    fn composition_over_a_trace_keeps_the_recording() {
+        let c = ComposedArrivals::over(tiny_trace()).with_hot_storm(
+            SimDuration::ZERO,
+            SimDuration::from_millis(10),
+            1000.0,
+            0,
+        );
+        let src: ArrivalSource = c.into();
+        assert!(
+            src.trace().is_some(),
+            "composed source exposes its base trace"
+        );
+        let arrivals = src.draw(5, SimDuration::from_millis(10));
+        let recorded: Vec<_> = arrivals
+            .iter()
+            .filter(|a| a.func.is_some())
+            .map(|a| (a.at.as_nanos(), a.func))
+            .collect();
+        assert!(recorded.contains(&(1_000_000, Some(0))));
+        assert!(recorded.contains(&(5_000_000, Some(1))));
+        assert!(recorded.contains(&(9_000_000, Some(2))));
+        assert!(src.composed().is_some());
+        // Mean rate folds base + diurnal average (none here).
+        assert!(
+            (ArrivalSchedule::mean_rate_rps(src.composed().unwrap().base()) - 300.0).abs() < 1e-9
+        );
     }
 
     #[test]

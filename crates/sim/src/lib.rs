@@ -42,8 +42,8 @@ mod time;
 pub mod trace;
 
 pub use arrival::{
-    Arrival, ArrivalGen, ArrivalProcess, ArrivalSchedule, ArrivalSource, LoopMode, TraceArrival,
-    TracePoint,
+    Arrival, ArrivalGen, ArrivalProcess, ArrivalSchedule, ArrivalSource, BurstOverlay,
+    ComposedArrivals, LoopMode, TraceArrival, TracePoint,
 };
 pub use queue::{Clock, EventQueue, Scheduled};
 pub use rng::SplitMix64;

@@ -334,6 +334,14 @@ impl InvocationCursor {
         };
         (self.vm, self.resolver, result)
     }
+
+    /// Abandons the invocation mid-flight (host crash in a fleet
+    /// simulation), handing back the sandbox for teardown. Unlike
+    /// [`InvocationCursor::finish`] this never panics: remaining
+    /// trace steps are simply discarded.
+    pub fn abort(self) -> (MicroVm, Box<dyn UffdResolver>) {
+        (self.vm, self.resolver)
+    }
 }
 
 /// One VM's progress in a concurrent run.
