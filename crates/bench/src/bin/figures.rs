@@ -46,7 +46,7 @@ use snapbpf_workloads::{FunctionMix, Workload};
 
 /// Every figure the runner knows, in presentation order — `--only`
 /// is validated against this list.
-const KNOWN_IDS: [&str; 31] = [
+const KNOWN_IDS: [&str; 33] = [
     "table1",
     "fig3a",
     "fig3b",
@@ -78,6 +78,8 @@ const KNOWN_IDS: [&str; 31] = [
     "fleet-scenario-hot-storm",
     "fleet-scenario-noisy-neighbor",
     "ext-memory-pressure",
+    "lint-report",
+    "opt-report",
 ];
 
 struct Args {
@@ -224,6 +226,18 @@ fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         let path = args.out.join("verifier-log.txt");
         std::fs::write(&path, &report)?;
         println!("verifier log written to {}\n", path.display());
+    }
+    if wants(&args.only, "lint-report") {
+        let report = snapbpf::lint_report()?;
+        println!("{report}");
+        std::fs::create_dir_all(&args.out)?;
+        std::fs::write(args.out.join("lint-report.txt"), &report)?;
+    }
+    if wants(&args.only, "opt-report") {
+        let report = snapbpf::opt_report()?;
+        println!("{report}");
+        std::fs::create_dir_all(&args.out)?;
+        std::fs::write(args.out.join("opt-report.txt"), &report)?;
     }
     if wants(&args.only, "table1") {
         let t = table1();

@@ -1,0 +1,323 @@
+//! Optimizer + lint gate over the shipped programs and the on-disk
+//! corpus (CI `verifier-corpus` smoke check).
+//!
+//! ```text
+//! cargo run --release -p snapbpf-bench --bin opt_check
+//! ```
+//!
+//! Four gates, any failure exits non-zero with a diagnostic:
+//!
+//! 1. **Lint**: no shipped program may carry a `deny`-severity
+//!    diagnostic.
+//! 2. **Static shrink + re-verify**: the full pass pipeline must
+//!    re-verify on every shipped program and cut the static
+//!    instruction count of both prefetch builders by at least 5%.
+//! 3. **Dynamic equivalence**: the looped prefetch program and its
+//!    telemetry variant, run through the interpreter against the
+//!    same group list, must issue the identical kfunc call sequence,
+//!    identical telemetry ring bytes and stat slots, and the same
+//!    return value — while executing at least 10% fewer
+//!    instructions.
+//! 4. **Corpus sweep**: every verifiable program under
+//!    `crates/ebpf/tests/corpus/` must optimize, re-verify, and run
+//!    interpreter-identically (the rejection corpus is skipped — it
+//!    is covered by `verifier_corpus`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use snapbpf::{build_prefetch_program, build_prefetch_program_telemetry, groups_map_image};
+use snapbpf_ebpf::{
+    lint_program, parse_program, Interpreter, KfuncHost, KfuncSig, MapDef, MapSet, NoKfuncs,
+    PassManager, Program, Verifier,
+};
+use snapbpf_storage::{Disk, SsdModel};
+
+const KFUNCS: &[KfuncSig] = &[KfuncSig {
+    name: "snapbpf_prefetch",
+    args: 3,
+}];
+
+/// Records every kfunc call (index plus the signature-covered args)
+/// and returns 0, standing in for the host kernel's prefetch path.
+struct RecordingKfuncs {
+    calls: Vec<(u32, Vec<u64>)>,
+}
+
+impl KfuncHost for RecordingKfuncs {
+    fn call_kfunc(&mut self, index: u32, args: [u64; 5]) -> Result<u64, String> {
+        let arity = KFUNCS
+            .get(index as usize)
+            .map(|s| s.args as usize)
+            .unwrap_or(args.len());
+        self.calls.push((index, args[..arity].to_vec()));
+        Ok(0)
+    }
+}
+
+/// One interpreter run's observables.
+struct RunResult {
+    return_value: u64,
+    insns: u64,
+    calls: Vec<(u32, Vec<u64>)>,
+    maps: MapSet,
+}
+
+fn run_one(program: &Program, maps: &MapSet, ctx: &[u64]) -> Result<RunResult, String> {
+    let verified = Verifier::new(maps, KFUNCS)
+        .verify(program)
+        .map_err(|e| format!("{}: rejected: {e}", program.name()))?;
+    let mut maps = maps.clone();
+    let mut kfuncs = RecordingKfuncs { calls: Vec::new() };
+    let outcome = Interpreter::new()
+        .run(&verified, ctx, &mut maps, &mut kfuncs)
+        .map_err(|e| format!("{}: run failed: {e}", program.name()))?;
+    Ok(RunResult {
+        return_value: outcome.return_value,
+        insns: outcome.insns_executed,
+        calls: kfuncs.calls,
+        maps,
+    })
+}
+
+/// Optimizes `program`, re-verifies, runs both images, and checks
+/// every observable. Returns `(orig_insns, opt_insns)`.
+fn check_equivalence(program: &Program, maps: &MapSet, ctx: &[u64]) -> Result<(u64, u64), String> {
+    let (optimized, stats) = PassManager::new().optimize(program, maps, KFUNCS);
+    if stats.insns_after > stats.insns_before {
+        return Err(format!("{}: optimizer grew the program", program.name()));
+    }
+    let orig = run_one(program, maps, ctx)?;
+    let opt = run_one(&optimized, maps, ctx)
+        .map_err(|e| format!("optimized image must re-verify and run: {e}"))?;
+    let name = program.name();
+    if orig.return_value != opt.return_value {
+        return Err(format!(
+            "{name}: return value diverged ({} vs {})",
+            orig.return_value, opt.return_value
+        ));
+    }
+    if orig.calls != opt.calls {
+        return Err(format!(
+            "{name}: kfunc call sequences diverged:\n  orig: {:?}\n  opt:  {:?}",
+            orig.calls, opt.calls
+        ));
+    }
+    if opt.insns > orig.insns {
+        return Err(format!(
+            "{name}: optimized image executed more instructions ({} > {})",
+            opt.insns, orig.insns
+        ));
+    }
+    let mut orig_maps = orig.maps;
+    let mut opt_maps = opt.maps;
+    for raw in 0..orig_maps.len() as u32 {
+        let id = snapbpf_ebpf::MapId::from_raw(raw);
+        let def = orig_maps.def(id).expect("map exists");
+        match def.kind {
+            snapbpf_ebpf::MapKind::RingBuf => loop {
+                let a = orig_maps.ring_pop(id).expect("ring pop");
+                let b = opt_maps.ring_pop(id).expect("ring pop");
+                if a != b {
+                    return Err(format!("{name}: telemetry ring bytes diverged on {id}"));
+                }
+                if a.is_none() {
+                    break;
+                }
+            },
+            snapbpf_ebpf::MapKind::PerCpuArray => {
+                for index in 0..def.max_entries {
+                    let a = orig_maps.percpu_load_merged_u64(id, index);
+                    let b = opt_maps.percpu_load_merged_u64(id, index);
+                    if a != b {
+                        return Err(format!("{name}: {id} slot {index} diverged"));
+                    }
+                }
+            }
+            _ => {
+                for index in 0..def.max_entries {
+                    let a = orig_maps.array_load_u64(id, index);
+                    let b = opt_maps.array_load_u64(id, index);
+                    if a != b {
+                        return Err(format!("{name}: {id} slot {index} diverged"));
+                    }
+                }
+            }
+        }
+    }
+    Ok((orig.insns, opt.insns))
+}
+
+/// Gate 3: the two loop-carrying prefetch builders, end to end.
+fn check_builders() -> Result<String, String> {
+    let mut disk = Disk::new(Box::new(SsdModel::micron_5300()));
+    let snap = disk
+        .create_file("snap", 8192)
+        .map_err(|e| format!("create_file: {e}"))?;
+    let groups = [(1000u64, 16u64), (200, 8), (4000, 4)]
+        .map(|(start, len)| snapbpf::WsGroup {
+            start,
+            len,
+            earliest_ns: 0,
+        })
+        .to_vec();
+
+    let mut summary = Vec::new();
+    for telemetry in [false, true] {
+        let mut maps = MapSet::new();
+        let map = maps
+            .create(snapbpf::groups_map_def(groups.len() as u32))
+            .map_err(|e| format!("create groups map: {e}"))?;
+        for (slot, value) in groups_map_image(&groups).iter().enumerate() {
+            maps.array_store_u64(map, slot as u32, *value)
+                .map_err(|e| format!("load groups map: {e}"))?;
+        }
+        let program = if telemetry {
+            let ring = maps
+                .create(snapbpf_ebpf::telemetry_ring_def())
+                .map_err(|e| format!("create ring: {e}"))?;
+            let stats = maps
+                .create(snapbpf_ebpf::telemetry_stats_def())
+                .map_err(|e| format!("create stats: {e}"))?;
+            build_prefetch_program_telemetry(snap, map, groups.len() as u32, ring, stats)
+        } else {
+            build_prefetch_program(snap, map, groups.len() as u32)
+        };
+        let ctx = [snap.as_u32() as u64, 0];
+        let (orig, opt) = check_equivalence(&program, &maps, &ctx)?;
+        if (opt as f64) > (orig as f64) * 0.90 {
+            return Err(format!(
+                "{}: expected >= 10% dynamic instruction reduction, got {orig} -> {opt}",
+                program.name()
+            ));
+        }
+        summary.push(format!("{} {orig}->{opt}", program.name()));
+    }
+    Ok(summary.join(", "))
+}
+
+/// Gates 1 + 2: lint and static-shrink reports over every shipped
+/// program (capture and cascade included).
+fn check_reports() -> Result<String, String> {
+    let lint = snapbpf::lint_report().map_err(|e| format!("lint_report: {e}"))?;
+    for line in lint.lines() {
+        if line.split_whitespace().nth(1) == Some("deny") {
+            return Err(format!("shipped program carries a deny lint: {line}"));
+        }
+    }
+    let opt = snapbpf::opt_report().map_err(|e| format!("opt_report: {e}"))?;
+    let mut shrunk = Vec::new();
+    for block in opt.split("optimizing program ").skip(1) {
+        let name = block.lines().next().unwrap_or("?").to_string();
+        if !block.contains("re-verification OK") {
+            return Err(format!("{name}: optimized image did not re-verify"));
+        }
+        let stats_line = block
+            .lines()
+            .find(|l| l.trim_start().starts_with("insns "))
+            .ok_or_else(|| format!("{name}: report has no stats line"))?;
+        let mut nums = stats_line
+            .split_whitespace()
+            .filter_map(|w| w.parse::<u64>().ok());
+        let (before, after) = (nums.next().unwrap_or(0), nums.next().unwrap_or(0));
+        if before == 0 {
+            return Err(format!("{name}: unparseable stats line: {stats_line}"));
+        }
+        if name.contains("prefetch_loop") || name.contains("prefetch_tel") {
+            if (after as f64) > (before as f64) * 0.95 {
+                return Err(format!(
+                    "{name}: expected >= 5% static instruction reduction, got {before} -> {after}"
+                ));
+            }
+            shrunk.push(format!("{name} {before}->{after}"));
+        }
+    }
+    if shrunk.len() != 2 {
+        return Err(format!(
+            "expected both prefetch builders in the opt report, found {}",
+            shrunk.len()
+        ));
+    }
+    Ok(shrunk.join(", "))
+}
+
+/// Gate 4: every verifiable corpus program optimizes, re-verifies,
+/// and runs identically.
+fn check_corpus() -> Result<String, String> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../ebpf/tests/corpus");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension()? == "asm").then(|| path.file_stem()?.to_str().map(String::from))?
+        })
+        .collect();
+    names.sort();
+    let mut maps = MapSet::new();
+    maps.create(MapDef::array(8, 8))
+        .map_err(|e| format!("create map#0: {e}"))?; // `map#0` in the corpus
+    maps.create(MapDef::ringbuf(256))
+        .map_err(|e| format!("create map#1: {e}"))?; // `map#1`
+    let (mut checked, mut rejected) = (0u32, 0u32);
+    for name in &names {
+        let path = dir.join(format!("{name}.asm"));
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let program = parse_program(name, &text).map_err(|e| format!("{name}: {e}"))?;
+        if Verifier::new(&maps, KFUNCS).verify(&program).is_err() {
+            // The rejection corpus; covered by `verifier_corpus`.
+            rejected += 1;
+            continue;
+        }
+        // Lint must never panic on corpus programs.
+        let _ = lint_program(&program, &maps, KFUNCS);
+        let ctx = [0u64, 0];
+        // Corpus programs call no kfuncs; run with the strict host.
+        let (optimized, _) = PassManager::new().optimize(&program, &maps, KFUNCS);
+        let verified = Verifier::new(&maps, KFUNCS)
+            .verify(&optimized)
+            .map_err(|e| format!("{name}: optimized image must re-verify: {e}"))?;
+        let orig = run_one(&program, &maps, &ctx)?;
+        let mut opt_maps = maps.clone();
+        let opt = Interpreter::new()
+            .run(&verified, &ctx, &mut opt_maps, &mut NoKfuncs)
+            .map_err(|e| format!("{name}: optimized run failed: {e}"))?;
+        if orig.return_value != opt.return_value {
+            return Err(format!("{name}: return value diverged"));
+        }
+        if opt.insns_executed > orig.insns {
+            return Err(format!(
+                "{name}: optimized image executed more instructions"
+            ));
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err("corpus sweep checked no verifiable programs".to_string());
+    }
+    Ok(format!(
+        "{checked} corpus programs equivalence-checked, {rejected} rejection-corpus skips"
+    ))
+}
+
+fn check() -> Result<String, String> {
+    let reports = check_reports()?;
+    let builders = check_builders()?;
+    let corpus = check_corpus()?;
+    Ok(format!(
+        "opt_check: ok — static {reports}; dynamic {builders}; {corpus}"
+    ))
+}
+
+fn main() -> ExitCode {
+    match check() {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("opt_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -398,6 +398,28 @@ pub fn build_prefetch_program_cascade(snapshot: FileId, groups: MapId) -> Progra
 ///
 /// Fails if any shipped program is rejected by the verifier.
 pub fn verifier_log_report() -> Result<String, snapbpf_kernel::KernelError> {
+    let (mut k, programs) = shipped_programs()?;
+    k.set_verifier_log(true);
+    for prog in programs {
+        let probe = k.load_and_attach(PAGE_CACHE_ADD_HOOK, &prog)?;
+        k.detach(probe)?;
+    }
+    Ok(k.take_verifier_logs().join("\n"))
+}
+
+/// The signatures of the kfuncs the host kernel registers, for
+/// running the static-analysis layer outside a [`HostKernel`].
+const HOST_KFUNCS: &[snapbpf_ebpf::KfuncSig] = &[snapbpf_ebpf::KfuncSig {
+    name: "snapbpf_prefetch",
+    args: 3,
+}];
+
+/// Builds a fresh host kernel plus every shipped program — capture,
+/// the looped prefetch program, its telemetry-instrumented variant,
+/// and the re-trigger cascade baseline — against representatively
+/// sized maps.
+fn shipped_programs(
+) -> Result<(snapbpf_kernel::HostKernel, Vec<Program>), snapbpf_kernel::KernelError> {
     use snapbpf_kernel::{HostKernel, KernelConfig};
     use snapbpf_storage::{Disk, SsdModel};
 
@@ -405,22 +427,63 @@ pub fn verifier_log_report() -> Result<String, snapbpf_kernel::KernelError> {
         Disk::new(Box::new(SsdModel::micron_5300())),
         KernelConfig::default(),
     );
-    k.set_verifier_log(true);
     let snap = k.disk_mut().create_file("snap", 8192)?;
     let wset = k.create_map(wset_map_def(4096))?;
     let groups = k.create_map(groups_map_def(256))?;
     let ring = k.create_map(snapbpf_ebpf::telemetry_ring_def())?;
     let stats = k.create_map(snapbpf_ebpf::telemetry_stats_def())?;
-    for prog in [
+    let programs = vec![
         build_capture_program(snap, wset, 4096),
         build_prefetch_program(snap, groups, 256),
         build_prefetch_program_telemetry(snap, groups, 256, ring, stats),
         build_prefetch_program_cascade(snap, groups),
-    ] {
-        let probe = k.load_and_attach(PAGE_CACHE_ADD_HOOK, &prog)?;
-        k.detach(probe)?;
+    ];
+    Ok((k, programs))
+}
+
+/// Lints every shipped program with the full
+/// [`snapbpf_ebpf::lint_program`] suite and returns the concatenated
+/// rendered reports. This backs the `figures` CLI's `lint-report`
+/// output and the CI `opt_check` smoke step; shipped programs must
+/// stay free of `deny`-severity diagnostics.
+///
+/// # Errors
+///
+/// Fails if the backing maps cannot be created.
+pub fn lint_report() -> Result<String, snapbpf_kernel::KernelError> {
+    let (k, programs) = shipped_programs()?;
+    let mut out = String::new();
+    for prog in &programs {
+        out.push_str(&snapbpf_ebpf::lint_program(prog, k.maps(), HOST_KFUNCS).render());
     }
-    Ok(k.take_verifier_logs().join("\n"))
+    Ok(out)
+}
+
+/// Optimizes every shipped program with the full
+/// [`snapbpf_ebpf::PassManager`] pipeline, re-verifies each
+/// optimized image, and returns a per-program report of the
+/// optimization statistics. This backs the `figures` CLI's
+/// `opt-report` output.
+///
+/// # Errors
+///
+/// Fails if the backing maps cannot be created or an optimized
+/// image no longer verifies (a pipeline bug by construction).
+pub fn opt_report() -> Result<String, snapbpf_kernel::KernelError> {
+    let (k, programs) = shipped_programs()?;
+    let mut out = String::new();
+    for prog in &programs {
+        let (optimized, stats) =
+            snapbpf_ebpf::PassManager::new().optimize(prog, k.maps(), HOST_KFUNCS);
+        snapbpf_ebpf::Verifier::new(k.maps(), HOST_KFUNCS)
+            .verify(&optimized)
+            .map_err(snapbpf_kernel::KernelError::Verify)?;
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "optimizing program {}", prog.name());
+        let _ = writeln!(out, "  {stats}");
+        let _ = writeln!(out, "  re-verification OK");
+    }
+    Ok(out)
 }
 
 /// Reads the captured samples back out of a capture map (the

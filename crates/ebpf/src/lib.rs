@@ -23,7 +23,11 @@
 //! * [`KprobeRegistry`] — named hook points (e.g.
 //!   `add_to_page_cache_lru`) that kernel code fires,
 //! * [`KfuncHost`] — the host side of kfunc calls, through which the
-//!   kernel exposes `snapbpf_prefetch()`.
+//!   kernel exposes `snapbpf_prefetch()`,
+//! * [`PassManager`] / [`lint_program`] — a static-analysis layer
+//!   over verified programs: behaviour-preserving optimization
+//!   passes driven by the verifier's range analysis, and lints for
+//!   verifiable-but-suspicious programs (see [`opt`]).
 //!
 //! ## Examples
 //!
@@ -80,6 +84,7 @@ mod insn;
 mod interp;
 mod kprobe;
 mod map;
+pub mod opt;
 mod program;
 mod telemetry;
 mod verify;
@@ -92,6 +97,9 @@ pub use insn::{
 pub use interp::{Interpreter, KfuncHost, NoKfuncs, RunError, RunOutcome, INSN_BUDGET};
 pub use kprobe::{FireResult, KprobeRegistry, ProbeError, ProbeId};
 pub use map::{MapDef, MapError, MapId, MapKind, MapSet, NCPUS};
+pub use opt::{
+    lint_program, Diagnostic, Lint, LintReport, OptCache, OptStats, PassManager, Severity,
+};
 pub use program::{AsmError, Label, Program, ProgramBuilder};
 pub use telemetry::{
     telemetry_ring_def, telemetry_stats_def, TelemetryDecodeError, TelemetryRecord,

@@ -1,0 +1,161 @@
+//! Shape-keyed cache of optimized programs.
+//!
+//! Mirrors the verifier's `VerifyCache`: the key is the rendered
+//! instruction stream with map references expanded to their
+//! definitions (kind/key/value/entries) plus the kfunc signature
+//! set, and deliberately excludes the program name. Two fleets
+//! loading the same builder output hit the cache even though their
+//! `MapId`s differ — on a hit the cached image's map references are
+//! translated positionally onto the caller's maps.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::insn::Insn;
+use crate::map::{MapId, MapSet};
+use crate::program::Program;
+use crate::verify::KfuncSig;
+
+use super::OptStats;
+
+#[derive(Debug)]
+struct CachedOpt {
+    insns: Vec<Insn>,
+    /// Distinct `MapId`s of the *original* program in first-occurrence
+    /// order, recorded at insert time. A later program with the same
+    /// key has the same shape, so its own first-occurrence list lines
+    /// up positionally with this one.
+    map_order: Vec<MapId>,
+    stats: OptStats,
+}
+
+/// Cache of optimization results keyed by program shape.
+#[derive(Debug, Default)]
+pub struct OptCache {
+    entries: HashMap<String, CachedOpt>,
+    hits: u64,
+    misses: u64,
+}
+
+fn distinct_maps(insns: &[Insn]) -> Vec<MapId> {
+    let mut order = Vec::new();
+    for insn in insns {
+        if let Insn::LoadMapRef { map, .. } = insn {
+            if !order.contains(map) {
+                order.push(*map);
+            }
+        }
+    }
+    order
+}
+
+fn shape_key(program: &Program, maps: &MapSet, kfuncs: &[KfuncSig]) -> Option<String> {
+    let mut key = String::with_capacity(program.insns().len() * 24);
+    for sig in kfuncs {
+        let _ = writeln!(key, "kfunc {} args={}", sig.name, sig.args);
+    }
+    for insn in program.insns() {
+        match insn {
+            Insn::LoadMapRef { dst, map } => {
+                let def = maps.def(*map).ok()?;
+                let _ = writeln!(
+                    key,
+                    "lddw {dst}, map<{:?} k={} v={} n={}>",
+                    def.kind, def.key_size, def.value_size, def.max_entries
+                );
+            }
+            other => {
+                let _ = writeln!(key, "{other}");
+            }
+        }
+    }
+    Some(key)
+}
+
+impl OptCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        OptCache::default()
+    }
+
+    /// Looks up the optimized image for `original`. On a hit the
+    /// cached instructions are rebased onto `original`'s map ids and
+    /// returned as a ready-to-verify [`Program`].
+    pub fn lookup(
+        &mut self,
+        original: &Program,
+        maps: &MapSet,
+        kfuncs: &[KfuncSig],
+    ) -> Option<(Program, OptStats)> {
+        let key = shape_key(original, maps, kfuncs)?;
+        let Some(cached) = self.entries.get(&key) else {
+            self.misses += 1;
+            return None;
+        };
+        let ours = distinct_maps(original.insns());
+        if ours.len() != cached.map_order.len() {
+            // Cannot happen for a matching key, but never translate
+            // on a mismatch.
+            self.misses += 1;
+            return None;
+        }
+        let mut insns = cached.insns.clone();
+        for insn in &mut insns {
+            if let Insn::LoadMapRef { map, .. } = insn {
+                let pos = cached
+                    .map_order
+                    .iter()
+                    .position(|m| m == map)
+                    .expect("cached insns only reference cached maps");
+                *map = ours[pos];
+            }
+        }
+        self.hits += 1;
+        Some((
+            Program::from_raw(original.name().to_string(), insns),
+            cached.stats.clone(),
+        ))
+    }
+
+    /// Records the optimization result for `original`.
+    pub fn insert(
+        &mut self,
+        original: &Program,
+        optimized: &Program,
+        stats: OptStats,
+        maps: &MapSet,
+        kfuncs: &[KfuncSig],
+    ) {
+        let Some(key) = shape_key(original, maps, kfuncs) else {
+            return;
+        };
+        self.entries.insert(
+            key,
+            CachedOpt {
+                insns: optimized.insns().to_vec(),
+                map_order: distinct_maps(original.insns()),
+                stats,
+            },
+        );
+    }
+
+    /// Number of cache hits served.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct program shapes cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

@@ -23,6 +23,13 @@ pub struct Program {
 }
 
 impl Program {
+    /// Builds a program directly from a raw instruction stream. Used
+    /// by the optimizer to materialize a rewritten image; external
+    /// callers go through [`ProgramBuilder`] or the text parser.
+    pub(crate) fn from_raw(name: String, insns: Vec<Insn>) -> Program {
+        Program { name, insns }
+    }
+
     /// The program's name (for diagnostics and reports).
     pub fn name(&self) -> &str {
         &self.name

@@ -37,6 +37,7 @@ use crate::insn::{
     AccessSize, AluOp, HelperId, Insn, JmpCond, Operand, Reg, MAX_CTX_WORDS, STACK_SIZE,
 };
 use crate::map::{MapId, MapKind, MapSet};
+use crate::opt::cfg::static_reachable;
 use crate::program::Program;
 
 /// Maximum number of `(pc, state)` pairs explored before the
@@ -64,15 +65,15 @@ pub struct KfuncSig {
 /// and unsigned domains (the value is a single 64-bit quantity; both
 /// views constrain it simultaneously).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct ScalarRange {
-    smin: i64,
-    smax: i64,
-    umin: u64,
-    umax: u64,
+pub(crate) struct ScalarRange {
+    pub(crate) smin: i64,
+    pub(crate) smax: i64,
+    pub(crate) umin: u64,
+    pub(crate) umax: u64,
 }
 
 impl ScalarRange {
-    fn exact(v: i64) -> Self {
+    pub(crate) fn exact(v: i64) -> Self {
         ScalarRange {
             smin: v,
             smax: v,
@@ -81,7 +82,7 @@ impl ScalarRange {
         }
     }
 
-    fn unknown() -> Self {
+    pub(crate) fn unknown() -> Self {
         ScalarRange {
             smin: i64::MIN,
             smax: i64::MAX,
@@ -91,7 +92,7 @@ impl ScalarRange {
     }
 
     /// The exact value, when both domains agree on a single point.
-    fn const_value(&self) -> Option<i64> {
+    pub(crate) fn const_value(&self) -> Option<i64> {
         if self.smin == self.smax && self.umin == self.umax && self.smin as u64 == self.umin {
             Some(self.smin)
         } else {
@@ -99,14 +100,14 @@ impl ScalarRange {
         }
     }
 
-    fn is_valid(&self) -> bool {
+    pub(crate) fn is_valid(&self) -> bool {
         self.smin <= self.smax && self.umin <= self.umax
     }
 
     /// Cross-deduces bounds between the signed and unsigned views:
     /// a known-non-negative signed range pins the unsigned one and
     /// vice versa.
-    fn deduce(mut self) -> Self {
+    pub(crate) fn deduce(mut self) -> Self {
         if self.smin >= 0 {
             self.umin = self.umin.max(self.smin as u64);
             self.umax = self.umax.min(self.smax as u64);
@@ -119,7 +120,7 @@ impl ScalarRange {
     }
 
     /// Whether every value admitted by `other` is admitted by `self`.
-    fn subsumes(&self, other: &Self) -> bool {
+    pub(crate) fn subsumes(&self, other: &Self) -> bool {
         self.smin <= other.smin
             && self.smax >= other.smax
             && self.umin <= other.umin
@@ -129,28 +130,28 @@ impl ScalarRange {
 
 /// A (possibly variable) pointer offset, as an inclusive byte range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct VarOff {
-    min: i32,
-    max: i32,
+pub(crate) struct VarOff {
+    pub(crate) min: i32,
+    pub(crate) max: i32,
 }
 
 impl VarOff {
-    fn exact(v: i32) -> Self {
+    pub(crate) fn exact(v: i32) -> Self {
         VarOff { min: v, max: v }
     }
 
-    fn is_exact(&self) -> bool {
+    pub(crate) fn is_exact(&self) -> bool {
         self.min == self.max
     }
 
-    fn subsumes(&self, other: &Self) -> bool {
+    pub(crate) fn subsumes(&self, other: &Self) -> bool {
         self.min <= other.min && self.max >= other.max
     }
 }
 
 /// Abstract type of a register during verification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum RegType {
+pub(crate) enum RegType {
     Uninit,
     /// A scalar with interval bounds.
     Scalar(ScalarRange),
@@ -167,18 +168,18 @@ enum RegType {
 }
 
 impl RegType {
-    fn scalar_exact(v: i64) -> Self {
+    pub(crate) fn scalar_exact(v: i64) -> Self {
         RegType::Scalar(ScalarRange::exact(v))
     }
 
-    fn scalar_unknown() -> Self {
+    pub(crate) fn scalar_unknown() -> Self {
         RegType::Scalar(ScalarRange::unknown())
     }
 
     /// Whether this abstract value covers every concrete value
     /// `other` covers (`Uninit` covers everything: a program safe
     /// with the register unwritten never reads it).
-    fn subsumes(&self, other: &RegType) -> bool {
+    pub(crate) fn subsumes(&self, other: &RegType) -> bool {
         match (self, other) {
             (RegType::Uninit, _) => true,
             (RegType::Scalar(a), RegType::Scalar(b)) => a.subsumes(b),
@@ -190,14 +191,14 @@ impl RegType {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct AbsState {
-    regs: [RegType; 11],
+pub(crate) struct AbsState {
+    pub(crate) regs: [RegType; 11],
     /// One bit per stack byte: initialized?
-    stack_init: [u64; STACK_SIZE / 64],
+    pub(crate) stack_init: [u64; STACK_SIZE / 64],
 }
 
 impl AbsState {
-    fn entry() -> Self {
+    pub(crate) fn entry() -> Self {
         let mut regs = [RegType::Uninit; 11];
         regs[10] = RegType::FramePtr;
         // r1 holds the context pointer in real eBPF; our LoadCtx
@@ -209,13 +210,13 @@ impl AbsState {
         }
     }
 
-    fn stack_mark_init(&mut self, start: usize, len: usize) {
+    pub(crate) fn stack_mark_init(&mut self, start: usize, len: usize) {
         for b in start..start + len {
             self.stack_init[b / 64] |= 1 << (b % 64);
         }
     }
 
-    fn stack_is_init(&self, start: usize, len: usize) -> bool {
+    pub(crate) fn stack_is_init(&self, start: usize, len: usize) -> bool {
         (start..start + len).all(|b| self.stack_init[b / 64] & (1 << (b % 64)) != 0)
     }
 
@@ -1324,7 +1325,7 @@ impl<'a> Verifier<'a> {
 }
 
 /// Caller-saved registers become uninitialized after a call.
-fn clobber_caller_saved(st: &mut AbsState) {
+pub(crate) fn clobber_caller_saved(st: &mut AbsState) {
     for i in 1..=5 {
         st.regs[i] = RegType::Uninit;
     }
@@ -1357,7 +1358,7 @@ fn stack_byte_span(base: &RegType, off: i16) -> Option<(usize, usize)> {
 }
 
 /// The full zero-extended 32-bit result range.
-fn range_u32() -> ScalarRange {
+pub(crate) fn range_u32() -> ScalarRange {
     ScalarRange {
         smin: 0,
         smax: u32::MAX as i64,
@@ -1383,7 +1384,7 @@ fn voff_add(base: VarOff, k: ScalarRange, sub: bool) -> Option<VarOff> {
     })
 }
 
-fn neg_range(r: ScalarRange) -> ScalarRange {
+pub(crate) fn neg_range(r: ScalarRange) -> ScalarRange {
     match (r.smax.checked_neg(), r.smin.checked_neg()) {
         (Some(lo), Some(hi)) => ScalarRange {
             smin: lo,
@@ -1399,7 +1400,7 @@ fn neg_range(r: ScalarRange) -> ScalarRange {
 /// The range transfer function for ALU ops. Constant operands fold
 /// exactly (via the interpreter-mirroring `eval_alu*`); otherwise
 /// each op derives the tightest cheap interval and cross-deduces.
-fn alu_range(op: AluOp, wide: bool, a: ScalarRange, b: ScalarRange) -> ScalarRange {
+pub(crate) fn alu_range(op: AluOp, wide: bool, a: ScalarRange, b: ScalarRange) -> ScalarRange {
     if let (Some(x), Some(y)) = (a.const_value(), b.const_value()) {
         let v = if wide {
             eval_alu64(op, x, y)
@@ -1578,7 +1579,7 @@ fn alu_range(op: AluOp, wide: bool, a: ScalarRange, b: ScalarRange) -> ScalarRan
     }
 }
 
-fn intersect(a: ScalarRange, b: ScalarRange) -> ScalarRange {
+pub(crate) fn intersect(a: ScalarRange, b: ScalarRange) -> ScalarRange {
     ScalarRange {
         smin: a.smin.max(b.smin),
         smax: a.smax.min(b.smax),
@@ -1636,7 +1637,7 @@ fn exclude(r: &mut ScalarRange, c: i64) -> Option<()> {
 /// Branch-condition refinement: the ranges `dst`/`src` take in the
 /// `taken` (or fall-through) direction of `cond`, or `None` when
 /// that direction is provably infeasible.
-fn refine_branch(
+pub(crate) fn refine_branch(
     cond: JmpCond,
     taken: bool,
     d0: ScalarRange,
@@ -1675,44 +1676,6 @@ fn refine_branch(
     } else {
         None
     }
-}
-
-/// Marks every instruction reachable in the *static* CFG from insn
-/// 0 (conditional jumps contribute both edges regardless of range
-/// feasibility).
-fn static_reachable(insns: &[Insn]) -> Vec<bool> {
-    let target_of = |pc: usize, off: i32| -> Option<usize> {
-        let t = pc as i64 + 1 + off as i64;
-        if t >= 0 && (t as usize) < insns.len() {
-            Some(t as usize)
-        } else {
-            None
-        }
-    };
-    let mut reach = vec![false; insns.len()];
-    let mut work = vec![0usize];
-    while let Some(pc) = work.pop() {
-        if pc >= insns.len() || reach[pc] {
-            continue;
-        }
-        reach[pc] = true;
-        match insns[pc] {
-            Insn::Exit => {}
-            Insn::Jump { off } => {
-                if let Some(t) = target_of(pc, off) {
-                    work.push(t);
-                }
-            }
-            Insn::JumpIf { off, .. } => {
-                if let Some(t) = target_of(pc, off) {
-                    work.push(t);
-                }
-                work.push(pc + 1);
-            }
-            _ => work.push(pc + 1),
-        }
-    }
-    reach
 }
 
 /// Renders the non-uninit registers of a state, log/diagnostic style.
@@ -1757,7 +1720,7 @@ fn format_regtype(r: &RegType) -> String {
     }
 }
 
-fn eval_alu64(op: AluOp, a: i64, b: i64) -> Option<i64> {
+pub(crate) fn eval_alu64(op: AluOp, a: i64, b: i64) -> Option<i64> {
     Some(match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -1774,7 +1737,7 @@ fn eval_alu64(op: AluOp, a: i64, b: i64) -> Option<i64> {
     })
 }
 
-fn eval_alu32(op: AluOp, a: i64, b: i64) -> Option<i64> {
+pub(crate) fn eval_alu32(op: AluOp, a: i64, b: i64) -> Option<i64> {
     let a32 = a as u32;
     let b32 = b as u32;
     let v: u32 = match op {

@@ -1,0 +1,7 @@
+; program lint_always_taken_branch
+; r0 is the constant 4, so the `jlt r0, 10` guard can only be taken:
+; the fall-through assignment is effectively commented out. SB002.
+mov64 r0, 4
+jlt r0, 10, +1
+mov64 r0, 1
+exit

@@ -1,0 +1,15 @@
+; program lint_clean
+; A lookup with a proper null check, a clamped bound, and no dead
+; stores or unused map references: every lint stays quiet.
+stu32 [r10-4], 0
+lddw r1, map#0
+mov64 r2, r10
+add64 r2, -4
+call bpf_map_lookup_elem
+mov64 r3, 0
+jeq r0, 0, +3
+ldxu64 r3, [r0+0]
+jle r3, 63, +1
+mov64 r3, 63
+mov64 r0, r3
+exit

@@ -1,0 +1,5 @@
+; program lint_dead_store
+; The stack slot written at [r10-8] is never read again. SB003.
+stu64 [r10-8], 7
+mov64 r0, 0
+exit

@@ -1,0 +1,13 @@
+; program lint_unchecked_ringbuf
+; The ringbuf_output result in r0 is overwritten without ever being
+; checked — under load the push fails with -ENOSPC and the drop goes
+; unnoticed. SB004.
+stu64 [r10-8], 42
+lddw r1, map#1
+mov64 r2, r10
+add64 r2, -8
+mov64 r3, 8
+mov64 r4, 0
+call bpf_ringbuf_output
+mov64 r0, 0
+exit

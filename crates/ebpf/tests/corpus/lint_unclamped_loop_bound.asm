@@ -1,0 +1,18 @@
+; program lint_unclamped_loop_bound
+; The loop's trip count is capped by the constant clamp at the first
+; exit branch, so the verifier accepts it — but the latch compares
+; against a bound read straight from map memory with no clamp of its
+; own: one bad map write and the loop's intent is gone. SB005.
+stu32 [r10-4], 0
+lddw r1, map#0
+mov64 r2, r10
+add64 r2, -4
+call bpf_map_lookup_elem
+jeq r0, 0, +5
+ldxu64 r3, [r0+0]
+mov64 r4, 0
+add64 r4, 1
+jgt r4, 63, +1
+jlt r4, r3, -3
+mov64 r0, 0
+exit

@@ -1,0 +1,6 @@
+; program lint_unused_map_fd
+; The map reference loaded into r1 is never consumed — a leftover
+; from a deleted lookup. Verifies fine; SB001 warns.
+lddw r1, map#0
+mov64 r0, 0
+exit

@@ -1,0 +1,92 @@
+//! The lint corpus: verifiable-but-suspicious programs, stored as
+//! reviewable assembly under `tests/corpus/`, that each trigger one
+//! lint — with the rendered report pinned byte for byte under
+//! `tests/golden/`, alongside a clean program that must stay quiet.
+//!
+//! To bless new reports after an intentional lint change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p snapbpf-ebpf --test lint_corpus
+//! ```
+
+use std::path::PathBuf;
+
+use snapbpf_ebpf::{lint_program, parse_program, MapDef, MapSet, Severity, Verifier};
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\n(bless with UPDATE_GOLDEN=1 cargo test -p snapbpf-ebpf \
+             --test lint_corpus)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden; if the change is intentional, bless it with \
+         UPDATE_GOLDEN=1 cargo test -p snapbpf-ebpf --test lint_corpus"
+    );
+}
+
+/// `(program, code that must fire, worst severity)`; `None` means the
+/// program must produce no diagnostics at all.
+const CORPUS: &[(&str, Option<(&str, Severity)>)] = &[
+    ("lint_unused_map_fd", Some(("SB001", Severity::Warn))),
+    ("lint_always_taken_branch", Some(("SB002", Severity::Note))),
+    ("lint_dead_store", Some(("SB003", Severity::Note))),
+    ("lint_unchecked_ringbuf", Some(("SB004", Severity::Warn))),
+    ("lint_unclamped_loop_bound", Some(("SB005", Severity::Deny))),
+    ("lint_clean", None),
+];
+
+#[test]
+fn corpus_programs_verify_and_lint_with_golden_reports() {
+    let mut maps = MapSet::new();
+    maps.create(MapDef::array(8, 8)).unwrap(); // `map#0` in the corpus
+    maps.create(MapDef::ringbuf(256)).unwrap(); // `map#1`
+    for (name, expect) in CORPUS {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/corpus")
+            .join(format!("{name}.asm"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let program =
+            parse_program(name, &text).unwrap_or_else(|e| panic!("{name} must parse: {e}"));
+        // Every lint-corpus program is verifiable — the lints cover
+        // the "safe but probably not what you meant" space.
+        Verifier::new(&maps, &[])
+            .verify(&program)
+            .unwrap_or_else(|e| panic!("{name} must verify: {e}"));
+        let report = lint_program(&program, &maps, &[]);
+        match expect {
+            Some((code, severity)) => {
+                let hit = report
+                    .diagnostics
+                    .iter()
+                    .find(|d| d.code == *code)
+                    .unwrap_or_else(|| panic!("{name} must trigger {code}:\n{report}"));
+                assert_eq!(hit.severity, *severity, "{name}: wrong severity");
+                assert_eq!(
+                    report.has_deny(),
+                    *severity == Severity::Deny,
+                    "{name}: deny flag mismatch"
+                );
+            }
+            None => {
+                assert!(
+                    report.diagnostics.is_empty(),
+                    "{name} must stay clean:\n{report}"
+                );
+            }
+        }
+        assert_golden(&format!("{name}.txt"), &report.render());
+    }
+}

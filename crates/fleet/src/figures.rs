@@ -349,6 +349,23 @@ fn set_ebpf_meta(fig: &mut FigureData, m: &MetricsRegistry) {
         m.histogram("ebpf.prog.insns_per_invocation")
             .map_or(0.0, Histogram::mean),
     );
+    fig.set_meta("ebpf-opt-programs", m.counter("ebpf.opt.programs") as f64);
+    fig.set_meta(
+        "ebpf-opt-insns-before",
+        m.counter("ebpf.opt.insns_before") as f64,
+    );
+    fig.set_meta(
+        "ebpf-opt-insns-after",
+        m.counter("ebpf.opt.insns_after") as f64,
+    );
+    fig.set_meta(
+        "ebpf-opt-cache-hits",
+        m.counter("ebpf.opt.cache_hits") as f64,
+    );
+    fig.set_meta(
+        "ebpf-opt-reverify-rejections",
+        m.counter("ebpf.opt.reverify_rejections") as f64,
+    );
 }
 
 /// F1d `fleet-pipeline`: aggregate cold-start p99 (dispatch to

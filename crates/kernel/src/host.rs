@@ -223,6 +223,8 @@ pub struct HostKernel {
     verifier_log_enabled: bool,
     verifier_logs: Vec<String>,
     verify_cache: snapbpf_ebpf::VerifyCache,
+    optimizer_enabled: bool,
+    opt_cache: snapbpf_ebpf::OptCache,
 }
 
 impl HostKernel {
@@ -250,6 +252,8 @@ impl HostKernel {
             verifier_log_enabled: false,
             verifier_logs: Vec::new(),
             verify_cache: snapbpf_ebpf::VerifyCache::new(),
+            optimizer_enabled: true,
+            opt_cache: snapbpf_ebpf::OptCache::new(),
             config,
         }
     }
@@ -360,13 +364,73 @@ impl HostKernel {
         match result {
             Ok(verified) => {
                 self.trace.incr("ebpf.verifier.programs");
-                Ok(self.probes.attach(hook, verified))
+                let attached = if self.optimizer_enabled {
+                    self.optimize_for_attach(program, verified)
+                } else {
+                    verified
+                };
+                Ok(self.probes.attach(hook, attached))
             }
             Err(e) => {
                 self.trace.incr("ebpf.verifier.rejections");
                 Err(e.into())
             }
         }
+    }
+
+    /// Runs the optimization pipeline on an accepted program and
+    /// re-verifies the result. The optimized image is attached only
+    /// when it passes the verifier again; otherwise the original
+    /// `verified` image is kept and `ebpf.opt.reverify_rejections`
+    /// counts the fallback. Optimization results are memoized per
+    /// program shape like verification verdicts.
+    fn optimize_for_attach(
+        &mut self,
+        program: &Program,
+        verified: snapbpf_ebpf::VerifiedProgram,
+    ) -> snapbpf_ebpf::VerifiedProgram {
+        let (optimized, stats) = match self.opt_cache.lookup(program, &self.maps, &self.kfunc_sigs)
+        {
+            Some(hit) => {
+                self.trace.incr("ebpf.opt.cache_hits");
+                hit
+            }
+            None => {
+                let (optimized, stats) = snapbpf_ebpf::PassManager::new().optimize(
+                    program,
+                    &self.maps,
+                    &self.kfunc_sigs,
+                );
+                self.opt_cache.insert(
+                    program,
+                    &optimized,
+                    stats.clone(),
+                    &self.maps,
+                    &self.kfunc_sigs,
+                );
+                (optimized, stats)
+            }
+        };
+        self.trace.incr("ebpf.opt.programs");
+        self.trace.add("ebpf.opt.insns_before", stats.insns_before);
+        self.trace.add("ebpf.opt.insns_after", stats.insns_after);
+        // Re-verification is silent: no verifier metrics or captured
+        // logs, so enabling the optimizer never changes what the
+        // verifier reports about the program the author wrote.
+        let verifier = snapbpf_ebpf::Verifier::new(&self.maps, &self.kfunc_sigs);
+        match verifier.verify_cached(&optimized, &mut self.verify_cache) {
+            Ok(v) => v,
+            Err(_) => {
+                self.trace.incr("ebpf.opt.reverify_rejections");
+                verified
+            }
+        }
+    }
+
+    /// Enables or disables the optimize-then-re-verify step in
+    /// [`Self::load_and_attach`]. On by default.
+    pub fn set_optimizer(&mut self, enabled: bool) {
+        self.optimizer_enabled = enabled;
     }
 
     /// Enables or disables verifier-log capture: when enabled, every
